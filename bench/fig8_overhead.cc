@@ -1,0 +1,115 @@
+/// \file fig8_overhead.cc
+/// \brief Reproduces Fig. 8: the runtime overhead Butterfly adds to the
+/// mining system, split into Mining alg / Basic (perturbation) / Opt (bias
+/// optimization), versus the minimum support C, at window size H = 5000.
+///
+/// Expected shape (paper): the Butterfly parts are nearly unnoticeable next
+/// to the mining cost; both grow as C shrinks, but the overhead grows much
+/// more slowly (the number of FECs rises far slower than the number of
+/// frequent itemsets).
+
+#include <vector>
+
+#include "harness.h"
+#include "metrics/timing.h"
+#include "moment/moment.h"
+
+namespace butterfly::bench {
+namespace {
+
+struct OverheadRow {
+  double mining_per_window = 0;
+  double basic_per_window = 0;
+  double opt_per_window = 0;
+  size_t frequent = 0;
+  size_t fecs = 0;
+};
+
+OverheadRow Measure(DatasetProfile profile, Support min_support) {
+  const size_t window = 5000;
+  const size_t reports = 20;
+  const size_t stride = 25;
+  auto data = GenerateProfile(profile, window + reports * stride, 7);
+  if (!data.ok()) std::exit(1);
+
+  MomentMiner miner(window, min_support);
+
+  SchemeVariant basic{"Basic", ButterflyScheme::kBasic, 0.0};
+  SchemeVariant opt{"Opt", ButterflyScheme::kOrderPreserving, 1.0};
+  TraceConfig trace_config;  // only C matters for MakeConfig here
+  trace_config.min_support = min_support;
+  ButterflyEngine basic_engine(
+      MakeConfig(trace_config, basic, /*epsilon=*/0.016, /*delta=*/0.4));
+  ButterflyEngine opt_engine(
+      MakeConfig(trace_config, opt, /*epsilon=*/0.016, /*delta=*/0.4));
+
+  OverheadRow row;
+  size_t fed = 0;
+  size_t reported = 0;
+  Stopwatch mine_watch;
+  double mine_time = 0;
+  for (const Transaction& t : *data) {
+    mine_watch.Restart();
+    miner.Append(t);
+    mine_time += mine_watch.Seconds();
+    ++fed;
+    if (fed < window) continue;
+    if ((fed - window) % stride != 0 || reported >= reports) continue;
+    ++reported;
+
+    // Mining cost of this window = incremental maintenance since the last
+    // report plus the output walk.
+    mine_watch.Restart();
+    MiningOutput raw = miner.GetAllFrequent();
+    mine_time += mine_watch.Seconds();
+    row.mining_per_window += mine_time;
+    mine_time = 0;
+
+    row.frequent = raw.size();
+    row.fecs = PartitionIntoFecs(raw).size();
+
+    Stopwatch watch;
+    SanitizedOutput basic_release =
+        basic_engine.Sanitize(raw, static_cast<Support>(window));
+    row.basic_per_window += watch.Seconds();
+
+    watch.Restart();
+    SanitizedOutput opt_release =
+        opt_engine.Sanitize(raw, static_cast<Support>(window));
+    row.opt_per_window += watch.Seconds();
+    (void)basic_release;
+    (void)opt_release;
+  }
+  double n = static_cast<double>(reported);
+  row.mining_per_window /= n;
+  row.basic_per_window /= n;
+  row.opt_per_window /= n;
+  return row;
+}
+
+void RunDataset(DatasetProfile profile) {
+  PrintTableHeader(
+      "Fig 8: per-window running time (s), " + ProfileName(profile) +
+          ", H=5000",
+      {"C", "Mining alg", "Basic", "Opt", "frequent", "FECs"});
+  for (Support c : {30, 25, 20, 15, 10}) {
+    OverheadRow row = Measure(profile, c);
+    PrintTableRow({std::to_string(c), FormatDouble(row.mining_per_window, 5),
+                   FormatDouble(row.basic_per_window, 5),
+                   FormatDouble(row.opt_per_window, 5),
+                   std::to_string(row.frequent), std::to_string(row.fecs)});
+  }
+}
+
+}  // namespace
+}  // namespace butterfly::bench
+
+int main() {
+  std::printf("Butterfly reproduction: Fig. 8 (overhead of Butterfly in the "
+              "mining system)\nH=5000, 20 reported windows, stride 25; "
+              "'Mining alg' = incremental Moment maintenance + output walk "
+              "per reported window\n");
+  butterfly::bench::RunDataset(butterfly::DatasetProfile::kBmsWebView1);
+  butterfly::bench::RunDataset(butterfly::DatasetProfile::kBmsPos);
+  return 0;
+}

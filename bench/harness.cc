@@ -1,0 +1,94 @@
+#include "harness.h"
+
+#include <cstdio>
+
+#include "core/stream_engine.h"
+
+namespace butterfly::bench {
+
+WindowTrace CollectTrace(const TraceConfig& config) {
+  size_t total_records = config.window + config.reports * config.stride;
+  auto data = GenerateProfile(config.profile, total_records, config.data_seed);
+  if (!data.ok()) {
+    std::fprintf(stderr, "data generation failed: %s\n",
+                 data.status().ToString().c_str());
+    std::exit(1);
+  }
+
+  MomentMiner miner(config.window, config.min_support);
+  WindowTrace trace;
+  trace.config = config;
+  trace.raw.reserve(config.reports);
+  size_t fed = 0;
+  for (const Transaction& t : *data) {
+    miner.Append(t);
+    ++fed;
+    if (fed < config.window) continue;
+    size_t past_fill = fed - config.window;
+    if (past_fill % config.stride == 0 && trace.raw.size() < config.reports) {
+      trace.raw.push_back(miner.GetAllFrequent());
+    }
+  }
+  return trace;
+}
+
+std::vector<std::vector<InferredPattern>> CollectBreaches(
+    const WindowTrace& trace, Support vulnerable_support) {
+  AttackConfig attack;
+  attack.vulnerable_support = vulnerable_support;
+  attack.max_itemset_size = 10;
+  std::vector<std::vector<InferredPattern>> breaches;
+  breaches.reserve(trace.raw.size());
+  for (const MiningOutput& raw : trace.raw) {
+    breaches.push_back(FindIntraWindowBreaches(
+        raw, static_cast<Support>(trace.config.window), attack));
+  }
+  return breaches;
+}
+
+std::vector<SchemeVariant> PaperVariants() {
+  return {
+      {"Basic", ButterflyScheme::kBasic, 0.0},
+      {"Opt l=1", ButterflyScheme::kOrderPreserving, 1.0},
+      {"Opt l=0.4", ButterflyScheme::kHybrid, 0.4},
+      {"Opt l=0", ButterflyScheme::kRatioPreserving, 0.0},
+  };
+}
+
+ButterflyConfig MakeConfig(const TraceConfig& trace, const SchemeVariant& v,
+                           double epsilon, double delta, size_t gamma,
+                           uint64_t seed) {
+  ButterflyConfig config;
+  config.epsilon = epsilon;
+  config.delta = delta;
+  config.min_support = trace.min_support;
+  config.vulnerable_support = 5;
+  config.scheme = v.scheme;
+  config.lambda = v.lambda;
+  config.order_opt.gamma = gamma;
+  config.seed = seed;
+  return config;
+}
+
+void PrintTableHeader(const std::string& title,
+                      const std::vector<std::string>& columns) {
+  std::printf("\n== %s ==\n", title.c_str());
+  for (const std::string& c : columns) std::printf("%-20s ", c.c_str());
+  std::printf("\n");
+  for (size_t i = 0; i < columns.size(); ++i) std::printf("%-20s ", "-------------------");
+  std::printf("\n");
+}
+
+void PrintTableRow(const std::vector<std::string>& cells) {
+  for (const std::string& c : cells) std::printf("%-20s ", c.c_str());
+  std::printf("\n");
+  std::fflush(stdout);
+}
+
+std::string FormatDouble(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+}  // namespace butterfly::bench

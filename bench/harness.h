@@ -1,0 +1,68 @@
+/// \file harness.h
+/// \brief Shared experiment harness for the figure-reproduction benchmarks.
+///
+/// Every figure evaluates per-window releases over a stream. The harness
+/// collects a *window trace* — the raw frequent-itemset output of each
+/// reported window — once per dataset, then replays it through differently
+/// configured ButterflyEngines. This mirrors the paper's setup (all schemes
+/// see the same mining output) and keeps the benchmarks fast.
+
+#ifndef BUTTERFLY_BENCH_HARNESS_H_
+#define BUTTERFLY_BENCH_HARNESS_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/butterfly.h"
+#include "datagen/profiles.h"
+#include "inference/breach_finder.h"
+
+namespace butterfly::bench {
+
+/// How a trace is collected.
+struct TraceConfig {
+  DatasetProfile profile = DatasetProfile::kBmsWebView1;
+  size_t window = 2000;      ///< H
+  Support min_support = 25;  ///< C
+  size_t reports = 100;      ///< number of reported windows
+  size_t stride = 1;         ///< slides between consecutive reports
+  uint64_t data_seed = 7;
+};
+
+/// The raw outputs of the reported windows (shared across schemes).
+struct WindowTrace {
+  TraceConfig config;
+  std::vector<MiningOutput> raw;  ///< full frequent itemsets per report
+};
+
+/// Mines the stream with Moment and records each reported window's output.
+WindowTrace CollectTrace(const TraceConfig& config);
+
+/// Ground-truth hard vulnerable patterns per reported window (the intra-
+/// window attack on the unprotected output).
+std::vector<std::vector<InferredPattern>> CollectBreaches(
+    const WindowTrace& trace, Support vulnerable_support);
+
+/// The four scheme variants of the paper's evaluation, in figure order.
+struct SchemeVariant {
+  std::string label;
+  ButterflyScheme scheme;
+  double lambda;  // used by the hybrid only
+};
+std::vector<SchemeVariant> PaperVariants();
+
+/// Builds a ButterflyConfig for one evaluation point.
+ButterflyConfig MakeConfig(const TraceConfig& trace, const SchemeVariant& v,
+                           double epsilon, double delta, size_t gamma = 2,
+                           uint64_t seed = 0x42);
+
+/// Aligned table printing helpers (one table per figure panel).
+void PrintTableHeader(const std::string& title,
+                      const std::vector<std::string>& columns);
+void PrintTableRow(const std::vector<std::string>& cells);
+std::string FormatDouble(double v, int precision = 4);
+
+}  // namespace butterfly::bench
+
+#endif  // BUTTERFLY_BENCH_HARNESS_H_

@@ -1,0 +1,144 @@
+/// \file micro_inference.cc
+/// \brief google-benchmark microbenchmarks for the adversary machinery:
+/// inclusion-exclusion derivation, subset bounds, NDI filtering/expansion,
+/// interval tightening, and the inter-window transition analysis.
+
+#include <benchmark/benchmark.h>
+
+#include "datagen/profiles.h"
+#include "inference/interval_tightening.h"
+#include "inference/interwindow.h"
+#include "inference/ndi.h"
+#include "mining/eclat.h"
+#include "moment/moment.h"
+
+namespace butterfly {
+namespace {
+
+MiningOutput TraceWindow() {
+  static MiningOutput cached = [] {
+    auto data = *GenerateProfile(DatasetProfile::kBmsWebView1, 2100, 7);
+    MomentMiner miner(2000, 25);
+    for (const Transaction& t : data) miner.Append(t);
+    return miner.GetAllFrequent();
+  }();
+  return cached;
+}
+
+void BM_DerivePatternSupport(benchmark::State& state) {
+  MiningOutput raw = TraceWindow();
+  // Pick the largest released itemset as the lattice top.
+  Itemset top;
+  for (const FrequentItemset& f : raw.itemsets()) {
+    if (f.itemset.size() > top.size()) top = f.itemset;
+  }
+  Pattern pattern = Pattern::Derived(Itemset{top[0]}, top);
+  SupportProvider provider = [&raw](const Itemset& s) {
+    return s.empty() ? std::optional<Support>(2000) : raw.SupportOf(s);
+  };
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(DerivePatternSupport(provider, pattern));
+  }
+  state.SetLabel("lattice of " + std::to_string(top.size()) + " items");
+}
+
+BENCHMARK(BM_DerivePatternSupport);
+
+void BM_EstimateBounds(benchmark::State& state) {
+  MiningOutput raw = TraceWindow();
+  Itemset top;
+  for (const FrequentItemset& f : raw.itemsets()) {
+    if (f.itemset.size() > top.size()) top = f.itemset;
+  }
+  SupportProvider provider = [&raw, &top](const Itemset& s) {
+    if (s == top) return std::optional<Support>();
+    return s.empty() ? std::optional<Support>(2000) : raw.SupportOf(s);
+  };
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(EstimateItemsetBounds(provider, top));
+  }
+}
+
+BENCHMARK(BM_EstimateBounds);
+
+void BM_FilterNonDerivable(benchmark::State& state) {
+  MiningOutput raw = TraceWindow();
+  size_t kept = 0;
+  for (auto _ : state) {
+    MiningOutput ndi = FilterNonDerivable(raw, 2000);
+    kept = ndi.size();
+    benchmark::DoNotOptimize(ndi);
+  }
+  state.counters["ndi"] = static_cast<double>(kept);
+  state.counters["frequent"] = static_cast<double>(raw.size());
+}
+
+BENCHMARK(BM_FilterNonDerivable);
+
+void BM_ExpandNonDerivable(benchmark::State& state) {
+  MiningOutput ndi = FilterNonDerivable(TraceWindow(), 2000);
+  for (auto _ : state) {
+    MiningOutput all = ExpandNonDerivable(ndi, 2000);
+    benchmark::DoNotOptimize(all);
+  }
+}
+
+BENCHMARK(BM_ExpandNonDerivable);
+
+void BM_TightenIntervals(benchmark::State& state) {
+  MiningOutput raw = TraceWindow();
+  IntervalMap seed;
+  seed[Itemset{}] = Interval::Exact(2000);
+  int64_t slack = state.range(0);
+  for (const FrequentItemset& f : raw.itemsets()) {
+    seed[f.itemset] = Interval(f.support - slack, f.support + slack);
+  }
+  for (auto _ : state) {
+    IntervalMap knowledge = seed;
+    TighteningStats stats = TightenIntervals(&knowledge);
+    benchmark::DoNotOptimize(stats);
+  }
+  state.SetLabel("slack ±" + std::to_string(slack));
+}
+
+BENCHMARK(BM_TightenIntervals)->Arg(2)->Arg(8);
+
+void BM_TransitionAnalysis(benchmark::State& state) {
+  auto data = *GenerateProfile(DatasetProfile::kBmsWebView1, 2101, 7);
+  EclatMiner eclat;
+  std::vector<Transaction> prev(data.begin() + 100, data.begin() + 2100);
+  std::vector<Transaction> cur(data.begin() + 101, data.begin() + 2101);
+  WindowRelease prev_release{eclat.Mine(prev, 25), 2000};
+  WindowRelease cur_release{eclat.Mine(cur, 25), 2000};
+  for (auto _ : state) {
+    TransitionKnowledge tk = AnalyzeTransition(prev_release, cur_release);
+    benchmark::DoNotOptimize(tk);
+  }
+}
+
+BENCHMARK(BM_TransitionAnalysis);
+
+void BM_InterWindowAttack(benchmark::State& state) {
+  auto data = *GenerateProfile(DatasetProfile::kBmsWebView1, 2101, 7);
+  EclatMiner eclat;
+  std::vector<Transaction> prev(data.begin() + 100, data.begin() + 2100);
+  std::vector<Transaction> cur(data.begin() + 101, data.begin() + 2101);
+  WindowRelease prev_release{eclat.Mine(prev, 25), 2000};
+  WindowRelease cur_release{eclat.Mine(cur, 25), 2000};
+  AttackConfig attack;
+  attack.vulnerable_support = 5;
+  size_t breaches = 0;
+  for (auto _ : state) {
+    auto found = FindInterWindowBreaches(prev_release, cur_release, 1, attack);
+    breaches = found.size();
+    benchmark::DoNotOptimize(found);
+  }
+  state.counters["breaches"] = static_cast<double>(breaches);
+}
+
+BENCHMARK(BM_InterWindowAttack);
+
+}  // namespace
+}  // namespace butterfly
+
+BENCHMARK_MAIN();

@@ -1,0 +1,102 @@
+/// \file micro_miners.cc
+/// \brief google-benchmark microbenchmarks for the mining substrate: the
+/// three batch miners, the closed-itemset pipeline, and Moment's incremental
+/// maintenance (per-append steady-state cost and output walk).
+
+#include <benchmark/benchmark.h>
+
+#include "datagen/profiles.h"
+#include "mining/apriori.h"
+#include "mining/closed.h"
+#include "mining/eclat.h"
+#include "mining/fpgrowth.h"
+#include "moment/moment.h"
+
+namespace butterfly {
+namespace {
+
+std::vector<Transaction> Window(size_t n) {
+  static auto data = *GenerateProfile(DatasetProfile::kBmsWebView1, 8000, 7);
+  return std::vector<Transaction>(data.begin(), data.begin() + n);
+}
+
+Support ScaledSupport(size_t window) {
+  // Keep relative support constant (C = 25 at H = 2000).
+  return static_cast<Support>(25 * window / 2000);
+}
+
+template <typename Miner>
+void BM_BatchMiner(benchmark::State& state) {
+  Miner miner;
+  std::vector<Transaction> window = Window(state.range(0));
+  Support c = ScaledSupport(window.size());
+  size_t found = 0;
+  for (auto _ : state) {
+    MiningOutput out = miner.Mine(window, c);
+    found = out.size();
+    benchmark::DoNotOptimize(out);
+  }
+  state.counters["itemsets"] = static_cast<double>(found);
+  state.counters["records/s"] = benchmark::Counter(
+      static_cast<double>(window.size()) * state.iterations(),
+      benchmark::Counter::kIsRate);
+}
+
+BENCHMARK_TEMPLATE(BM_BatchMiner, AprioriMiner)->Arg(500)->Arg(2000);
+BENCHMARK_TEMPLATE(BM_BatchMiner, EclatMiner)->Arg(500)->Arg(2000);
+BENCHMARK_TEMPLATE(BM_BatchMiner, FpGrowthMiner)->Arg(500)->Arg(2000);
+BENCHMARK_TEMPLATE(BM_BatchMiner, ClosedMiner)->Arg(500)->Arg(2000);
+
+void BM_MomentAppend(benchmark::State& state) {
+  const size_t window = static_cast<size_t>(state.range(0));
+  auto data = *GenerateProfile(DatasetProfile::kBmsWebView1,
+                               window + 200000, 7);
+  MomentMiner miner(window, ScaledSupport(window));
+  size_t next = 0;
+  // Fill to steady state outside the timed loop.
+  for (; next < window; ++next) miner.Append(data[next]);
+  for (auto _ : state) {
+    if (next >= data.size()) {
+      state.PauseTiming();
+      next = window;  // recycle the stream tail
+      state.ResumeTiming();
+    }
+    miner.Append(data[next++]);
+  }
+  state.counters["appends/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()), benchmark::Counter::kIsRate);
+}
+
+BENCHMARK(BM_MomentAppend)->Arg(2000)->Arg(5000);
+
+void BM_MomentOutputWalk(benchmark::State& state) {
+  const size_t window = 2000;
+  auto data = *GenerateProfile(DatasetProfile::kBmsWebView1, window + 100, 7);
+  MomentMiner miner(window, 25);
+  for (const Transaction& t : data) miner.Append(t);
+  for (auto _ : state) {
+    MiningOutput out = miner.GetClosedFrequent();
+    benchmark::DoNotOptimize(out);
+  }
+}
+
+BENCHMARK(BM_MomentOutputWalk);
+
+void BM_MomentExpandClosed(benchmark::State& state) {
+  const size_t window = 2000;
+  auto data = *GenerateProfile(DatasetProfile::kBmsWebView1, window + 100, 7);
+  MomentMiner miner(window, 25);
+  for (const Transaction& t : data) miner.Append(t);
+  MiningOutput closed = miner.GetClosedFrequent();
+  for (auto _ : state) {
+    MiningOutput all = ExpandClosed(closed);
+    benchmark::DoNotOptimize(all);
+  }
+}
+
+BENCHMARK(BM_MomentExpandClosed);
+
+}  // namespace
+}  // namespace butterfly
+
+BENCHMARK_MAIN();

@@ -1,0 +1,160 @@
+/// \file attack_cli.cpp
+/// \brief The adversary's side of the street: consume a published release
+/// log (as written by butterfly_cli --out=...) knowing only public
+/// parameters, mount the inference attacks, and — when the raw stream is
+/// supplied for scoring — report how often the attack's claims are actually
+/// right.
+///
+/// Usage:
+///   attack_cli --log=releases.log [--vulnerable=5] [--delta=0.4]
+///              [--naive] [--truth=stream.dat --window=2000]
+///
+/// Two adversaries are played:
+///  * the NAIVE one treats released supports as exact and derives patterns
+///    by inclusion-exclusion (the attack that breaks unprotected systems);
+///  * the SOUND one knows the Butterfly design (Kerckhoffs): each release
+///    pins supports only to intervals of the public region length, which it
+///    tightens and propagates. It only claims what it can prove.
+
+#include <cstdio>
+
+#include "common/flags.h"
+#include "core/noise.h"
+#include "core/release_log.h"
+#include "datagen/fimi_io.h"
+#include "inference/breach_finder.h"
+#include "inference/interval_tightening.h"
+#include "metrics/sanitized_attack.h"
+#include "mining/support.h"
+
+using namespace butterfly;
+
+namespace {
+
+int Fail(const std::string& message) {
+  std::fprintf(stderr, "attack_cli: %s\n", message.c_str());
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  FlagParser flags(argc, argv);
+  const std::string log_path = flags.GetString("log", "");
+  const std::string truth_path = flags.GetString("truth", "");
+  const size_t window = static_cast<size_t>(flags.GetInt("window", 2000));
+  const Support vulnerable = flags.GetInt("vulnerable", 5);
+  const double delta = flags.GetDouble("delta", 0.4);
+  if (!flags.ok()) return Fail(flags.errors().front());
+  if (log_path.empty()) return Fail("--log=<release log> is required");
+
+  auto releases = ReadReleasesFromFile(log_path);
+  if (!releases.ok()) return Fail(releases.status().ToString());
+
+  // The public noise design: the adversary reconstructs the region length
+  // from the published (delta, K) requirement.
+  NoiseModel noise(delta, vulnerable);
+
+  std::optional<std::vector<Transaction>> truth;
+  if (!truth_path.empty()) {
+    auto loaded = LoadFimiFile(truth_path);
+    if (!loaded.ok()) return Fail(loaded.status().ToString());
+    truth = std::move(*loaded);
+  }
+
+  std::printf("attack_cli: %zu release(s) from %s; K=%ld, assumed noise "
+              "region length %ld\n\n",
+              releases->size(), log_path.c_str(), (long)vulnerable,
+              (long)noise.alpha());
+
+  size_t total_claims = 0, correct_claims = 0, total_provable = 0;
+  for (size_t r = 0; r < releases->size(); ++r) {
+    const LoggedRelease& logged = (*releases)[r];
+
+    // Rebuild the released view.
+    MiningOutput observed(logged.min_support);
+    for (const auto& [itemset, support] : logged.items) {
+      observed.Add(itemset, support);
+    }
+    observed.Seal();
+
+    // Naive adversary: treat released values as exact.
+    AttackConfig attack;
+    attack.vulnerable_support = vulnerable;
+    std::vector<InferredPattern> claims =
+        FindIntraWindowBreaches(observed, logged.window_size, attack);
+
+    // Sound adversary: interval reasoning with the public region length.
+    // Bias settings are secret, so the region can sit anywhere covering the
+    // released value: T ∈ [T̃ − α, T̃ + α] is the sound envelope.
+    IntervalMap intervals;
+    intervals[Itemset{}] = Interval::Exact(logged.window_size);
+    for (const auto& [itemset, support] : logged.items) {
+      intervals[itemset] =
+          Interval(support - noise.alpha(), support + noise.alpha())
+              .ClampNonNegative();
+    }
+    TightenIntervals(&intervals);
+    size_t provable = 0;
+    for (const InferredPattern& claim : claims) {
+      auto interval = DerivePatternInterval(intervals, claim.pattern);
+      if (interval && interval->Tight() && interval->lo > 0 &&
+          interval->lo <= vulnerable) {
+        ++provable;
+      }
+    }
+
+    size_t correct = 0;
+    if (truth) {
+      // Score the naive claims against the actual window contents. The
+      // logged label is not authoritative for alignment; windows are the
+      // last H records before each release position in file order, which
+      // butterfly_cli emits at stride boundaries — here we simply score
+      // against the final H records for the last release and skip others
+      // unless positions parse.
+      size_t end = truth->size();
+      if (r + 1 < releases->size()) {
+        // Best effort: parse "...(<pos>,<H>)" labels for alignment.
+        size_t open = logged.label.find('(');
+        size_t comma = logged.label.find(',', open);
+        if (open != std::string::npos && comma != std::string::npos) {
+          end = static_cast<size_t>(
+              std::strtoull(logged.label.c_str() + open + 1, nullptr, 10));
+        }
+      }
+      if (end >= window && end <= truth->size()) {
+        std::vector<Transaction> contents(truth->begin() + (end - window),
+                                          truth->begin() + end);
+        for (const InferredPattern& claim : claims) {
+          Support actual = CountPatternSupport(contents, claim.pattern);
+          if (actual == claim.inferred_support) ++correct;
+        }
+      }
+    }
+
+    std::printf("%-16s %4zu itemsets | naive claims: %3zu | provable: %2zu",
+                logged.label.c_str(), logged.items.size(), claims.size(),
+                provable);
+    if (truth) {
+      std::printf(" | correct: %zu/%zu", correct, claims.size());
+    }
+    std::printf("\n");
+
+    total_claims += claims.size();
+    correct_claims += correct;
+    total_provable += provable;
+  }
+
+  std::printf("\nsummary: %zu naive claim(s), %zu provable under sound "
+              "reasoning",
+              total_claims, total_provable);
+  if (truth && total_claims > 0) {
+    std::printf("; naive precision %.1f%%",
+                100.0 * static_cast<double>(correct_claims) /
+                    static_cast<double>(total_claims));
+  }
+  std::printf("\nA well-configured Butterfly release leaves the sound "
+              "adversary with nothing provable and the naive adversary "
+              "mostly wrong.\n");
+  return 0;
+}

@@ -1,0 +1,102 @@
+/// \file clickstream_rules.cpp
+/// \brief A clickstream analytics scenario: association rules with their
+/// confidences are published from each window. Confidence is a *ratio* of
+/// supports, so the ratio-preserving scheme is used; the example compares
+/// rule confidences computed from raw vs sanitized supports under both the
+/// ratio-preserving and the order-preserving schemes to show why the choice
+/// matters.
+
+#include <cmath>
+#include <cstdio>
+
+#include "core/stream_engine.h"
+#include "datagen/profiles.h"
+#include "mining/rules.h"
+
+using namespace butterfly;
+
+namespace {
+
+// Rule confidence recomputed from a sanitized release.
+std::optional<double> SanitizedConfidence(const SanitizedOutput& release,
+                                          const AssociationRule& rule) {
+  auto ant = release.SanitizedSupportOf(rule.antecedent);
+  auto both =
+      release.SanitizedSupportOf(rule.antecedent.Union(rule.consequent));
+  if (!ant || !both || *ant <= 0) return std::nullopt;
+  return static_cast<double>(*both) / static_cast<double>(*ant);
+}
+
+double MeanAbsConfidenceDrift(const MiningOutput& raw,
+                              const SanitizedOutput& release,
+                              const std::vector<AssociationRule>& rules) {
+  (void)raw;
+  double drift = 0;
+  size_t counted = 0;
+  for (const AssociationRule& rule : rules) {
+    auto sanitized = SanitizedConfidence(release, rule);
+    if (!sanitized) continue;
+    drift += std::abs(*sanitized - rule.confidence);
+    ++counted;
+  }
+  return counted ? drift / static_cast<double>(counted) : 0.0;
+}
+
+}  // namespace
+
+int main() {
+  const size_t kWindow = 2000;
+  const double kMinConfidence = 0.5;
+
+  auto data = GenerateProfile(DatasetProfile::kBmsWebView1, kWindow + 100);
+  if (!data.ok()) return 1;
+
+  ButterflyConfig config;
+  config.min_support = 25;
+  config.vulnerable_support = 5;
+  config.epsilon = 0.016;
+  config.delta = 0.4;
+
+  std::printf("Clickstream association rules, H=%zu, C=%ld, min confidence "
+              "%.2f\n\n",
+              kWindow, (long)config.min_support, kMinConfidence);
+
+  // One shared mining pass; two sanitizers.
+  config.scheme = ButterflyScheme::kRatioPreserving;
+  StreamPrivacyEngine engine(kWindow, config);
+  for (const Transaction& t : *data) engine.Append(t);
+  MiningOutput raw = engine.RawOutput();
+  std::vector<AssociationRule> rules = GenerateRules(raw, kMinConfidence);
+
+  SanitizedOutput ratio_release = engine.Release();
+
+  config.scheme = ButterflyScheme::kOrderPreserving;
+  ButterflyEngine order_engine(config);
+  SanitizedOutput order_release = order_engine.Sanitize(
+      raw, static_cast<Support>(kWindow));
+
+  std::printf("%zu rules mined from %s\n\n", rules.size(),
+              engine.miner().window().Label().c_str());
+  std::printf("%-36s %8s %12s %12s\n", "rule", "true", "ratio-pres.",
+              "order-pres.");
+  size_t shown = 0;
+  for (const AssociationRule& rule : rules) {
+    auto rp = SanitizedConfidence(ratio_release, rule);
+    auto op = SanitizedConfidence(order_release, rule);
+    if (!rp || !op) continue;
+    std::string name =
+        rule.antecedent.ToString() + " => " + rule.consequent.ToString();
+    std::printf("%-36s %8.3f %12.3f %12.3f\n", name.c_str(), rule.confidence,
+                *rp, *op);
+    if (++shown == 12) break;
+  }
+
+  std::printf("\nmean |confidence drift| over all %zu rules:\n", rules.size());
+  std::printf("  ratio-preserving scheme: %.4f\n",
+              MeanAbsConfidenceDrift(raw, ratio_release, rules));
+  std::printf("  order-preserving scheme: %.4f\n",
+              MeanAbsConfidenceDrift(raw, order_release, rules));
+  std::printf("\nBiasing every FEC proportionally to its support keeps "
+              "support ratios - and hence confidences - nearly intact.\n");
+  return 0;
+}

@@ -1,0 +1,90 @@
+/// \file drift_monitor.cpp
+/// \brief Monitoring a stream through concept drift: the latent pattern pool
+/// rotates mid-stream, and the example tracks how the released output — its
+/// size, its churn, and its utility — moves through the transition while
+/// Butterfly keeps sanitizing every window.
+
+#include <cstdio>
+
+#include "core/stream_engine.h"
+#include "datagen/drift.h"
+#include "metrics/utility_metrics.h"
+
+using namespace butterfly;
+
+namespace {
+
+double Jaccard(const MiningOutput& a, const MiningOutput& b) {
+  if (a.empty() && b.empty()) return 1.0;
+  size_t common = 0;
+  for (const FrequentItemset& f : a.itemsets()) {
+    if (b.Contains(f.itemset)) ++common;
+  }
+  return static_cast<double>(common) /
+         static_cast<double>(a.size() + b.size() - common);
+}
+
+}  // namespace
+
+int main() {
+  const size_t kWindow = 1000;
+
+  DriftConfig drift;
+  drift.before.num_items = 150;
+  drift.before.avg_transaction_len = 4;
+  drift.before.num_patterns = 25;
+  drift.before.seed = 3;
+  drift.after = drift.before;
+  drift.after.seed = 77;  // a different latent pattern pool
+  drift.drift_start = 2000;
+  drift.drift_span = 1500;
+  drift.num_transactions = 6000;
+
+  auto stream = GenerateDriftStream(drift);
+  if (!stream.ok()) {
+    std::fprintf(stderr, "%s\n", stream.status().ToString().c_str());
+    return 1;
+  }
+
+  ButterflyConfig config;
+  config.min_support = 15;
+  config.vulnerable_support = 4;
+  config.epsilon = 0.03;
+  config.delta = 0.4;
+  config.scheme = ButterflyScheme::kHybrid;
+  StreamPrivacyEngine engine(kWindow, config);
+
+  std::printf("Concept drift: pattern pool rotates over records %zu..%zu "
+              "(window %zu)\n\n",
+              drift.drift_start, drift.drift_start + drift.drift_span,
+              kWindow);
+  std::printf("%-8s %10s %12s %8s %8s  %s\n", "record", "frequent",
+              "churn(prev)", "ropp", "pred", "phase");
+
+  MiningOutput previous;
+  bool have_previous = false;
+  for (size_t i = 0; i < stream->size(); ++i) {
+    engine.Append((*stream)[i]);
+    if (!engine.WindowFull() || (i + 1) % 500 != 0) continue;
+
+    MiningOutput raw = engine.RawOutput();
+    SanitizedOutput release = engine.Release();
+    double churn = have_previous ? 1.0 - Jaccard(previous, raw) : 0.0;
+
+    const char* phase = (i + 1) <= drift.drift_start
+                            ? "stable (before)"
+                            : (i + 1) <= drift.drift_start + drift.drift_span
+                                  ? "DRIFTING"
+                                  : "stable (after)";
+    std::printf("%-8zu %10zu %12.3f %8.4f %8.5f  %s\n", i + 1, raw.size(),
+                churn, Ropp(raw, release), AvgPred(raw, release), phase);
+
+    previous = std::move(raw);
+    have_previous = true;
+  }
+
+  std::printf("\nUtility and the (eps, delta) budgets hold through the "
+              "transition: the guarantees are per-window properties, not "
+              "stationarity assumptions.\n");
+  return 0;
+}

@@ -1,0 +1,66 @@
+/// \file quickstart.cpp
+/// \brief Minimal end-to-end use of the public API: mine a stream with a
+/// sliding window, sanitize each window's output with Butterfly, and print
+/// raw vs released supports.
+///
+/// Build & run:  ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "core/stream_engine.h"
+#include "datagen/profiles.h"
+
+using namespace butterfly;
+
+int main() {
+  // 1. Configure the privacy requirement: the released supports must keep
+  //    relative mse below epsilon while any inferred vulnerable pattern
+  //    carries relative estimation error of at least delta.
+  ButterflyConfig config;
+  config.min_support = 25;        // C: itemsets reported at or above this
+  config.vulnerable_support = 5;  // K: patterns at or below this are secret
+  config.epsilon = 0.016;
+  config.delta = 0.4;
+  config.scheme = ButterflyScheme::kHybrid;  // balance order & ratio utility
+  config.lambda = 0.4;
+
+  // 2. Build the pipeline: Moment mining over a 2000-record sliding window
+  //    with Butterfly sanitization on top.
+  Result<StreamPrivacyEngine> engine = StreamPrivacyEngine::Create(2000, config);
+  if (!engine.ok()) {
+    std::fprintf(stderr, "bad config: %s\n", engine.status().ToString().c_str());
+    return 1;
+  }
+
+  // 3. Feed the stream (here: the calibrated BMS-WebView-1 stand-in; swap in
+  //    LoadFimiFile(...) for a real dataset).
+  auto data = GenerateProfile(DatasetProfile::kBmsWebView1, 2100);
+  if (!data.ok()) {
+    std::fprintf(stderr, "datagen: %s\n", data.status().ToString().c_str());
+    return 1;
+  }
+  for (const Transaction& t : *data) engine->Append(t);
+
+  // 4. Release the current window. The raw output is what an unprotected
+  //    system would publish; Release() is what Butterfly publishes.
+  MiningOutput raw = engine->RawOutput();
+  SanitizedOutput release = engine->Release();
+
+  std::printf("window %s: %zu frequent itemsets (C=%ld)\n",
+              engine->miner().window().Label().c_str(), raw.size(),
+              static_cast<long>(config.min_support));
+  std::printf("%-28s %10s %10s\n", "itemset", "raw", "released");
+  int shown = 0;
+  for (const FrequentItemset& f : raw.itemsets()) {
+    if (f.itemset.size() < 2) continue;  // show the interesting ones
+    std::printf("%-28s %10ld %10ld\n", f.itemset.ToString().c_str(),
+                static_cast<long>(f.support),
+                static_cast<long>(*release.SanitizedSupportOf(f.itemset)));
+    if (++shown == 15) break;
+  }
+  std::printf("... (%zu more)\n", raw.size() - shown);
+  std::printf("\nEvery released value deviates only within the epsilon "
+              "budget, while inclusion-exclusion attacks on rare patterns "
+              "now face accumulated noise.\n");
+  return 0;
+}

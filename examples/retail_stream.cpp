@@ -1,0 +1,78 @@
+/// \file retail_stream.cpp
+/// \brief A point-of-sale monitoring scenario: a retailer publishes the
+/// top-k popular purchase combinations of a sliding window. The ranking is
+/// the utility that matters, so the order-preserving scheme is used; the
+/// example tracks how stable the published top-k list and its order stay
+/// under sanitization while the stream drifts.
+
+#include <cstdio>
+
+#include "core/stream_engine.h"
+#include "datagen/profiles.h"
+#include "metrics/topk.h"
+#include "metrics/utility_metrics.h"
+
+using namespace butterfly;
+
+int main() {
+  const size_t kWindow = 2000;
+  const size_t kTop = 10;
+
+  ButterflyConfig config;
+  config.min_support = 25;
+  config.vulnerable_support = 5;
+  config.epsilon = 0.016;
+  config.delta = 0.4;
+  config.scheme = ButterflyScheme::kOrderPreserving;  // ranking is the point
+
+  auto engine = StreamPrivacyEngine::Create(kWindow, config);
+  if (!engine.ok()) {
+    std::fprintf(stderr, "%s\n", engine.status().ToString().c_str());
+    return 1;
+  }
+
+  auto data = GenerateProfile(DatasetProfile::kBmsPos, kWindow + 500);
+  if (!data.ok()) return 1;
+
+  std::printf("Point-of-sale stream, H=%zu, C=%ld, order-preserving "
+              "Butterfly\n\n",
+              kWindow, (long)config.min_support);
+  std::printf("%-16s %-8s %-10s %-10s %s\n", "window", "ropp",
+              "top-10 hit", "kendall", "released top combination");
+
+  double ropp_sum = 0, overlap_sum = 0;
+  size_t reports = 0;
+  for (size_t i = 0; i < data->size(); ++i) {
+    engine->Append((*data)[i]);
+    if (!engine->WindowFull() || (i + 1) % 100 != 0) continue;
+
+    MiningOutput raw = engine->RawOutput();
+    SanitizedOutput release = engine->Release();
+
+    // Rank multi-item combinations only: singletons are boring shelf facts.
+    std::vector<RankedItemset> true_top = TopK(raw, kTop, /*min_size=*/2);
+    std::vector<RankedItemset> released_top =
+        TopK(release, kTop, /*min_size=*/2);
+
+    double ropp = Ropp(raw, release);
+    double overlap = TopKOverlap(true_top, released_top, kTop);
+    double kendall = RankingKendallDistance(true_top, released_top);
+    ropp_sum += ropp;
+    overlap_sum += overlap;
+    ++reports;
+    std::printf("%-16s %-8.4f %-10.1f %-10.3f %s\n",
+                engine->miner().window().Label().c_str(), ropp,
+                overlap * kTop, kendall,
+                released_top.empty()
+                    ? "-"
+                    : released_top.front().itemset.ToString().c_str());
+  }
+
+  std::printf("\naverages over %zu releases: ropp %.4f, top-%zu overlap "
+              "%.1f/%zu\n",
+              reports, ropp_sum / static_cast<double>(reports), kTop,
+              overlap_sum / static_cast<double>(reports) * kTop, kTop);
+  std::printf("The analyst keeps an almost-exact popularity ranking while "
+              "rare basket combinations stay deniable.\n");
+  return 0;
+}

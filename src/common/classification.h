@@ -1,0 +1,52 @@
+/// \file classification.h
+/// \brief The paper's Definition 1: the three-way taxonomy of patterns by
+/// support, relative to the minimum support C and vulnerable support K.
+
+#ifndef BUTTERFLY_COMMON_CLASSIFICATION_H_
+#define BUTTERFLY_COMMON_CLASSIFICATION_H_
+
+#include <string>
+
+#include "common/types.h"
+
+namespace butterfly {
+
+/// Definition 1 (Pattern Classification).
+enum class PatternClass {
+  /// T(p) = 0: the pattern does not occur (not a member of any class in the
+  /// paper's partition, which covers patterns appearing in D).
+  kAbsent,
+  /// Hard vulnerable: 0 < T(p) ≤ K — disclosure is unacceptable.
+  kHardVulnerable,
+  /// Soft vulnerable: K < T(p) < C — neither significant nor private.
+  kSoftVulnerable,
+  /// Frequent: T(p) ≥ C — the statistics mining is supposed to expose.
+  kFrequent,
+};
+
+/// Classifies a support value under thresholds C and K (K < C).
+constexpr PatternClass ClassifySupport(Support support, Support min_support,
+                                       Support vulnerable_support) {
+  if (support <= 0) return PatternClass::kAbsent;
+  if (support <= vulnerable_support) return PatternClass::kHardVulnerable;
+  if (support < min_support) return PatternClass::kSoftVulnerable;
+  return PatternClass::kFrequent;
+}
+
+inline std::string PatternClassName(PatternClass c) {
+  switch (c) {
+    case PatternClass::kAbsent:
+      return "absent";
+    case PatternClass::kHardVulnerable:
+      return "hard-vulnerable";
+    case PatternClass::kSoftVulnerable:
+      return "soft-vulnerable";
+    case PatternClass::kFrequent:
+      return "frequent";
+  }
+  return "unknown";
+}
+
+}  // namespace butterfly
+
+#endif  // BUTTERFLY_COMMON_CLASSIFICATION_H_

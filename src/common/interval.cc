@@ -1,0 +1,17 @@
+#include "common/interval.h"
+
+#include <sstream>
+
+namespace butterfly {
+
+std::string Interval::ToString() const {
+  std::ostringstream out;
+  if (Empty()) {
+    out << "[empty]";
+  } else {
+    out << '[' << lo << ", " << hi << ']';
+  }
+  return out.str();
+}
+
+}  // namespace butterfly

@@ -1,0 +1,77 @@
+/// \file interval.h
+/// \brief Closed integer intervals, the currency of the adversary's
+/// support-bounding machinery (non-derivable-itemset style bounds, transition
+/// bounds between overlapping windows).
+
+#ifndef BUTTERFLY_COMMON_INTERVAL_H_
+#define BUTTERFLY_COMMON_INTERVAL_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <string>
+
+#include "common/types.h"
+
+namespace butterfly {
+
+/// A closed interval [lo, hi] over Support values. An interval with
+/// lo > hi is *empty* (the result of intersecting contradictory bounds).
+struct Interval {
+  Support lo = 0;
+  Support hi = 0;
+
+  constexpr Interval() = default;
+  constexpr Interval(Support lo_in, Support hi_in) : lo(lo_in), hi(hi_in) {}
+
+  /// The degenerate interval holding exactly one value.
+  static constexpr Interval Exact(Support v) { return Interval(v, v); }
+
+  /// The vacuous bound [0, +inf) truncated to a practical ceiling.
+  static constexpr Interval Unbounded() {
+    return Interval(0, std::numeric_limits<Support>::max() / 4);
+  }
+
+  constexpr bool Empty() const { return lo > hi; }
+
+  /// True iff the interval pins down a single value.
+  constexpr bool Tight() const { return lo == hi; }
+
+  /// Number of integers contained; 0 if empty.
+  constexpr Support Width() const { return Empty() ? 0 : hi - lo + 1; }
+
+  constexpr bool Contains(Support v) const { return lo <= v && v <= hi; }
+
+  /// Intersection of two bounds on the same quantity.
+  constexpr Interval IntersectWith(const Interval& other) const {
+    return Interval(std::max(lo, other.lo), std::min(hi, other.hi));
+  }
+
+  /// Minkowski sum: the bound on x + y given bounds on x and y.
+  constexpr Interval Plus(const Interval& other) const {
+    return Interval(lo + other.lo, hi + other.hi);
+  }
+
+  /// The bound on x - y given bounds on x and y.
+  constexpr Interval MinusInterval(const Interval& other) const {
+    return Interval(lo - other.hi, hi - other.lo);
+  }
+
+  /// Shifts both endpoints by a constant.
+  constexpr Interval Shifted(Support delta) const {
+    return Interval(lo + delta, hi + delta);
+  }
+
+  /// Clamps the lower bound at zero (supports are non-negative).
+  constexpr Interval ClampNonNegative() const {
+    return Interval(std::max<Support>(lo, 0), hi);
+  }
+
+  constexpr bool operator==(const Interval& other) const = default;
+
+  std::string ToString() const;
+};
+
+}  // namespace butterfly
+
+#endif  // BUTTERFLY_COMMON_INTERVAL_H_

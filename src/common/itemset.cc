@@ -1,0 +1,112 @@
+#include "common/itemset.h"
+
+#include <algorithm>
+#include <cassert>
+#include <sstream>
+
+namespace butterfly {
+
+Itemset::Itemset(std::vector<Item> items) : items_(std::move(items)) {
+  std::sort(items_.begin(), items_.end());
+  items_.erase(std::unique(items_.begin(), items_.end()), items_.end());
+}
+
+Itemset::Itemset(std::initializer_list<Item> items)
+    : Itemset(std::vector<Item>(items)) {}
+
+Itemset Itemset::FromSorted(std::vector<Item> sorted_items) {
+  assert(std::is_sorted(sorted_items.begin(), sorted_items.end()));
+  assert(std::adjacent_find(sorted_items.begin(), sorted_items.end()) ==
+         sorted_items.end());
+  Itemset s;
+  s.items_ = std::move(sorted_items);
+  return s;
+}
+
+bool Itemset::Contains(Item item) const {
+  return std::binary_search(items_.begin(), items_.end(), item);
+}
+
+bool Itemset::ContainsAll(const Itemset& other) const {
+  return std::includes(items_.begin(), items_.end(), other.items_.begin(),
+                       other.items_.end());
+}
+
+bool Itemset::DisjointWith(const Itemset& other) const {
+  auto a = items_.begin();
+  auto b = other.items_.begin();
+  while (a != items_.end() && b != other.items_.end()) {
+    if (*a < *b) {
+      ++a;
+    } else if (*b < *a) {
+      ++b;
+    } else {
+      return false;
+    }
+  }
+  return true;
+}
+
+Itemset Itemset::Union(const Itemset& other) const {
+  std::vector<Item> merged;
+  merged.reserve(items_.size() + other.items_.size());
+  std::set_union(items_.begin(), items_.end(), other.items_.begin(),
+                 other.items_.end(), std::back_inserter(merged));
+  return FromSorted(std::move(merged));
+}
+
+Itemset Itemset::With(Item item) const {
+  if (Contains(item)) return *this;
+  std::vector<Item> merged(items_);
+  merged.insert(std::upper_bound(merged.begin(), merged.end(), item), item);
+  return FromSorted(std::move(merged));
+}
+
+Itemset Itemset::Minus(const Itemset& other) const {
+  std::vector<Item> diff;
+  diff.reserve(items_.size());
+  std::set_difference(items_.begin(), items_.end(), other.items_.begin(),
+                      other.items_.end(), std::back_inserter(diff));
+  return FromSorted(std::move(diff));
+}
+
+Itemset Itemset::Without(Item item) const {
+  std::vector<Item> diff;
+  diff.reserve(items_.size());
+  for (Item i : items_) {
+    if (i != item) diff.push_back(i);
+  }
+  return FromSorted(std::move(diff));
+}
+
+Itemset Itemset::Intersect(const Itemset& other) const {
+  std::vector<Item> common;
+  std::set_intersection(items_.begin(), items_.end(), other.items_.begin(),
+                        other.items_.end(), std::back_inserter(common));
+  return FromSorted(std::move(common));
+}
+
+std::string Itemset::ToString() const {
+  std::ostringstream out;
+  out << '{';
+  for (size_t i = 0; i < items_.size(); ++i) {
+    if (i > 0) out << ", ";
+    out << items_[i];
+  }
+  out << '}';
+  return out.str();
+}
+
+size_t Itemset::Hash() const {
+  // FNV-1a over the item bytes.
+  size_t h = 1469598103934665603ull;
+  for (Item item : items_) {
+    for (int shift = 0; shift < 32; shift += 8) {
+      h ^= static_cast<size_t>((item >> shift) & 0xff);
+      h *= 1099511628211ull;
+    }
+  }
+  return h;
+}
+
+}  // namespace butterfly

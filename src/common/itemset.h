@@ -1,0 +1,104 @@
+/// \file itemset.h
+/// \brief Itemset: an immutable-by-convention sorted set of items.
+///
+/// Itemsets are the unit of currency of frequent-pattern mining: transactions
+/// are itemsets, mined patterns are itemsets, and the adversary's lattice
+/// `X_I^J = {X | I subseteq X subseteq J}` is a family of itemsets. The
+/// representation is a sorted, duplicate-free `std::vector<Item>`, which keeps
+/// subset tests, unions and lexicographic ordering linear and cache friendly
+/// for the short itemsets (typically < 20 items) that dominate this workload.
+
+#ifndef BUTTERFLY_COMMON_ITEMSET_H_
+#define BUTTERFLY_COMMON_ITEMSET_H_
+
+#include <cstddef>
+#include <functional>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace butterfly {
+
+/// A sorted, duplicate-free set of items.
+class Itemset {
+ public:
+  /// Creates the empty itemset.
+  Itemset() = default;
+
+  /// Creates an itemset from arbitrary (possibly unsorted, duplicated) items.
+  explicit Itemset(std::vector<Item> items);
+
+  /// Convenience literal syntax: `Itemset{1, 2, 3}`.
+  Itemset(std::initializer_list<Item> items);
+
+  /// Builds an itemset from a vector that the caller guarantees is already
+  /// sorted and duplicate-free; skips normalization. Checked in debug builds.
+  static Itemset FromSorted(std::vector<Item> sorted_items);
+
+  /// Number of items.
+  size_t size() const { return items_.size(); }
+  bool empty() const { return items_.empty(); }
+
+  /// Sorted item access.
+  const std::vector<Item>& items() const { return items_; }
+  Item operator[](size_t i) const { return items_[i]; }
+  std::vector<Item>::const_iterator begin() const { return items_.begin(); }
+  std::vector<Item>::const_iterator end() const { return items_.end(); }
+
+  /// True iff \p item is a member.
+  bool Contains(Item item) const;
+
+  /// True iff every item of \p other is a member (improper subset allowed).
+  bool ContainsAll(const Itemset& other) const;
+
+  /// True iff this is a subset of \p other (improper allowed).
+  bool IsSubsetOf(const Itemset& other) const { return other.ContainsAll(*this); }
+
+  /// True iff this is a strict subset of \p other.
+  bool IsStrictSubsetOf(const Itemset& other) const {
+    return size() < other.size() && IsSubsetOf(other);
+  }
+
+  /// True iff the two itemsets share no item.
+  bool DisjointWith(const Itemset& other) const;
+
+  /// Set union (`IJ` in the paper's notation).
+  Itemset Union(const Itemset& other) const;
+
+  /// Set union with a single item.
+  Itemset With(Item item) const;
+
+  /// Set difference (`J \ I` in the paper's notation).
+  Itemset Minus(const Itemset& other) const;
+
+  /// Set difference with a single item.
+  Itemset Without(Item item) const;
+
+  /// Set intersection.
+  Itemset Intersect(const Itemset& other) const;
+
+  /// Lexicographic comparison on the sorted item sequences. This is the
+  /// canonical total order used by miners and by the CET.
+  auto operator<=>(const Itemset& other) const = default;
+  bool operator==(const Itemset& other) const = default;
+
+  /// Renders as `{a, b, c}` with numeric item ids.
+  std::string ToString() const;
+
+  /// FNV-1a hash of the item sequence, for unordered containers.
+  size_t Hash() const;
+
+ private:
+  std::vector<Item> items_;
+};
+
+/// Hash functor so `Itemset` can key `std::unordered_map` / `set`.
+struct ItemsetHash {
+  size_t operator()(const Itemset& s) const { return s.Hash(); }
+};
+
+}  // namespace butterfly
+
+#endif  // BUTTERFLY_COMMON_ITEMSET_H_

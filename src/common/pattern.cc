@@ -1,0 +1,48 @@
+#include "common/pattern.h"
+
+#include <cassert>
+#include <sstream>
+
+namespace butterfly {
+
+Pattern::Pattern(Itemset positive, Itemset negated)
+    : positive_(std::move(positive)), negated_(std::move(negated)) {
+  assert(positive_.DisjointWith(negated_));
+}
+
+Pattern Pattern::Derived(const Itemset& sub, const Itemset& super) {
+  assert(sub.IsSubsetOf(super));
+  return Pattern(sub, super.Minus(sub));
+}
+
+bool Pattern::SatisfiedBy(const Itemset& record) const {
+  if (!record.ContainsAll(positive_)) return false;
+  return record.DisjointWith(negated_);
+}
+
+std::string Pattern::ToString() const {
+  std::ostringstream out;
+  out << '{';
+  bool first = true;
+  for (Item item : positive_) {
+    if (!first) out << ", ";
+    out << item;
+    first = false;
+  }
+  for (Item item : negated_) {
+    if (!first) out << ", ";
+    out << '!' << item;
+    first = false;
+  }
+  out << '}';
+  return out.str();
+}
+
+size_t Pattern::Hash() const {
+  size_t h = positive_.Hash();
+  // Mix in the negated half with a rotation so {a}{b} != {b}{a}.
+  size_t n = negated_.Hash();
+  return h ^ (n * 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2));
+}
+
+}  // namespace butterfly

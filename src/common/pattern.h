@@ -1,0 +1,68 @@
+/// \file pattern.h
+/// \brief Pattern: a conjunction of items and negated items.
+///
+/// The paper generalizes itemsets to *patterns* such as `a b c̄`: a record
+/// satisfies the pattern iff it contains every positive item and none of the
+/// negated items. Hard vulnerable patterns — the objects Butterfly protects —
+/// are patterns of the form `I (J\I)-negated` whose support lies in (0, K].
+
+#ifndef BUTTERFLY_COMMON_PATTERN_H_
+#define BUTTERFLY_COMMON_PATTERN_H_
+
+#include <string>
+
+#include "common/itemset.h"
+
+namespace butterfly {
+
+/// A pattern `p = P ∧ ¬N` with positive itemset P and negated itemset N.
+class Pattern {
+ public:
+  /// Creates the empty pattern (satisfied by every record).
+  Pattern() = default;
+
+  /// Creates a pattern from positive and negated itemsets. The two must be
+  /// disjoint; overlapping items would make the pattern unsatisfiable and are
+  /// rejected in debug builds.
+  Pattern(Itemset positive, Itemset negated);
+
+  /// A pure itemset viewed as a pattern (no negations).
+  static Pattern OfItemset(Itemset itemset) { return Pattern(std::move(itemset), {}); }
+
+  /// The paper's canonical breach shape `p = I (J\I)` for `I ⊂ J`: items of I
+  /// positive, items of J\I negated.
+  static Pattern Derived(const Itemset& sub, const Itemset& super);
+
+  const Itemset& positive() const { return positive_; }
+  const Itemset& negated() const { return negated_; }
+
+  /// Total number of literals.
+  size_t size() const { return positive_.size() + negated_.size(); }
+
+  /// True iff \p record contains all positive items and no negated item.
+  bool SatisfiedBy(const Itemset& record) const;
+
+  /// For a derived pattern `I (J\I)`, the enclosing itemset `J = P ∪ N` whose
+  /// lattice `X_P^J` the adversary sums over.
+  Itemset EnclosingItemset() const { return positive_.Union(negated_); }
+
+  auto operator<=>(const Pattern& other) const = default;
+  bool operator==(const Pattern& other) const = default;
+
+  /// Renders as e.g. `{1, 2, !5}` (negated items prefixed with `!`).
+  std::string ToString() const;
+
+  size_t Hash() const;
+
+ private:
+  Itemset positive_;
+  Itemset negated_;
+};
+
+struct PatternHash {
+  size_t operator()(const Pattern& p) const { return p.Hash(); }
+};
+
+}  // namespace butterfly
+
+#endif  // BUTTERFLY_COMMON_PATTERN_H_

@@ -1,0 +1,98 @@
+/// \file rng.h
+/// \brief Deterministic random number generation.
+///
+/// Every stochastic component (data generators, perturbation noise) draws from
+/// an explicitly seeded Rng so that experiments and tests are reproducible.
+
+#ifndef BUTTERFLY_COMMON_RNG_H_
+#define BUTTERFLY_COMMON_RNG_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <random>
+
+#include "common/types.h"
+
+namespace butterfly {
+
+/// A seeded pseudo-random source wrapping std::mt19937_64.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x5eedull) : engine_(seed) {}
+
+  /// Uniform integer in the closed range [lo, hi].
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    return std::uniform_int_distribution<int64_t>(lo, hi)(engine_);
+  }
+
+  /// Uniform real in [0, 1).
+  double UniformReal() {
+    return std::uniform_real_distribution<double>(0.0, 1.0)(engine_);
+  }
+
+  /// Uniform real in [lo, hi).
+  double UniformReal(double lo, double hi) {
+    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+  }
+
+  /// Bernoulli trial with success probability p.
+  bool Bernoulli(double p) {
+    return std::bernoulli_distribution(p)(engine_);
+  }
+
+  /// Poisson-distributed count with the given mean.
+  int64_t Poisson(double mean) {
+    return std::poisson_distribution<int64_t>(mean)(engine_);
+  }
+
+  /// Geometric-like exponential draw, mean `mean`, truncated to >= 1.
+  int64_t ExponentialAtLeastOne(double mean) {
+    double x = std::exponential_distribution<double>(1.0 / mean)(engine_);
+    int64_t n = static_cast<int64_t>(x) + 1;
+    return n;
+  }
+
+  /// Fisher-Yates shuffle.
+  template <typename Container>
+  void Shuffle(Container* c) {
+    std::shuffle(c->begin(), c->end(), engine_);
+  }
+
+  /// Direct access for std distributions not wrapped above.
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+/// The discrete uniform noise distribution used by Butterfly: integers in
+/// [lo, hi], each equally likely. Exposes the moments the scheme's analysis
+/// relies on. For region length alpha = hi - lo, the variance is
+/// ((alpha + 1)^2 - 1) / 12.
+class DiscreteUniform {
+ public:
+  DiscreteUniform(int64_t lo, int64_t hi) : lo_(lo), hi_(hi) {}
+
+  int64_t lo() const { return lo_; }
+  int64_t hi() const { return hi_; }
+
+  /// Region length alpha = hi - lo (the paper's notation).
+  int64_t alpha() const { return hi_ - lo_; }
+
+  double Mean() const { return 0.5 * (static_cast<double>(lo_) + hi_); }
+
+  double Variance() const {
+    double n = static_cast<double>(alpha()) + 1.0;
+    return (n * n - 1.0) / 12.0;
+  }
+
+  int64_t Sample(Rng* rng) const { return rng->UniformInt(lo_, hi_); }
+
+ private:
+  int64_t lo_;
+  int64_t hi_;
+};
+
+}  // namespace butterfly
+
+#endif  // BUTTERFLY_COMMON_RNG_H_

@@ -1,0 +1,29 @@
+/// \file transaction.h
+/// \brief Transaction: a stream record — an itemset with its stream position.
+
+#ifndef BUTTERFLY_COMMON_TRANSACTION_H_
+#define BUTTERFLY_COMMON_TRANSACTION_H_
+
+#include <utility>
+
+#include "common/itemset.h"
+#include "common/types.h"
+
+namespace butterfly {
+
+/// One record of the stream. `tid` is the record's 1-based arrival position,
+/// matching the paper's `r1, r2, ...` numbering.
+struct Transaction {
+  Tid tid = 0;
+  Itemset items;
+
+  Transaction() = default;
+  Transaction(Tid tid_in, Itemset items_in)
+      : tid(tid_in), items(std::move(items_in)) {}
+
+  bool operator==(const Transaction& other) const = default;
+};
+
+}  // namespace butterfly
+
+#endif  // BUTTERFLY_COMMON_TRANSACTION_H_

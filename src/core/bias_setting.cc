@@ -1,0 +1,218 @@
+#include "core/bias_setting.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <unordered_map>
+
+namespace butterfly {
+
+std::vector<double> ZeroBiases(size_t n) { return std::vector<double>(n, 0.0); }
+
+namespace {
+
+// Integer bias candidates for one FEC: a symmetric grid over [−βᵐ, βᵐ] with
+// at most `max_candidates` points, always containing 0 (so the zero-bias
+// configuration — feasible because supports are strictly increasing — is
+// always reachable).
+std::vector<int64_t> BiasGrid(double max_bias, size_t max_candidates) {
+  int64_t bound = static_cast<int64_t>(std::floor(max_bias));
+  if (bound <= 0 || max_candidates <= 1) return {0};
+  size_t span = static_cast<size_t>(2 * bound + 1);
+  size_t points = std::min(max_candidates | 1u, span);  // odd => includes 0
+  std::vector<int64_t> grid;
+  grid.reserve(points);
+  for (size_t i = 0; i < points; ++i) {
+    double frac = static_cast<double>(i) / static_cast<double>(points - 1);
+    grid.push_back(
+        static_cast<int64_t>(std::llround(-bound + frac * 2.0 * bound)));
+  }
+  std::sort(grid.begin(), grid.end());
+  grid.erase(std::unique(grid.begin(), grid.end()), grid.end());
+  return grid;
+}
+
+// Pairwise inversion-risk cost (the objective of Algorithm 1): zero once the
+// uncertainty regions are separated by at least α + 1.
+double PairCost(const FecProfile& a, const FecProfile& b, int64_t distance,
+                int64_t alpha) {
+  if (distance >= alpha + 1) return 0.0;
+  double gap = static_cast<double>(alpha + 1 - distance);
+  return static_cast<double>(a.member_count + b.member_count) * gap * gap;
+}
+
+// Packs up to 8 candidate indices (each < 256) into a state key.
+uint64_t PackKey(const std::vector<uint8_t>& window) {
+  uint64_t key = 0;
+  for (uint8_t idx : window) key = (key << 8) | (uint64_t(idx) + 1);
+  return key;
+}
+
+struct DpEntry {
+  double cost = std::numeric_limits<double>::infinity();
+  uint8_t dropped = 0xff;  // candidate index of the FEC that left the window
+};
+
+}  // namespace
+
+std::vector<double> OrderPreservingBiases(const std::vector<FecProfile>& fecs,
+                                          int64_t alpha,
+                                          const OrderOptConfig& opt) {
+  const size_t n = fecs.size();
+  if (n == 0) return {};
+  const size_t gamma = std::min<size_t>(opt.gamma, 8);
+  if (gamma == 0 || n == 1) return ZeroBiases(n);
+
+  // Derive the per-FEC grid size from the state budget: the DP window holds
+  // γ FECs, so grids of size G yield at most G^γ states.
+  size_t grid_cap = opt.max_candidates;
+  if (gamma > 1) {
+    double budget = std::pow(static_cast<double>(opt.max_states),
+                             1.0 / static_cast<double>(gamma));
+    grid_cap = std::min<size_t>(
+        grid_cap, std::max<size_t>(3, static_cast<size_t>(budget)));
+  }
+
+  std::vector<std::vector<int64_t>> grids(n);
+  for (size_t i = 0; i < n; ++i) {
+    grids[i] = BiasGrid(fecs[i].max_bias, grid_cap);
+    assert(grids[i].size() <= 255);
+  }
+
+  // steps[i]: state (packed candidate indices of FECs [i-γ+1 .. i], or fewer
+  // while the window fills) -> best cost and the dropped index for backtrack.
+  std::vector<std::unordered_map<uint64_t, DpEntry>> steps(n);
+
+  // Initialize with FEC 0 alone in the window.
+  for (uint8_t c = 0; c < grids[0].size(); ++c) {
+    steps[0][PackKey({c})] = DpEntry{0.0, 0xff};
+  }
+
+  std::vector<uint8_t> window;
+  for (size_t i = 1; i < n; ++i) {
+    const size_t prev_window_len = std::min(i, gamma);
+    const bool drops = prev_window_len == gamma;
+    for (const auto& [prev_key, prev_entry] : steps[i - 1]) {
+      // Unpack the previous window (candidate indices of FECs
+      // [i-prev_window_len .. i-1]).
+      window.assign(prev_window_len, 0);
+      uint64_t key = prev_key;
+      for (size_t k = prev_window_len; k-- > 0;) {
+        window[k] = static_cast<uint8_t>((key & 0xff) - 1);
+        key >>= 8;
+      }
+
+      const size_t first_fec = i - prev_window_len;
+      const int64_t prev_estimator =
+          fecs[i - 1].support + grids[i - 1][window.back()];
+
+      for (uint8_t c = 0; c < grids[i].size(); ++c) {
+        const int64_t estimator = fecs[i].support + grids[i][c];
+        if (estimator <= prev_estimator) continue;  // e_{i-1} < e_i required
+
+        double added = 0.0;
+        for (size_t k = 0; k < prev_window_len; ++k) {
+          size_t j = first_fec + k;
+          int64_t ej = fecs[j].support + grids[j][window[k]];
+          added += PairCost(fecs[j], fecs[i], estimator - ej, alpha);
+        }
+
+        // Build the new window key: drop the oldest if the window is full.
+        uint64_t new_key = 0;
+        size_t start = drops ? 1 : 0;
+        for (size_t k = start; k < prev_window_len; ++k) {
+          new_key = (new_key << 8) | (uint64_t(window[k]) + 1);
+        }
+        new_key = (new_key << 8) | (uint64_t(c) + 1);
+
+        DpEntry& slot = steps[i][new_key];
+        double total = prev_entry.cost + added;
+        if (total < slot.cost) {
+          slot.cost = total;
+          slot.dropped = drops ? window[0] : 0xff;
+        }
+      }
+    }
+    assert(!steps[i].empty());
+  }
+
+  // Pick the cheapest final state and backtrack.
+  uint64_t best_key = 0;
+  double best_cost = std::numeric_limits<double>::infinity();
+  for (const auto& [key, entry] : steps[n - 1]) {
+    if (entry.cost < best_cost) {
+      best_cost = entry.cost;
+      best_key = key;
+    }
+  }
+
+  std::vector<uint8_t> choice(n, 0);
+  uint64_t key = best_key;
+  {
+    // The final window covers FECs [n - w .. n-1].
+    size_t w = std::min(n, gamma);
+    uint64_t k = key;
+    for (size_t idx = n; idx-- > n - w;) {
+      choice[idx] = static_cast<uint8_t>((k & 0xff) - 1);
+      k >>= 8;
+    }
+    // Walk back: at step i the stored `dropped` is the choice of FEC i - γ.
+    for (size_t i = n - 1; i >= gamma; --i) {
+      const DpEntry& entry = steps[i].at(key);
+      choice[i - gamma] = entry.dropped;
+      // Parent key: prepend dropped, remove last.
+      uint64_t parent = 0;
+      size_t parent_len = std::min(i, gamma);
+      // Current window indices are FECs [i-γ+1 .. i]; parent window is
+      // [i-parent_len .. i-1] = dropped ++ current[0..γ-2].
+      std::vector<uint8_t> cur(gamma);
+      uint64_t kk = key;
+      for (size_t k2 = gamma; k2-- > 0;) {
+        cur[k2] = static_cast<uint8_t>((kk & 0xff) - 1);
+        kk >>= 8;
+      }
+      std::vector<uint8_t> parent_window;
+      if (parent_len == gamma) parent_window.push_back(entry.dropped);
+      for (size_t k2 = 0; k2 + 1 < gamma; ++k2) parent_window.push_back(cur[k2]);
+      for (uint8_t idx : parent_window) parent = (parent << 8) | (uint64_t(idx) + 1);
+      key = parent;
+    }
+  }
+
+  std::vector<double> biases(n);
+  for (size_t i = 0; i < n; ++i) {
+    biases[i] = static_cast<double>(grids[i][choice[i]]);
+  }
+  return biases;
+}
+
+std::vector<double> RatioPreservingBiases(const std::vector<FecProfile>& fecs) {
+  const size_t n = fecs.size();
+  std::vector<double> biases(n, 0.0);
+  if (n == 0) return biases;
+  double t1 = static_cast<double>(fecs[0].support);
+  double beta1 = fecs[0].max_bias;
+  for (size_t i = 0; i < n; ++i) {
+    double proportional = beta1 * static_cast<double>(fecs[i].support) / t1;
+    biases[i] = std::min(proportional, fecs[i].max_bias);
+  }
+  return biases;
+}
+
+std::vector<double> HybridBiases(const std::vector<FecProfile>& fecs,
+                                 const std::vector<double>& order_biases,
+                                 const std::vector<double>& ratio_biases,
+                                 double lambda) {
+  assert(fecs.size() == order_biases.size());
+  assert(fecs.size() == ratio_biases.size());
+  std::vector<double> biases(fecs.size());
+  for (size_t i = 0; i < fecs.size(); ++i) {
+    double blended =
+        lambda * order_biases[i] + (1.0 - lambda) * ratio_biases[i];
+    biases[i] = std::clamp(blended, -fecs[i].max_bias, fecs[i].max_bias);
+  }
+  return biases;
+}
+
+}  // namespace butterfly

@@ -1,0 +1,51 @@
+/// \file bias_setting.h
+/// \brief Per-FEC bias optimization: the order-preserving dynamic program
+/// (Algorithm 1), the ratio-preserving bottom-up rule (Algorithm 2), and the
+/// λ-blend hybrid (§VI-C).
+
+#ifndef BUTTERFLY_CORE_BIAS_SETTING_H_
+#define BUTTERFLY_CORE_BIAS_SETTING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+#include "core/config.h"
+
+namespace butterfly {
+
+/// The inputs the optimizers need about one FEC.
+struct FecProfile {
+  Support support = 0;       ///< t_i
+  size_t member_count = 0;   ///< s_i, weighting inversions in Algorithm 1
+  double max_bias = 0;       ///< βᵐ_i from MaxAdjustableBias
+};
+
+/// All-zero biases (the basic scheme's setting).
+std::vector<double> ZeroBiases(size_t n);
+
+/// Order-preserving bias setting (Algorithm 1). FECs must be strictly
+/// ascending by support. Minimizes Σ_{i<j} (s_i + s_j)(α + 1 − d_ij)² over a
+/// γ-window via dynamic programming on integer bias grids, subject to
+/// strictly increasing estimators e_i = t_i + β_i; α is the noise region
+/// length. The grid resolution adapts to the state budget in
+/// \p opt so that the table stays within max_states entries.
+std::vector<double> OrderPreservingBiases(const std::vector<FecProfile>& fecs,
+                                          int64_t alpha,
+                                          const OrderOptConfig& opt);
+
+/// Ratio-preserving bias setting (Algorithm 2): β_1 = βᵐ_1 and
+/// β_i = β_{i-1}·t_i/t_{i-1} (so β_i ∝ t_i), clamped into [−βᵐ_i, βᵐ_i]
+/// (Lemma 3 shows the clamp never binds for exact inputs).
+std::vector<double> RatioPreservingBiases(const std::vector<FecProfile>& fecs);
+
+/// Hybrid blend β = λ·β_op + (1 − λ)·β_rp, clamped to the maximum adjustable
+/// bias of each FEC.
+std::vector<double> HybridBiases(const std::vector<FecProfile>& fecs,
+                                 const std::vector<double>& order_biases,
+                                 const std::vector<double>& ratio_biases,
+                                 double lambda);
+
+}  // namespace butterfly
+
+#endif  // BUTTERFLY_CORE_BIAS_SETTING_H_

@@ -1,0 +1,165 @@
+#include "core/butterfly.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace butterfly {
+
+std::vector<FecProfile> BuildFecProfiles(const std::vector<Fec>& fecs,
+                                         double epsilon,
+                                         double noise_variance) {
+  std::vector<FecProfile> profiles;
+  profiles.reserve(fecs.size());
+  for (const Fec& fec : fecs) {
+    profiles.push_back(FecProfile{
+        fec.support, fec.size(),
+        MaxAdjustableBias(fec.support, epsilon, noise_variance)});
+  }
+  return profiles;
+}
+
+bool ButterflyEngine::TryReuseBiases(const std::vector<FecProfile>& profiles,
+                                     std::vector<double>* biases) {
+  if (cached_profiles_.size() != profiles.size() || profiles.empty()) {
+    return false;
+  }
+  const Support tolerance = config_.bias_cache_tolerance;
+  if (tolerance == 0) {
+    // Exact structural match: the cached biases are bit-identical to what a
+    // fresh optimization would produce.
+    if (!(profiles == cached_profiles_)) return false;
+    *biases = cached_biases_;
+    return true;
+  }
+  for (size_t i = 0; i < profiles.size(); ++i) {
+    Support drift = profiles[i].support - cached_profiles_[i].support;
+    if (drift > tolerance || drift < -tolerance) return false;
+  }
+  // Clamp the cached biases into the new adjustable range and make sure the
+  // estimators are still strictly increasing; otherwise fall back to a fresh
+  // optimization.
+  std::vector<double> candidate(profiles.size());
+  for (size_t i = 0; i < profiles.size(); ++i) {
+    candidate[i] = std::clamp(cached_biases_[i], -profiles[i].max_bias,
+                              profiles[i].max_bias);
+    if (i > 0) {
+      double prev = static_cast<double>(profiles[i - 1].support) + candidate[i - 1];
+      double cur = static_cast<double>(profiles[i].support) + candidate[i];
+      if (cur <= prev) return false;
+    }
+  }
+  *biases = std::move(candidate);
+  return true;
+}
+
+Result<ButterflyEngine> ButterflyEngine::Create(const ButterflyConfig& config) {
+  Status status = config.Validate();
+  if (!status.ok()) return status;
+  return ButterflyEngine(config);
+}
+
+ButterflyEngine::ButterflyEngine(const ButterflyConfig& config)
+    : config_(config),
+      noise_(config.delta, config.vulnerable_support),
+      rng_(config.seed) {
+  assert(config.Validate().ok());
+}
+
+std::vector<double> ButterflyEngine::ComputeBiases(
+    const std::vector<FecProfile>& profiles) {
+  switch (config_.scheme) {
+    case ButterflyScheme::kBasic:
+      return ZeroBiases(profiles.size());
+    case ButterflyScheme::kOrderPreserving:
+      return OrderPreservingBiases(profiles, noise_.alpha(),
+                                   config_.order_opt);
+    case ButterflyScheme::kRatioPreserving:
+      return RatioPreservingBiases(profiles);
+    case ButterflyScheme::kHybrid: {
+      std::vector<double> order =
+          OrderPreservingBiases(profiles, noise_.alpha(), config_.order_opt);
+      std::vector<double> ratio = RatioPreservingBiases(profiles);
+      return HybridBiases(profiles, order, ratio, config_.lambda);
+    }
+  }
+  return ZeroBiases(profiles.size());
+}
+
+SanitizedOutput ButterflyEngine::Sanitize(const MiningOutput& frequent,
+                                          Support window_size) {
+  SanitizedOutput release(config_.min_support, window_size);
+  if (frequent.empty()) {
+    if (config_.republish_cache) cache_.NextEpoch();
+    release.Seal();
+    return release;
+  }
+
+  std::vector<Fec> fecs = PartitionIntoFecs(frequent);
+  std::vector<FecProfile> profiles =
+      BuildFecProfiles(fecs, config_.epsilon, noise_.variance());
+
+  std::vector<double> biases;
+  last_biases_were_cached_ = false;
+  if (config_.cache_bias_settings && TryReuseBiases(profiles, &biases)) {
+    last_biases_were_cached_ = true;
+  } else {
+    biases = ComputeBiases(profiles);
+    if (config_.cache_bias_settings) {
+      cached_profiles_ = profiles;
+      cached_biases_ = biases;
+    }
+  }
+
+  const bool per_itemset_noise = config_.scheme == ButterflyScheme::kBasic;
+  const double variance = noise_.variance();
+
+  for (size_t i = 0; i < fecs.size(); ++i) {
+    const Fec& fec = fecs[i];
+    const double bias = biases[i];
+
+    // Optimized schemes share one draw per FEC so within-class equality
+    // survives; the draw is made lazily, only if some member misses the
+    // republish cache.
+    std::optional<Support> fec_draw;
+    auto fresh_value = [&]() -> Support {
+      if (per_itemset_noise) {
+        return fec.support + noise_.Sample(bias, &rng_);
+      }
+      if (!fec_draw) fec_draw = fec.support + noise_.Sample(bias, &rng_);
+      return *fec_draw;
+    };
+
+    for (const Itemset& member : fec.members) {
+      SanitizedItemset item;
+      item.itemset = member;
+      item.bias = bias;
+      item.variance = variance;
+
+      if (config_.republish_cache) {
+        std::optional<RepublishCache::Entry> cached =
+            cache_.Lookup(member, fec.support);
+        if (cached) {
+          item.sanitized_support = cached->sanitized_support;
+          item.bias = cached->bias;
+          item.variance = cached->variance;
+          release.Add(std::move(item));
+          continue;
+        }
+      }
+
+      item.sanitized_support = fresh_value();
+      if (config_.republish_cache) {
+        cache_.Store(member,
+                     RepublishCache::Entry{fec.support, item.sanitized_support,
+                                           item.bias, item.variance});
+      }
+      release.Add(std::move(item));
+    }
+  }
+
+  if (config_.republish_cache) cache_.NextEpoch();
+  release.Seal();
+  return release;
+}
+
+}  // namespace butterfly

@@ -1,0 +1,97 @@
+/// \file butterfly.h
+/// \brief ButterflyEngine: the paper's output-privacy countermeasure.
+///
+/// Feed it the raw frequent-itemset output of each window; it returns the
+/// sanitized release. The engine
+///   1. partitions the itemsets into frequency equivalence classes,
+///   2. sets per-FEC biases by the configured scheme (basic / order- /
+///      ratio-preserving / hybrid) within each FEC's maximum adjustable
+///      bias, honoring the (ε, δ) requirement,
+///   3. perturbs supports with discrete-uniform noise (shared per FEC for
+///      the optimized schemes, independent per itemset for basic),
+///   4. pins sanitized values across windows while true supports are
+///      unchanged (republish cache, Prior Knowledge 2).
+
+#ifndef BUTTERFLY_CORE_BUTTERFLY_H_
+#define BUTTERFLY_CORE_BUTTERFLY_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "core/bias_setting.h"
+#include "core/config.h"
+#include "core/fec.h"
+#include "core/noise.h"
+#include "core/republish_cache.h"
+#include "core/sanitized_output.h"
+#include "mining/mining_result.h"
+
+namespace butterfly {
+
+class ButterflyEngine {
+ public:
+  /// Validates \p config and builds an engine. Prefer this over the ctor.
+  static Result<ButterflyEngine> Create(const ButterflyConfig& config);
+
+  /// Builds an engine without validation (asserts on invalid input in debug
+  /// builds); use Create for untrusted configuration.
+  explicit ButterflyEngine(const ButterflyConfig& config);
+
+  /// Sanitizes one window's frequent-itemset output. \p window_size is the
+  /// (public) window size H, carried into the release for the adversary
+  /// model and the metrics.
+  SanitizedOutput Sanitize(const MiningOutput& frequent, Support window_size);
+
+  /// The per-FEC biases the configured scheme would assign to \p frequent —
+  /// exposed for tests and for the bias-setting benchmarks.
+  std::vector<double> ComputeBiases(const std::vector<FecProfile>& profiles);
+
+  const ButterflyConfig& config() const { return config_; }
+  const NoiseModel& noise() const { return noise_; }
+
+  /// True iff the last Sanitize call reused cached bias settings (the FEC
+  /// structure was unchanged). Exposed for the incremental-mode benchmarks.
+  bool last_biases_were_cached() const { return last_biases_were_cached_; }
+
+  /// Drops every pinned sanitized value so the next Sanitize draws fresh
+  /// noise. Intended for audit-driven redraw: bounded noise admits unlucky
+  /// draws whose constraint system provably pins a vulnerable pattern
+  /// (see metrics/auditor.h); the mitigation is to discard the draw and
+  /// re-sanitize. Use sparingly — the adversary knowing that rejected
+  /// configurations are impossible is itself a (second-order) leak.
+  void ForgetPinnedValues() { cache_.Clear(); }
+
+ private:
+  /// Attempts to satisfy this window's bias setting from the cached one
+  /// (incremental mode); see ButterflyConfig::bias_cache_tolerance.
+  bool TryReuseBiases(const std::vector<FecProfile>& profiles,
+                      std::vector<double>* biases);
+
+  ButterflyConfig config_;
+  NoiseModel noise_;
+  Rng rng_;
+  RepublishCache cache_;
+
+  // Incremental mode: the previous window's FEC profiles and their biases.
+  std::vector<FecProfile> cached_profiles_;
+  std::vector<double> cached_biases_;
+  bool last_biases_were_cached_ = false;
+};
+
+/// Equality of FEC profiles, the cache key of the incremental mode.
+inline bool operator==(const FecProfile& a, const FecProfile& b) {
+  return a.support == b.support && a.member_count == b.member_count &&
+         a.max_bias == b.max_bias;
+}
+
+/// Convenience: FecProfiles (support, member count, max adjustable bias)
+/// for a mining output under the given requirement.
+std::vector<FecProfile> BuildFecProfiles(const std::vector<Fec>& fecs,
+                                         double epsilon,
+                                         double noise_variance);
+
+}  // namespace butterfly
+
+#endif  // BUTTERFLY_CORE_BUTTERFLY_H_

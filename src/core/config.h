@@ -1,0 +1,99 @@
+/// \file config.h
+/// \brief Butterfly configuration: the (ε, δ) requirement pair, the scheme
+/// variant, and the optimizer knobs.
+
+#ifndef BUTTERFLY_CORE_CONFIG_H_
+#define BUTTERFLY_CORE_CONFIG_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "common/types.h"
+
+namespace butterfly {
+
+/// Which bias-setting scheme sanitization uses (§V-C / §VI of the paper).
+enum class ButterflyScheme {
+  /// β = 0 everywhere, per-itemset independent noise; the minimum-ppr
+  /// configuration with the lowest precision loss.
+  kBasic,
+  /// Per-FEC bias from the order-preserving dynamic program (Algorithm 1).
+  kOrderPreserving,
+  /// Per-FEC bias proportional to support (Algorithm 2).
+  kRatioPreserving,
+  /// β = λ·β_op + (1 − λ)·β_rp.
+  kHybrid,
+};
+
+std::string SchemeName(ButterflyScheme scheme);
+
+/// Knobs of the order-preserving dynamic program.
+struct OrderOptConfig {
+  /// DP window depth γ: each FEC's bias interacts with its γ predecessors.
+  size_t gamma = 2;
+  /// Budget on DP states; per-FEC candidate-grid size is derived from it.
+  size_t max_states = 20000;
+  /// Hard cap on bias candidates per FEC.
+  size_t max_candidates = 21;
+};
+
+/// Full engine configuration.
+struct ButterflyConfig {
+  /// Precision requirement ε: upper bound on every frequent itemset's
+  /// relative mean squared error (σ² + β²)/T² ≤ ε (since T ≥ C).
+  double epsilon = 0.016;
+  /// Privacy requirement δ: lower bound on every vulnerable pattern's
+  /// relative estimation error 2σ²/K² ≥ δ.
+  double delta = 0.4;
+
+  Support min_support = 25;        ///< C
+  Support vulnerable_support = 5;  ///< K
+
+  ButterflyScheme scheme = ButterflyScheme::kBasic;
+  /// Hybrid blend weight λ ∈ [0, 1]; 1 = pure order-preserving, 0 = pure
+  /// ratio-preserving. Only read when scheme == kHybrid.
+  double lambda = 0.4;
+
+  OrderOptConfig order_opt;
+
+  /// Re-publish the cached sanitized support while an itemset's true support
+  /// is unchanged across windows (defense against averaging, Prior
+  /// Knowledge 2). On by default.
+  bool republish_cache = true;
+
+  /// Reuse the previous window's bias settings when the FEC structure
+  /// (supports and member counts) is unchanged — the "incremental version"
+  /// the paper sketches as future work. With zero tolerance this is purely a
+  /// latency optimization: the produced biases are identical to a fresh
+  /// optimization.
+  bool cache_bias_settings = true;
+
+  /// Maximum per-FEC support drift under which cached biases may still be
+  /// reused (clamped into the new maximum adjustable bias and re-checked for
+  /// estimator monotonicity). 0 = exact structural match only. Positive
+  /// values trade a little order-preservation optimality for skipping the
+  /// dynamic program on most slides; the ablation_incremental benchmark
+  /// quantifies both sides.
+  Support bias_cache_tolerance = 0;
+
+  uint64_t seed = 0x42u;
+
+  /// The precision-privacy ratio ε/δ.
+  double ppr() const { return epsilon / delta; }
+
+  /// The minimum feasible ppr K²/(2C²) for these thresholds.
+  double MinPpr() const {
+    double k = static_cast<double>(vulnerable_support);
+    double c = static_cast<double>(min_support);
+    return (k * k) / (2.0 * c * c);
+  }
+
+  /// Checks parameter sanity and the ε/δ ≥ K²/(2C²) compatibility condition
+  /// (Inequations 1 and 2 admit a common σ² only above the minimum ppr).
+  Status Validate() const;
+};
+
+}  // namespace butterfly
+
+#endif  // BUTTERFLY_CORE_CONFIG_H_

@@ -1,0 +1,34 @@
+#include "core/fec.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+namespace butterfly {
+
+std::vector<Fec> PartitionIntoFecs(const MiningOutput& output) {
+  std::map<Support, Fec> by_support;
+  for (const FrequentItemset& f : output.itemsets()) {
+    Fec& fec = by_support[f.support];
+    fec.support = f.support;
+    fec.members.push_back(f.itemset);
+  }
+  std::vector<Fec> fecs;
+  fecs.reserve(by_support.size());
+  for (auto& [support, fec] : by_support) {
+    // Keep members deterministically ordered (MiningOutput is sealed, but
+    // guard against unsealed inputs).
+    std::sort(fec.members.begin(), fec.members.end());
+    fecs.push_back(std::move(fec));
+  }
+  return fecs;
+}
+
+double MaxAdjustableBias(Support support, double epsilon,
+                         double noise_variance) {
+  double t = static_cast<double>(support);
+  double budget = epsilon * t * t - noise_variance;
+  return budget > 0 ? std::sqrt(budget) : 0.0;
+}
+
+}  // namespace butterfly

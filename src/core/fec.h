@@ -1,0 +1,37 @@
+/// \file fec.h
+/// \brief Frequency equivalence classes (Definition 5 of the paper).
+///
+/// A FEC groups the frequent itemsets sharing one support value. The
+/// optimized schemes perturb per FEC — every member receives the same
+/// sanitized support — so that within-class equality (and hence the order
+/// and ratio structure it carries) survives sanitization exactly.
+
+#ifndef BUTTERFLY_CORE_FEC_H_
+#define BUTTERFLY_CORE_FEC_H_
+
+#include <vector>
+
+#include "mining/mining_result.h"
+
+namespace butterfly {
+
+/// One frequency equivalence class.
+struct Fec {
+  Support support = 0;            ///< t_i, the members' common true support
+  std::vector<Itemset> members;   ///< itemsets with this support
+
+  size_t size() const { return members.size(); }
+};
+
+/// Partitions a mining output into FECs, strictly ascending by support.
+std::vector<Fec> PartitionIntoFecs(const MiningOutput& output);
+
+/// The maximum adjustable bias βᵐ = sqrt(ε·t² − σ²) (Definition 7, with the
+/// realized noise variance in place of δK²/2 so the ε guarantee is honored
+/// exactly). Returns 0 when the argument of the root is non-positive.
+double MaxAdjustableBias(Support support, double epsilon,
+                         double noise_variance);
+
+}  // namespace butterfly
+
+#endif  // BUTTERFLY_CORE_FEC_H_

@@ -1,0 +1,36 @@
+#include "core/parameter_advisor.h"
+
+#include <cmath>
+
+#include "core/noise.h"
+
+namespace butterfly {
+
+double MinFeasibleEpsilon(double delta, Support min_support,
+                          Support vulnerable_support) {
+  NoiseModel noise(delta, vulnerable_support);
+  double c = static_cast<double>(min_support);
+  // With β = 0 the entire ε budget goes to σ²; this bound also dominates
+  // the continuous ppr condition, so it is THE feasibility boundary.
+  return noise.variance() / (c * c);
+}
+
+double MaxFeasibleDelta(double epsilon, Support min_support,
+                        Support vulnerable_support) {
+  double c = static_cast<double>(min_support);
+  double k = static_cast<double>(vulnerable_support);
+  double budget = epsilon * c * c;
+  // Largest integer region length whose variance fits the budget:
+  // ((α+1)² − 1)/12 <= budget  =>  α <= √(12·budget + 1) − 1.
+  int64_t alpha = static_cast<int64_t>(
+      std::floor(std::sqrt(12.0 * budget + 1.0) - 1.0 + 1e-9));
+  if (alpha < 1) return 0.0;
+  double variance =
+      ((static_cast<double>(alpha) + 1.0) * (static_cast<double>(alpha) + 1.0) -
+       1.0) /
+      12.0;
+  // The largest δ whose required σ² = δK²/2 is met by that region.
+  return 2.0 * variance / (k * k);
+}
+
+}  // namespace butterfly

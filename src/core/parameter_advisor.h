@@ -1,0 +1,29 @@
+/// \file parameter_advisor.h
+/// \brief Helping operators choose feasible (ε, δ) pairs.
+///
+/// The requirement pair must satisfy ε/δ ≥ K²/(2C²) — and, because the noise
+/// region length is an integer, slightly more than that (the realized
+/// variance can overshoot δK²/2). These helpers compute the exact feasible
+/// boundary so callers are not left probing Validate() by trial and error.
+
+#ifndef BUTTERFLY_CORE_PARAMETER_ADVISOR_H_
+#define BUTTERFLY_CORE_PARAMETER_ADVISOR_H_
+
+#include "common/types.h"
+
+namespace butterfly {
+
+/// The smallest ε for which (ε, delta) is feasible at thresholds (C, K),
+/// including the integer-discretization margin: ε_min = σ²_realized / C².
+double MinFeasibleEpsilon(double delta, Support min_support,
+                          Support vulnerable_support);
+
+/// The largest δ for which (epsilon, δ) is feasible at thresholds (C, K):
+/// the biggest δ whose realized σ² still fits the ε budget. Returns 0 when
+/// even the smallest region (α = 1) exceeds the budget.
+double MaxFeasibleDelta(double epsilon, Support min_support,
+                        Support vulnerable_support);
+
+}  // namespace butterfly
+
+#endif  // BUTTERFLY_CORE_PARAMETER_ADVISOR_H_

@@ -1,0 +1,100 @@
+#include "core/release_log.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace butterfly {
+
+Status WriteRelease(std::ostream* out, const std::string& label,
+                    const SanitizedOutput& release) {
+  if (label.find_first_of(" \n") != std::string::npos) {
+    return Status::InvalidArgument("release label must not contain spaces");
+  }
+  *out << "#release " << (label.empty() ? "-" : label) << ' '
+       << release.window_size() << ' ' << release.min_support() << ' '
+       << release.size() << '\n';
+  for (const SanitizedItemset& item : release.items()) {
+    for (size_t i = 0; i < item.itemset.size(); ++i) {
+      if (i > 0) *out << ' ';
+      *out << item.itemset[i];
+    }
+    *out << ' ' << item.sanitized_support << '\n';
+  }
+  *out << '\n';
+  if (!*out) return Status::IOError("write failed");
+  return Status::OK();
+}
+
+Result<std::vector<LoggedRelease>> ReadReleases(std::istream* in) {
+  std::vector<LoggedRelease> releases;
+  std::string line;
+  size_t line_no = 0;
+  LoggedRelease* current = nullptr;
+  size_t expected_items = 0;
+
+  auto parse_error = [&](const std::string& what) {
+    std::ostringstream msg;
+    msg << what << " on line " << line_no;
+    return Status::InvalidArgument(msg.str());
+  };
+
+  while (std::getline(*in, line)) {
+    ++line_no;
+    if (line.empty()) {
+      current = nullptr;
+      continue;
+    }
+    if (line.rfind("#release", 0) == 0) {
+      std::istringstream header(line.substr(8));
+      LoggedRelease release;
+      if (!(header >> release.label >> release.window_size >>
+            release.min_support >> expected_items)) {
+        return parse_error("malformed release header");
+      }
+      releases.push_back(std::move(release));
+      current = &releases.back();
+      continue;
+    }
+    if (current == nullptr) {
+      return parse_error("item line outside a release block");
+    }
+    std::istringstream tokens(line);
+    std::vector<Support> numbers;
+    Support value = 0;
+    while (tokens >> value) numbers.push_back(value);
+    if (!tokens.eof()) return parse_error("non-numeric token");
+    if (numbers.size() < 2) {
+      return parse_error("item line needs at least one item and a support");
+    }
+    Support support = numbers.back();
+    numbers.pop_back();
+    std::vector<Item> items;
+    items.reserve(numbers.size());
+    for (Support n : numbers) {
+      if (n < 0) return parse_error("negative item id");
+      items.push_back(static_cast<Item>(n));
+    }
+    current->items.emplace_back(Itemset(std::move(items)), support);
+  }
+
+  for (const LoggedRelease& release : releases) {
+    (void)release;
+  }
+  return releases;
+}
+
+Status AppendReleaseToFile(const std::string& path, const std::string& label,
+                           const SanitizedOutput& release) {
+  std::ofstream out(path, std::ios::app);
+  if (!out) return Status::IOError("cannot open '" + path + "' for append");
+  return WriteRelease(&out, label, release);
+}
+
+Result<std::vector<LoggedRelease>> ReadReleasesFromFile(
+    const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open '" + path + "'");
+  return ReadReleases(&in);
+}
+
+}  // namespace butterfly

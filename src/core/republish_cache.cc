@@ -1,0 +1,33 @@
+#include "core/republish_cache.h"
+
+namespace butterfly {
+
+std::optional<RepublishCache::Entry> RepublishCache::Lookup(
+    const Itemset& itemset, Support true_support) {
+  auto it = entries_.find(itemset);
+  if (it == entries_.end()) return std::nullopt;
+  if (it->second.entry.true_support != true_support) return std::nullopt;
+  it->second.last_seen = epoch_;
+  return it->second.entry;
+}
+
+void RepublishCache::Store(const Itemset& itemset, const Entry& entry) {
+  Slot& slot = entries_[itemset];
+  slot.entry = entry;
+  slot.last_seen = epoch_;
+}
+
+void RepublishCache::NextEpoch() {
+  ++epoch_;
+  if (epoch_ < max_idle_epochs_) return;
+  uint64_t cutoff = epoch_ - max_idle_epochs_;
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (it->second.last_seen < cutoff) {
+      it = entries_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+}  // namespace butterfly

@@ -1,0 +1,95 @@
+#include "core/rule_release.h"
+
+#include <algorithm>
+#include <functional>
+#include <sstream>
+
+namespace butterfly {
+
+std::string SanitizedRule::ToString() const {
+  std::ostringstream out;
+  out << antecedent.ToString() << " => " << consequent.ToString()
+      << " (confidence " << released_confidence << " in [" << confidence_lo
+      << ", " << confidence_hi << "])";
+  return out.str();
+}
+
+namespace {
+
+// Sound support envelope for one released value: the bias is secret, so the
+// true support can sit anywhere within ±α of the released value.
+Interval Envelope(Support released, int64_t alpha) {
+  return Interval(released - alpha, released + alpha).ClampNonNegative();
+}
+
+void VisitAntecedents(const Itemset& itemset, size_t start,
+                      std::vector<Item>* prefix,
+                      const std::function<void(const Itemset&)>& visit) {
+  if (!prefix->empty() && prefix->size() < itemset.size()) {
+    visit(Itemset::FromSorted(*prefix));
+  }
+  for (size_t i = start; i < itemset.size(); ++i) {
+    prefix->push_back(itemset[i]);
+    VisitAntecedents(itemset, i + 1, prefix, visit);
+    prefix->pop_back();
+  }
+}
+
+}  // namespace
+
+std::vector<SanitizedRule> GenerateSanitizedRules(
+    const SanitizedOutput& release, const NoiseModel& noise,
+    double min_confidence) {
+  std::vector<SanitizedRule> rules;
+  const int64_t alpha = noise.alpha();
+  std::vector<Item> prefix;
+
+  for (const SanitizedItemset& whole : release.items()) {
+    if (whole.itemset.size() < 2) continue;
+    VisitAntecedents(whole.itemset, 0, &prefix, [&](const Itemset& antecedent) {
+      std::optional<Support> ant = release.SanitizedSupportOf(antecedent);
+      if (!ant || *ant <= 0) return;
+      double confidence = static_cast<double>(whole.sanitized_support) /
+                          static_cast<double>(*ant);
+      if (confidence + 1e-12 < min_confidence) return;
+
+      SanitizedRule rule;
+      rule.antecedent = antecedent;
+      rule.consequent = whole.itemset.Minus(antecedent);
+      rule.released_support = whole.sanitized_support;
+      rule.released_confidence = confidence;
+
+      Interval whole_env = Envelope(whole.sanitized_support, alpha);
+      Interval ant_env = Envelope(*ant, alpha);
+      // Confidence = T(whole)/T(ant) with T(whole) <= T(ant) always; the
+      // sound bounds take the extreme ratios, capped into [0, 1].
+      if (ant_env.hi > 0) {
+        rule.confidence_lo = std::clamp(
+            static_cast<double>(whole_env.lo) /
+                static_cast<double>(ant_env.hi),
+            0.0, 1.0);
+      }
+      if (ant_env.lo > 0) {
+        rule.confidence_hi = std::clamp(
+            static_cast<double>(whole_env.hi) /
+                static_cast<double>(ant_env.lo),
+            0.0, 1.0);
+      } else {
+        rule.confidence_hi = 1.0;
+      }
+      rules.push_back(std::move(rule));
+    });
+  }
+
+  std::sort(rules.begin(), rules.end(),
+            [](const SanitizedRule& a, const SanitizedRule& b) {
+              if (a.released_confidence != b.released_confidence) {
+                return a.released_confidence > b.released_confidence;
+              }
+              if (a.antecedent != b.antecedent) return a.antecedent < b.antecedent;
+              return a.consequent < b.consequent;
+            });
+  return rules;
+}
+
+}  // namespace butterfly

@@ -1,0 +1,48 @@
+/// \file rule_release.h
+/// \brief Association rules computed from a *sanitized* release.
+///
+/// Rule confidence is the utility the ratio-preserving scheme protects
+/// (§VI-B motivates it by exactly this use). This module derives rules from
+/// released supports and, because the consumer knows the release is
+/// perturbed, attaches a SOUND confidence interval: with the noise region
+/// public, each support lies in an interval, and the confidence lies in the
+/// interval ratio. Downstream decisions can then be made against the bounds
+/// rather than the point value.
+
+#ifndef BUTTERFLY_CORE_RULE_RELEASE_H_
+#define BUTTERFLY_CORE_RULE_RELEASE_H_
+
+#include <string>
+#include <vector>
+
+#include "core/noise.h"
+#include "core/sanitized_output.h"
+
+namespace butterfly {
+
+/// One rule as reconstructed from a sanitized release.
+struct SanitizedRule {
+  Itemset antecedent;
+  Itemset consequent;
+  /// Point estimates from the released supports.
+  Support released_support = 0;
+  double released_confidence = 0;
+  /// Sound bounds given the public noise region length: the true confidence
+  /// lies within [confidence_lo, confidence_hi].
+  double confidence_lo = 0;
+  double confidence_hi = 1;
+
+  std::string ToString() const;
+};
+
+/// Generates every rule with released confidence >= \p min_confidence from a
+/// sanitized release, with sound confidence bounds computed from the noise
+/// region length \p noise (biases are secret, so the envelope per released
+/// support is ±α around the released value, clamped at 0).
+std::vector<SanitizedRule> GenerateSanitizedRules(
+    const SanitizedOutput& release, const NoiseModel& noise,
+    double min_confidence);
+
+}  // namespace butterfly
+
+#endif  // BUTTERFLY_CORE_RULE_RELEASE_H_

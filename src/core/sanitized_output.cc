@@ -1,0 +1,57 @@
+#include "core/sanitized_output.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace butterfly {
+
+void SanitizedOutput::Add(SanitizedItemset item) {
+  index_.emplace(item.itemset, items_.size());
+  items_.push_back(std::move(item));
+}
+
+void SanitizedOutput::Seal() {
+  std::sort(items_.begin(), items_.end(),
+            [](const SanitizedItemset& a, const SanitizedItemset& b) {
+              return a.itemset < b.itemset;
+            });
+  index_.clear();
+  for (size_t i = 0; i < items_.size(); ++i) {
+    index_.emplace(items_[i].itemset, i);
+  }
+}
+
+std::optional<Support> SanitizedOutput::SanitizedSupportOf(
+    const Itemset& itemset) const {
+  const SanitizedItemset* item = Find(itemset);
+  if (!item) return std::nullopt;
+  return item->sanitized_support;
+}
+
+const SanitizedItemset* SanitizedOutput::Find(const Itemset& itemset) const {
+  auto it = index_.find(itemset);
+  if (it == index_.end()) return nullptr;
+  return &items_[it->second];
+}
+
+RealSupportProvider SanitizedOutput::AsEstimatorProvider() const {
+  return [this](const Itemset& itemset) -> std::optional<double> {
+    if (itemset.empty()) return static_cast<double>(window_size_);
+    const SanitizedItemset* item = Find(itemset);
+    if (!item) return std::nullopt;
+    return static_cast<double>(item->sanitized_support) - item->bias;
+  };
+}
+
+std::string SanitizedOutput::ToString() const {
+  std::ostringstream out;
+  out << "SanitizedOutput(C=" << min_support_ << ", H=" << window_size_
+      << ", " << items_.size() << " itemsets)\n";
+  for (const SanitizedItemset& item : items_) {
+    out << "  " << item.itemset.ToString() << " : " << item.sanitized_support
+        << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace butterfly

@@ -1,0 +1,15 @@
+#include "core/stream_engine.h"
+
+namespace butterfly {
+
+Result<StreamPrivacyEngine> StreamPrivacyEngine::Create(
+    size_t window_capacity, const ButterflyConfig& config) {
+  if (window_capacity == 0) {
+    return Status::InvalidArgument("window_capacity must be positive");
+  }
+  Status status = config.Validate();
+  if (!status.ok()) return status;
+  return StreamPrivacyEngine(window_capacity, config);
+}
+
+}  // namespace butterfly

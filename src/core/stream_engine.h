@@ -1,0 +1,60 @@
+/// \file stream_engine.h
+/// \brief StreamPrivacyEngine: the end-to-end pipeline of the paper —
+/// Moment mining over a sliding window with Butterfly sanitization on top.
+/// This is the primary public entry point for applications.
+
+#ifndef BUTTERFLY_CORE_STREAM_ENGINE_H_
+#define BUTTERFLY_CORE_STREAM_ENGINE_H_
+
+#include <cstddef>
+
+#include "common/status.h"
+#include "core/butterfly.h"
+#include "moment/moment.h"
+
+namespace butterfly {
+
+class StreamPrivacyEngine {
+ public:
+  /// \param window_capacity sliding-window size H.
+  /// \param config Butterfly configuration (carries C and K). Validated by
+  ///        Create; the ctor asserts.
+  static Result<StreamPrivacyEngine> Create(size_t window_capacity,
+                                            const ButterflyConfig& config);
+
+  StreamPrivacyEngine(size_t window_capacity, const ButterflyConfig& config)
+      : miner_(window_capacity, config.min_support), sanitizer_(config) {}
+
+  StreamPrivacyEngine(StreamPrivacyEngine&&) = default;
+
+  /// Feeds the next stream record.
+  void Append(Transaction t) { miner_.Append(std::move(t)); }
+
+  /// True once the window holds H records.
+  bool WindowFull() const { return miner_.window().Full(); }
+
+  /// The raw (unprotected) full frequent-itemset output — what a mining
+  /// system without output-privacy protection would publish.
+  MiningOutput RawOutput() const { return miner_.GetAllFrequent(); }
+
+  /// The raw closed frequent itemsets (Moment's native output).
+  MiningOutput RawClosedOutput() const { return miner_.GetClosedFrequent(); }
+
+  /// The sanitized release for the current window.
+  SanitizedOutput Release() {
+    return sanitizer_.Sanitize(RawOutput(),
+                               static_cast<Support>(miner_.window().size()));
+  }
+
+  const MomentMiner& miner() const { return miner_; }
+  ButterflyEngine& sanitizer() { return sanitizer_; }
+  const ButterflyConfig& config() const { return sanitizer_.config(); }
+
+ private:
+  MomentMiner miner_;
+  ButterflyEngine sanitizer_;
+};
+
+}  // namespace butterfly
+
+#endif  // BUTTERFLY_CORE_STREAM_ENGINE_H_

@@ -1,0 +1,59 @@
+#include "datagen/drift.h"
+
+#include <algorithm>
+
+namespace butterfly {
+
+Status DriftConfig::Validate() const {
+  Status s = before.Validate();
+  if (!s.ok()) return s;
+  s = after.Validate();
+  if (!s.ok()) return s;
+  if (num_transactions == 0) {
+    return Status::InvalidArgument("num_transactions must be positive");
+  }
+  if (drift_span == 0) {
+    return Status::InvalidArgument("drift_span must be positive");
+  }
+  return Status::OK();
+}
+
+Result<std::vector<Transaction>> GenerateDriftStream(
+    const DriftConfig& config) {
+  Status s = config.Validate();
+  if (!s.ok()) return s;
+
+  // Draw both regimes in full; the mixer consumes each sequentially so the
+  // within-regime correlation structure is preserved.
+  QuestConfig before = config.before;
+  before.num_transactions = config.num_transactions;
+  QuestConfig after = config.after;
+  after.num_transactions = config.num_transactions;
+
+  auto before_stream = GenerateQuest(before);
+  if (!before_stream.ok()) return before_stream.status();
+  auto after_stream = GenerateQuest(after);
+  if (!after_stream.ok()) return after_stream.status();
+
+  Rng rng(config.before.seed ^ 0x9e3779b97f4a7c15ull);
+  std::vector<Transaction> stream;
+  stream.reserve(config.num_transactions);
+  size_t before_next = 0;
+  size_t after_next = 0;
+  for (size_t i = 0; i < config.num_transactions; ++i) {
+    double progress = 0.0;
+    if (i >= config.drift_start) {
+      progress = std::min(
+          1.0, static_cast<double>(i - config.drift_start) /
+                   static_cast<double>(config.drift_span));
+    }
+    const std::vector<Transaction>& source =
+        rng.Bernoulli(progress) ? *after_stream : *before_stream;
+    size_t& next = (&source == &*after_stream) ? after_next : before_next;
+    stream.emplace_back(static_cast<Tid>(i + 1), source[next].items);
+    ++next;
+  }
+  return stream;
+}
+
+}  // namespace butterfly

@@ -1,0 +1,65 @@
+#include "datagen/fimi_io.h"
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+namespace butterfly {
+
+Result<std::vector<Transaction>> ParseFimi(const std::string& content) {
+  std::vector<Transaction> dataset;
+  std::istringstream in(content);
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    std::vector<Item> items;
+    std::istringstream tokens(line);
+    std::string token;
+    while (tokens >> token) {
+      for (char c : token) {
+        if (!std::isdigit(static_cast<unsigned char>(c))) {
+          std::ostringstream msg;
+          msg << "non-numeric token '" << token << "' on line " << line_no;
+          return Status::InvalidArgument(msg.str());
+        }
+      }
+      items.push_back(static_cast<Item>(std::stoul(token)));
+    }
+    if (items.empty()) continue;  // blank line
+    dataset.emplace_back(static_cast<Tid>(dataset.size() + 1),
+                         Itemset(std::move(items)));
+  }
+  return dataset;
+}
+
+Result<std::vector<Transaction>> LoadFimiFile(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) {
+    return Status::IOError("cannot open '" + path + "'");
+  }
+  std::ostringstream content;
+  content << file.rdbuf();
+  return ParseFimi(content.str());
+}
+
+Status SaveFimiFile(const std::string& path,
+                    const std::vector<Transaction>& dataset) {
+  std::ofstream file(path);
+  if (!file) {
+    return Status::IOError("cannot open '" + path + "' for writing");
+  }
+  for (const Transaction& t : dataset) {
+    for (size_t i = 0; i < t.items.size(); ++i) {
+      if (i > 0) file << ' ';
+      file << t.items[i];
+    }
+    file << '\n';
+  }
+  if (!file) {
+    return Status::IOError("write to '" + path + "' failed");
+  }
+  return Status::OK();
+}
+
+}  // namespace butterfly

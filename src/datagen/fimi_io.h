@@ -1,0 +1,32 @@
+/// \file fimi_io.h
+/// \brief Reading and writing the FIMI / IBM `.dat` transaction format: one
+/// transaction per line, space-separated item ids. This is the format the
+/// real BMS-WebView-1 and BMS-POS files ship in, so experiments can swap the
+/// calibrated generators for the genuine datasets.
+
+#ifndef BUTTERFLY_DATAGEN_FIMI_IO_H_
+#define BUTTERFLY_DATAGEN_FIMI_IO_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/transaction.h"
+
+namespace butterfly {
+
+/// Loads a `.dat` file. Blank lines are skipped; tids are assigned 1..n in
+/// file order. Fails with IOError if the file cannot be opened and
+/// InvalidArgument on malformed tokens.
+Result<std::vector<Transaction>> LoadFimiFile(const std::string& path);
+
+/// Parses in-memory `.dat` content (used by the loader and by tests).
+Result<std::vector<Transaction>> ParseFimi(const std::string& content);
+
+/// Writes a dataset in `.dat` format.
+Status SaveFimiFile(const std::string& path,
+                    const std::vector<Transaction>& dataset);
+
+}  // namespace butterfly
+
+#endif  // BUTTERFLY_DATAGEN_FIMI_IO_H_

@@ -1,0 +1,151 @@
+#include "datagen/quest_generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "datagen/zipf.h"
+
+namespace butterfly {
+
+Status QuestConfig::Validate() const {
+  if (num_transactions == 0) {
+    return Status::InvalidArgument("num_transactions must be positive");
+  }
+  if (num_items == 0) return Status::InvalidArgument("num_items must be positive");
+  if (num_patterns == 0) {
+    return Status::InvalidArgument("num_patterns must be positive");
+  }
+  if (avg_transaction_len <= 0) {
+    return Status::InvalidArgument("avg_transaction_len must be positive");
+  }
+  if (avg_pattern_len <= 0) {
+    return Status::InvalidArgument("avg_pattern_len must be positive");
+  }
+  if (correlation < 0 || correlation > 1) {
+    return Status::InvalidArgument("correlation must lie in [0, 1]");
+  }
+  if (corruption_mean < 0 || corruption_mean >= 1) {
+    return Status::InvalidArgument("corruption_mean must lie in [0, 1)");
+  }
+  return Status::OK();
+}
+
+namespace {
+
+// Draws the latent pattern pool. Pattern lengths are Poisson(avg_pattern_len)
+// clipped to [1, num_items]; a `correlation` fraction of each pattern's items
+// is inherited from the previous pattern (modeling overlapping tastes), the
+// rest drawn from a mildly skewed item popularity law. Pattern weights are
+// exponential, normalized; corruption levels are normal around
+// corruption_mean, clipped to [0, 0.9].
+QuestPatternPool DrawPatterns(const QuestConfig& config, Rng* rng) {
+  QuestPatternPool pool;
+  pool.patterns.reserve(config.num_patterns);
+  pool.weights.reserve(config.num_patterns);
+  pool.corruptions.reserve(config.num_patterns);
+
+  ZipfSampler item_popularity(config.num_items, 0.65);
+  std::normal_distribution<double> corruption_dist(config.corruption_mean, 0.1);
+
+  std::vector<Item> previous;
+  for (size_t p = 0; p < config.num_patterns; ++p) {
+    size_t len = static_cast<size_t>(
+        std::clamp<int64_t>(rng->Poisson(config.avg_pattern_len), 1,
+                            static_cast<int64_t>(config.num_items)));
+    std::unordered_set<Item> chosen;
+    // Inherit a correlated prefix from the previous pattern.
+    if (!previous.empty()) {
+      for (Item item : previous) {
+        if (chosen.size() >= len) break;
+        if (rng->Bernoulli(config.correlation)) chosen.insert(item);
+      }
+    }
+    while (chosen.size() < len) {
+      chosen.insert(static_cast<Item>(item_popularity.Sample(rng)));
+    }
+    std::vector<Item> items(chosen.begin(), chosen.end());
+    previous = items;
+    pool.patterns.emplace_back(std::move(items));
+
+    // Zipf-skewed rank weight with exponential jitter: a head of patterns
+    // dominates the traffic (producing genuinely frequent itemsets) while
+    // the long tail keeps the item universe covered, mirroring real
+    // clickstream/POS co-occurrence structure.
+    double jitter = std::exponential_distribution<double>(1.0)(rng->engine());
+    pool.weights.push_back((0.5 + jitter) /
+                           std::pow(static_cast<double>(p + 1), 1.1));
+    pool.corruptions.push_back(
+        std::clamp(corruption_dist(rng->engine()), 0.0, 0.9));
+  }
+
+  double total_weight = 0;
+  for (double w : pool.weights) total_weight += w;
+  for (double& w : pool.weights) w /= total_weight;
+  return pool;
+}
+
+// Samples a pattern index according to the pool weights.
+size_t SamplePattern(const QuestPatternPool& pool, Rng* rng) {
+  double u = rng->UniformReal();
+  double acc = 0;
+  for (size_t i = 0; i < pool.weights.size(); ++i) {
+    acc += pool.weights[i];
+    if (u <= acc) return i;
+  }
+  return pool.weights.size() - 1;
+}
+
+}  // namespace
+
+Result<QuestPatternPool> GenerateQuestPatterns(const QuestConfig& config) {
+  Status s = config.Validate();
+  if (!s.ok()) return s;
+  Rng rng(config.seed);
+  return DrawPatterns(config, &rng);
+}
+
+Result<std::vector<Transaction>> GenerateQuest(const QuestConfig& config) {
+  Status s = config.Validate();
+  if (!s.ok()) return s;
+  Rng rng(config.seed);
+  QuestPatternPool pool = DrawPatterns(config, &rng);
+
+  std::vector<Transaction> dataset;
+  dataset.reserve(config.num_transactions);
+
+  for (size_t t = 0; t < config.num_transactions; ++t) {
+    size_t target_len = static_cast<size_t>(
+        std::clamp<int64_t>(rng.Poisson(config.avg_transaction_len), 1,
+                            static_cast<int64_t>(config.num_items)));
+    std::unordered_set<Item> record;
+    // Fill the transaction from corrupted patterns until the target length is
+    // reached. A safety cap bounds the fill loop when corruption is high.
+    size_t attempts = 0;
+    const size_t max_attempts = 8 * target_len + 16;
+    while (record.size() < target_len && attempts++ < max_attempts) {
+      size_t p = SamplePattern(pool, &rng);
+      const Itemset& pattern = pool.patterns[p];
+      double corruption = pool.corruptions[p];
+      for (Item item : pattern) {
+        if (record.size() >= target_len + pattern.size()) break;
+        // Keep each item of the selected pattern with prob (1 - corruption):
+        // partial pattern occurrences are what make subset supports diverge,
+        // creating the vulnerable low-support combinations the paper studies.
+        if (!rng.Bernoulli(corruption)) record.insert(item);
+      }
+    }
+    if (record.empty()) {
+      // Degenerate corruption draw; fall back to a single pattern item so the
+      // record is a non-empty itemset as the model requires.
+      const Itemset& pattern = pool.patterns[SamplePattern(pool, &rng)];
+      record.insert(pattern[0]);
+    }
+    dataset.emplace_back(
+        static_cast<Tid>(t + 1),
+        Itemset(std::vector<Item>(record.begin(), record.end())));
+  }
+  return dataset;
+}
+
+}  // namespace butterfly

@@ -1,0 +1,57 @@
+/// \file zipf.h
+/// \brief Zipf-distributed item sampling.
+///
+/// Real clickstream / point-of-sale item popularity is heavy-tailed; the
+/// calibrated dataset profiles draw their background item traffic from a Zipf
+/// law over the item alphabet.
+
+#ifndef BUTTERFLY_DATAGEN_ZIPF_H_
+#define BUTTERFLY_DATAGEN_ZIPF_H_
+
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace butterfly {
+
+/// Samples ranks 0..n-1 with P(rank k) proportional to 1/(k+1)^s via a
+/// precomputed CDF and binary search. O(n) setup, O(log n) per sample.
+class ZipfSampler {
+ public:
+  /// \param n number of ranks (> 0).
+  /// \param s skew exponent; s = 0 is uniform, larger is more skewed.
+  ZipfSampler(size_t n, double s) : cdf_(n) {
+    double total = 0.0;
+    for (size_t k = 0; k < n; ++k) {
+      total += 1.0 / std::pow(static_cast<double>(k + 1), s);
+      cdf_[k] = total;
+    }
+    for (size_t k = 0; k < n; ++k) cdf_[k] /= total;
+  }
+
+  size_t n() const { return cdf_.size(); }
+
+  /// Draws one rank.
+  size_t Sample(Rng* rng) const {
+    double u = rng->UniformReal();
+    size_t lo = 0, hi = cdf_.size() - 1;
+    while (lo < hi) {
+      size_t mid = (lo + hi) / 2;
+      if (cdf_[mid] < u) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return lo;
+  }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace butterfly
+
+#endif  // BUTTERFLY_DATAGEN_ZIPF_H_

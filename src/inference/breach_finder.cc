@@ -1,0 +1,131 @@
+#include "inference/breach_finder.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace butterfly {
+
+KnowledgeBase::KnowledgeBase(const MiningOutput& released, Support window_size,
+                             const AttackConfig& config) {
+  for (const FrequentItemset& f : released.itemsets()) {
+    Learn(f.itemset, f.support);
+  }
+  if (config.knows_window_size) {
+    Learn(Itemset{}, window_size);
+  }
+}
+
+void KnowledgeBase::Learn(const Itemset& itemset, Support support,
+                          bool inferred) {
+  auto [it, inserted] = supports_.emplace(itemset, Entry{support, inferred});
+  if (inserted) {
+    order_.push_back(itemset);
+  } else {
+    it->second.support = support;
+    it->second.inferred = it->second.inferred && inferred;
+  }
+}
+
+std::optional<Support> KnowledgeBase::Lookup(const Itemset& itemset) const {
+  auto it = supports_.find(itemset);
+  if (it == supports_.end()) return std::nullopt;
+  return it->second.support;
+}
+
+bool KnowledgeBase::WasInferred(const Itemset& itemset) const {
+  auto it = supports_.find(itemset);
+  return it != supports_.end() && it->second.inferred;
+}
+
+SupportProvider KnowledgeBase::AsProvider() const {
+  return [this](const Itemset& itemset) { return Lookup(itemset); };
+}
+
+size_t TightenKnowledge(KnowledgeBase* knowledge, const AttackConfig& config) {
+  // Candidate enclosing itemsets: one item beyond current knowledge.
+  std::vector<Item> known_items;
+  for (const Itemset& s : knowledge->known_itemsets()) {
+    if (s.size() == 1) known_items.push_back(s[0]);
+  }
+
+  std::unordered_set<Itemset, ItemsetHash> candidates;
+  for (const Itemset& s : knowledge->known_itemsets()) {
+    if (s.empty() || s.size() + 1 > config.max_itemset_size) continue;
+    for (Item i : known_items) {
+      if (s.Contains(i)) continue;
+      Itemset candidate = s.With(i);
+      if (candidate.size() < 2) continue;
+      if (!knowledge->Lookup(candidate)) candidates.insert(std::move(candidate));
+    }
+  }
+
+  SupportProvider provider = knowledge->AsProvider();
+  size_t learned = 0;
+  for (const Itemset& j : candidates) {
+    Interval bound = EstimateItemsetBounds(provider, j);
+    if (!bound.Empty() && bound.Tight()) {
+      knowledge->Learn(j, bound.lo, /*inferred=*/true);
+      ++learned;
+    }
+  }
+  return learned;
+}
+
+std::vector<InferredPattern> DeriveBreaches(const KnowledgeBase& knowledge,
+                                            const AttackConfig& config) {
+  std::vector<InferredPattern> breaches;
+  for (const Itemset& j : knowledge.known_itemsets()) {
+    if (j.empty() || j.size() > config.max_itemset_size) continue;
+
+    const uint32_t full = (1u << j.size()) - 1;
+    for (uint32_t mask = 0; mask < full; ++mask) {  // strict subsets I ⊂ J
+      std::vector<Item> positive;
+      for (size_t b = 0; b < j.size(); ++b) {
+        if (mask & (1u << b)) positive.push_back(j[b]);
+      }
+      if (positive.empty() && !config.knows_window_size) continue;
+
+      Pattern pattern = Pattern::Derived(Itemset::FromSorted(positive), j);
+      bool used_inferred = knowledge.WasInferred(j);
+      auto tracking_provider =
+          [&](const Itemset& x) -> std::optional<Support> {
+        auto support = knowledge.Lookup(x);
+        if (support && knowledge.WasInferred(x)) used_inferred = true;
+        return support;
+      };
+      std::optional<Support> derived =
+          DerivePatternSupport(tracking_provider, pattern);
+      if (!derived) continue;
+      if (*derived > 0 && *derived <= config.vulnerable_support) {
+        breaches.push_back(
+            InferredPattern{std::move(pattern), *derived, used_inferred});
+      }
+    }
+  }
+
+  std::sort(breaches.begin(), breaches.end(),
+            [](const InferredPattern& a, const InferredPattern& b) {
+              return a.pattern < b.pattern;
+            });
+  breaches.erase(std::unique(breaches.begin(), breaches.end()),
+                 breaches.end());
+  return breaches;
+}
+
+std::vector<InferredPattern> FindIntraWindowBreaches(
+    const MiningOutput& released, Support window_size,
+    const AttackConfig& config) {
+  KnowledgeBase knowledge(released, window_size, config);
+
+  if (config.use_estimation) {
+    // Iterate the tightening pass to a fixpoint (new knowledge can enable
+    // further bounds); the cap guards pathological cascades.
+    for (int round = 0; round < 4; ++round) {
+      if (TightenKnowledge(&knowledge, config) == 0) break;
+    }
+  }
+
+  return DeriveBreaches(knowledge, config);
+}
+
+}  // namespace butterfly

@@ -1,0 +1,113 @@
+/// \file breach_finder.h
+/// \brief Intra-window privacy-breach enumeration (§IV-B of the paper).
+///
+/// Given the itemsets a window released (with exact supports), the breach
+/// finder plays the adversary: it optionally completes missing lattice nodes
+/// whose support is pinned down by tight inclusion-exclusion bounds
+/// ("estimating itemset support"), then derives every pattern p = I·¬(J\I)
+/// over the known lattice ("deriving pattern support") and reports those
+/// whose derived support falls in (0, K] — the hard vulnerable patterns an
+/// unprotected release leaks.
+
+#ifndef BUTTERFLY_INFERENCE_BREACH_FINDER_H_
+#define BUTTERFLY_INFERENCE_BREACH_FINDER_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "common/pattern.h"
+#include "inference/inclusion_exclusion.h"
+#include "mining/mining_result.h"
+
+namespace butterfly {
+
+/// Adversary configuration.
+struct AttackConfig {
+  /// The vulnerable-support threshold K: derived patterns with support in
+  /// (0, K] count as hard vulnerable.
+  Support vulnerable_support = 5;
+
+  /// Whether the adversary knows the window size H (it is a public system
+  /// parameter, so yes by default). Knowing H makes the empty itemset a
+  /// lattice node, enabling pure-negation anchors.
+  bool knows_window_size = true;
+
+  /// Run the bound-tightening pass that completes unreleased itemsets whose
+  /// support is uniquely determined by released subsets.
+  bool use_estimation = true;
+
+  /// Lattice enumeration cap: itemsets larger than this are not used as the
+  /// enclosing J (the derivation cost is 2^|J| per anchor).
+  size_t max_itemset_size = 12;
+};
+
+/// A pattern the adversary managed to pin down exactly.
+struct InferredPattern {
+  Pattern pattern;
+  Support inferred_support = 0;
+  /// True if inferring it required the estimation pass (incomplete lattice).
+  bool via_estimation = false;
+
+  bool operator==(const InferredPattern& other) const = default;
+};
+
+/// The adversary's working knowledge: itemset -> exactly known support.
+class KnowledgeBase {
+ public:
+  KnowledgeBase() = default;
+
+  /// Seeds knowledge from a released output; adds the empty itemset with
+  /// support \p window_size when the config says H is public.
+  KnowledgeBase(const MiningOutput& released, Support window_size,
+                const AttackConfig& config);
+
+  /// Records (or overwrites) an exactly known support. \p inferred marks
+  /// knowledge the adversary worked out (estimation, inter-window) rather
+  /// than read off the release.
+  void Learn(const Itemset& itemset, Support support, bool inferred = false);
+
+  std::optional<Support> Lookup(const Itemset& itemset) const;
+
+  /// True iff the itemset's support was inferred rather than released.
+  bool WasInferred(const Itemset& itemset) const;
+
+  /// Adapter for the inclusion-exclusion routines.
+  SupportProvider AsProvider() const;
+
+  /// All itemsets with exactly known support (including learned ones).
+  const std::vector<Itemset>& known_itemsets() const { return order_; }
+
+  size_t size() const { return order_.size(); }
+
+ private:
+  struct Entry {
+    Support support = 0;
+    bool inferred = false;
+  };
+  std::unordered_map<Itemset, Entry, ItemsetHash> supports_;
+  std::vector<Itemset> order_;
+};
+
+/// One pass of "estimating itemset support": for every unreleased candidate
+/// J = X ∪ {i} (X known, i a known 1-item), compute inclusion-exclusion
+/// bounds from the knowledge base; tight bounds become new knowledge.
+/// Returns the number of itemsets learned. Iterate to a fixpoint if desired.
+size_t TightenKnowledge(KnowledgeBase* knowledge, const AttackConfig& config);
+
+/// Derivation stage shared by the intra- and inter-window attacks: derives
+/// every pattern over every known lattice and returns the hard vulnerable
+/// ones (derived support in (0, K]), deterministically ordered.
+std::vector<InferredPattern> DeriveBreaches(const KnowledgeBase& knowledge,
+                                            const AttackConfig& config);
+
+/// Full intra-window attack: estimation passes (until fixpoint, if enabled),
+/// then derivation of every pattern over every known lattice. Returns the
+/// hard vulnerable patterns (derived support in (0, K]), deduplicated,
+/// deterministically ordered.
+std::vector<InferredPattern> FindIntraWindowBreaches(
+    const MiningOutput& released, Support window_size,
+    const AttackConfig& config);
+
+}  // namespace butterfly
+
+#endif  // BUTTERFLY_INFERENCE_BREACH_FINDER_H_

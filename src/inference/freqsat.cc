@@ -1,0 +1,168 @@
+#include "inference/freqsat.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace butterfly {
+
+Support FreqSatWitness::SupportOf(const Itemset& itemset) const {
+  Support total = 0;
+  for (const auto& [type, count] : type_counts) {
+    if (type.ContainsAll(itemset)) total += count;
+  }
+  return total;
+}
+
+Support FreqSatWitness::PatternSupportOf(const Pattern& pattern) const {
+  Support total = 0;
+  for (const auto& [type, count] : type_counts) {
+    if (pattern.SatisfiedBy(type)) total += count;
+  }
+  return total;
+}
+
+namespace {
+
+// The search state: supports indexed by subset mask, assigned level-wise.
+class WitnessSearch {
+ public:
+  WitnessSearch(const WitnessQuery& query, const Pattern* target)
+      : query_(query), target_(target), m_(query.universe.size()) {
+    full_ = (1u << m_) - 1;
+    supports_.assign(full_ + 1, 0);
+    supports_[0] = query.num_records;
+
+    // Assignment order: level-wise (all subsets of size k before size k+1).
+    for (size_t size = 1; size <= m_; ++size) {
+      for (uint32_t mask = 1; mask <= full_; ++mask) {
+        if (static_cast<size_t>(__builtin_popcount(mask)) == size) {
+          order_.push_back(mask);
+        }
+      }
+    }
+  }
+
+  WitnessReport Run() {
+    Assign(0);
+    report_.exhausted = steps_ <= query_.max_steps;
+    return std::move(report_);
+  }
+
+ private:
+  Itemset MaskToItemset(uint32_t mask) const {
+    std::vector<Item> items;
+    for (size_t b = 0; b < m_; ++b) {
+      if (mask & (1u << b)) items.push_back(query_.universe[b]);
+    }
+    return Itemset::FromSorted(std::move(items));
+  }
+
+  // Inclusion-exclusion bounds for `mask` from the already-assigned strict
+  // subsets (all of them are assigned, by level order).
+  Interval SubsetBounds(uint32_t mask) const {
+    Interval bound(0, query_.num_records);
+    uint32_t free_full = mask;
+    // Anchor at every strict subset I of mask.
+    uint32_t anchor = (mask - 1) & mask;
+    while (true) {
+      uint32_t free_bits = mask & ~anchor;
+      Support sigma = 0;
+      uint32_t s = free_bits;
+      while (true) {
+        uint32_t x = anchor | s;
+        if (x != mask) {
+          int missing = __builtin_popcount(mask & ~x);
+          sigma += (missing % 2 == 1) ? supports_[x] : -supports_[x];
+        }
+        if (s == 0) break;
+        s = (s - 1) & free_bits;
+      }
+      int distance = __builtin_popcount(free_bits);
+      if (distance % 2 == 1) {
+        bound.hi = std::min(bound.hi, sigma);
+      } else {
+        bound.lo = std::max(bound.lo, sigma);
+      }
+      if (anchor == 0) break;
+      anchor = (anchor - 1) & mask;
+    }
+    (void)free_full;
+    return bound;
+  }
+
+  // All 2^m record-type counts by Möbius inversion; nullopt on negativity.
+  std::optional<std::vector<Support>> TypeCounts() const {
+    std::vector<Support> counts(full_ + 1, 0);
+    for (uint32_t r = 0; r <= full_; ++r) {
+      Support count = 0;
+      // count(R) = Σ_{S ⊇ R} (−1)^{|S\R|} T(S).
+      uint32_t free_bits = full_ & ~r;
+      uint32_t s = free_bits;
+      while (true) {
+        uint32_t x = r | s;
+        count += (__builtin_popcount(s) % 2 == 0) ? supports_[x]
+                                                  : -supports_[x];
+        if (s == 0) break;
+        s = (s - 1) & free_bits;
+      }
+      if (count < 0) return std::nullopt;
+      counts[r] = count;
+    }
+    return counts;
+  }
+
+  void RecordWitness(const std::vector<Support>& counts) {
+    ++report_.witnesses;
+    FreqSatWitness witness;
+    for (uint32_t r = 0; r <= full_; ++r) {
+      if (counts[r] > 0) {
+        witness.type_counts.emplace_back(MaskToItemset(r), counts[r]);
+      }
+    }
+    if (!report_.example) report_.example = witness;
+    if (target_ && !report_.zero_witness &&
+        witness.PatternSupportOf(*target_) == 0) {
+      report_.zero_witness = std::move(witness);
+    }
+  }
+
+  void Assign(size_t depth) {
+    if (steps_ > query_.max_steps) return;
+    if (depth == order_.size()) {
+      if (auto counts = TypeCounts()) RecordWitness(*counts);
+      return;
+    }
+    uint32_t mask = order_[depth];
+    Interval allowed = SubsetBounds(mask);
+    auto it = query_.constraints.find(MaskToItemset(mask));
+    if (it != query_.constraints.end()) {
+      allowed = allowed.IntersectWith(it->second);
+    }
+    for (Support v = allowed.lo; v <= allowed.hi; ++v) {
+      if (++steps_ > query_.max_steps) return;
+      supports_[mask] = v;
+      Assign(depth + 1);
+    }
+    supports_[mask] = 0;
+  }
+
+  const WitnessQuery& query_;
+  const Pattern* target_;
+  size_t m_;
+  uint32_t full_ = 0;
+  std::vector<uint32_t> order_;
+  std::vector<Support> supports_;
+  size_t steps_ = 0;
+  WitnessReport report_;
+};
+
+}  // namespace
+
+WitnessReport CountSupportWitnesses(const WitnessQuery& query,
+                                    const Pattern* target_pattern) {
+  assert(query.universe.size() >= 1 && query.universe.size() <= 12);
+  WitnessSearch search(query, target_pattern);
+  return search.Run();
+}
+
+}  // namespace butterfly

@@ -1,0 +1,84 @@
+/// \file freqsat.h
+/// \brief Exact witness search for itemset-frequency satisfiability
+/// (FREQSAT, Calders PODS'04 — the paper's reference [18]).
+///
+/// The paper's Prior Knowledge 1 argument rests on FREQSAT: deciding whether
+/// a database exists that satisfies a set of itemset-support interval
+/// constraints is NP-complete in general, so the adversary cannot cheaply
+/// exploit cross-itemset inequalities. For SMALL universes the problem is,
+/// however, exactly solvable — and solving it is the strongest possible
+/// statement about a release:
+///
+///  * a release whose constraint system admits a UNIQUE witness determines
+///    the window's record-type histogram completely (total disclosure of the
+///    projection onto those items);
+///  * a Butterfly release admits MANY witnesses, including (for patterns
+///    with small true support) witnesses where the vulnerable pattern does
+///    not occur at all — a constructive proof of zero-indistinguishability,
+///    not just a variance argument.
+///
+/// The search assigns every subset's support within its interval, pruning
+/// with the inclusion-exclusion bounds, and verifies each complete
+/// assignment by Möbius inversion (all 2^m record-type counts must be
+/// non-negative). Practical for universes up to ~5 items, which covers the
+/// lattices real breaches live in.
+
+#ifndef BUTTERFLY_INFERENCE_FREQSAT_H_
+#define BUTTERFLY_INFERENCE_FREQSAT_H_
+
+#include <optional>
+#include <vector>
+
+#include "common/pattern.h"
+#include "common/status.h"
+#include "inference/interval_tightening.h"
+
+namespace butterfly {
+
+/// A witness: the number of window records of each type R ⊆ universe
+/// (restricted to the universe's items). Types with zero count are omitted.
+struct FreqSatWitness {
+  std::vector<std::pair<Itemset, Support>> type_counts;
+
+  /// The support of \p itemset in this witness.
+  Support SupportOf(const Itemset& itemset) const;
+  /// The number of records satisfying \p pattern in this witness.
+  Support PatternSupportOf(const Pattern& pattern) const;
+};
+
+struct WitnessQuery {
+  /// The items under study (≤ 20, practically ≤ 5 — the search is
+  /// exponential in the subset lattice).
+  Itemset universe;
+  /// The exact number of window records (the empty itemset's support).
+  Support num_records = 0;
+  /// Interval constraints on subsets of the universe. Subsets without an
+  /// entry are unconstrained. (Entries for non-subsets are ignored.)
+  IntervalMap constraints;
+  /// Enumeration budget: the search aborts (exhausted=false) beyond this
+  /// many partial assignments.
+  size_t max_steps = 5'000'000;
+};
+
+struct WitnessReport {
+  /// True iff the search space was fully explored within the budget.
+  bool exhausted = false;
+  /// Number of distinct consistent support assignments found. (Distinct
+  /// support vectors; each corresponds to exactly one type histogram.)
+  size_t witnesses = 0;
+  /// One consistent witness, if any exist.
+  std::optional<FreqSatWitness> example;
+  /// A witness in which \p target_pattern (if set in the query call) has
+  /// support zero — constructive deniability.
+  std::optional<FreqSatWitness> zero_witness;
+};
+
+/// Counts (up to the budget) the consistent witnesses of \p query. If
+/// \p target_pattern is non-null, additionally looks for a witness where the
+/// pattern's count is zero.
+WitnessReport CountSupportWitnesses(const WitnessQuery& query,
+                                    const Pattern* target_pattern = nullptr);
+
+}  // namespace butterfly
+
+#endif  // BUTTERFLY_INFERENCE_FREQSAT_H_

@@ -1,0 +1,59 @@
+/// \file inclusion_exclusion.h
+/// \brief The inclusion-exclusion machinery both attack techniques build on.
+///
+/// For itemsets I ⊆ J, the lattice X_I^J = {X | I ⊆ X ⊆ J} relates the
+/// support of the pattern p = I·¬(J\I) to itemset supports:
+///
+///   T(p) = Σ_{X ∈ X_I^J} (−1)^{|X\I|} T(X)
+///
+/// Given every lattice node's support this *derives* the pattern support
+/// exactly; given all nodes but J it *bounds* T(J) from above/below.
+
+#ifndef BUTTERFLY_INFERENCE_INCLUSION_EXCLUSION_H_
+#define BUTTERFLY_INFERENCE_INCLUSION_EXCLUSION_H_
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "common/interval.h"
+#include "common/itemset.h"
+#include "common/pattern.h"
+#include "common/types.h"
+
+namespace butterfly {
+
+/// What the adversary knows: a partial map from itemsets to support. Returns
+/// nullopt for itemsets whose support was not released and not yet inferred.
+/// The empty itemset's support is the window size, which implementations
+/// should answer if the window size is public.
+using SupportProvider = std::function<std::optional<Support>(const Itemset&)>;
+
+/// Real-valued variant, for estimating through perturbed (sanitized) outputs.
+using RealSupportProvider = std::function<std::optional<double>(const Itemset&)>;
+
+/// Enumerates the lattice X_I^J (requires I ⊆ J). Mostly for tests and the
+/// examples; the derivation below enumerates in place without materializing.
+std::vector<Itemset> EnumerateLattice(const Itemset& sub, const Itemset& super);
+
+/// Derives T(p) for p = positive·¬negated by inclusion-exclusion. Returns
+/// nullopt if any lattice node's support is unavailable.
+std::optional<Support> DerivePatternSupport(const SupportProvider& known,
+                                            const Pattern& pattern);
+
+/// Same derivation over real-valued supports (the adversary's estimator
+/// through sanitized outputs: plug in E[T(X) | released value]).
+std::optional<double> DerivePatternEstimate(const RealSupportProvider& known,
+                                            const Pattern& pattern);
+
+/// Bounds T(J) from the supports of strict subsets of J, intersecting every
+/// applicable inclusion-exclusion bound (the non-derivable-itemsets bounds of
+/// Calders & Goethals). A bound anchored at subset I applies only when every
+/// X with I ⊆ X ⊂ J is known. The result is clamped to [0, +inf) and, when
+/// no bound applies at all, is Interval::Unbounded() clamped by any known
+/// single-subset upper bounds.
+Interval EstimateItemsetBounds(const SupportProvider& known, const Itemset& j);
+
+}  // namespace butterfly
+
+#endif  // BUTTERFLY_INFERENCE_INCLUSION_EXCLUSION_H_

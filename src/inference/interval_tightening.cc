@@ -1,0 +1,131 @@
+#include "inference/interval_tightening.h"
+
+#include <cassert>
+#include <vector>
+
+namespace butterfly {
+
+Interval BoundFromIntervals(const IntervalMap& knowledge,
+                            const Itemset& target) {
+  assert(target.size() >= 1 && target.size() < 20);
+  const uint32_t full = (1u << target.size()) - 1;
+
+  // Cache the subset intervals by mask.
+  std::vector<Interval> cache(full + 1);
+  std::vector<bool> available(full + 1, false);
+  for (uint32_t mask = 0; mask < full; ++mask) {
+    std::vector<Item> items;
+    for (size_t b = 0; b < target.size(); ++b) {
+      if (mask & (1u << b)) items.push_back(target[b]);
+    }
+    auto it = knowledge.find(Itemset::FromSorted(std::move(items)));
+    if (it != knowledge.end()) {
+      cache[mask] = it->second;
+      available[mask] = true;
+    }
+  }
+
+  Interval bound = Interval::Unbounded();
+  for (uint32_t anchor = 0; anchor < full; ++anchor) {
+    uint32_t free_bits = full & ~anchor;
+    bool complete = true;
+    // Sound extremes of σ(anchor) = Σ_{anchor⊆X⊂J} ±T(X) over the intervals:
+    // σ_max uses hi on + terms and lo on −, σ_min the reverse.
+    Support sigma_max = 0;
+    Support sigma_min = 0;
+    uint32_t s = free_bits;
+    while (true) {
+      uint32_t x = anchor | s;
+      if (x != full) {
+        if (!available[x]) {
+          complete = false;
+          break;
+        }
+        int missing = __builtin_popcount(full & ~x);
+        if (missing % 2 == 1) {  // + term
+          sigma_max += cache[x].hi;
+          sigma_min += cache[x].lo;
+        } else {  // − term
+          sigma_max -= cache[x].lo;
+          sigma_min -= cache[x].hi;
+        }
+      }
+      if (s == 0) break;
+      s = (s - 1) & free_bits;
+    }
+    if (!complete) continue;
+
+    int distance = __builtin_popcount(free_bits);
+    if (distance % 2 == 1) {
+      // True values satisfy T(J) <= σ; the sound relaxation is σ_max.
+      bound.hi = std::min(bound.hi, sigma_max);
+    } else {
+      bound.lo = std::max(bound.lo, sigma_min);
+    }
+  }
+  return bound.ClampNonNegative();
+}
+
+TighteningStats TightenIntervals(IntervalMap* knowledge, size_t max_rounds) {
+  TighteningStats stats;
+  std::vector<const Itemset*> itemsets;
+  itemsets.reserve(knowledge->size());
+  for (const auto& [itemset, interval] : *knowledge) {
+    itemsets.push_back(&itemset);
+  }
+
+  auto widths_snapshot = [&]() {
+    std::vector<Support> widths;
+    widths.reserve(itemsets.size());
+    for (const Itemset* s : itemsets) widths.push_back(knowledge->at(*s).Width());
+    return widths;
+  };
+  std::vector<Support> initial_widths = widths_snapshot();
+
+  for (stats.rounds = 0; stats.rounds < max_rounds; ++stats.rounds) {
+    bool changed = false;
+
+    // Inclusion-exclusion bounds from subsets.
+    for (const Itemset* target : itemsets) {
+      if (target->empty() || target->size() >= 20) continue;
+      Interval bound = BoundFromIntervals(*knowledge, *target);
+      Interval& current = knowledge->at(*target);
+      Interval tightened = current.IntersectWith(bound);
+      if (tightened != current) {
+        current = tightened;
+        changed = true;
+      }
+    }
+
+    // Monotonicity in both directions: X ⊂ J implies lo(X) >= lo(J) and
+    // hi(J) <= hi(X).
+    for (const Itemset* sub : itemsets) {
+      for (const Itemset* super : itemsets) {
+        if (sub == super || !sub->IsStrictSubsetOf(*super)) continue;
+        Interval& sub_iv = knowledge->at(*sub);
+        Interval& super_iv = knowledge->at(*super);
+        if (super_iv.lo > sub_iv.lo) {
+          sub_iv.lo = super_iv.lo;
+          changed = true;
+        }
+        if (sub_iv.hi < super_iv.hi) {
+          super_iv.hi = sub_iv.hi;
+          changed = true;
+        }
+      }
+    }
+
+    if (!changed) break;
+  }
+
+  std::vector<Support> final_widths = widths_snapshot();
+  for (size_t i = 0; i < itemsets.size(); ++i) {
+    const Interval& interval = knowledge->at(*itemsets[i]);
+    if (interval.Empty()) stats.contradiction = true;
+    if (final_widths[i] < initial_widths[i]) ++stats.intervals_narrowed;
+    if (interval.Tight()) ++stats.now_tight;
+  }
+  return stats;
+}
+
+}  // namespace butterfly

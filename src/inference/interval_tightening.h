@@ -1,0 +1,49 @@
+/// \file interval_tightening.h
+/// \brief Constraint propagation over interval-valued support knowledge.
+///
+/// Prior Knowledge 3 (§V-C.2): an adversary may hold *partial* knowledge —
+/// supports known only up to an interval (published statistics, knowledge
+/// points, perturbed observations bounded by the uncertainty region). This
+/// module propagates the inclusion-exclusion system over such knowledge:
+/// every itemset's interval is intersected with the sound bounds implied by
+/// its subsets' intervals (and with plain monotonicity against supersets),
+/// iterated to a fixpoint. It is the interval generalization of
+/// EstimateItemsetBounds and the engine behind knowledge-point evaluations.
+
+#ifndef BUTTERFLY_INFERENCE_INTERVAL_TIGHTENING_H_
+#define BUTTERFLY_INFERENCE_INTERVAL_TIGHTENING_H_
+
+#include <unordered_map>
+
+#include "common/interval.h"
+#include "common/itemset.h"
+
+namespace butterfly {
+
+/// Interval-valued support knowledge: itemset -> sound bounds on its support.
+using IntervalMap = std::unordered_map<Itemset, Interval, ItemsetHash>;
+
+/// The inclusion-exclusion bound on T(target) given interval knowledge of
+/// its strict subsets. A bound anchored at subset I applies only when every
+/// X with I ⊆ X ⊂ target is present in \p knowledge; the empty itemset must
+/// be in the map (e.g. Interval::Exact(window size)) for ∅-anchored bounds.
+/// The result is NOT intersected with any existing entry for the target.
+Interval BoundFromIntervals(const IntervalMap& knowledge,
+                            const Itemset& target);
+
+/// Statistics of one tightening run.
+struct TighteningStats {
+  size_t rounds = 0;            ///< fixpoint iterations executed
+  size_t intervals_narrowed = 0;  ///< entries whose width strictly shrank
+  size_t now_tight = 0;         ///< entries that ended up pinned to a point
+  bool contradiction = false;   ///< some interval became empty (inconsistent knowledge)
+};
+
+/// Iteratively tightens every interval in \p knowledge using (i) the
+/// inclusion-exclusion bounds over subsets and (ii) monotonicity against
+/// both subsets and supersets, until a fixpoint or \p max_rounds.
+TighteningStats TightenIntervals(IntervalMap* knowledge, size_t max_rounds = 8);
+
+}  // namespace butterfly
+
+#endif  // BUTTERFLY_INFERENCE_INTERVAL_TIGHTENING_H_

@@ -1,0 +1,198 @@
+#include "inference/interwindow.h"
+
+#include <unordered_map>
+
+namespace butterfly {
+
+namespace {
+
+Membership LookupMembership(const std::vector<std::pair<Item, Membership>>& v,
+                            Item item) {
+  for (const auto& [i, m] : v) {
+    if (i == item) return m;
+  }
+  return Membership::kUnknown;
+}
+
+Membership ContainsFrom(const std::vector<std::pair<Item, Membership>>& v,
+                        const Itemset& itemset) {
+  bool all_in = true;
+  for (Item item : itemset) {
+    Membership m = LookupMembership(v, item);
+    if (m == Membership::kOut) return Membership::kOut;
+    if (m != Membership::kIn) all_in = false;
+  }
+  return all_in ? Membership::kIn : Membership::kUnknown;
+}
+
+using MembershipMap = std::unordered_map<Item, Membership>;
+
+Membership MapContains(const MembershipMap& map, const Itemset& itemset) {
+  bool all_in = true;
+  for (Item item : itemset) {
+    auto it = map.find(item);
+    Membership m = it == map.end() ? Membership::kUnknown : it->second;
+    if (m == Membership::kOut) return Membership::kOut;
+    if (m != Membership::kIn) all_in = false;
+  }
+  return all_in ? Membership::kIn : Membership::kUnknown;
+}
+
+// Asserts itemset ⊆ record: every item becomes kIn. Returns true on change.
+bool SetAllIn(MembershipMap* map, const Itemset& itemset) {
+  bool changed = false;
+  for (Item item : itemset) {
+    Membership& slot = (*map)[item];
+    if (slot == Membership::kUnknown) {
+      slot = Membership::kIn;
+      changed = true;
+    }
+    // A kOut slot would be contradictory data; leave it (truthful releases
+    // never produce this).
+  }
+  return changed;
+}
+
+// Asserts itemset ⊄ record. Only conclusive when exactly one item is still
+// undetermined and the rest are in: that item must be out.
+bool SetNotContains(MembershipMap* map, const Itemset& itemset) {
+  Item undecided = kInvalidItem;
+  size_t unknown_count = 0;
+  for (Item item : itemset) {
+    auto it = map->find(item);
+    Membership m = it == map->end() ? Membership::kUnknown : it->second;
+    if (m == Membership::kOut) return false;  // already satisfied
+    if (m == Membership::kUnknown) {
+      undecided = item;
+      ++unknown_count;
+    }
+  }
+  if (unknown_count == 1) {
+    (*map)[undecided] = Membership::kOut;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+Membership TransitionKnowledge::OldMembership(Item item) const {
+  return LookupMembership(old_record, item);
+}
+
+Membership TransitionKnowledge::NewMembership(Item item) const {
+  return LookupMembership(new_record, item);
+}
+
+Membership TransitionKnowledge::OldContains(const Itemset& itemset) const {
+  return ContainsFrom(old_record, itemset);
+}
+
+Membership TransitionKnowledge::NewContains(const Itemset& itemset) const {
+  return ContainsFrom(new_record, itemset);
+}
+
+TransitionKnowledge AnalyzeTransition(const WindowRelease& previous,
+                                      const WindowRelease& current) {
+  struct Constraint {
+    const Itemset* itemset;
+    int delta;
+  };
+  std::vector<Constraint> constraints;
+  for (const FrequentItemset& f : previous.output.itemsets()) {
+    std::optional<Support> cur = current.output.SupportOf(f.itemset);
+    if (!cur) continue;
+    constraints.push_back(
+        Constraint{&f.itemset, static_cast<int>(*cur - f.support)});
+  }
+
+  MembershipMap old_map;
+  MembershipMap new_map;
+  bool changed = true;
+  // Fixpoint propagation; each pass can only move slots from unknown to
+  // known, so termination is immediate.
+  while (changed) {
+    changed = false;
+    for (const Constraint& c : constraints) {
+      const Itemset& x = *c.itemset;
+      if (c.delta == 1) {
+        // Arrived record contains X, expired record does not.
+        changed |= SetAllIn(&new_map, x);
+        changed |= SetNotContains(&old_map, x);
+      } else if (c.delta == -1) {
+        changed |= SetAllIn(&old_map, x);
+        changed |= SetNotContains(&new_map, x);
+      } else if (c.delta == 0) {
+        // Memberships are equal; propagate whichever side is decided.
+        Membership mo = MapContains(old_map, x);
+        Membership mn = MapContains(new_map, x);
+        if (mo == Membership::kIn || mn == Membership::kIn) {
+          changed |= SetAllIn(&old_map, x);
+          changed |= SetAllIn(&new_map, x);
+        } else if (mo == Membership::kOut) {
+          changed |= SetNotContains(&new_map, x);
+        } else if (mn == Membership::kOut) {
+          changed |= SetNotContains(&old_map, x);
+        }
+      }
+    }
+  }
+
+  TransitionKnowledge knowledge;
+  for (const auto& [item, m] : old_map) knowledge.old_record.emplace_back(item, m);
+  for (const auto& [item, m] : new_map) knowledge.new_record.emplace_back(item, m);
+  return knowledge;
+}
+
+std::vector<InferredPattern> FindInterWindowBreaches(
+    const WindowRelease& previous, const WindowRelease& current, size_t slide,
+    const AttackConfig& config) {
+  KnowledgeBase knowledge(current.output, current.window_size, config);
+
+  if (config.use_estimation) {
+    for (int round = 0; round < 4; ++round) {
+      if (TightenKnowledge(&knowledge, config) == 0) break;
+    }
+  }
+
+  std::optional<TransitionKnowledge> transition;
+  if (slide == 1) transition = AnalyzeTransition(previous, current);
+
+  // Stage one: transfer supports of itemsets the previous window released
+  // but the current one does not pin down.
+  for (const FrequentItemset& f : previous.output.itemsets()) {
+    if (f.itemset.size() > config.max_itemset_size) continue;
+    if (knowledge.Lookup(f.itemset)) continue;
+
+    if (transition) {
+      Membership mo = transition->OldContains(f.itemset);
+      Membership mn = transition->NewContains(f.itemset);
+      if (mo != Membership::kUnknown && mn != Membership::kUnknown) {
+        int delta = (mn == Membership::kIn ? 1 : 0) -
+                    (mo == Membership::kIn ? 1 : 0);
+        knowledge.Learn(f.itemset, f.support + delta, /*inferred=*/true);
+        continue;
+      }
+    }
+
+    // Interval fallback: the support can change by at most `slide` in each
+    // direction; intersect with the current window's intrinsic bounds.
+    Interval drift(f.support - static_cast<Support>(slide),
+                   f.support + static_cast<Support>(slide));
+    Interval intra = EstimateItemsetBounds(knowledge.AsProvider(), f.itemset);
+    Interval joint = drift.IntersectWith(intra).ClampNonNegative();
+    if (!joint.Empty() && joint.Tight()) {
+      knowledge.Learn(f.itemset, joint.lo, /*inferred=*/true);
+    }
+  }
+
+  if (config.use_estimation) {
+    for (int round = 0; round < 4; ++round) {
+      if (TightenKnowledge(&knowledge, config) == 0) break;
+    }
+  }
+
+  return DeriveBreaches(knowledge, config);
+}
+
+}  // namespace butterfly

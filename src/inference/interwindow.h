@@ -1,0 +1,69 @@
+/// \file interwindow.h
+/// \brief Inter-window inference (§IV-C of the paper): combining the releases
+/// of two overlapping windows to uncover vulnerable patterns neither window
+/// leaks on its own.
+///
+/// The attack is two-staged, as the paper sketches it. For a window that
+/// slid by one record, the adversary first *estimates the transition*: the
+/// support deltas of itemsets released in both windows are membership
+/// indicators of the expired and arrived records (ΔT(X) = [X ⊆ r_new] −
+/// [X ⊆ r_old] ∈ {−1, 0, +1}), so deltas of ±1 pin item memberships down and
+/// constraint propagation extends them. Any itemset whose membership in both
+/// boundary records becomes known — notably itemsets released in the previous
+/// window but missing from the current one — gets its current support
+/// transferred exactly. The second stage then runs the usual derivation
+/// over the enriched knowledge base. An interval fallback
+/// (T_cur ∈ [T_prev − d_out, T_prev + d_in] ∩ intra-window bounds) covers
+/// slides by more than one record.
+
+#ifndef BUTTERFLY_INFERENCE_INTERWINDOW_H_
+#define BUTTERFLY_INFERENCE_INTERWINDOW_H_
+
+#include <vector>
+
+#include "inference/breach_finder.h"
+#include "mining/mining_result.h"
+
+namespace butterfly {
+
+/// One window's release, as the adversary sees it (exact supports; the
+/// unprotected system's output).
+struct WindowRelease {
+  MiningOutput output;
+  Support window_size = 0;
+};
+
+/// Three-valued membership of an item in a boundary record.
+enum class Membership { kUnknown, kIn, kOut };
+
+/// The transition analysis result: what the adversary worked out about the
+/// record that expired and the record that arrived between two releases.
+struct TransitionKnowledge {
+  /// Item membership in the expired (old) and arrived (new) records.
+  std::vector<std::pair<Item, Membership>> old_record;
+  std::vector<std::pair<Item, Membership>> new_record;
+
+  Membership OldMembership(Item item) const;
+  Membership NewMembership(Item item) const;
+
+  /// Membership of a whole itemset: kIn iff all items kIn, kOut iff any item
+  /// kOut, otherwise kUnknown.
+  Membership OldContains(const Itemset& itemset) const;
+  Membership NewContains(const Itemset& itemset) const;
+};
+
+/// Stage one for slide-by-one windows: constraint propagation over the
+/// support deltas of itemsets released in both windows.
+TransitionKnowledge AnalyzeTransition(const WindowRelease& previous,
+                                      const WindowRelease& current);
+
+/// The full inter-window attack. \p slide is the number of records by which
+/// the window moved between the two releases (1 for per-record release).
+/// Returns the hard vulnerable patterns inferable about the *current* window.
+std::vector<InferredPattern> FindInterWindowBreaches(
+    const WindowRelease& previous, const WindowRelease& current, size_t slide,
+    const AttackConfig& config);
+
+}  // namespace butterfly
+
+#endif  // BUTTERFLY_INFERENCE_INTERWINDOW_H_

@@ -1,0 +1,122 @@
+#include "inference/ndi.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "inference/inclusion_exclusion.h"
+
+namespace butterfly {
+
+namespace {
+
+SupportProvider MapProvider(
+    const std::unordered_map<Itemset, Support, ItemsetHash>& known,
+    Support universe_size) {
+  return [&known, universe_size](const Itemset& s) -> std::optional<Support> {
+    if (s.empty()) return universe_size;
+    auto it = known.find(s);
+    if (it == known.end()) return std::nullopt;
+    return it->second;
+  };
+}
+
+}  // namespace
+
+Interval DerivabilityBounds(const MiningOutput& known, const Itemset& itemset,
+                            Support universe_size) {
+  SupportProvider provider =
+      [&known, universe_size](const Itemset& s) -> std::optional<Support> {
+    if (s.empty()) return universe_size;
+    return known.SupportOf(s);
+  };
+  return EstimateItemsetBounds(provider, itemset);
+}
+
+MiningOutput FilterNonDerivable(const MiningOutput& all_frequent,
+                                Support universe_size) {
+  MiningOutput ndi(all_frequent.min_support());
+  for (const FrequentItemset& f : all_frequent.itemsets()) {
+    Interval bound = DerivabilityBounds(all_frequent, f.itemset, universe_size);
+    if (!bound.Tight()) {
+      ndi.Add(f.itemset, f.support);
+    }
+  }
+  ndi.Seal();
+  return ndi;
+}
+
+MiningOutput ExpandNonDerivable(const MiningOutput& ndi,
+                                Support universe_size) {
+  std::unordered_map<Itemset, Support, ItemsetHash> known;
+  for (const FrequentItemset& f : ndi.itemsets()) {
+    known.emplace(f.itemset, f.support);
+  }
+  SupportProvider provider = MapProvider(known, universe_size);
+  const Support min_support = ndi.min_support();
+
+  // Level 1: every frequent 1-itemset is non-derivable (its only subset
+  // bound is [0, universe]), so it is already in `known`.
+  std::vector<Itemset> level;
+  for (const FrequentItemset& f : ndi.itemsets()) {
+    if (f.itemset.size() == 1) level.push_back(f.itemset);
+  }
+  std::sort(level.begin(), level.end());
+
+  size_t level_size = 1;
+  while (!level.empty()) {
+    ++level_size;
+    std::unordered_set<Itemset, ItemsetHash> level_set(level.begin(),
+                                                       level.end());
+    std::vector<Itemset> next;
+    for (size_t i = 0; i < level.size(); ++i) {
+      for (size_t j = i + 1; j < level.size(); ++j) {
+        // Join on a shared (k-1)-prefix; sorted order makes the break valid.
+        bool shares_prefix = true;
+        for (size_t b = 0; b + 1 < level_size - 1; ++b) {
+          if (level[i][b] != level[j][b]) {
+            shares_prefix = false;
+            break;
+          }
+        }
+        if (!shares_prefix) break;
+        Itemset candidate = level[i].Union(level[j]);
+        if (candidate.size() != level_size) continue;
+        // Apriori prune: all (k-1)-subsets must be frequent (known).
+        bool all_subsets = true;
+        for (Item item : candidate) {
+          if (!level_set.count(candidate.Without(item))) {
+            all_subsets = false;
+            break;
+          }
+        }
+        if (!all_subsets) continue;
+
+        std::optional<Support> support;
+        if (auto in_ndi = ndi.SupportOf(candidate)) {
+          support = *in_ndi;
+        } else {
+          Interval bound = EstimateItemsetBounds(provider, candidate);
+          // Not in the NDI: either derivable (tight bound) or infrequent.
+          if (bound.Tight() && bound.lo >= min_support) support = bound.lo;
+        }
+        if (support) {
+          known.emplace(candidate, *support);
+          next.push_back(candidate);
+        }
+      }
+    }
+    std::sort(next.begin(), next.end());
+    next.erase(std::unique(next.begin(), next.end()), next.end());
+    level = std::move(next);
+  }
+
+  MiningOutput all(min_support);
+  for (const auto& [itemset, support] : known) {
+    all.Add(itemset, support);
+  }
+  all.Seal();
+  return all;
+}
+
+}  // namespace butterfly

@@ -1,0 +1,44 @@
+/// \file ndi.h
+/// \brief Non-derivable itemsets (Calders & Goethals, PKDD'02 — the paper's
+/// reference [16], whose bounding technique the Butterfly adversary reuses).
+///
+/// An itemset is *derivable* when the inclusion-exclusion bounds computed
+/// from its strict subsets are tight: its support carries no information
+/// beyond its subsets'. The non-derivable frequent itemsets (NDI) therefore
+/// form a condensed representation of all frequent itemsets. In this
+/// codebase NDIs serve two roles: (i) an analysis tool showing exactly which
+/// released supports an adversary could reconstruct anyway, and (ii) a
+/// cross-check of the adversary's bound machinery (expanding the NDI
+/// representation must recover every frequent itemset exactly).
+
+#ifndef BUTTERFLY_INFERENCE_NDI_H_
+#define BUTTERFLY_INFERENCE_NDI_H_
+
+#include "common/interval.h"
+#include "mining/mining_result.h"
+
+namespace butterfly {
+
+/// The inclusion-exclusion bound on T(itemset) computed from the supports in
+/// \p known (all strict subsets must be present; the empty set's support is
+/// \p universe_size). A thin adapter over EstimateItemsetBounds for callers
+/// holding a MiningOutput.
+Interval DerivabilityBounds(const MiningOutput& known, const Itemset& itemset,
+                            Support universe_size);
+
+/// Filters a full frequent-itemset output down to the non-derivable ones
+/// (those whose bounds from subsets are NOT tight). \p universe_size is the
+/// window size (the empty set's support), which the bounds may use.
+MiningOutput FilterNonDerivable(const MiningOutput& all_frequent,
+                                Support universe_size);
+
+/// Reconstructs ALL frequent itemsets from the non-derivable representation:
+/// level-wise Apriori-style candidate generation, with each candidate either
+/// present in \p ndi or assigned its (tight) derived bound. Exact inverse of
+/// FilterNonDerivable on downward-closed inputs.
+MiningOutput ExpandNonDerivable(const MiningOutput& ndi,
+                                Support universe_size);
+
+}  // namespace butterfly
+
+#endif  // BUTTERFLY_INFERENCE_NDI_H_

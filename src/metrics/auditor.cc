@@ -1,0 +1,113 @@
+#include "metrics/auditor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "inference/breach_finder.h"
+#include "metrics/sanitized_attack.h"
+
+namespace butterfly {
+
+AuditReport AuditRelease(const MiningOutput& raw,
+                         const SanitizedOutput& release,
+                         const ButterflyConfig& config,
+                         const MiningOutput* previous_raw,
+                         const SanitizedOutput* previous_release) {
+  AuditReport report;
+  NoiseModel noise(config.delta, config.vulnerable_support);
+
+  // 1. Completeness: same itemset sets on both sides.
+  if (release.size() != raw.size()) {
+    std::ostringstream msg;
+    msg << "release has " << release.size() << " itemsets, raw has "
+        << raw.size();
+    report.Violate(msg.str());
+  }
+  for (const FrequentItemset& f : raw.itemsets()) {
+    if (!release.SanitizedSupportOf(f.itemset)) {
+      report.Violate("raw itemset " + f.itemset.ToString() +
+                     " missing from the release");
+    }
+  }
+
+  // 2. Precision: region containment and the ε budget, per itemset.
+  const double c = static_cast<double>(config.min_support);
+  for (const SanitizedItemset& item : release.items()) {
+    std::optional<Support> truth = raw.SupportOf(item.itemset);
+    if (!truth) {
+      report.Violate("released itemset " + item.itemset.ToString() +
+                     " absent from the raw output");
+      continue;
+    }
+    DiscreteUniform region = noise.Centered(item.bias);
+    Support residual = item.sanitized_support - *truth;
+    if (residual < region.lo() || residual > region.hi()) {
+      std::ostringstream msg;
+      msg << item.itemset.ToString() << ": sanitized " << item.sanitized_support
+          << " outside the uncertainty region around " << *truth;
+      report.Violate(msg.str());
+    }
+    if (item.bias * item.bias + item.variance >
+        config.epsilon * static_cast<double>(*truth) *
+                static_cast<double>(*truth) +
+            1e-6) {
+      report.Violate(item.itemset.ToString() +
+                     ": bias/variance metadata exceeds the epsilon budget");
+    }
+    (void)c;
+  }
+
+  // 3. Privacy: the sound interval attack must pin nothing down.
+  AttackConfig attack;
+  attack.vulnerable_support = config.vulnerable_support;
+  std::vector<InferredPattern> breaches = FindIntraWindowBreaches(
+      raw, release.window_size(), attack);
+  report.vulnerable_patterns = breaches.size();
+  SanitizedAttackReport interval_report =
+      AttackSanitizedRelease(release, noise, breaches);
+  report.avg_adversary_interval_width =
+      interval_report.avg_interval_width;
+  if (interval_report.residual_breaches > 0) {
+    std::ostringstream msg;
+    msg << interval_report.residual_breaches
+        << " vulnerable pattern(s) remain provably pinned through the release";
+    report.Violate(msg.str());
+  }
+
+  // 4. Republish consistency against the previous release.
+  if (previous_raw && previous_release) {
+    for (const SanitizedItemset& item : release.items()) {
+      std::optional<Support> truth = raw.SupportOf(item.itemset);
+      std::optional<Support> prev_truth = previous_raw->SupportOf(item.itemset);
+      const SanitizedItemset* prev_item =
+          previous_release->Find(item.itemset);
+      if (!truth || !prev_truth || !prev_item) continue;
+      if (*truth == *prev_truth &&
+          item.sanitized_support != prev_item->sanitized_support) {
+        report.Violate(item.itemset.ToString() +
+                       ": unchanged support re-perturbed across releases "
+                       "(averaging exposure)");
+      }
+    }
+  }
+
+  return report;
+}
+
+SanitizedOutput SanitizeUntilClean(ButterflyEngine* engine,
+                                   const MiningOutput& raw,
+                                   Support window_size, size_t max_attempts,
+                                   AuditReport* report) {
+  SanitizedOutput release;
+  for (size_t attempt = 0; attempt < std::max<size_t>(max_attempts, 1);
+       ++attempt) {
+    if (attempt > 0) engine->ForgetPinnedValues();
+    release = engine->Sanitize(raw, window_size);
+    *report = AuditRelease(raw, release, engine->config());
+    if (report->passed) break;
+  }
+  return release;
+}
+
+}  // namespace butterfly

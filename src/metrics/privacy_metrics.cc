@@ -1,0 +1,83 @@
+#include "metrics/privacy_metrics.h"
+
+#include "inference/inclusion_exclusion.h"
+
+namespace butterfly {
+
+namespace {
+
+PrivacyEvaluation EvaluateWithProvider(
+    const std::vector<InferredPattern>& ground_truth_breaches,
+    const RealSupportProvider& provider) {
+  PrivacyEvaluation eval;
+  if (ground_truth_breaches.empty()) return eval;
+
+  double total = 0.0;
+  for (const InferredPattern& breach : ground_truth_breaches) {
+    std::optional<double> estimate =
+        DerivePatternEstimate(provider, breach.pattern);
+    if (!estimate) {
+      ++eval.unestimable_patterns;
+      continue;
+    }
+    double truth = static_cast<double>(breach.inferred_support);
+    double err = truth - *estimate;
+    total += (err * err) / (truth * truth);
+    ++eval.evaluated_patterns;
+  }
+  if (eval.evaluated_patterns > 0) {
+    eval.avg_prig = total / static_cast<double>(eval.evaluated_patterns);
+  }
+  return eval;
+}
+
+}  // namespace
+
+PrivacyEvaluation EvaluatePrivacy(
+    const std::vector<InferredPattern>& ground_truth_breaches,
+    const SanitizedOutput& release) {
+  return EvaluateWithProvider(ground_truth_breaches,
+                              release.AsEstimatorProvider());
+}
+
+PrivacyEvaluation EvaluatePrivacyWithKnowledgePoints(
+    const std::vector<InferredPattern>& ground_truth_breaches,
+    const SanitizedOutput& release,
+    const std::unordered_map<Itemset, Support, ItemsetHash>& knowledge_points) {
+  RealSupportProvider base = release.AsEstimatorProvider();
+  RealSupportProvider provider =
+      [&base, &knowledge_points](const Itemset& s) -> std::optional<double> {
+    auto it = knowledge_points.find(s);
+    if (it != knowledge_points.end()) return static_cast<double>(it->second);
+    return base(s);
+  };
+  return EvaluateWithProvider(ground_truth_breaches, provider);
+}
+
+PrivacyEvaluation EvaluateAveragingAttack(
+    const std::vector<InferredPattern>& ground_truth_breaches,
+    const std::vector<SanitizedOutput>& releases) {
+  PrivacyEvaluation eval;
+  if (releases.empty()) return eval;
+
+  // Average the bias-corrected observation of each itemset over the
+  // releases; an itemset must be estimable in every release to average.
+  std::vector<RealSupportProvider> providers;
+  providers.reserve(releases.size());
+  for (const SanitizedOutput& release : releases) {
+    providers.push_back(release.AsEstimatorProvider());
+  }
+  RealSupportProvider averaged =
+      [&providers](const Itemset& s) -> std::optional<double> {
+    double sum = 0;
+    for (const RealSupportProvider& p : providers) {
+      std::optional<double> v = p(s);
+      if (!v) return std::nullopt;
+      sum += *v;
+    }
+    return sum / static_cast<double>(providers.size());
+  };
+  return EvaluateWithProvider(ground_truth_breaches, averaged);
+}
+
+}  // namespace butterfly

@@ -1,0 +1,60 @@
+/// \file privacy_metrics.h
+/// \brief The paper's privacy measure (§VII-B): average privacy guarantee
+/// (avg_prig) of the hard vulnerable patterns inferable from a window.
+
+#ifndef BUTTERFLY_METRICS_PRIVACY_METRICS_H_
+#define BUTTERFLY_METRICS_PRIVACY_METRICS_H_
+
+#include <vector>
+
+#include "core/sanitized_output.h"
+#include "inference/breach_finder.h"
+
+namespace butterfly {
+
+/// The outcome of attacking one sanitized release.
+struct PrivacyEvaluation {
+  /// avg_prig = Σ_p (T(p) − T̂(p))² / T(p)² / |Phv| where T̂(p) is the
+  /// adversary's best (bias-corrected inclusion-exclusion) estimate through
+  /// the sanitized supports.
+  double avg_prig = 0.0;
+  /// |Phv|: hard vulnerable patterns that were inferable from the clear
+  /// output and re-estimated through the release.
+  size_t evaluated_patterns = 0;
+  /// Patterns that could not be re-estimated because some lattice node
+  /// vanished from the sanitized release (counted as fully protected, not
+  /// averaged into avg_prig).
+  size_t unestimable_patterns = 0;
+};
+
+/// Replays the adversary against a sanitized release. \p ground_truth_breaches
+/// are the hard vulnerable patterns (with their true supports) that the
+/// *unprotected* output leaks — i.e. FindIntraWindowBreaches on the raw
+/// output; the evaluation measures how far the adversary's estimate through
+/// the sanitized release lands from those true supports.
+PrivacyEvaluation EvaluatePrivacy(
+    const std::vector<InferredPattern>& ground_truth_breaches,
+    const SanitizedOutput& release);
+
+/// Knowledge points (Prior Knowledge 3): the adversary knows the EXACT
+/// support of some itemsets (published statistics, top-k leaks, values near
+/// C). Those lattice nodes contribute zero error to the estimate, shrinking
+/// the attacked pattern's protection exactly as Definition 4 predicts when
+/// σ²(X) is replaced by the smaller estimation error.
+PrivacyEvaluation EvaluatePrivacyWithKnowledgePoints(
+    const std::vector<InferredPattern>& ground_truth_breaches,
+    const SanitizedOutput& release,
+    const std::unordered_map<Itemset, Support, ItemsetHash>& knowledge_points);
+
+/// The averaging attack (Prior Knowledge 2): given the releases of several
+/// consecutive windows over the SAME true output, the adversary averages the
+/// bias-corrected observations per itemset before deriving. With independent
+/// re-perturbation the error shrinks like 1/n; with the republish cache the
+/// releases are identical and averaging gains nothing.
+PrivacyEvaluation EvaluateAveragingAttack(
+    const std::vector<InferredPattern>& ground_truth_breaches,
+    const std::vector<SanitizedOutput>& releases);
+
+}  // namespace butterfly
+
+#endif  // BUTTERFLY_METRICS_PRIVACY_METRICS_H_

@@ -1,0 +1,63 @@
+/// \file sanitized_attack.h
+/// \brief The adversary's best *sound* attack against a sanitized release:
+/// interval reasoning under Kerckhoffs assumptions.
+///
+/// The point-estimate evaluation (EvaluatePrivacy) measures how far the
+/// adversary's expected-value guess lands. This module measures something
+/// stronger: what the adversary can PROVE. Knowing the full noise design
+/// (region length α and each itemset's bias — Kerckhoffs's principle), every
+/// released value T̃(X) pins the true support only to an interval of width
+/// α; propagating those intervals through the inclusion-exclusion system
+/// (TightenIntervals) and deriving pattern intervals shows whether any hard
+/// vulnerable pattern remains *provably* pinned down. Under Butterfly none
+/// should be: that is the hard guarantee, complementary to the statistical
+/// avg_prig floor.
+
+#ifndef BUTTERFLY_METRICS_SANITIZED_ATTACK_H_
+#define BUTTERFLY_METRICS_SANITIZED_ATTACK_H_
+
+#include <optional>
+
+#include "core/noise.h"
+#include "core/sanitized_output.h"
+#include "inference/breach_finder.h"
+#include "inference/interval_tightening.h"
+
+namespace butterfly {
+
+/// The interval knowledge a Kerckhoffs adversary extracts from a release:
+/// for each released X, T(X) ∈ [T̃(X) − u_X, T̃(X) − l_X] where [l_X, u_X] is
+/// the noise support centered at the itemset's bias; plus the exact window
+/// size for the empty itemset.
+IntervalMap IntervalKnowledgeFromRelease(const SanitizedOutput& release,
+                                         const NoiseModel& noise);
+
+/// Sound bounds on T(p) for p = I·¬(J\I) by interval arithmetic over the
+/// lattice X_I^J. nullopt if any lattice node is unknown.
+std::optional<Interval> DerivePatternInterval(const IntervalMap& knowledge,
+                                              const Pattern& pattern);
+
+/// Outcome of the interval attack on one release.
+struct SanitizedAttackReport {
+  size_t patterns_examined = 0;
+  /// Patterns whose interval is a single point in (0, K] — residual provable
+  /// breaches. Butterfly's design goal is to keep this at zero.
+  size_t residual_breaches = 0;
+  /// Patterns whose interval still allows support 0 ("the pattern may not
+  /// exist at all") — the zero-indistinguishability count.
+  size_t zero_indistinguishable = 0;
+  double avg_interval_width = 0;
+};
+
+/// Runs the interval attack: extract intervals, tighten to a fixpoint, then
+/// derive every pattern over every released lattice (same enumeration as the
+/// intra-window breach finder) and examine only patterns whose TRUE support
+/// lies in (0, K] (supplied via \p ground_truth_breaches so the report
+/// speaks about actual vulnerable patterns).
+SanitizedAttackReport AttackSanitizedRelease(
+    const SanitizedOutput& release, const NoiseModel& noise,
+    const std::vector<InferredPattern>& ground_truth_breaches);
+
+}  // namespace butterfly
+
+#endif  // BUTTERFLY_METRICS_SANITIZED_ATTACK_H_

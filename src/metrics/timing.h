@@ -1,0 +1,45 @@
+/// \file timing.h
+/// \brief Wall-clock timing helpers for the overhead experiments (Fig. 8
+/// splits per-window cost into Mining alg / Basic / Opt).
+
+#ifndef BUTTERFLY_METRICS_TIMING_H_
+#define BUTTERFLY_METRICS_TIMING_H_
+
+#include <chrono>
+
+namespace butterfly {
+
+/// A steady-clock stopwatch.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Restart.
+  double Seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Accumulated per-stage time of a stream run (seconds).
+struct StageTimes {
+  double mining = 0;        ///< Moment window maintenance + output walk
+  double perturbation = 0;  ///< noise drawing + cache (the "Basic" part)
+  double optimization = 0;  ///< FEC partition + bias setting (the "Opt" part)
+
+  StageTimes& operator+=(const StageTimes& other) {
+    mining += other.mining;
+    perturbation += other.perturbation;
+    optimization += other.optimization;
+    return *this;
+  }
+};
+
+}  // namespace butterfly
+
+#endif  // BUTTERFLY_METRICS_TIMING_H_

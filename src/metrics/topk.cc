@@ -1,0 +1,86 @@
+#include "metrics/topk.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace butterfly {
+
+namespace {
+
+std::vector<RankedItemset> RankAndTruncate(std::vector<RankedItemset> entries,
+                                           size_t k) {
+  std::sort(entries.begin(), entries.end(),
+            [](const RankedItemset& a, const RankedItemset& b) {
+              if (a.support != b.support) return a.support > b.support;
+              return a.itemset < b.itemset;
+            });
+  if (entries.size() > k) entries.resize(k);
+  return entries;
+}
+
+}  // namespace
+
+std::vector<RankedItemset> TopK(const MiningOutput& output, size_t k,
+                                size_t min_size) {
+  std::vector<RankedItemset> entries;
+  for (const FrequentItemset& f : output.itemsets()) {
+    if (f.itemset.size() >= min_size) {
+      entries.push_back(RankedItemset{f.itemset, f.support});
+    }
+  }
+  return RankAndTruncate(std::move(entries), k);
+}
+
+std::vector<RankedItemset> TopK(const SanitizedOutput& release, size_t k,
+                                size_t min_size) {
+  std::vector<RankedItemset> entries;
+  for (const SanitizedItemset& item : release.items()) {
+    if (item.itemset.size() >= min_size) {
+      entries.push_back(RankedItemset{item.itemset, item.sanitized_support});
+    }
+  }
+  return RankAndTruncate(std::move(entries), k);
+}
+
+double TopKOverlap(const std::vector<RankedItemset>& truth,
+                   const std::vector<RankedItemset>& released, size_t k) {
+  if (k == 0) return 1.0;
+  size_t hits = 0;
+  for (const RankedItemset& t : truth) {
+    for (const RankedItemset& r : released) {
+      if (t.itemset == r.itemset) {
+        ++hits;
+        break;
+      }
+    }
+  }
+  return static_cast<double>(hits) / static_cast<double>(k);
+}
+
+double RankingKendallDistance(const std::vector<RankedItemset>& truth,
+                              const std::vector<RankedItemset>& released) {
+  // Positions of common itemsets in both rankings.
+  std::unordered_map<Itemset, size_t, ItemsetHash> released_pos;
+  for (size_t i = 0; i < released.size(); ++i) {
+    released_pos.emplace(released[i].itemset, i);
+  }
+  std::vector<std::pair<size_t, size_t>> common;  // (truth pos, released pos)
+  for (size_t i = 0; i < truth.size(); ++i) {
+    auto it = released_pos.find(truth[i].itemset);
+    if (it != released_pos.end()) common.emplace_back(i, it->second);
+  }
+  if (common.size() < 2) return 0.0;
+
+  size_t discordant = 0;
+  size_t pairs = 0;
+  for (size_t i = 0; i < common.size(); ++i) {
+    for (size_t j = i + 1; j < common.size(); ++j) {
+      ++pairs;
+      // truth order is by construction common[i].first < common[j].first.
+      if (common[i].second > common[j].second) ++discordant;
+    }
+  }
+  return static_cast<double>(discordant) / static_cast<double>(pairs);
+}
+
+}  // namespace butterfly

@@ -1,0 +1,51 @@
+/// \file topk.h
+/// \brief Top-k queries over a window's (raw or sanitized) output.
+///
+/// "Querying the top-ten popular purchase patterns" is the paper's flagship
+/// example of order-dependent utility (§VI-A). These helpers answer top-k
+/// from either side of the sanitizer and measure how well a released ranking
+/// tracks the true one — the application-level view of ropp.
+
+#ifndef BUTTERFLY_METRICS_TOPK_H_
+#define BUTTERFLY_METRICS_TOPK_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "core/sanitized_output.h"
+#include "mining/mining_result.h"
+
+namespace butterfly {
+
+/// One ranking entry.
+struct RankedItemset {
+  Itemset itemset;
+  Support support = 0;
+
+  bool operator==(const RankedItemset& other) const = default;
+};
+
+/// The k highest-support itemsets with at least \p min_size items, ordered
+/// by descending support (ties broken lexicographically, so rankings are
+/// deterministic and comparable).
+std::vector<RankedItemset> TopK(const MiningOutput& output, size_t k,
+                                size_t min_size = 1);
+std::vector<RankedItemset> TopK(const SanitizedOutput& release, size_t k,
+                                size_t min_size = 1);
+
+/// |true top-k ∩ released top-k| / k — the fraction of the true ranking the
+/// released ranking retains (1.0 when k exceeds the universe and both sides
+/// agree). Returns 1.0 for k = 0.
+double TopKOverlap(const std::vector<RankedItemset>& truth,
+                   const std::vector<RankedItemset>& released, size_t k);
+
+/// Normalized Kendall-tau distance between the two rankings restricted to
+/// their common itemsets: the fraction of common pairs ordered differently.
+/// 0 = identical order, 1 = fully reversed; 0 when fewer than two common
+/// itemsets.
+double RankingKendallDistance(const std::vector<RankedItemset>& truth,
+                              const std::vector<RankedItemset>& released);
+
+}  // namespace butterfly
+
+#endif  // BUTTERFLY_METRICS_TOPK_H_

@@ -1,0 +1,108 @@
+#include "metrics/utility_metrics.h"
+
+#include <algorithm>
+#include <cassert>
+#include <vector>
+
+namespace butterfly {
+
+namespace {
+
+struct PairView {
+  Support true_support;
+  Support sanitized_support;
+};
+
+// Collects (T, T̃) for every released itemset that the truth also knows.
+std::vector<PairView> CollectPairs(const MiningOutput& truth,
+                                   const SanitizedOutput& release) {
+  std::vector<PairView> views;
+  views.reserve(release.size());
+  for (const SanitizedItemset& item : release.items()) {
+    std::optional<Support> t = truth.SupportOf(item.itemset);
+    assert(t.has_value());
+    if (!t) continue;
+    views.push_back(PairView{*t, item.sanitized_support});
+  }
+  return views;
+}
+
+}  // namespace
+
+double AvgPred(const MiningOutput& truth, const SanitizedOutput& release) {
+  std::vector<PairView> views = CollectPairs(truth, release);
+  if (views.empty()) return 0.0;
+  double total = 0.0;
+  for (const PairView& v : views) {
+    double err = static_cast<double>(v.sanitized_support - v.true_support);
+    double t = static_cast<double>(v.true_support);
+    total += (err * err) / (t * t);
+  }
+  return total / static_cast<double>(views.size());
+}
+
+double Ropp(const MiningOutput& truth, const SanitizedOutput& release) {
+  std::vector<PairView> views = CollectPairs(truth, release);
+  if (views.size() < 2) return 1.0;
+  size_t preserved = 0;
+  size_t total = 0;
+  for (size_t i = 0; i < views.size(); ++i) {
+    for (size_t j = i + 1; j < views.size(); ++j) {
+      ++total;
+      if (views[i].true_support == views[j].true_support) {
+        // A tie is the relationship FECs exist to preserve: it survives iff
+        // the sanitized supports are still equal.
+        if (views[i].sanitized_support == views[j].sanitized_support) {
+          ++preserved;
+        }
+        continue;
+      }
+      const PairView& lo =
+          views[i].true_support < views[j].true_support ? views[i] : views[j];
+      const PairView& hi =
+          views[i].true_support < views[j].true_support ? views[j] : views[i];
+      if (lo.sanitized_support <= hi.sanitized_support) ++preserved;
+    }
+  }
+  return static_cast<double>(preserved) / static_cast<double>(total);
+}
+
+double Rrpp(const MiningOutput& truth, const SanitizedOutput& release,
+            double k) {
+  std::vector<PairView> views = CollectPairs(truth, release);
+  if (views.size() < 2) return 1.0;
+  size_t preserved = 0;
+  size_t total = 0;
+  for (size_t i = 0; i < views.size(); ++i) {
+    for (size_t j = i + 1; j < views.size(); ++j) {
+      ++total;
+      if (views[i].true_support == views[j].true_support) {
+        // True ratio is exactly 1; orient the sanitized ratio at <= 1 so the
+        // band test is well defined for tied pairs.
+        Support a = views[i].sanitized_support;
+        Support b = views[j].sanitized_support;
+        if (a <= 0 || b <= 0) continue;
+        double ratio = static_cast<double>(std::min(a, b)) /
+                       static_cast<double>(std::max(a, b));
+        if (ratio + 1e-12 >= k) ++preserved;
+        continue;
+      }
+      const PairView& lo =
+          views[i].true_support < views[j].true_support ? views[i] : views[j];
+      const PairView& hi =
+          views[i].true_support < views[j].true_support ? views[j] : views[i];
+      double true_ratio = static_cast<double>(lo.true_support) /
+                          static_cast<double>(hi.true_support);
+      if (hi.sanitized_support <= 0) continue;  // ratio meaningless
+      double sanitized_ratio = static_cast<double>(lo.sanitized_support) /
+                               static_cast<double>(hi.sanitized_support);
+      if (sanitized_ratio + 1e-12 >= k * true_ratio &&
+          sanitized_ratio <= true_ratio / k + 1e-12) {
+        ++preserved;
+      }
+    }
+  }
+  return static_cast<double>(preserved) / static_cast<double>(total);
+}
+
+}  // namespace butterfly

@@ -1,0 +1,33 @@
+/// \file utility_metrics.h
+/// \brief The paper's output-utility measures (§VII-B): average precision
+/// degradation (avg_pred), rate of order-preserved pairs (ropp) and rate of
+/// ratio-preserved pairs (rrpp).
+
+#ifndef BUTTERFLY_METRICS_UTILITY_METRICS_H_
+#define BUTTERFLY_METRICS_UTILITY_METRICS_H_
+
+#include "core/sanitized_output.h"
+#include "mining/mining_result.h"
+
+namespace butterfly {
+
+/// avg_pred = Σ_I (T̃(I) − T(I))² / T(I)² / |I| over the released itemsets.
+/// Returns 0 on an empty release.
+double AvgPred(const MiningOutput& truth, const SanitizedOutput& release);
+
+/// ropp: over all unordered pairs {I, J} of released itemsets, the fraction
+/// whose order survived sanitization: T̃(I) ≤ T̃(J) for pairs with
+/// T(I) < T(J), and T̃(I) == T̃(J) for tied pairs (ties are exactly the
+/// structure frequency equivalence classes exist to preserve).
+/// Returns 1 when there are fewer than two itemsets.
+double Ropp(const MiningOutput& truth, const SanitizedOutput& release);
+
+/// rrpp: over the same pairs, the fraction with
+/// k·T(I)/T(J) ≤ T̃(I)/T̃(J) ≤ (1/k)·T(I)/T(J); k defaults to the paper's
+/// experimental setting 0.95.
+double Rrpp(const MiningOutput& truth, const SanitizedOutput& release,
+            double k = 0.95);
+
+}  // namespace butterfly
+
+#endif  // BUTTERFLY_METRICS_UTILITY_METRICS_H_

@@ -1,0 +1,127 @@
+#include "mining/apriori.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace butterfly {
+
+namespace {
+
+// Joins two sorted k-itemsets sharing their first k-1 items into a (k+1)-
+// candidate; returns false if they do not share the prefix.
+bool JoinCandidates(const Itemset& a, const Itemset& b, Itemset* out) {
+  size_t k = a.size();
+  for (size_t i = 0; i + 1 < k; ++i) {
+    if (a[i] != b[i]) return false;
+  }
+  if (a[k - 1] >= b[k - 1]) return false;
+  std::vector<Item> joined(a.items());
+  joined.push_back(b[k - 1]);
+  *out = Itemset::FromSorted(std::move(joined));
+  return true;
+}
+
+// Apriori pruning: every k-subset of a (k+1)-candidate must be frequent.
+bool AllSubsetsFrequent(
+    const Itemset& candidate,
+    const std::unordered_set<Itemset, ItemsetHash>& frequent_prev) {
+  for (size_t drop = 0; drop < candidate.size(); ++drop) {
+    // Dropping one of the two last items always yields a generator that was
+    // checked by the join; still check all for clarity and safety.
+    Itemset subset = candidate.Without(candidate[drop]);
+    if (frequent_prev.find(subset) == frequent_prev.end()) return false;
+  }
+  return true;
+}
+
+// Enumerates all k-subsets of `record` and bumps the count of those that are
+// candidates. Recursion over sorted items keeps subsets sorted for free.
+void CountSubsets(const std::vector<Item>& record, size_t k, size_t start,
+                  std::vector<Item>* prefix,
+                  std::unordered_map<Itemset, Support, ItemsetHash>* counts) {
+  if (prefix->size() == k) {
+    auto it = counts->find(Itemset::FromSorted(*prefix));
+    if (it != counts->end()) ++it->second;
+    return;
+  }
+  size_t needed = k - prefix->size();
+  for (size_t i = start; i + needed <= record.size(); ++i) {
+    prefix->push_back(record[i]);
+    CountSubsets(record, k, i + 1, prefix, counts);
+    prefix->pop_back();
+  }
+}
+
+}  // namespace
+
+MiningOutput AprioriMiner::Mine(const std::vector<Transaction>& window,
+                                Support min_support) const {
+  MiningOutput output(min_support);
+
+  // Level 1: count items directly.
+  std::unordered_map<Item, Support> item_counts;
+  for (const Transaction& t : window) {
+    for (Item item : t.items) ++item_counts[item];
+  }
+  std::vector<FrequentItemset> level;
+  for (const auto& [item, count] : item_counts) {
+    if (count >= min_support) {
+      level.push_back(FrequentItemset{Itemset{item}, count});
+    }
+  }
+  std::sort(level.begin(), level.end(),
+            [](const FrequentItemset& a, const FrequentItemset& b) {
+              return a.itemset < b.itemset;
+            });
+
+  while (!level.empty()) {
+    for (const FrequentItemset& f : level) {
+      output.Add(f.itemset, f.support);
+    }
+
+    // Candidate generation from the current level.
+    std::unordered_set<Itemset, ItemsetHash> frequent_prev;
+    for (const FrequentItemset& f : level) frequent_prev.insert(f.itemset);
+
+    std::unordered_map<Itemset, Support, ItemsetHash> candidates;
+    for (size_t i = 0; i < level.size(); ++i) {
+      for (size_t j = i + 1; j < level.size(); ++j) {
+        Itemset candidate;
+        if (!JoinCandidates(level[i].itemset, level[j].itemset, &candidate)) {
+          // Levels are lexicographically sorted, so once the prefix differs
+          // no later j can join with i either.
+          break;
+        }
+        if (AllSubsetsFrequent(candidate, frequent_prev)) {
+          candidates.emplace(std::move(candidate), 0);
+        }
+      }
+    }
+    if (candidates.empty()) break;
+
+    // Support counting: enumerate candidate-size subsets of each record.
+    size_t k = level.front().itemset.size() + 1;
+    std::vector<Item> prefix;
+    for (const Transaction& t : window) {
+      if (t.items.size() < k) continue;
+      CountSubsets(t.items.items(), k, 0, &prefix, &candidates);
+    }
+
+    level.clear();
+    for (const auto& [itemset, count] : candidates) {
+      if (count >= min_support) {
+        level.push_back(FrequentItemset{itemset, count});
+      }
+    }
+    std::sort(level.begin(), level.end(),
+              [](const FrequentItemset& a, const FrequentItemset& b) {
+                return a.itemset < b.itemset;
+              });
+  }
+
+  output.Seal();
+  return output;
+}
+
+}  // namespace butterfly

@@ -1,0 +1,24 @@
+/// \file apriori.h
+/// \brief Apriori (Agrawal & Srikant, VLDB'94): level-wise frequent-itemset
+/// mining with candidate generation and pruning. The simplest correct miner;
+/// serves as the reference implementation the faster miners are checked
+/// against.
+
+#ifndef BUTTERFLY_MINING_APRIORI_H_
+#define BUTTERFLY_MINING_APRIORI_H_
+
+#include "mining/miner.h"
+
+namespace butterfly {
+
+class AprioriMiner : public FrequentItemsetMiner {
+ public:
+  std::string Name() const override { return "apriori"; }
+
+  MiningOutput Mine(const std::vector<Transaction>& window,
+                    Support min_support) const override;
+};
+
+}  // namespace butterfly
+
+#endif  // BUTTERFLY_MINING_APRIORI_H_

@@ -1,0 +1,74 @@
+#include "mining/closed.h"
+
+#include <set>
+#include <unordered_map>
+
+#include "mining/eclat.h"
+
+namespace butterfly {
+
+MiningOutput FilterClosed(const MiningOutput& all_frequent) {
+  // Collect the alphabet of frequent items once.
+  std::set<Item> frequent_items;
+  for (const FrequentItemset& f : all_frequent.itemsets()) {
+    if (f.itemset.size() == 1) frequent_items.insert(f.itemset[0]);
+  }
+
+  MiningOutput closed(all_frequent.min_support());
+  for (const FrequentItemset& f : all_frequent.itemsets()) {
+    bool is_closed = true;
+    for (Item item : frequent_items) {
+      if (f.itemset.Contains(item)) continue;
+      std::optional<Support> super = all_frequent.SupportOf(f.itemset.With(item));
+      if (super && *super == f.support) {
+        is_closed = false;
+        break;
+      }
+    }
+    if (is_closed) closed.Add(f.itemset, f.support);
+  }
+  closed.Seal();
+  return closed;
+}
+
+namespace {
+
+// Accumulates max-support over all subsets of one closed itemset.
+void VisitSubsets(const Itemset& closed_set, Support support, size_t start,
+                  std::vector<Item>* prefix,
+                  std::unordered_map<Itemset, Support, ItemsetHash>* best) {
+  if (!prefix->empty()) {
+    Itemset subset = Itemset::FromSorted(*prefix);
+    auto [it, inserted] = best->emplace(std::move(subset), support);
+    if (!inserted && it->second < support) it->second = support;
+  }
+  for (size_t i = start; i < closed_set.size(); ++i) {
+    prefix->push_back(closed_set[i]);
+    VisitSubsets(closed_set, support, i + 1, prefix, best);
+    prefix->pop_back();
+  }
+}
+
+}  // namespace
+
+MiningOutput ExpandClosed(const MiningOutput& closed) {
+  std::unordered_map<Itemset, Support, ItemsetHash> best;
+  std::vector<Item> prefix;
+  for (const FrequentItemset& f : closed.itemsets()) {
+    VisitSubsets(f.itemset, f.support, 0, &prefix, &best);
+  }
+  MiningOutput all(closed.min_support());
+  for (const auto& [itemset, support] : best) {
+    all.Add(itemset, support);
+  }
+  all.Seal();
+  return all;
+}
+
+MiningOutput ClosedMiner::Mine(const std::vector<Transaction>& window,
+                               Support min_support) const {
+  EclatMiner eclat;
+  return FilterClosed(eclat.Mine(window, min_support));
+}
+
+}  // namespace butterfly

@@ -1,0 +1,75 @@
+#include "mining/eclat.h"
+
+#include <algorithm>
+#include <map>
+
+namespace butterfly {
+
+namespace {
+
+using TidList = std::vector<uint32_t>;
+
+TidList Intersect(const TidList& a, const TidList& b) {
+  TidList out;
+  out.reserve(std::min(a.size(), b.size()));
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                        std::back_inserter(out));
+  return out;
+}
+
+struct EclatNode {
+  Item item;
+  TidList tids;
+};
+
+// DFS over the prefix tree: `prefix` is frequent with tidlist implied by the
+// siblings' tids; `siblings` are the frequent 1-extensions of the prefix.
+void Expand(const std::vector<Item>& prefix,
+            const std::vector<EclatNode>& siblings, Support min_support,
+            MiningOutput* output) {
+  for (size_t i = 0; i < siblings.size(); ++i) {
+    std::vector<Item> itemset(prefix);
+    itemset.push_back(siblings[i].item);
+    output->Add(Itemset::FromSorted(itemset),
+                static_cast<Support>(siblings[i].tids.size()));
+
+    std::vector<EclatNode> children;
+    for (size_t j = i + 1; j < siblings.size(); ++j) {
+      TidList shared = Intersect(siblings[i].tids, siblings[j].tids);
+      if (static_cast<Support>(shared.size()) >= min_support) {
+        children.push_back(EclatNode{siblings[j].item, std::move(shared)});
+      }
+    }
+    if (!children.empty()) {
+      Expand(itemset, children, min_support, output);
+    }
+  }
+}
+
+}  // namespace
+
+MiningOutput EclatMiner::Mine(const std::vector<Transaction>& window,
+                              Support min_support) const {
+  MiningOutput output(min_support);
+
+  // Build the vertical layout: item -> sorted list of window positions.
+  std::map<Item, TidList> vertical;
+  for (uint32_t pos = 0; pos < window.size(); ++pos) {
+    for (Item item : window[pos].items) {
+      vertical[item].push_back(pos);
+    }
+  }
+
+  std::vector<EclatNode> roots;
+  for (auto& [item, tids] : vertical) {
+    if (static_cast<Support>(tids.size()) >= min_support) {
+      roots.push_back(EclatNode{item, std::move(tids)});
+    }
+  }
+
+  Expand({}, roots, min_support, &output);
+  output.Seal();
+  return output;
+}
+
+}  // namespace butterfly

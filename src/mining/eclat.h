@@ -1,0 +1,24 @@
+/// \file eclat.h
+/// \brief Eclat (Zaki, 1997): depth-first frequent-itemset mining over a
+/// vertical layout (per-item tid lists intersected along the DFS). Much
+/// faster than Apriori on dense windows; also the engine underneath the
+/// closed-itemset miner.
+
+#ifndef BUTTERFLY_MINING_ECLAT_H_
+#define BUTTERFLY_MINING_ECLAT_H_
+
+#include "mining/miner.h"
+
+namespace butterfly {
+
+class EclatMiner : public FrequentItemsetMiner {
+ public:
+  std::string Name() const override { return "eclat"; }
+
+  MiningOutput Mine(const std::vector<Transaction>& window,
+                    Support min_support) const override;
+};
+
+}  // namespace butterfly
+
+#endif  // BUTTERFLY_MINING_ECLAT_H_

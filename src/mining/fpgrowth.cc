@@ -1,0 +1,175 @@
+#include "mining/fpgrowth.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+namespace butterfly {
+
+namespace {
+
+// An FP-tree stored in an arena of nodes; index 0 is the root.
+class FpTree {
+ public:
+  struct Node {
+    Item item = kInvalidItem;
+    Support count = 0;
+    size_t parent = 0;
+    std::unordered_map<Item, size_t> children;
+  };
+
+  FpTree() { nodes_.emplace_back(); }
+
+  // Inserts a frequency-ordered item sequence with multiplicity `count`.
+  void Insert(const std::vector<Item>& path, Support count) {
+    size_t node = 0;
+    for (Item item : path) {
+      auto it = nodes_[node].children.find(item);
+      size_t child;
+      if (it == nodes_[node].children.end()) {
+        child = nodes_.size();
+        nodes_.emplace_back();
+        nodes_[child].item = item;
+        nodes_[child].parent = node;
+        nodes_[node].children.emplace(item, child);
+        header_[item].push_back(child);
+      } else {
+        child = it->second;
+      }
+      nodes_[child].count += count;
+      node = child;
+    }
+  }
+
+  const std::vector<Node>& nodes() const { return nodes_; }
+
+  // Items present in the tree with their total counts.
+  std::map<Item, Support> ItemTotals() const {
+    std::map<Item, Support> totals;
+    for (const auto& [item, node_ids] : header_) {
+      Support total = 0;
+      for (size_t id : node_ids) total += nodes_[id].count;
+      totals[item] = total;
+    }
+    return totals;
+  }
+
+  // Conditional pattern base of `item`: for each occurrence, the path from
+  // its parent up to the root, with the occurrence count.
+  std::vector<std::pair<std::vector<Item>, Support>> PrefixPaths(
+      Item item) const {
+    std::vector<std::pair<std::vector<Item>, Support>> paths;
+    auto it = header_.find(item);
+    if (it == header_.end()) return paths;
+    for (size_t id : it->second) {
+      std::vector<Item> path;
+      for (size_t n = nodes_[id].parent; n != 0; n = nodes_[n].parent) {
+        path.push_back(nodes_[n].item);
+      }
+      std::reverse(path.begin(), path.end());
+      if (!path.empty()) {
+        paths.emplace_back(std::move(path), nodes_[id].count);
+      }
+    }
+    return paths;
+  }
+
+ private:
+  std::vector<Node> nodes_;
+  std::unordered_map<Item, std::vector<size_t>> header_;
+};
+
+// Orders `items` by descending global frequency (ties broken by item id) and
+// drops infrequent ones.
+std::vector<Item> OrderByFrequency(
+    const Itemset& items, const std::map<Item, Support>& frequent_counts) {
+  std::vector<Item> ordered;
+  for (Item item : items) {
+    if (frequent_counts.count(item)) ordered.push_back(item);
+  }
+  std::sort(ordered.begin(), ordered.end(), [&](Item a, Item b) {
+    Support ca = frequent_counts.at(a), cb = frequent_counts.at(b);
+    if (ca != cb) return ca > cb;
+    return a < b;
+  });
+  return ordered;
+}
+
+void MineTree(const FpTree& tree, const std::vector<Item>& suffix,
+              Support min_support, MiningOutput* output) {
+  std::map<Item, Support> totals = tree.ItemTotals();
+  for (const auto& [item, total] : totals) {
+    if (total < min_support) continue;
+
+    std::vector<Item> itemset(suffix);
+    itemset.push_back(item);
+    std::sort(itemset.begin(), itemset.end());
+    output->Add(Itemset::FromSorted(itemset), total);
+
+    // Build the conditional tree for this item and recurse.
+    auto paths = tree.PrefixPaths(item);
+    std::map<Item, Support> cond_counts;
+    for (const auto& [path, count] : paths) {
+      for (Item i : path) cond_counts[i] += count;
+    }
+    for (auto it = cond_counts.begin(); it != cond_counts.end();) {
+      if (it->second < min_support) {
+        it = cond_counts.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    if (cond_counts.empty()) continue;
+
+    FpTree conditional;
+    for (const auto& [path, count] : paths) {
+      std::vector<Item> filtered;
+      for (Item i : path) {
+        if (cond_counts.count(i)) filtered.push_back(i);
+      }
+      std::sort(filtered.begin(), filtered.end(), [&](Item a, Item b) {
+        Support ca = cond_counts.at(a), cb = cond_counts.at(b);
+        if (ca != cb) return ca > cb;
+        return a < b;
+      });
+      if (!filtered.empty()) conditional.Insert(filtered, count);
+    }
+
+    std::vector<Item> new_suffix(suffix);
+    new_suffix.push_back(item);
+    MineTree(conditional, new_suffix, min_support, output);
+  }
+}
+
+}  // namespace
+
+MiningOutput FpGrowthMiner::Mine(const std::vector<Transaction>& window,
+                                 Support min_support) const {
+  MiningOutput output(min_support);
+
+  std::map<Item, Support> item_counts;
+  for (const Transaction& t : window) {
+    for (Item item : t.items) ++item_counts[item];
+  }
+  std::map<Item, Support> frequent_counts;
+  for (const auto& [item, count] : item_counts) {
+    if (count >= min_support) frequent_counts[item] = count;
+  }
+  if (frequent_counts.empty()) {
+    output.Seal();
+    return output;
+  }
+
+  FpTree tree;
+  for (const Transaction& t : window) {
+    std::vector<Item> ordered = OrderByFrequency(t.items, frequent_counts);
+    if (!ordered.empty()) tree.Insert(ordered, 1);
+  }
+
+  MineTree(tree, {}, min_support, &output);
+  output.Seal();
+  return output;
+}
+
+}  // namespace butterfly

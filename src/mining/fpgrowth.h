@@ -1,0 +1,22 @@
+/// \file fpgrowth.h
+/// \brief FP-Growth (Han et al., SIGMOD'00): frequent-itemset mining without
+/// candidate generation, via recursively projected FP-trees.
+
+#ifndef BUTTERFLY_MINING_FPGROWTH_H_
+#define BUTTERFLY_MINING_FPGROWTH_H_
+
+#include "mining/miner.h"
+
+namespace butterfly {
+
+class FpGrowthMiner : public FrequentItemsetMiner {
+ public:
+  std::string Name() const override { return "fpgrowth"; }
+
+  MiningOutput Mine(const std::vector<Transaction>& window,
+                    Support min_support) const override;
+};
+
+}  // namespace butterfly
+
+#endif  // BUTTERFLY_MINING_FPGROWTH_H_

@@ -1,0 +1,39 @@
+#include "mining/maximal.h"
+
+#include <set>
+
+#include "mining/eclat.h"
+
+namespace butterfly {
+
+MiningOutput FilterMaximal(const MiningOutput& all_frequent) {
+  std::set<Item> frequent_items;
+  for (const FrequentItemset& f : all_frequent.itemsets()) {
+    if (f.itemset.size() == 1) frequent_items.insert(f.itemset[0]);
+  }
+
+  MiningOutput maximal(all_frequent.min_support());
+  for (const FrequentItemset& f : all_frequent.itemsets()) {
+    // Maximal iff no one-item extension is frequent; by downward closure any
+    // frequent strict superset implies some frequent immediate superset.
+    bool is_maximal = true;
+    for (Item item : frequent_items) {
+      if (f.itemset.Contains(item)) continue;
+      if (all_frequent.Contains(f.itemset.With(item))) {
+        is_maximal = false;
+        break;
+      }
+    }
+    if (is_maximal) maximal.Add(f.itemset, f.support);
+  }
+  maximal.Seal();
+  return maximal;
+}
+
+MiningOutput MaximalMiner::Mine(const std::vector<Transaction>& window,
+                                Support min_support) const {
+  EclatMiner eclat;
+  return FilterMaximal(eclat.Mine(window, min_support));
+}
+
+}  // namespace butterfly

@@ -1,0 +1,29 @@
+/// \file maximal.h
+/// \brief Maximal frequent itemsets: the frequent itemsets with no frequent
+/// strict superset. The coarsest condensed representation (it loses exact
+/// supports of subsets) — useful for summarizing what a window's attack
+/// surface looks like, since every lattice the adversary sums over lives
+/// under some maximal itemset.
+
+#ifndef BUTTERFLY_MINING_MAXIMAL_H_
+#define BUTTERFLY_MINING_MAXIMAL_H_
+
+#include "mining/miner.h"
+
+namespace butterfly {
+
+/// Keeps only the maximal itemsets of a full frequent-itemset output.
+MiningOutput FilterMaximal(const MiningOutput& all_frequent);
+
+/// A batch miner returning only the maximal frequent itemsets.
+class MaximalMiner : public FrequentItemsetMiner {
+ public:
+  std::string Name() const override { return "maximal-eclat"; }
+
+  MiningOutput Mine(const std::vector<Transaction>& window,
+                    Support min_support) const override;
+};
+
+}  // namespace butterfly
+
+#endif  // BUTTERFLY_MINING_MAXIMAL_H_

@@ -1,0 +1,31 @@
+/// \file miner.h
+/// \brief The common interface of per-window frequent-itemset miners.
+
+#ifndef BUTTERFLY_MINING_MINER_H_
+#define BUTTERFLY_MINING_MINER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/transaction.h"
+#include "mining/mining_result.h"
+
+namespace butterfly {
+
+/// A batch miner: given the contents of one window and the minimum support C,
+/// produce all frequent itemsets (non-empty itemsets with support >= C).
+class FrequentItemsetMiner {
+ public:
+  virtual ~FrequentItemsetMiner() = default;
+
+  /// Algorithm name for reports.
+  virtual std::string Name() const = 0;
+
+  /// Mines \p window at threshold \p min_support (> 0).
+  virtual MiningOutput Mine(const std::vector<Transaction>& window,
+                            Support min_support) const = 0;
+};
+
+}  // namespace butterfly
+
+#endif  // BUTTERFLY_MINING_MINER_H_

@@ -1,0 +1,61 @@
+#include "mining/rules.h"
+
+#include <algorithm>
+#include <functional>
+#include <sstream>
+
+namespace butterfly {
+
+std::string AssociationRule::ToString() const {
+  std::ostringstream out;
+  out << antecedent.ToString() << " => " << consequent.ToString()
+      << " (support " << support << ", confidence " << confidence << ")";
+  return out.str();
+}
+
+namespace {
+
+// Enumerates non-empty strict subsets of `itemset` as antecedents.
+void VisitAntecedents(const Itemset& itemset, size_t start,
+                      std::vector<Item>* prefix,
+                      const std::function<void(const Itemset&)>& visit) {
+  if (!prefix->empty() && prefix->size() < itemset.size()) {
+    visit(Itemset::FromSorted(*prefix));
+  }
+  for (size_t i = start; i < itemset.size(); ++i) {
+    prefix->push_back(itemset[i]);
+    VisitAntecedents(itemset, i + 1, prefix, visit);
+    prefix->pop_back();
+  }
+}
+
+}  // namespace
+
+std::vector<AssociationRule> GenerateRules(const MiningOutput& frequent,
+                                           double min_confidence) {
+  std::vector<AssociationRule> rules;
+  std::vector<Item> prefix;
+  for (const FrequentItemset& f : frequent.itemsets()) {
+    if (f.itemset.size() < 2) continue;
+    VisitAntecedents(f.itemset, 0, &prefix, [&](const Itemset& antecedent) {
+      std::optional<Support> ant_support = frequent.SupportOf(antecedent);
+      if (!ant_support || *ant_support <= 0) return;
+      double confidence =
+          static_cast<double>(f.support) / static_cast<double>(*ant_support);
+      if (confidence + 1e-12 >= min_confidence) {
+        rules.push_back(AssociationRule{antecedent,
+                                        f.itemset.Minus(antecedent),
+                                        f.support, confidence});
+      }
+    });
+  }
+  std::sort(rules.begin(), rules.end(),
+            [](const AssociationRule& a, const AssociationRule& b) {
+              if (a.confidence != b.confidence) return a.confidence > b.confidence;
+              if (a.antecedent != b.antecedent) return a.antecedent < b.antecedent;
+              return a.consequent < b.consequent;
+            });
+  return rules;
+}
+
+}  // namespace butterfly

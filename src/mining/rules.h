@@ -1,0 +1,41 @@
+/// \file rules.h
+/// \brief Association rules derived from frequent itemsets.
+///
+/// Rule confidence is a *ratio* of two supports — the utility the paper's
+/// ratio-preserving bias setting (§VI-B) exists to protect. The rule
+/// generator lets examples and benchmarks measure how much rule confidence
+/// drifts under each perturbation scheme.
+
+#ifndef BUTTERFLY_MINING_RULES_H_
+#define BUTTERFLY_MINING_RULES_H_
+
+#include <string>
+#include <vector>
+
+#include "mining/mining_result.h"
+
+namespace butterfly {
+
+/// An association rule `antecedent => consequent`.
+struct AssociationRule {
+  Itemset antecedent;
+  Itemset consequent;
+  Support support = 0;     ///< support of antecedent ∪ consequent
+  double confidence = 0;   ///< support(ant ∪ cons) / support(ant)
+
+  std::string ToString() const;
+
+  bool operator==(const AssociationRule& other) const {
+    return antecedent == other.antecedent && consequent == other.consequent;
+  }
+};
+
+/// Generates all rules with confidence >= \p min_confidence from a full
+/// frequent-itemset output (both the union and the antecedent must have been
+/// mined, which holds for any downward-closed output).
+std::vector<AssociationRule> GenerateRules(const MiningOutput& frequent,
+                                           double min_confidence);
+
+}  // namespace butterfly
+
+#endif  // BUTTERFLY_MINING_RULES_H_

@@ -1,0 +1,48 @@
+#include "mining/support.h"
+
+namespace butterfly {
+
+namespace {
+
+template <typename Container>
+Support CountSupportImpl(const Container& window, const Itemset& itemset) {
+  Support count = 0;
+  for (const Transaction& t : window) {
+    if (t.items.ContainsAll(itemset)) ++count;
+  }
+  return count;
+}
+
+template <typename Container>
+Support CountPatternSupportImpl(const Container& window,
+                                const Pattern& pattern) {
+  Support count = 0;
+  for (const Transaction& t : window) {
+    if (pattern.SatisfiedBy(t.items)) ++count;
+  }
+  return count;
+}
+
+}  // namespace
+
+Support CountSupport(const std::vector<Transaction>& window,
+                     const Itemset& itemset) {
+  return CountSupportImpl(window, itemset);
+}
+
+Support CountSupport(const std::deque<Transaction>& window,
+                     const Itemset& itemset) {
+  return CountSupportImpl(window, itemset);
+}
+
+Support CountPatternSupport(const std::vector<Transaction>& window,
+                            const Pattern& pattern) {
+  return CountPatternSupportImpl(window, pattern);
+}
+
+Support CountPatternSupport(const std::deque<Transaction>& window,
+                            const Pattern& pattern) {
+  return CountPatternSupportImpl(window, pattern);
+}
+
+}  // namespace butterfly

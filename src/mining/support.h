@@ -1,0 +1,35 @@
+/// \file support.h
+/// \brief Direct (brute-force) support counting for itemsets and patterns.
+///
+/// These are the ground-truth oracles: every miner, every inclusion-exclusion
+/// identity and every privacy metric is validated against a linear scan of
+/// the window.
+
+#ifndef BUTTERFLY_MINING_SUPPORT_H_
+#define BUTTERFLY_MINING_SUPPORT_H_
+
+#include <deque>
+#include <vector>
+
+#include "common/pattern.h"
+#include "common/transaction.h"
+#include "common/types.h"
+
+namespace butterfly {
+
+/// Number of records in \p window containing \p itemset (T_D(I)).
+Support CountSupport(const std::vector<Transaction>& window,
+                     const Itemset& itemset);
+Support CountSupport(const std::deque<Transaction>& window,
+                     const Itemset& itemset);
+
+/// Number of records in \p window satisfying \p pattern (positive items all
+/// present, negated items all absent).
+Support CountPatternSupport(const std::vector<Transaction>& window,
+                            const Pattern& pattern);
+Support CountPatternSupport(const std::deque<Transaction>& window,
+                            const Pattern& pattern);
+
+}  // namespace butterfly
+
+#endif  // BUTTERFLY_MINING_SUPPORT_H_

@@ -1,0 +1,138 @@
+/// \file moment.h
+/// \brief Moment-style maintenance of closed frequent itemsets over a sliding
+/// window (Chi, Wang, Yu & Muntz, ICDM'04) — the stream-mining substrate the
+/// paper builds Butterfly on.
+///
+/// The miner maintains a *closed enumeration tree* (CET). Each node stands
+/// for an itemset I (the path of branch items from the root) and carries the
+/// node taxonomy of the Moment paper:
+///
+///  * infrequent gateway node — I is infrequent; kept as a boundary leaf so
+///    that a single arrival can promote it without re-mining from scratch;
+///  * unpromising gateway node — I is frequent but some item j < max(I)
+///    outside I appears in every window record containing I
+///    (tidset(I) ⊆ tidset(j)); then neither I nor any descendant can be
+///    closed, so the subtree is pruned;
+///  * intermediate node — frequent, promising, but some extension preserves
+///    its support (not closed);
+///  * closed node — frequent and closed.
+///
+/// Instead of Moment's tid-sum hash, each frequent node carries its
+/// extension-count map `j -> T(I ∪ {j})`, which a record arrival/expiry
+/// updates in O(|record|) per affected node and which answers all three
+/// questions (children supports, the unpromising check, closedness) exactly.
+/// Expiries can only create unpromising blockers and arrivals can only break
+/// them, so transitions are localized; newly frequent or newly promising
+/// nodes are (re)explored by a scan of the in-memory window, as in Moment.
+
+#ifndef BUTTERFLY_MOMENT_MOMENT_H_
+#define BUTTERFLY_MOMENT_MOMENT_H_
+
+#include <cstddef>
+#include <deque>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "common/status.h"
+#include "common/transaction.h"
+#include "mining/mining_result.h"
+#include "stream/sliding_window.h"
+
+namespace butterfly {
+
+/// CET node taxonomy (see file comment).
+enum class CetNodeKind {
+  kInfrequentGateway,
+  kUnpromisingGateway,
+  kIntermediate,
+  kClosed,
+};
+
+/// Counts of live CET nodes by kind, for tests and diagnostics.
+struct MomentStats {
+  size_t infrequent_gateway = 0;
+  size_t unpromising_gateway = 0;
+  size_t intermediate = 0;
+  size_t closed = 0;
+
+  size_t total() const {
+    return infrequent_gateway + unpromising_gateway + intermediate + closed;
+  }
+};
+
+/// Incremental closed-frequent-itemset miner over a sliding window.
+class MomentMiner {
+ public:
+  /// \param window_capacity the window size H (> 0).
+  /// \param min_support the minimum support C (> 0).
+  MomentMiner(size_t window_capacity, Support min_support);
+  ~MomentMiner();
+
+  MomentMiner(const MomentMiner&) = delete;
+  MomentMiner& operator=(const MomentMiner&) = delete;
+  MomentMiner(MomentMiner&&) noexcept;
+  MomentMiner& operator=(MomentMiner&&) noexcept;
+
+  /// Appends the next stream record, expiring the oldest if the window is
+  /// full, and updates the CET incrementally.
+  void Append(Transaction t);
+
+  Support min_support() const { return min_support_; }
+  const SlidingWindow& window() const { return window_; }
+
+  /// The closed frequent itemsets of the current window, with exact supports.
+  MiningOutput GetClosedFrequent() const;
+
+  /// The support of one itemset, answered from the CET without materializing
+  /// the full output: T(X) = max{T(Z) : Z closed, X ⊆ Z}. Returns nullopt
+  /// when X is not frequent in the current window.
+  std::optional<Support> SupportOf(const Itemset& itemset) const;
+
+  /// All frequent itemsets of the current window (closed set expanded).
+  MiningOutput GetAllFrequent() const;
+
+  /// Live node counts by kind.
+  MomentStats Stats() const;
+
+  /// Deep self-check: recounts every node's support and extension counts
+  /// from the window and re-derives its kind, the children invariant (an
+  /// explored promising node has a child for every co-occurring extension
+  /// item above its branch item) and the closed flag. O(nodes × window);
+  /// intended for tests and debugging, not the hot path. Returns the first
+  /// violation found.
+  Status Validate() const;
+
+ private:
+  struct CetNode;
+
+  void UpdateAdd(CetNode* node, const Transaction& t);
+  /// Returns true if the node should be removed from its parent.
+  bool UpdateDelete(CetNode* node, const Transaction& t);
+
+  /// (Re)derives a node's extension counts from the window and builds its
+  /// subtree. `containing` are the window records containing node->itemset.
+  void Explore(CetNode* node,
+               const std::vector<const Transaction*>& containing);
+
+  /// Builds children/closed flag for a node whose ext_counts are current.
+  void ExpandFromCounts(CetNode* node,
+                        const std::vector<const Transaction*>& containing);
+
+  /// Recomputes a frequent node's closed flag from its extension counts.
+  static void RecomputeClosed(CetNode* node);
+
+  /// True iff some j < max(I) outside I occurs in every record containing I.
+  static bool HasUnpromisingBlocker(const CetNode& node);
+
+  std::vector<const Transaction*> RecordsContaining(const Itemset& itemset) const;
+
+  SlidingWindow window_;
+  Support min_support_;
+  std::unique_ptr<CetNode> root_;
+};
+
+}  // namespace butterfly
+
+#endif  // BUTTERFLY_MOMENT_MOMENT_H_

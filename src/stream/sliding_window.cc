@@ -1,0 +1,34 @@
+#include "stream/sliding_window.h"
+
+#include <cassert>
+#include <sstream>
+
+namespace butterfly {
+
+SlidingWindow::SlidingWindow(size_t capacity) : capacity_(capacity) {
+  assert(capacity > 0);
+}
+
+std::optional<Transaction> SlidingWindow::Append(Transaction t) {
+  ++stream_position_;
+  if (t.tid == 0) t.tid = stream_position_;
+  std::optional<Transaction> evicted;
+  if (window_.size() == capacity_) {
+    evicted = std::move(window_.front());
+    window_.pop_front();
+  }
+  window_.push_back(std::move(t));
+  return evicted;
+}
+
+std::vector<Transaction> SlidingWindow::Snapshot() const {
+  return std::vector<Transaction>(window_.begin(), window_.end());
+}
+
+std::string SlidingWindow::Label() const {
+  std::ostringstream out;
+  out << "Ds(" << stream_position_ << ", " << capacity_ << ")";
+  return out.str();
+}
+
+}  // namespace butterfly

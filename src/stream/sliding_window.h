@@ -1,0 +1,62 @@
+/// \file sliding_window.h
+/// \brief The sliding-window stream model `Ds(N, H)`.
+///
+/// The stream is a sequence of records r1..rN; at any stream position N only
+/// the most recent H records are in scope. Appending record r(N+1) to a full
+/// window evicts r(N-H+1). Miners either re-mine the window contents (static
+/// baselines) or consume the (added, evicted) record pair incrementally
+/// (Moment).
+
+#ifndef BUTTERFLY_STREAM_SLIDING_WINDOW_H_
+#define BUTTERFLY_STREAM_SLIDING_WINDOW_H_
+
+#include <deque>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/transaction.h"
+
+namespace butterfly {
+
+/// A bounded FIFO of the H most recent stream records.
+class SlidingWindow {
+ public:
+  /// \param capacity the window size H (> 0).
+  explicit SlidingWindow(size_t capacity);
+
+  /// Appends the next stream record. If the window was full, returns the
+  /// record that fell out of scope; otherwise std::nullopt. Assigns the
+  /// record the next stream tid if it arrives with tid == 0.
+  std::optional<Transaction> Append(Transaction t);
+
+  /// Window size H.
+  size_t capacity() const { return capacity_; }
+
+  /// Number of records currently in scope (< H only before the first fill).
+  size_t size() const { return window_.size(); }
+
+  /// True once N >= H, i.e. the window has reached its steady state.
+  bool Full() const { return window_.size() == capacity_; }
+
+  /// Current stream position N (total records ever appended).
+  Tid stream_position() const { return stream_position_; }
+
+  /// In-scope records, oldest first.
+  const std::deque<Transaction>& transactions() const { return window_; }
+
+  /// Snapshot of the in-scope records as a vector (for static miners).
+  std::vector<Transaction> Snapshot() const;
+
+  /// The paper's window label, e.g. "Ds(12, 8)".
+  std::string Label() const;
+
+ private:
+  size_t capacity_;
+  Tid stream_position_ = 0;
+  std::deque<Transaction> window_;
+};
+
+}  // namespace butterfly
+
+#endif  // BUTTERFLY_STREAM_SLIDING_WINDOW_H_

@@ -1,0 +1,55 @@
+/// \file transaction_source.h
+/// \brief Pull-based sources of stream records.
+
+#ifndef BUTTERFLY_STREAM_TRANSACTION_SOURCE_H_
+#define BUTTERFLY_STREAM_TRANSACTION_SOURCE_H_
+
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "common/transaction.h"
+
+namespace butterfly {
+
+/// Anything that can hand out the next stream record. Sources are exhausted
+/// when Next() returns std::nullopt.
+class TransactionSource {
+ public:
+  virtual ~TransactionSource() = default;
+
+  /// The next record, or nullopt when the source is exhausted.
+  virtual std::optional<Transaction> Next() = 0;
+};
+
+/// A source replaying a fixed vector of transactions (datasets, tests).
+class VectorSource : public TransactionSource {
+ public:
+  explicit VectorSource(std::vector<Transaction> transactions)
+      : transactions_(std::move(transactions)) {}
+
+  /// Convenience: wraps bare itemsets, assigning tids 1..n.
+  static VectorSource FromItemsets(const std::vector<Itemset>& itemsets) {
+    std::vector<Transaction> txns;
+    txns.reserve(itemsets.size());
+    for (size_t i = 0; i < itemsets.size(); ++i) {
+      txns.emplace_back(static_cast<Tid>(i + 1), itemsets[i]);
+    }
+    return VectorSource(std::move(txns));
+  }
+
+  std::optional<Transaction> Next() override {
+    if (pos_ >= transactions_.size()) return std::nullopt;
+    return transactions_[pos_++];
+  }
+
+  size_t remaining() const { return transactions_.size() - pos_; }
+
+ private:
+  std::vector<Transaction> transactions_;
+  size_t pos_ = 0;
+};
+
+}  // namespace butterfly
+
+#endif  // BUTTERFLY_STREAM_TRANSACTION_SOURCE_H_

@@ -1,0 +1,74 @@
+/// \file window_driver.h
+/// \brief Pumps a TransactionSource through a SlidingWindow, invoking a
+/// listener on every slide and a report callback on a configurable cadence.
+
+#ifndef BUTTERFLY_STREAM_WINDOW_DRIVER_H_
+#define BUTTERFLY_STREAM_WINDOW_DRIVER_H_
+
+#include <cstddef>
+#include <functional>
+#include <optional>
+
+#include "stream/sliding_window.h"
+#include "stream/transaction_source.h"
+
+namespace butterfly {
+
+/// Per-record slide notification: the appended record and, once the window is
+/// full, the record it evicted.
+struct SlideEvent {
+  const Transaction& added;
+  const Transaction* evicted;  // nullptr while the window is filling
+};
+
+/// Drives a source into a window.
+class WindowDriver {
+ public:
+  using SlideCallback = std::function<void(const SlideEvent&)>;
+  using ReportCallback = std::function<void(const SlidingWindow&)>;
+
+  /// \param window the window to drive; must outlive the driver.
+  /// \param report_stride emit a report every `report_stride` records once
+  ///        the window is full; 0 disables reporting.
+  WindowDriver(SlidingWindow* window, size_t report_stride = 1)
+      : window_(window), report_stride_(report_stride) {}
+
+  void set_on_slide(SlideCallback cb) { on_slide_ = std::move(cb); }
+  void set_on_report(ReportCallback cb) { on_report_ = std::move(cb); }
+
+  /// Pumps up to `max_records` records (all if 0). Returns the number pumped.
+  size_t Run(TransactionSource* source, size_t max_records = 0) {
+    size_t pumped = 0;
+    while (max_records == 0 || pumped < max_records) {
+      std::optional<Transaction> next = source->Next();
+      if (!next) break;
+      Step(std::move(*next));
+      ++pumped;
+    }
+    return pumped;
+  }
+
+  /// Pushes a single record through the window.
+  void Step(Transaction t) {
+    std::optional<Transaction> evicted = window_->Append(std::move(t));
+    if (on_slide_) {
+      SlideEvent event{window_->transactions().back(),
+                       evicted ? &*evicted : nullptr};
+      on_slide_(event);
+    }
+    if (on_report_ && report_stride_ > 0 && window_->Full() &&
+        window_->stream_position() % report_stride_ == 0) {
+      on_report_(*window_);
+    }
+  }
+
+ private:
+  SlidingWindow* window_;
+  size_t report_stride_;
+  SlideCallback on_slide_;
+  ReportCallback on_report_;
+};
+
+}  // namespace butterfly
+
+#endif  // BUTTERFLY_STREAM_WINDOW_DRIVER_H_

@@ -1,0 +1,134 @@
+/// Soundness sweeps for the adversary: everything the attack machinery
+/// claims to know exactly must equal ground truth on randomized windows, and
+/// every bound must contain it. An adversary model that overclaims would
+/// inflate the breach census and corrupt the avg_prig evaluations, so these
+/// properties guard the whole experimental pipeline.
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "inference/breach_finder.h"
+#include "inference/interwindow.h"
+#include "mining/eclat.h"
+#include "mining/support.h"
+
+namespace butterfly {
+namespace {
+
+std::vector<Transaction> RandomWindow(Rng* rng, size_t n, Item alphabet,
+                                      double density) {
+  std::vector<Transaction> window;
+  for (size_t i = 0; i < n; ++i) {
+    std::vector<Item> items;
+    for (Item a = 0; a < alphabet; ++a) {
+      if (rng->Bernoulli(density)) items.push_back(a);
+    }
+    if (items.empty()) items.push_back(static_cast<Item>(rng->UniformInt(0, alphabet - 1)));
+    window.emplace_back(i + 1, Itemset(std::move(items)));
+  }
+  return window;
+}
+
+struct SoundnessCase {
+  uint64_t seed;
+  size_t window;
+  Support min_support;
+  Item alphabet;
+  double density;
+};
+
+class AdversarySoundnessTest
+    : public ::testing::TestWithParam<SoundnessCase> {};
+
+TEST_P(AdversarySoundnessTest, IntraWindowClaimsMatchGroundTruth) {
+  const SoundnessCase& param = GetParam();
+  Rng rng(param.seed);
+  std::vector<Transaction> window =
+      RandomWindow(&rng, param.window, param.alphabet, param.density);
+  EclatMiner eclat;
+  MiningOutput released = eclat.Mine(window, param.min_support);
+
+  AttackConfig config;
+  config.vulnerable_support = std::max<Support>(1, param.min_support - 1);
+  for (const InferredPattern& breach : FindIntraWindowBreaches(
+           released, static_cast<Support>(window.size()), config)) {
+    EXPECT_EQ(breach.inferred_support,
+              CountPatternSupport(window, breach.pattern))
+        << breach.pattern.ToString();
+  }
+}
+
+TEST_P(AdversarySoundnessTest, TightenedKnowledgeMatchesGroundTruth) {
+  const SoundnessCase& param = GetParam();
+  Rng rng(param.seed * 31 + 7);
+  std::vector<Transaction> window =
+      RandomWindow(&rng, param.window, param.alphabet, param.density);
+  EclatMiner eclat;
+  MiningOutput released = eclat.Mine(window, param.min_support);
+
+  AttackConfig config;
+  KnowledgeBase knowledge(released, static_cast<Support>(window.size()),
+                          config);
+  for (int round = 0; round < 4; ++round) {
+    if (TightenKnowledge(&knowledge, config) == 0) break;
+  }
+  for (const Itemset& itemset : knowledge.known_itemsets()) {
+    EXPECT_EQ(*knowledge.Lookup(itemset), CountSupport(window, itemset))
+        << itemset.ToString()
+        << (knowledge.WasInferred(itemset) ? " (inferred)" : " (released)");
+  }
+}
+
+TEST_P(AdversarySoundnessTest, InterWindowClaimsMatchGroundTruth) {
+  const SoundnessCase& param = GetParam();
+  Rng rng(param.seed * 17 + 3);
+  std::vector<Transaction> stream =
+      RandomWindow(&rng, param.window + 1, param.alphabet, param.density);
+  std::vector<Transaction> prev(stream.begin(), stream.end() - 1);
+  std::vector<Transaction> cur(stream.begin() + 1, stream.end());
+
+  EclatMiner eclat;
+  WindowRelease prev_release{eclat.Mine(prev, param.min_support),
+                             static_cast<Support>(prev.size())};
+  WindowRelease cur_release{eclat.Mine(cur, param.min_support),
+                            static_cast<Support>(cur.size())};
+
+  AttackConfig config;
+  config.vulnerable_support = std::max<Support>(1, param.min_support - 1);
+  for (const InferredPattern& breach :
+       FindInterWindowBreaches(prev_release, cur_release, 1, config)) {
+    EXPECT_EQ(breach.inferred_support,
+              CountPatternSupport(cur, breach.pattern))
+        << breach.pattern.ToString();
+  }
+
+  // Transition analysis must also be sound: every membership it claims is a
+  // fact about the boundary records.
+  TransitionKnowledge tk = AnalyzeTransition(prev_release, cur_release);
+  const Itemset& old_record = stream.front().items;
+  const Itemset& new_record = stream.back().items;
+  for (Item a = 0; a < param.alphabet; ++a) {
+    Membership mo = tk.OldMembership(a);
+    Membership mn = tk.NewMembership(a);
+    if (mo != Membership::kUnknown) {
+      EXPECT_EQ(mo == Membership::kIn, old_record.Contains(a)) << "item " << a;
+    }
+    if (mn != Membership::kUnknown) {
+      EXPECT_EQ(mn == Membership::kIn, new_record.Contains(a)) << "item " << a;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomWindows, AdversarySoundnessTest,
+    ::testing::Values(SoundnessCase{1, 20, 3, 6, 0.35},
+                      SoundnessCase{2, 30, 4, 7, 0.30},
+                      SoundnessCase{3, 40, 5, 8, 0.25},
+                      SoundnessCase{4, 25, 6, 6, 0.45},
+                      SoundnessCase{5, 50, 8, 9, 0.20},
+                      SoundnessCase{6, 35, 4, 5, 0.50},
+                      SoundnessCase{7, 60, 10, 7, 0.30},
+                      SoundnessCase{8, 45, 7, 8, 0.35}));
+
+}  // namespace
+}  // namespace butterfly

@@ -1,0 +1,198 @@
+#include "metrics/auditor.h"
+
+#include <gtest/gtest.h>
+
+#include "core/butterfly.h"
+
+namespace butterfly {
+namespace {
+
+ButterflyConfig BaseConfig() {
+  ButterflyConfig config;
+  config.epsilon = 0.016;
+  config.delta = 0.4;
+  config.min_support = 25;
+  config.vulnerable_support = 5;
+  return config;
+}
+
+MiningOutput RawOutput() {
+  MiningOutput raw(25);
+  raw.Add(Itemset{1}, 30);
+  raw.Add(Itemset{2}, 60);
+  raw.Add(Itemset{1, 2}, 27);
+  raw.Seal();
+  return raw;
+}
+
+TEST(AuditorTest, HonestReleasePasses) {
+  ButterflyConfig config = BaseConfig();
+  ButterflyEngine engine(config);
+  MiningOutput raw = RawOutput();
+  SanitizedOutput release = engine.Sanitize(raw, 2000);
+  AuditReport report = AuditRelease(raw, release, config);
+  EXPECT_TRUE(report.passed) << report.violations.front();
+  EXPECT_EQ(report.vulnerable_patterns, 1u);  // 1∧¬2 with support 3
+  EXPECT_GT(report.avg_adversary_interval_width, 1.0);
+}
+
+TEST(AuditorTest, DetectsMissingItemset) {
+  ButterflyConfig config = BaseConfig();
+  ButterflyEngine engine(config);
+  MiningOutput raw = RawOutput();
+  SanitizedOutput complete = engine.Sanitize(raw, 2000);
+  SanitizedOutput truncated(25, 2000);
+  for (const SanitizedItemset& item : complete.items()) {
+    if (item.itemset != (Itemset{2})) truncated.Add(item);
+  }
+  truncated.Seal();
+  AuditReport report = AuditRelease(raw, truncated, config);
+  EXPECT_FALSE(report.passed);
+}
+
+TEST(AuditorTest, DetectsOutOfRegionValue) {
+  ButterflyConfig config = BaseConfig();
+  ButterflyEngine engine(config);
+  MiningOutput raw = RawOutput();
+  SanitizedOutput release = engine.Sanitize(raw, 2000);
+  SanitizedOutput tampered(25, 2000);
+  for (SanitizedItemset item : release.items()) {
+    if (item.itemset == (Itemset{1})) item.sanitized_support = 300;
+    tampered.Add(std::move(item));
+  }
+  tampered.Seal();
+  AuditReport report = AuditRelease(raw, tampered, config);
+  EXPECT_FALSE(report.passed);
+}
+
+TEST(AuditorTest, DetectsUnsanitizedPassThrough) {
+  // Publishing the raw supports verbatim with zero claimed variance... the
+  // metadata budget check cannot fire (variance forged), but the interval
+  // attack must: with honest noise parameters the adversary's intervals
+  // center on the raw values, and the derived vulnerable pattern is nailed
+  // within the noise region only by chance — so instead audit the forged
+  // metadata path: claimed variance below the δ floor is impossible for an
+  // honest engine, and the ε-budget check uses the claimed values.
+  ButterflyConfig config = BaseConfig();
+  MiningOutput raw = RawOutput();
+  SanitizedOutput verbatim(25, 2000);
+  for (const FrequentItemset& f : raw.itemsets()) {
+    // A "release" that leaks exact supports and claims a huge bias to sneak
+    // through the region check: the epsilon-budget check catches the claim.
+    verbatim.Add(SanitizedItemset{f.itemset, f.support, /*bias=*/50.0,
+                                  /*variance=*/4.67});
+  }
+  verbatim.Seal();
+  AuditReport report = AuditRelease(raw, verbatim, config);
+  EXPECT_FALSE(report.passed);
+}
+
+TEST(AuditorTest, DetectsReperturbationAcrossWindows) {
+  ButterflyConfig config = BaseConfig();
+  config.republish_cache = false;  // deliberately misconfigured engine
+  ButterflyEngine engine(config);
+  MiningOutput raw = RawOutput();
+  SanitizedOutput first = engine.Sanitize(raw, 2000);
+  // Find a second draw that actually differs (independent noise).
+  for (int i = 0; i < 50; ++i) {
+    SanitizedOutput second = engine.Sanitize(raw, 2000);
+    if (second.items() == first.items()) continue;
+    AuditReport report = AuditRelease(raw, second, config, &raw, &first);
+    EXPECT_FALSE(report.passed);
+    return;
+  }
+  FAIL() << "independent noise never produced a differing release";
+}
+
+// The interval-collapse channel: an equal-support subset pair (X ⊂ J with
+// T(X) = T(J)) under INDEPENDENT noise can land at opposite region extremes;
+// the monotonicity constraint T(J) <= T(X) then collapses both intervals to
+// the (true) point, and pins cascade through the inclusion-exclusion system
+// until a vulnerable pattern is provably disclosed. The crafted output below
+// pins T({1}) via its equal-support supersets {1,5},{1,6} and T({1,2}) via
+// {1,2,4},{1,2,5}; when both pin, the pattern 1∧¬2 = 12−10 = 2 ≤ K is nailed.
+MiningOutput CollapsibleOutput() {
+  MiningOutput raw(10);
+  raw.Add(Itemset{2}, 30);
+  raw.Add(Itemset{4}, 20);
+  raw.Add(Itemset{5}, 20);
+  raw.Add(Itemset{6}, 20);
+  raw.Add(Itemset{1}, 12);
+  raw.Add(Itemset{1, 5}, 12);
+  raw.Add(Itemset{1, 6}, 12);
+  raw.Add(Itemset{1, 2}, 10);
+  raw.Add(Itemset{1, 2, 4}, 10);
+  raw.Add(Itemset{1, 2, 5}, 10);
+  raw.Seal();
+  return raw;
+}
+
+TEST(AuditorTest, IndependentNoiseCanPinPatternsInTightRegimes) {
+  ButterflyConfig config;
+  config.min_support = 10;
+  config.vulnerable_support = 3;
+  config.epsilon = 0.05;
+  config.delta = 0.1;  // alpha = 2: narrow regions collapse most easily
+  config.scheme = ButterflyScheme::kBasic;  // per-itemset independent noise
+  config.republish_cache = false;
+
+  MiningOutput raw = CollapsibleOutput();
+  size_t pinned_draws = 0;
+  for (uint64_t seed = 1; seed <= 200; ++seed) {
+    config.seed = seed;
+    ButterflyEngine engine(config);
+    SanitizedOutput release = engine.Sanitize(raw, 60);
+    AuditReport report = AuditRelease(raw, release, config);
+    if (!report.passed) ++pinned_draws;
+  }
+  // A few percent of draws collapse; the auditor must catch them.
+  EXPECT_GT(pinned_draws, 0u)
+      << "expected at least one collapsing draw over 200 seeds";
+
+  // And the audit-driven redraw must always end clean.
+  for (uint64_t seed = 1; seed <= 20; ++seed) {
+    config.seed = seed;
+    ButterflyEngine engine(config);
+    AuditReport report;
+    SanitizedOutput clean =
+        SanitizeUntilClean(&engine, raw, 60, /*max_attempts=*/64, &report);
+    EXPECT_TRUE(report.passed) << "seed " << seed;
+    EXPECT_FALSE(clean.empty());
+  }
+}
+
+TEST(AuditorTest, FecSharedNoiseClosesTheCollapseChannel) {
+  // The same output under an optimized scheme: equal supports share one
+  // draw, the subset pair's intervals coincide, monotonicity learns nothing
+  // — a privacy benefit of the FEC design beyond utility.
+  ButterflyConfig config;
+  config.min_support = 10;
+  config.vulnerable_support = 3;
+  config.epsilon = 0.05;
+  config.delta = 0.1;
+  config.scheme = ButterflyScheme::kRatioPreserving;
+  config.republish_cache = false;
+
+  MiningOutput raw = CollapsibleOutput();
+  for (uint64_t seed = 1; seed <= 200; ++seed) {
+    config.seed = seed;
+    ButterflyEngine engine(config);
+    SanitizedOutput release = engine.Sanitize(raw, 60);
+    AuditReport report = AuditRelease(raw, release, config);
+    EXPECT_TRUE(report.passed)
+        << "seed " << seed << ": " << report.violations.front();
+  }
+}
+
+TEST(AuditorTest, RepublishConsistencyPassesWithCache) {
+  ButterflyConfig config = BaseConfig();
+  ButterflyEngine engine(config);
+  MiningOutput raw = RawOutput();
+  SanitizedOutput first = engine.Sanitize(raw, 2000);
+  SanitizedOutput second = engine.Sanitize(raw, 2000);
+  AuditReport report = AuditRelease(raw, second, config, &raw, &first);
+  EXPECT_TRUE(report.passed) << report.violations.front();
+}
+
+}  // namespace
+}  // namespace butterfly

@@ -1,0 +1,221 @@
+#include "core/bias_setting.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/fec.h"
+
+namespace butterfly {
+namespace {
+
+std::vector<FecProfile> MakeProfiles(const std::vector<Support>& supports,
+                                     double epsilon, double variance,
+                                     size_t member_count = 1) {
+  std::vector<FecProfile> profiles;
+  for (Support t : supports) {
+    profiles.push_back(
+        FecProfile{t, member_count, MaxAdjustableBias(t, epsilon, variance)});
+  }
+  return profiles;
+}
+
+// The objective Algorithm 1 minimizes, restricted to the γ-window.
+double OrderObjective(const std::vector<FecProfile>& fecs,
+                      const std::vector<double>& biases, int64_t alpha,
+                      size_t gamma) {
+  double total = 0;
+  for (size_t i = 0; i < fecs.size(); ++i) {
+    for (size_t j = i + 1; j < fecs.size() && j - i <= gamma; ++j) {
+      double d = (fecs[j].support + biases[j]) - (fecs[i].support + biases[i]);
+      if (d < alpha + 1) {
+        double gap = alpha + 1 - d;
+        total += static_cast<double>(fecs[i].member_count +
+                                     fecs[j].member_count) *
+                 gap * gap;
+      }
+    }
+  }
+  return total;
+}
+
+TEST(ZeroBiasesTest, AllZero) {
+  std::vector<double> b = ZeroBiases(4);
+  ASSERT_EQ(b.size(), 4u);
+  for (double v : b) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(OrderPreservingTest, EmptyAndSingleton) {
+  OrderOptConfig opt;
+  EXPECT_TRUE(OrderPreservingBiases({}, 7, opt).empty());
+  std::vector<FecProfile> one = MakeProfiles({30}, 0.04, 5.0);
+  EXPECT_EQ(OrderPreservingBiases(one, 7, opt), std::vector<double>{0.0});
+}
+
+TEST(OrderPreservingTest, GammaZeroIsZeroBias) {
+  OrderOptConfig opt;
+  opt.gamma = 0;
+  std::vector<FecProfile> fecs = MakeProfiles({25, 26, 27}, 0.04, 5.0);
+  EXPECT_EQ(OrderPreservingBiases(fecs, 7, opt), ZeroBiases(3));
+}
+
+TEST(OrderPreservingTest, BiasesRespectMaxAdjustable) {
+  OrderOptConfig opt;
+  std::vector<FecProfile> fecs =
+      MakeProfiles({25, 26, 28, 30, 31, 60, 61, 200}, 0.04, 5.0);
+  std::vector<double> biases = OrderPreservingBiases(fecs, 7, opt);
+  ASSERT_EQ(biases.size(), fecs.size());
+  for (size_t i = 0; i < fecs.size(); ++i) {
+    EXPECT_LE(std::abs(biases[i]), fecs[i].max_bias + 1e-9);
+  }
+}
+
+TEST(OrderPreservingTest, EstimatorsStrictlyIncrease) {
+  OrderOptConfig opt;
+  std::vector<FecProfile> fecs =
+      MakeProfiles({25, 26, 27, 28, 29, 30, 35, 40}, 0.04, 5.0);
+  std::vector<double> biases = OrderPreservingBiases(fecs, 7, opt);
+  for (size_t i = 1; i < fecs.size(); ++i) {
+    EXPECT_LT(fecs[i - 1].support + biases[i - 1],
+              fecs[i].support + biases[i]);
+  }
+}
+
+TEST(OrderPreservingTest, NeverWorseThanZeroBias) {
+  Rng rng(41);
+  OrderOptConfig opt;
+  for (int round = 0; round < 10; ++round) {
+    std::vector<Support> supports;
+    Support t = 25;
+    for (int i = 0; i < 12; ++i) {
+      supports.push_back(t);
+      t += static_cast<Support>(rng.UniformInt(1, 6));
+    }
+    std::vector<FecProfile> fecs = MakeProfiles(supports, 0.05, 5.0);
+    std::vector<double> biases = OrderPreservingBiases(fecs, 7, opt);
+    double optimized = OrderObjective(fecs, biases, 7, opt.gamma);
+    double baseline = OrderObjective(fecs, ZeroBiases(fecs.size()), 7,
+                                     opt.gamma);
+    EXPECT_LE(optimized, baseline + 1e-9) << "round " << round;
+  }
+}
+
+TEST(OrderPreservingTest, SeparatesTwoAdjacentFecs) {
+  // Two FECs one count apart with generous bias budget: the DP should pull
+  // them at least α+1 apart, zeroing the inversion risk.
+  std::vector<FecProfile> fecs = {{100, 1, 20.0}, {101, 1, 20.0}};
+  OrderOptConfig opt;
+  std::vector<double> biases = OrderPreservingBiases(fecs, 7, opt);
+  double d = (101 + biases[1]) - (100 + biases[0]);
+  EXPECT_GE(d, 8.0 - 1e-9);
+}
+
+TEST(OrderPreservingTest, WellSeparatedFecsNeedNoBias) {
+  // Supports already > α+1 apart: zero cost is achievable; any returned
+  // setting must also achieve zero.
+  std::vector<FecProfile> fecs = MakeProfiles({25, 50, 100, 200}, 0.04, 5.0);
+  OrderOptConfig opt;
+  std::vector<double> biases = OrderPreservingBiases(fecs, 7, opt);
+  EXPECT_DOUBLE_EQ(OrderObjective(fecs, biases, 7, opt.gamma), 0.0);
+}
+
+TEST(OrderPreservingTest, WeightsFavorLargeFecs) {
+  // Middle FEC adjacent to both neighbors; the heavier pair should get the
+  // larger separation.
+  std::vector<FecProfile> fecs = {{100, 1, 6.0}, {102, 10, 6.0}, {104, 10, 6.0}};
+  OrderOptConfig opt;
+  opt.gamma = 2;
+  std::vector<double> biases = OrderPreservingBiases(fecs, 7, opt);
+  double d_light = (102 + biases[1]) - (100 + biases[0]);
+  double d_heavy = (104 + biases[2]) - (102 + biases[1]);
+  EXPECT_GE(d_heavy, d_light - 1e-9);
+}
+
+TEST(OrderPreservingTest, LargerGammaNeverHurtsTrueObjective) {
+  // Evaluated against the FULL pairwise objective, deeper windows should not
+  // do worse on this small dense instance.
+  std::vector<FecProfile> fecs =
+      MakeProfiles({25, 26, 27, 28, 29, 30}, 0.1, 5.0, 2);
+  OrderOptConfig opt;
+  opt.gamma = 1;
+  std::vector<double> shallow = OrderPreservingBiases(fecs, 7, opt);
+  opt.gamma = 4;
+  std::vector<double> deep = OrderPreservingBiases(fecs, 7, opt);
+  double shallow_cost = OrderObjective(fecs, shallow, 7, fecs.size());
+  double deep_cost = OrderObjective(fecs, deep, 7, fecs.size());
+  EXPECT_LE(deep_cost, shallow_cost + 1e-6);
+}
+
+TEST(RatioPreservingTest, ProportionalToSupport) {
+  std::vector<FecProfile> fecs = MakeProfiles({25, 50, 100}, 0.04, 5.0);
+  std::vector<double> biases = RatioPreservingBiases(fecs);
+  ASSERT_EQ(biases.size(), 3u);
+  EXPECT_NEAR(biases[0], fecs[0].max_bias, 1e-9);  // β₁ = βᵐ₁
+  EXPECT_NEAR(biases[1] / biases[0], 2.0, 1e-9);
+  EXPECT_NEAR(biases[2] / biases[0], 4.0, 1e-9);
+}
+
+TEST(RatioPreservingTest, Lemma3FeasibilityNeverClamps) {
+  // βᵐ₁·t_i/t₁ <= βᵐ_i whenever t_i >= t₁ (Lemma 3); so the clamp in the
+  // implementation must never bind for consistent (ε, σ²) inputs.
+  Rng rng(43);
+  for (int round = 0; round < 20; ++round) {
+    double epsilon = rng.UniformReal(0.005, 0.1);
+    double variance = rng.UniformReal(0.5, 4.0);
+    std::vector<Support> supports;
+    Support t = static_cast<Support>(rng.UniformInt(20, 40));
+    // Keep ε t² > σ² for the smallest FEC.
+    while (epsilon * static_cast<double>(t) * t <= variance) ++t;
+    for (int i = 0; i < 10; ++i) {
+      supports.push_back(t);
+      t += static_cast<Support>(rng.UniformInt(1, 30));
+    }
+    std::vector<FecProfile> fecs = MakeProfiles(supports, epsilon, variance);
+    std::vector<double> biases = RatioPreservingBiases(fecs);
+    double ratio0 = biases[0] / static_cast<double>(fecs[0].support);
+    for (size_t i = 0; i < fecs.size(); ++i) {
+      EXPECT_LE(biases[i], fecs[i].max_bias + 1e-9);
+      // Proportionality held exactly (clamp did not bind).
+      EXPECT_NEAR(biases[i] / static_cast<double>(fecs[i].support), ratio0,
+                  1e-9);
+    }
+  }
+}
+
+TEST(RatioPreservingTest, EmptyInput) {
+  EXPECT_TRUE(RatioPreservingBiases({}).empty());
+}
+
+TEST(HybridTest, EndpointsMatchConstituents) {
+  std::vector<FecProfile> fecs = MakeProfiles({25, 30, 60}, 0.04, 5.0);
+  OrderOptConfig opt;
+  std::vector<double> op = OrderPreservingBiases(fecs, 7, opt);
+  std::vector<double> rp = RatioPreservingBiases(fecs);
+  EXPECT_EQ(HybridBiases(fecs, op, rp, 1.0), op);
+  EXPECT_EQ(HybridBiases(fecs, op, rp, 0.0), rp);
+}
+
+TEST(HybridTest, BlendIsConvexCombination) {
+  std::vector<FecProfile> fecs = MakeProfiles({25, 30, 60}, 0.04, 5.0);
+  OrderOptConfig opt;
+  std::vector<double> op = OrderPreservingBiases(fecs, 7, opt);
+  std::vector<double> rp = RatioPreservingBiases(fecs);
+  std::vector<double> mid = HybridBiases(fecs, op, rp, 0.4);
+  for (size_t i = 0; i < fecs.size(); ++i) {
+    double lo = std::min(op[i], rp[i]);
+    double hi = std::max(op[i], rp[i]);
+    EXPECT_GE(mid[i], lo - 1e-9);
+    EXPECT_LE(mid[i], hi + 1e-9);
+  }
+}
+
+TEST(HybridTest, ClampsToMaxBias) {
+  std::vector<FecProfile> fecs = {{30, 1, 2.0}};
+  std::vector<double> big = {100.0};
+  std::vector<double> blended = HybridBiases(fecs, big, big, 0.5);
+  EXPECT_DOUBLE_EQ(blended[0], 2.0);
+}
+
+}  // namespace
+}  // namespace butterfly

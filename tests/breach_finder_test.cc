@@ -1,0 +1,209 @@
+#include "inference/breach_finder.h"
+
+#include <gtest/gtest.h>
+
+#include "mining/eclat.h"
+#include "mining/support.h"
+#include "paper_stream.h"
+
+namespace butterfly {
+namespace {
+
+using butterfly::testing::kA;
+using butterfly::testing::kB;
+using butterfly::testing::kC;
+using butterfly::testing::PaperWindow;
+
+MiningOutput MineWindow(const std::vector<Transaction>& window, Support c) {
+  EclatMiner miner;
+  return miner.Mine(window, c);
+}
+
+TEST(KnowledgeBaseTest, SeedsFromReleaseAndWindowSize) {
+  std::vector<Transaction> window = PaperWindow(12);
+  MiningOutput released = MineWindow(window, 4);
+  AttackConfig config;
+  KnowledgeBase kb(released, 8, config);
+  EXPECT_EQ(kb.Lookup(Itemset{kC}), 8);
+  EXPECT_EQ(kb.Lookup(Itemset{}), 8);  // window size
+  EXPECT_FALSE(kb.WasInferred(Itemset{kC}));
+}
+
+TEST(KnowledgeBaseTest, WindowSizeWithheldWhenConfigured) {
+  MiningOutput released(4);
+  released.Seal();
+  AttackConfig config;
+  config.knows_window_size = false;
+  KnowledgeBase kb(released, 8, config);
+  EXPECT_FALSE(kb.Lookup(Itemset{}).has_value());
+}
+
+TEST(KnowledgeBaseTest, LearnMarksInference) {
+  MiningOutput released(4);
+  released.Seal();
+  AttackConfig config;
+  KnowledgeBase kb(released, 8, config);
+  kb.Learn(Itemset{1}, 3, /*inferred=*/true);
+  EXPECT_EQ(kb.Lookup(Itemset{1}), 3);
+  EXPECT_TRUE(kb.WasInferred(Itemset{1}));
+}
+
+TEST(BreachFinderTest, FindsPlantedBreachInPaperPreviousWindow) {
+  // Ds(11,8) at C=4 releases the full lattice over {a,b,c}; with K=2 the
+  // pattern a∧c∧¬b has support 6−4=2 <= K and must be flagged.
+  std::vector<Transaction> window = PaperWindow(11);
+  MiningOutput released = MineWindow(window, 4);
+  AttackConfig config;
+  config.vulnerable_support = 2;
+  std::vector<InferredPattern> breaches =
+      FindIntraWindowBreaches(released, 8, config);
+  bool found = false;
+  for (const InferredPattern& b : breaches) {
+    if (b.pattern == Pattern(Itemset{kA, kC}, Itemset{kB})) {
+      EXPECT_EQ(b.inferred_support, 2);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(BreachFinderTest, DerivedSupportsMatchGroundTruth) {
+  std::vector<Transaction> window = PaperWindow(11);
+  MiningOutput released = MineWindow(window, 4);
+  AttackConfig config;
+  config.vulnerable_support = 3;
+  for (const InferredPattern& b :
+       FindIntraWindowBreaches(released, 8, config)) {
+    EXPECT_EQ(b.inferred_support, CountPatternSupport(window, b.pattern))
+        << b.pattern.ToString();
+    EXPECT_GT(b.inferred_support, 0);
+    EXPECT_LE(b.inferred_support, 3);
+  }
+}
+
+TEST(BreachFinderTest, PaperCurrentWindowIsImmuneAtKOne) {
+  // §IV-C / Example 5: at C=4, K=1 neither window leaks intra-window.
+  AttackConfig config;
+  config.vulnerable_support = 1;
+  for (size_t n : {11u, 12u}) {
+    std::vector<Transaction> window = PaperWindow(n);
+    MiningOutput released = MineWindow(window, 4);
+    std::vector<InferredPattern> breaches =
+        FindIntraWindowBreaches(released, 8, config);
+    EXPECT_TRUE(breaches.empty()) << "window Ds(" << n << ",8)";
+  }
+}
+
+TEST(BreachFinderTest, EstimationCompletesMissingMosaics) {
+  // A window where T(abc) is determined by its subsets (every a-record is an
+  // abc-record), with abc itself below C: the estimation pass must recover
+  // it and expose the resulting vulnerable pattern.
+  std::vector<Transaction> window;
+  for (int i = 0; i < 3; ++i) window.emplace_back(0, Itemset{1, 2, 3});
+  for (int i = 0; i < 4; ++i) window.emplace_back(0, Itemset{2, 3});
+  for (int i = 0; i < 4; ++i) window.emplace_back(0, Itemset{3});
+  // Supports: 3:11, 2:7, 23:7, 1:3, 12:3, 13:3, 123:3.
+  MiningOutput released = MineWindow(window, 4);  // 1-sets {2},{3}, {2,3}
+  ASSERT_FALSE(released.Contains(Itemset{1}));
+
+  AttackConfig config;
+  config.vulnerable_support = 4;
+  std::vector<InferredPattern> with_estimation =
+      FindIntraWindowBreaches(released, 11, config);
+
+  config.use_estimation = false;
+  std::vector<InferredPattern> without_estimation =
+      FindIntraWindowBreaches(released, 11, config);
+
+  EXPECT_GE(with_estimation.size(), without_estimation.size());
+  // p = 2 ∧ ¬3 = 7 − 7 = 0 is not a breach; p = 3 ∧ ¬2 = 4 <= K is.
+  bool found = false;
+  for (const InferredPattern& b : without_estimation) {
+    if (b.pattern == Pattern(Itemset{3}, Itemset{2})) {
+      EXPECT_EQ(b.inferred_support, 4);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(BreachFinderTest, TightenKnowledgeLearnsDeterminedItemset) {
+  // Same construction: T({1,2}) is pinned because T({1}) = T({1,2}).
+  std::vector<Transaction> window;
+  for (int i = 0; i < 5; ++i) window.emplace_back(0, Itemset{1, 2});
+  for (int i = 0; i < 6; ++i) window.emplace_back(0, Itemset{2});
+  MiningOutput released = MineWindow(window, 5);  // {1}:5 {2}:11 {1,2}:5
+  // Remove {1,2} from what the adversary sees.
+  MiningOutput censored(5);
+  for (const FrequentItemset& f : released.itemsets()) {
+    if (f.itemset.size() == 1) censored.Add(f.itemset, f.support);
+  }
+  censored.Seal();
+
+  AttackConfig config;
+  KnowledgeBase kb(censored, 11, config);
+  size_t learned = TightenKnowledge(&kb, config);
+  EXPECT_GE(learned, 1u);
+  EXPECT_EQ(kb.Lookup(Itemset{1, 2}), 5);
+  EXPECT_TRUE(kb.WasInferred(Itemset{1, 2}));
+}
+
+TEST(BreachFinderTest, ViaEstimationFlagDistinguishesDirectBreaches) {
+  std::vector<Transaction> window;
+  for (int i = 0; i < 5; ++i) window.emplace_back(0, Itemset{1, 2});
+  for (int i = 0; i < 6; ++i) window.emplace_back(0, Itemset{2});
+  MiningOutput censored(5);
+  censored.Add(Itemset{1}, 5);
+  censored.Add(Itemset{2}, 11);
+  censored.Seal();
+
+  AttackConfig config;
+  config.vulnerable_support = 5;
+  std::vector<InferredPattern> breaches =
+      FindIntraWindowBreaches(censored, 11, config);
+  // 1∧¬2 = 0 (needs learned {1,2}); 2∧¬1 = 6 > K; ¬2 = 0; ¬1 = 6 > K;
+  // ¬1∧¬2 = 11−5−11+5 = 0. The learned-lattice pattern with support in
+  // (0,5]: 2∧¬1 is 6 — none... except via estimation: {1,2} learned = 5 <= K
+  // would make pattern 1∧2 (no negation? patterns need strict subset)...
+  // Check: every reported breach that touches the learned {1,2} node is
+  // flagged via_estimation.
+  for (const InferredPattern& b : breaches) {
+    if (b.pattern.EnclosingItemset() == (Itemset{1, 2})) {
+      EXPECT_TRUE(b.via_estimation) << b.pattern.ToString();
+    }
+  }
+}
+
+TEST(BreachFinderTest, MaxItemsetSizeCapsLattices) {
+  std::vector<Transaction> window = PaperWindow(11);
+  MiningOutput released = MineWindow(window, 4);
+  AttackConfig config;
+  config.vulnerable_support = 3;
+  config.max_itemset_size = 1;  // only singleton lattices: patterns vs H
+  for (const InferredPattern& b :
+       FindIntraWindowBreaches(released, 8, config)) {
+    EXPECT_LE(b.pattern.EnclosingItemset().size(), 1u);
+  }
+}
+
+TEST(BreachFinderTest, EmptyReleaseNoBreaches) {
+  MiningOutput released(4);
+  released.Seal();
+  AttackConfig config;
+  EXPECT_TRUE(FindIntraWindowBreaches(released, 100, config).empty());
+}
+
+TEST(BreachFinderTest, ResultsAreSortedAndUnique) {
+  std::vector<Transaction> window = PaperWindow(11);
+  MiningOutput released = MineWindow(window, 4);
+  AttackConfig config;
+  config.vulnerable_support = 3;
+  std::vector<InferredPattern> breaches =
+      FindIntraWindowBreaches(released, 8, config);
+  for (size_t i = 1; i < breaches.size(); ++i) {
+    EXPECT_LT(breaches[i - 1].pattern, breaches[i].pattern);
+  }
+}
+
+}  // namespace
+}  // namespace butterfly

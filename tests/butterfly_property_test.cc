@@ -1,0 +1,221 @@
+/// Property sweeps over the whole (scheme × ε × δ × seed) configuration
+/// grid: the analytic budget invariants of §V must hold for EVERY
+/// configuration, not just the defaults the figures use.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/butterfly.h"
+#include "datagen/quest_generator.h"
+#include "metrics/sanitized_attack.h"
+#include "metrics/utility_metrics.h"
+#include "mining/eclat.h"
+
+namespace butterfly {
+namespace {
+
+struct GridPoint {
+  ButterflyScheme scheme;
+  double epsilon;
+  double delta;
+  uint64_t seed;
+};
+
+std::string GridPointName(const ::testing::TestParamInfo<GridPoint>& info) {
+  const GridPoint& p = info.param;
+  std::string scheme = SchemeName(p.scheme);
+  for (char& c : scheme) {
+    if (c == '-') c = '_';
+  }
+  return scheme + "_eps" + std::to_string(int(p.epsilon * 1000)) + "_delta" +
+         std::to_string(int(p.delta * 100)) + "_seed" + std::to_string(p.seed);
+}
+
+std::vector<GridPoint> MakeGrid() {
+  std::vector<GridPoint> grid;
+  for (ButterflyScheme scheme :
+       {ButterflyScheme::kBasic, ButterflyScheme::kOrderPreserving,
+        ButterflyScheme::kRatioPreserving, ButterflyScheme::kHybrid}) {
+    for (double delta : {0.2, 0.4, 1.0}) {
+      for (double epsilon : {0.008, 0.016, 0.04}) {
+        for (uint64_t seed : {1ull, 2ull}) {
+          // Keep only feasible (ε, δ) pairs for C=25, K=5, including the
+          // integer-discretization guard.
+          ButterflyConfig probe;
+          probe.scheme = scheme;
+          probe.epsilon = epsilon;
+          probe.delta = delta;
+          probe.min_support = 25;
+          probe.vulnerable_support = 5;
+          if (!probe.Validate().ok()) continue;
+          grid.push_back(GridPoint{scheme, epsilon, delta, seed});
+        }
+      }
+    }
+  }
+  return grid;
+}
+
+class ButterflyGridTest : public ::testing::TestWithParam<GridPoint> {
+ protected:
+  // A realistic raw output mined from QUEST data once per process.
+  static const MiningOutput& Raw() {
+    static MiningOutput raw = [] {
+      QuestConfig config;
+      config.num_transactions = 2000;
+      config.num_items = 120;
+      config.avg_transaction_len = 5;
+      config.seed = 9;
+      auto data = GenerateQuest(config);
+      EclatMiner eclat;
+      return eclat.Mine(*data, 25);
+    }();
+    return raw;
+  }
+
+  ButterflyConfig Config() const {
+    const GridPoint& p = GetParam();
+    ButterflyConfig config;
+    config.scheme = p.scheme;
+    config.epsilon = p.epsilon;
+    config.delta = p.delta;
+    config.min_support = 25;
+    config.vulnerable_support = 5;
+    config.lambda = 0.4;
+    config.seed = p.seed;
+    return config;
+  }
+};
+
+TEST_P(ButterflyGridTest, ConfigIsValid) {
+  EXPECT_TRUE(Config().Validate().ok());
+}
+
+TEST_P(ButterflyGridTest, ReleasePreservesItemsetSet) {
+  ButterflyEngine engine(Config());
+  SanitizedOutput release = engine.Sanitize(Raw(), 2000);
+  ASSERT_EQ(release.size(), Raw().size());
+  for (const FrequentItemset& f : Raw().itemsets()) {
+    EXPECT_TRUE(release.SanitizedSupportOf(f.itemset).has_value());
+  }
+}
+
+TEST_P(ButterflyGridTest, PerItemsetBudgetHolds) {
+  ButterflyConfig config = Config();
+  ButterflyEngine engine(config);
+  SanitizedOutput release = engine.Sanitize(Raw(), 2000);
+  // β² + σ² <= ε·T² for every released itemset (Inequation 1).
+  for (const SanitizedItemset& item : release.items()) {
+    double t = static_cast<double>(*Raw().SupportOf(item.itemset));
+    EXPECT_LE(item.bias * item.bias + item.variance,
+              config.epsilon * t * t + 1e-6)
+        << item.itemset.ToString();
+  }
+}
+
+TEST_P(ButterflyGridTest, VarianceMeetsPrivacyFloor) {
+  ButterflyConfig config = Config();
+  ButterflyEngine engine(config);
+  // σ² >= δK²/2 (Inequation 2) is a property of the noise model alone.
+  double k = static_cast<double>(config.vulnerable_support);
+  EXPECT_GE(engine.noise().variance(), config.delta * k * k / 2.0 - 1e-9);
+}
+
+TEST_P(ButterflyGridTest, SanitizedValuesStayInUncertaintyRegion) {
+  ButterflyConfig config = Config();
+  ButterflyEngine engine(config);
+  SanitizedOutput release = engine.Sanitize(Raw(), 2000);
+  double half = static_cast<double>(engine.noise().alpha()) / 2.0 + 1.0;
+  for (const SanitizedItemset& item : release.items()) {
+    double t = static_cast<double>(*Raw().SupportOf(item.itemset));
+    EXPECT_LE(std::abs(static_cast<double>(item.sanitized_support) - t -
+                       item.bias),
+              half)
+        << item.itemset.ToString();
+  }
+}
+
+TEST_P(ButterflyGridTest, RepublishPinsAcrossWindows) {
+  ButterflyEngine engine(Config());
+  SanitizedOutput first = engine.Sanitize(Raw(), 2000);
+  SanitizedOutput second = engine.Sanitize(Raw(), 2000);
+  EXPECT_EQ(first.items(), second.items());
+}
+
+TEST_P(ButterflyGridTest, IntervalAttackFindsNoResidualBreach) {
+  ButterflyEngine engine(Config());
+  SanitizedOutput release = engine.Sanitize(Raw(), 2000);
+  // Treat every released 2+-itemset's derived patterns as targets; none may
+  // be provably pinned to a nonzero value <= K.
+  IntervalMap knowledge =
+      IntervalKnowledgeFromRelease(release, engine.noise());
+  TightenIntervals(&knowledge);
+  size_t pinned = 0;
+  for (const FrequentItemset& f : Raw().itemsets()) {
+    if (f.itemset.size() < 2 || f.itemset.size() > 6) continue;
+    for (Item drop : f.itemset) {
+      Pattern p = Pattern::Derived(f.itemset.Without(drop), f.itemset);
+      std::optional<Interval> interval = DerivePatternInterval(knowledge, p);
+      if (interval && interval->Tight() && interval->lo > 0 &&
+          interval->lo <= 5) {
+        ++pinned;
+      }
+    }
+  }
+  EXPECT_EQ(pinned, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, ButterflyGridTest,
+                         ::testing::ValuesIn(MakeGrid()), GridPointName);
+
+// Bias-setting invariants over random FEC structures.
+class BiasSettingGridTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(BiasSettingGridTest, AllSchemesRespectConstraints) {
+  Rng rng(GetParam());
+  for (int round = 0; round < 5; ++round) {
+    double epsilon = rng.UniformReal(0.01, 0.2);
+    double variance = rng.UniformReal(1.0, 8.0);
+    int64_t alpha = rng.UniformInt(3, 12);
+    size_t n = static_cast<size_t>(rng.UniformInt(2, 40));
+    std::vector<FecProfile> fecs;
+    Support t = static_cast<Support>(rng.UniformInt(25, 40));
+    while (epsilon * static_cast<double>(t) * t <= variance) ++t;
+    for (size_t i = 0; i < n; ++i) {
+      fecs.push_back(FecProfile{t, static_cast<size_t>(rng.UniformInt(1, 6)),
+                                MaxAdjustableBias(t, epsilon, variance)});
+      t += static_cast<Support>(rng.UniformInt(1, 12));
+    }
+
+    OrderOptConfig opt;
+    opt.gamma = static_cast<size_t>(rng.UniformInt(1, 4));
+    std::vector<double> order = OrderPreservingBiases(fecs, alpha, opt);
+    std::vector<double> ratio = RatioPreservingBiases(fecs);
+    std::vector<double> hybrid =
+        HybridBiases(fecs, order, ratio, rng.UniformReal());
+
+    for (const auto* biases : {&order, &ratio, &hybrid}) {
+      ASSERT_EQ(biases->size(), n);
+      for (size_t i = 0; i < n; ++i) {
+        EXPECT_LE(std::abs((*biases)[i]), fecs[i].max_bias + 1e-9);
+      }
+    }
+    // The order-preserving estimators must be strictly increasing.
+    for (size_t i = 1; i < n; ++i) {
+      EXPECT_LT(fecs[i - 1].support + order[i - 1],
+                fecs[i].support + order[i]);
+    }
+    // The ratio biases must be proportional to supports.
+    double r0 = ratio[0] / static_cast<double>(fecs[0].support);
+    for (size_t i = 0; i < n; ++i) {
+      EXPECT_NEAR(ratio[i] / static_cast<double>(fecs[i].support), r0, 1e-9);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BiasSettingGridTest,
+                         ::testing::Range<uint64_t>(1, 13));
+
+}  // namespace
+}  // namespace butterfly

@@ -1,0 +1,126 @@
+#include "datagen/drift.h"
+
+#include <gtest/gtest.h>
+
+#include "mining/support.h"
+
+namespace butterfly {
+namespace {
+
+QuestConfig Regime(uint64_t seed, size_t items_lo) {
+  QuestConfig config;
+  config.num_items = 40;
+  config.avg_transaction_len = 4;
+  config.num_patterns = 10;
+  config.seed = seed;
+  (void)items_lo;
+  return config;
+}
+
+DriftConfig BaseDrift() {
+  DriftConfig config;
+  config.before = Regime(1, 0);
+  config.after = Regime(99, 40);
+  config.drift_start = 400;
+  config.drift_span = 200;
+  config.num_transactions = 1000;
+  return config;
+}
+
+TEST(DriftTest, ValidatesComponents) {
+  DriftConfig config = BaseDrift();
+  EXPECT_TRUE(config.Validate().ok());
+  config.drift_span = 0;
+  EXPECT_FALSE(config.Validate().ok());
+  config = BaseDrift();
+  config.num_transactions = 0;
+  EXPECT_FALSE(config.Validate().ok());
+  config = BaseDrift();
+  config.before.num_items = 0;
+  EXPECT_FALSE(config.Validate().ok());
+}
+
+TEST(DriftTest, ProducesRequestedCountWithSequentialTids) {
+  auto stream = GenerateDriftStream(BaseDrift());
+  ASSERT_TRUE(stream.ok());
+  ASSERT_EQ(stream->size(), 1000u);
+  for (size_t i = 0; i < stream->size(); ++i) {
+    EXPECT_EQ((*stream)[i].tid, i + 1);
+    EXPECT_FALSE((*stream)[i].items.empty());
+  }
+}
+
+TEST(DriftTest, DeterministicForFixedConfig) {
+  auto a = GenerateDriftStream(BaseDrift());
+  auto b = GenerateDriftStream(BaseDrift());
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(*a, *b);
+}
+
+TEST(DriftTest, PrefixIsPureBeforeRegime) {
+  DriftConfig config = BaseDrift();
+  auto drifted = GenerateDriftStream(config);
+  QuestConfig pure = config.before;
+  pure.num_transactions = config.num_transactions;
+  auto before_only = GenerateQuest(pure);
+  ASSERT_TRUE(drifted.ok() && before_only.ok());
+  // Until drift_start, the mixer always picks the before-stream in order.
+  for (size_t i = 0; i < config.drift_start; ++i) {
+    EXPECT_EQ((*drifted)[i].items, (*before_only)[i].items) << "record " << i;
+  }
+}
+
+TEST(DriftTest, TailMatchesAfterRegimeDistribution) {
+  // After the span, records come from the after-regime; its planted
+  // patterns should dominate the tail and be rare in the head.
+  DriftConfig config = BaseDrift();
+  config.num_transactions = 4000;
+  config.drift_start = 1000;
+  config.drift_span = 500;
+  auto stream = GenerateDriftStream(config);
+  ASSERT_TRUE(stream.ok());
+
+  auto pool = GenerateQuestPatterns(config.after);
+  ASSERT_TRUE(pool.ok());
+  // The heaviest multi-item after-pattern.
+  size_t best = pool->patterns.size();
+  double weight = 0;
+  for (size_t i = 0; i < pool->patterns.size(); ++i) {
+    if (pool->patterns[i].size() >= 2 && pool->weights[i] > weight) {
+      best = i;
+      weight = pool->weights[i];
+    }
+  }
+  ASSERT_LT(best, pool->patterns.size());
+  const Itemset& marker = pool->patterns[best];
+
+  std::vector<Transaction> head(stream->begin(), stream->begin() + 1000);
+  std::vector<Transaction> tail(stream->end() - 1000, stream->end());
+  Support head_support = CountSupport(head, marker);
+  Support tail_support = CountSupport(tail, marker);
+  EXPECT_GT(tail_support, head_support)
+      << "marker " << marker.ToString() << " head " << head_support
+      << " tail " << tail_support;
+}
+
+TEST(DriftTest, ImmediateDriftSkipsBeforeRegime) {
+  DriftConfig config = BaseDrift();
+  config.drift_start = 0;
+  config.drift_span = 1;
+  auto stream = GenerateDriftStream(config);
+  ASSERT_TRUE(stream.ok());
+  // With progress pinned at 1 from the start (i >= 1), nearly everything is
+  // after-regime; compare against the pure after stream.
+  QuestConfig pure = config.after;
+  pure.num_transactions = config.num_transactions;
+  auto after_only = GenerateQuest(pure);
+  ASSERT_TRUE(after_only.ok());
+  size_t matches = 0;
+  for (size_t i = 1; i < stream->size(); ++i) {
+    if ((*stream)[i].items == (*after_only)[i - 1].items) ++matches;
+  }
+  EXPECT_GT(matches, stream->size() / 2);
+}
+
+}  // namespace
+}  // namespace butterfly

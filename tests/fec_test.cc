@@ -1,0 +1,86 @@
+#include "core/fec.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace butterfly {
+namespace {
+
+MiningOutput MakeOutput(std::vector<std::pair<Itemset, Support>> entries) {
+  MiningOutput out(2);
+  for (auto& [itemset, support] : entries) out.Add(itemset, support);
+  out.Seal();
+  return out;
+}
+
+TEST(FecTest, GroupsBySupport) {
+  MiningOutput out = MakeOutput({{Itemset{1}, 5},
+                                 {Itemset{2}, 5},
+                                 {Itemset{3}, 7},
+                                 {Itemset{1, 2}, 5}});
+  std::vector<Fec> fecs = PartitionIntoFecs(out);
+  ASSERT_EQ(fecs.size(), 2u);
+  EXPECT_EQ(fecs[0].support, 5);
+  EXPECT_EQ(fecs[0].size(), 3u);
+  EXPECT_EQ(fecs[1].support, 7);
+  EXPECT_EQ(fecs[1].size(), 1u);
+}
+
+TEST(FecTest, StrictlyAscendingSupports) {
+  MiningOutput out = MakeOutput({{Itemset{1}, 9},
+                                 {Itemset{2}, 3},
+                                 {Itemset{3}, 6},
+                                 {Itemset{4}, 3}});
+  std::vector<Fec> fecs = PartitionIntoFecs(out);
+  ASSERT_EQ(fecs.size(), 3u);
+  for (size_t i = 1; i < fecs.size(); ++i) {
+    EXPECT_LT(fecs[i - 1].support, fecs[i].support);
+  }
+}
+
+TEST(FecTest, MembersSortedLexicographically) {
+  MiningOutput out =
+      MakeOutput({{Itemset{9}, 4}, {Itemset{1}, 4}, {Itemset{5}, 4}});
+  std::vector<Fec> fecs = PartitionIntoFecs(out);
+  ASSERT_EQ(fecs.size(), 1u);
+  EXPECT_EQ(fecs[0].members[0], (Itemset{1}));
+  EXPECT_EQ(fecs[0].members[2], (Itemset{9}));
+}
+
+TEST(FecTest, EmptyOutputNoFecs) {
+  MiningOutput out(2);
+  out.Seal();
+  EXPECT_TRUE(PartitionIntoFecs(out).empty());
+}
+
+TEST(FecTest, PartitionCoversEveryItemset) {
+  MiningOutput out = MakeOutput({{Itemset{1}, 2},
+                                 {Itemset{2}, 3},
+                                 {Itemset{3}, 2},
+                                 {Itemset{4}, 8}});
+  std::vector<Fec> fecs = PartitionIntoFecs(out);
+  size_t total = 0;
+  for (const Fec& fec : fecs) total += fec.size();
+  EXPECT_EQ(total, out.size());
+}
+
+TEST(MaxAdjustableBiasTest, ClosedForm) {
+  // βᵐ = √(ε t² − σ²).
+  double bias = MaxAdjustableBias(100, 0.01, 4.0);
+  EXPECT_NEAR(bias, std::sqrt(0.01 * 100.0 * 100.0 - 4.0), 1e-9);
+}
+
+TEST(MaxAdjustableBiasTest, ZeroWhenVarianceConsumesBudget) {
+  EXPECT_DOUBLE_EQ(MaxAdjustableBias(10, 0.01, 2.0), 0.0);
+  EXPECT_DOUBLE_EQ(MaxAdjustableBias(10, 0.01, 1.0), 0.0);  // exactly zero
+}
+
+TEST(MaxAdjustableBiasTest, GrowsWithSupport) {
+  double small = MaxAdjustableBias(30, 0.016, 5.0);
+  double large = MaxAdjustableBias(300, 0.016, 5.0);
+  EXPECT_GT(large, small);
+}
+
+}  // namespace
+}  // namespace butterfly

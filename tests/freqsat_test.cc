@@ -1,0 +1,181 @@
+#include "inference/freqsat.h"
+
+#include <gtest/gtest.h>
+
+#include "core/butterfly.h"
+#include "metrics/sanitized_attack.h"
+#include "mining/support.h"
+#include "paper_stream.h"
+
+namespace butterfly {
+namespace {
+
+using butterfly::testing::kA;
+using butterfly::testing::kB;
+using butterfly::testing::kC;
+using butterfly::testing::PaperWindow;
+
+// Builds exact constraints for every non-empty subset of `universe` from a
+// concrete window.
+IntervalMap ExactConstraints(const std::vector<Transaction>& window,
+                             const Itemset& universe) {
+  IntervalMap constraints;
+  const uint32_t full = (1u << universe.size()) - 1;
+  for (uint32_t mask = 1; mask <= full; ++mask) {
+    std::vector<Item> items;
+    for (size_t b = 0; b < universe.size(); ++b) {
+      if (mask & (1u << b)) items.push_back(universe[b]);
+    }
+    Itemset s(items);
+    constraints[s] = Interval::Exact(CountSupport(window, s));
+  }
+  return constraints;
+}
+
+TEST(FreqSatWitnessTest, SupportAndPatternQueries) {
+  FreqSatWitness witness;
+  witness.type_counts = {{Itemset{1, 2}, 3}, {Itemset{1}, 2}, {Itemset{}, 5}};
+  EXPECT_EQ(witness.SupportOf(Itemset{1}), 5);
+  EXPECT_EQ(witness.SupportOf(Itemset{1, 2}), 3);
+  EXPECT_EQ(witness.SupportOf(Itemset{}), 10);
+  EXPECT_EQ(witness.PatternSupportOf(Pattern(Itemset{1}, Itemset{2})), 2);
+  EXPECT_EQ(witness.PatternSupportOf(Pattern(Itemset{}, Itemset{1})), 5);
+}
+
+TEST(FreqSatTest, ExactConstraintsHaveUniqueWitness) {
+  // With every subset's support pinned exactly, the record-type histogram is
+  // determined by Möbius inversion: exactly one witness.
+  std::vector<Transaction> window = PaperWindow(12);
+  Itemset universe{kA, kB, kC};
+  WitnessQuery query;
+  query.universe = universe;
+  query.num_records = 8;
+  query.constraints = ExactConstraints(window, universe);
+
+  WitnessReport report = CountSupportWitnesses(query);
+  EXPECT_TRUE(report.exhausted);
+  EXPECT_EQ(report.witnesses, 1u);
+  ASSERT_TRUE(report.example.has_value());
+  // The unique witness reproduces every support and pattern count.
+  EXPECT_EQ(report.example->SupportOf(Itemset{kA, kC}), 5);
+  EXPECT_EQ(report.example->PatternSupportOf(
+                Pattern(Itemset{kC}, Itemset{kA, kB})),
+            1);
+}
+
+TEST(FreqSatTest, UnsatisfiableConstraintsHaveNoWitness) {
+  WitnessQuery query;
+  query.universe = Itemset{1, 2};
+  query.num_records = 10;
+  query.constraints[Itemset{1}] = Interval::Exact(3);
+  query.constraints[Itemset{1, 2}] = Interval::Exact(7);  // superset > subset
+  WitnessReport report = CountSupportWitnesses(query);
+  EXPECT_TRUE(report.exhausted);
+  EXPECT_EQ(report.witnesses, 0u);
+  EXPECT_FALSE(report.example.has_value());
+}
+
+TEST(FreqSatTest, UnconstrainedSubsetsEnumerateAllHistograms) {
+  // Two items, two records, no constraints beyond N: the number of support
+  // assignments (T1, T2, T12) with T12 <= min(T1,T2), T1+T2-T12 <= 2 equals
+  // the number of multisets... just check it is the full enumeration count
+  // of consistent vectors: T1,T2 in [0,2], T12 within bounds and every
+  // Möbius count non-negative.
+  WitnessQuery query;
+  query.universe = Itemset{1, 2};
+  query.num_records = 2;
+  WitnessReport report = CountSupportWitnesses(query);
+  EXPECT_TRUE(report.exhausted);
+  // Count by hand: choose counts (n1, n2, n12, nEmpty) >= 0 summing to 2:
+  // C(2+4-1, 4-1) = 10 histograms, each with a distinct support vector...
+  // distinct? (T1,T2,T12) = (n1+n12, n2+n12, n12): histogram -> vector is
+  // injective given N. So 10.
+  EXPECT_EQ(report.witnesses, 10u);
+}
+
+TEST(FreqSatTest, BudgetAbortsCleanly) {
+  WitnessQuery query;
+  query.universe = Itemset{1, 2, 3};
+  query.num_records = 40;
+  query.max_steps = 50;  // far too small
+  WitnessReport report = CountSupportWitnesses(query);
+  EXPECT_FALSE(report.exhausted);
+}
+
+TEST(FreqSatTest, ButterflyReleaseAdmitsManyWitnesses) {
+  // The deniability demonstration: the paper-window release sanitized by
+  // Butterfly yields interval constraints; the witness search must find
+  // multiple databases — including one where the Example 3 vulnerable
+  // pattern c∧¬a∧¬b (true support 1) does not occur at all.
+  std::vector<Transaction> window = PaperWindow(12);
+  Itemset universe{kA, kB, kC};
+
+  MiningOutput raw(4);
+  const uint32_t full = 7;
+  for (uint32_t mask = 1; mask <= full; ++mask) {
+    std::vector<Item> items;
+    for (size_t b = 0; b < 3; ++b) {
+      if (mask & (1u << b)) items.push_back(universe[b]);
+    }
+    Itemset s(items);
+    raw.Add(s, CountSupport(window, s));
+  }
+  raw.Seal();
+
+  ButterflyConfig config;
+  config.min_support = 4;
+  config.vulnerable_support = 1;
+  config.epsilon = 0.4;
+  config.delta = 1.0;
+  config.seed = 3;
+  ButterflyEngine engine(config);
+  SanitizedOutput release = engine.Sanitize(raw, 8);
+
+  WitnessQuery query;
+  query.universe = universe;
+  query.num_records = 8;
+  query.constraints = IntervalKnowledgeFromRelease(release, engine.noise());
+
+  Pattern target(Itemset{kC}, Itemset{kA, kB});
+  WitnessReport report = CountSupportWitnesses(query, &target);
+  EXPECT_TRUE(report.exhausted);
+  EXPECT_GT(report.witnesses, 10u);
+  ASSERT_TRUE(report.zero_witness.has_value())
+      << "no witness denies the vulnerable pattern";
+  EXPECT_EQ(report.zero_witness->PatternSupportOf(target), 0);
+}
+
+TEST(FreqSatTest, WitnessCountShrinksWithPrecision) {
+  // Tighter noise (smaller delta) leaves the adversary fewer consistent
+  // databases: witness count should not increase as the region shrinks.
+  std::vector<Transaction> window = PaperWindow(12);
+  Itemset universe{kA, kC};
+  MiningOutput raw(4);
+  raw.Add(Itemset{kA}, CountSupport(window, Itemset{kA}));
+  raw.Add(Itemset{kC}, CountSupport(window, Itemset{kC}));
+  raw.Add(Itemset{kA, kC}, CountSupport(window, Itemset{kA, kC}));
+  raw.Seal();
+
+  size_t previous = SIZE_MAX;
+  for (double delta : {2.0, 1.0, 0.3}) {
+    ButterflyConfig config;
+    config.min_support = 4;
+    config.vulnerable_support = 1;
+    config.epsilon = 1.0;
+    config.delta = delta;
+    config.seed = 9;
+    ButterflyEngine engine(config);
+    SanitizedOutput release = engine.Sanitize(raw, 8);
+    WitnessQuery query;
+    query.universe = universe;
+    query.num_records = 8;
+    query.constraints = IntervalKnowledgeFromRelease(release, engine.noise());
+    WitnessReport report = CountSupportWitnesses(query);
+    ASSERT_TRUE(report.exhausted);
+    EXPECT_LE(report.witnesses, previous) << "delta " << delta;
+    previous = report.witnesses;
+  }
+}
+
+}  // namespace
+}  // namespace butterfly

@@ -1,0 +1,198 @@
+#include "inference/inclusion_exclusion.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "mining/eclat.h"
+#include "mining/support.h"
+#include "paper_stream.h"
+
+namespace butterfly {
+namespace {
+
+using butterfly::testing::kA;
+using butterfly::testing::kB;
+using butterfly::testing::kC;
+using butterfly::testing::PaperWindow;
+
+// A provider with perfect knowledge of a window (oracle adversary).
+SupportProvider Oracle(const std::vector<Transaction>& window) {
+  return [&window](const Itemset& itemset) -> std::optional<Support> {
+    return CountSupport(window, itemset);
+  };
+}
+
+TEST(LatticeTest, EnumeratesAllIntermediateSets) {
+  std::vector<Itemset> lattice =
+      EnumerateLattice(Itemset{kC}, Itemset{kA, kB, kC});
+  EXPECT_EQ(lattice.size(), 4u);  // c, ac, bc, abc
+  std::set<Itemset> expected = {Itemset{kC}, Itemset{kA, kC}, Itemset{kB, kC},
+                                Itemset{kA, kB, kC}};
+  EXPECT_EQ(std::set<Itemset>(lattice.begin(), lattice.end()), expected);
+}
+
+TEST(LatticeTest, DegenerateLatticeIsSelf) {
+  std::vector<Itemset> lattice = EnumerateLattice(Itemset{kA}, Itemset{kA});
+  ASSERT_EQ(lattice.size(), 1u);
+  EXPECT_EQ(lattice[0], (Itemset{kA}));
+}
+
+TEST(DerivePatternSupportTest, PaperExample3) {
+  // T(c ∧ ¬a ∧ ¬b) = T(c) − T(ac) − T(bc) + T(abc) = 8−5−5+3 = 1 in Ds(12,8).
+  std::vector<Transaction> window = PaperWindow(12);
+  Pattern p(Itemset{kC}, Itemset{kA, kB});
+  std::optional<Support> derived = DerivePatternSupport(Oracle(window), p);
+  ASSERT_TRUE(derived.has_value());
+  EXPECT_EQ(*derived, 1);
+  EXPECT_EQ(*derived, CountPatternSupport(window, p));
+}
+
+TEST(DerivePatternSupportTest, NoNegationsIsPlainSupport) {
+  std::vector<Transaction> window = PaperWindow(12);
+  Pattern p = Pattern::OfItemset(Itemset{kA, kC});
+  EXPECT_EQ(DerivePatternSupport(Oracle(window), p), 5);
+}
+
+TEST(DerivePatternSupportTest, MissingLatticeNodeMeansNoDerivation) {
+  std::vector<Transaction> window = PaperWindow(12);
+  SupportProvider partial = [&](const Itemset& s) -> std::optional<Support> {
+    if (s == (Itemset{kA, kB, kC})) return std::nullopt;  // withheld
+    return CountSupport(window, s);
+  };
+  Pattern p(Itemset{kC}, Itemset{kA, kB});
+  EXPECT_FALSE(DerivePatternSupport(partial, p).has_value());
+}
+
+TEST(DerivePatternSupportTest, MatchesBruteForceOnRandomWindows) {
+  Rng rng(31);
+  for (int round = 0; round < 30; ++round) {
+    // Random window over a 7-item alphabet.
+    std::vector<Transaction> window;
+    for (int i = 0; i < 30; ++i) {
+      std::vector<Item> items;
+      for (Item a = 0; a < 7; ++a) {
+        if (rng.Bernoulli(0.4)) items.push_back(a);
+      }
+      window.emplace_back(i + 1, Itemset(std::move(items)));
+    }
+    // Random pattern.
+    std::vector<Item> pos, neg;
+    for (Item a = 0; a < 7; ++a) {
+      double u = rng.UniformReal();
+      if (u < 0.25) pos.push_back(a);
+      else if (u < 0.5) neg.push_back(a);
+    }
+    Pattern p((Itemset(pos)), Itemset(neg));
+    std::optional<Support> derived = DerivePatternSupport(Oracle(window), p);
+    ASSERT_TRUE(derived.has_value());
+    EXPECT_EQ(*derived, CountPatternSupport(window, p))
+        << "round " << round << " pattern " << p.ToString();
+  }
+}
+
+TEST(DerivePatternEstimateTest, RealValuedDerivation) {
+  RealSupportProvider provider = [](const Itemset& s) -> std::optional<double> {
+    if (s == Itemset{}) return 10.0;
+    if (s == (Itemset{1})) return 6.5;
+    return std::nullopt;
+  };
+  Pattern p(Itemset{}, Itemset{1});  // ¬1
+  std::optional<double> est = DerivePatternEstimate(provider, p);
+  ASSERT_TRUE(est.has_value());
+  EXPECT_DOUBLE_EQ(*est, 3.5);
+}
+
+TEST(EstimateItemsetBoundsTest, PaperExample4) {
+  // Given c=8, ac=5, bc=5 (and nothing else about abc) in Ds(12,8), the
+  // bound for abc is [2, 5].
+  std::vector<Transaction> window = PaperWindow(12);
+  SupportProvider released = [&](const Itemset& s) -> std::optional<Support> {
+    if (s == (Itemset{kC}) || s == (Itemset{kA, kC}) ||
+        s == (Itemset{kB, kC})) {
+      return CountSupport(window, s);
+    }
+    if (s == (Itemset{kA}) || s == (Itemset{kB}) || s == (Itemset{kA, kB}) ||
+        s == Itemset{}) {
+      // Example 4 uses only the c-anchored lattice; withhold the rest.
+      return std::nullopt;
+    }
+    return std::nullopt;
+  };
+  Interval bound = EstimateItemsetBounds(released, Itemset{kA, kB, kC});
+  EXPECT_EQ(bound, Interval(2, 5));
+}
+
+TEST(EstimateItemsetBoundsTest, BoundsAlwaysContainTruth) {
+  Rng rng(37);
+  for (int round = 0; round < 25; ++round) {
+    std::vector<Transaction> window;
+    for (int i = 0; i < 40; ++i) {
+      std::vector<Item> items;
+      for (Item a = 0; a < 6; ++a) {
+        if (rng.Bernoulli(0.45)) items.push_back(a);
+      }
+      window.emplace_back(i + 1, Itemset(std::move(items)));
+    }
+    // Target: a random 2-4 item itemset; adversary knows all strict subsets.
+    std::vector<Item> target_items;
+    int size = static_cast<int>(rng.UniformInt(2, 4));
+    while (static_cast<int>(target_items.size()) < size) {
+      Item a = static_cast<Item>(rng.UniformInt(0, 5));
+      if (std::find(target_items.begin(), target_items.end(), a) ==
+          target_items.end()) {
+        target_items.push_back(a);
+      }
+    }
+    Itemset target(target_items);
+    SupportProvider subsets_only =
+        [&](const Itemset& s) -> std::optional<Support> {
+      if (s == target) return std::nullopt;
+      return CountSupport(window, s);
+    };
+    Interval bound = EstimateItemsetBounds(subsets_only, target);
+    Support truth = CountSupport(window, target);
+    EXPECT_FALSE(bound.Empty());
+    EXPECT_TRUE(bound.Contains(truth))
+        << "round " << round << " target " << target.ToString() << " truth "
+        << truth << " bound " << bound.ToString();
+  }
+}
+
+TEST(EstimateItemsetBoundsTest, TightBoundEqualsTruth) {
+  // Construct a window where the bound must close: if T(ab) = T(a) then for
+  // J = {a,b,c}: T(abc) is fully determined by the subsets... simpler: use a
+  // window where every record containing a also contains b and c.
+  std::vector<Transaction> window = {
+      Transaction(1, Itemset{1, 2, 3}), Transaction(2, Itemset{1, 2, 3}),
+      Transaction(3, Itemset{2, 3}),    Transaction(4, Itemset{3}),
+  };
+  SupportProvider subsets_only =
+      [&](const Itemset& s) -> std::optional<Support> {
+    if (s == (Itemset{1, 2, 3})) return std::nullopt;
+    return CountSupport(window, s);
+  };
+  Interval bound = EstimateItemsetBounds(subsets_only, Itemset{1, 2, 3});
+  EXPECT_TRUE(bound.Tight());
+  EXPECT_EQ(bound.lo, CountSupport(window, Itemset{1, 2, 3}));
+}
+
+TEST(EstimateItemsetBoundsTest, NoKnowledgeGivesVacuousBound) {
+  SupportProvider nothing = [](const Itemset&) { return std::nullopt; };
+  Interval bound = EstimateItemsetBounds(nothing, Itemset{1, 2});
+  EXPECT_EQ(bound.lo, 0);
+  EXPECT_GT(bound.hi, 1'000'000);
+}
+
+TEST(EstimateItemsetBoundsTest, SingleItemUpperBound) {
+  // Knowing only T({1}) = 4 bounds T({1,2}) to [0, 4].
+  SupportProvider one = [](const Itemset& s) -> std::optional<Support> {
+    if (s == (Itemset{1})) return 4;
+    return std::nullopt;
+  };
+  Interval bound = EstimateItemsetBounds(one, Itemset{1, 2});
+  EXPECT_EQ(bound.lo, 0);
+  EXPECT_EQ(bound.hi, 4);
+}
+
+}  // namespace
+}  // namespace butterfly

@@ -1,0 +1,65 @@
+#include "common/interval.h"
+
+#include <gtest/gtest.h>
+
+namespace butterfly {
+namespace {
+
+TEST(IntervalTest, ExactIsTight) {
+  Interval i = Interval::Exact(7);
+  EXPECT_TRUE(i.Tight());
+  EXPECT_FALSE(i.Empty());
+  EXPECT_EQ(i.Width(), 1);
+  EXPECT_TRUE(i.Contains(7));
+  EXPECT_FALSE(i.Contains(6));
+}
+
+TEST(IntervalTest, EmptyWhenInverted) {
+  Interval i(5, 3);
+  EXPECT_TRUE(i.Empty());
+  EXPECT_EQ(i.Width(), 0);
+  EXPECT_FALSE(i.Contains(4));
+}
+
+TEST(IntervalTest, WidthCountsIntegers) {
+  EXPECT_EQ(Interval(2, 5).Width(), 4);
+}
+
+TEST(IntervalTest, IntersectOverlapping) {
+  EXPECT_EQ(Interval(1, 6).IntersectWith(Interval(4, 9)), Interval(4, 6));
+}
+
+TEST(IntervalTest, IntersectDisjointIsEmpty) {
+  EXPECT_TRUE(Interval(1, 2).IntersectWith(Interval(5, 8)).Empty());
+}
+
+TEST(IntervalTest, PlusIsMinkowskiSum) {
+  EXPECT_EQ(Interval(1, 2).Plus(Interval(10, 20)), Interval(11, 22));
+}
+
+TEST(IntervalTest, MinusIntervalBoundsDifference) {
+  EXPECT_EQ(Interval(5, 8).MinusInterval(Interval(1, 2)), Interval(3, 7));
+}
+
+TEST(IntervalTest, ShiftedMovesBothEnds) {
+  EXPECT_EQ(Interval(3, 5).Shifted(-2), Interval(1, 3));
+}
+
+TEST(IntervalTest, ClampNonNegative) {
+  EXPECT_EQ(Interval(-3, 5).ClampNonNegative(), Interval(0, 5));
+  EXPECT_TRUE(Interval(-5, -1).ClampNonNegative().Empty());
+}
+
+TEST(IntervalTest, UnboundedContainsLargeValues) {
+  Interval u = Interval::Unbounded();
+  EXPECT_TRUE(u.Contains(0));
+  EXPECT_TRUE(u.Contains(1'000'000'000));
+}
+
+TEST(IntervalTest, ToStringFormats) {
+  EXPECT_EQ(Interval(2, 5).ToString(), "[2, 5]");
+  EXPECT_EQ(Interval(5, 2).ToString(), "[empty]");
+}
+
+}  // namespace
+}  // namespace butterfly

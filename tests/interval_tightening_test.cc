@@ -1,0 +1,133 @@
+#include "inference/interval_tightening.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "mining/support.h"
+
+namespace butterfly {
+namespace {
+
+TEST(BoundFromIntervalsTest, ExactKnowledgeMatchesPointBounds) {
+  // With point intervals this must agree with the paper's Example 4 numbers:
+  // c=8, ac=5, bc=5 bound abc to [2, 5].
+  IntervalMap knowledge;
+  knowledge[Itemset{3}] = Interval::Exact(8);
+  knowledge[Itemset{1, 3}] = Interval::Exact(5);
+  knowledge[Itemset{2, 3}] = Interval::Exact(5);
+  Interval bound = BoundFromIntervals(knowledge, Itemset{1, 2, 3});
+  EXPECT_EQ(bound, Interval(2, 5));
+}
+
+TEST(BoundFromIntervalsTest, WidensSoundlyWithUncertainInputs) {
+  IntervalMap knowledge;
+  knowledge[Itemset{3}] = Interval(7, 9);
+  knowledge[Itemset{1, 3}] = Interval(4, 6);
+  knowledge[Itemset{2, 3}] = Interval(4, 6);
+  Interval bound = BoundFromIntervals(knowledge, Itemset{1, 2, 3});
+  // Upper: min over anchors ac, bc of hi = 6. Lower: ac.lo+bc.lo−c.hi = −1→0.
+  EXPECT_EQ(bound, Interval(0, 6));
+}
+
+TEST(BoundFromIntervalsTest, MissingSubsetSkipsAnchor) {
+  IntervalMap knowledge;
+  knowledge[Itemset{1}] = Interval::Exact(4);
+  // Anchor {1} needs every X with {1} ⊆ X ⊂ {1,2} — just {1}: upper = 4.
+  Interval bound = BoundFromIntervals(knowledge, Itemset{1, 2});
+  EXPECT_EQ(bound.hi, 4);
+  EXPECT_EQ(bound.lo, 0);
+}
+
+TEST(TightenIntervalsTest, PointKnowledgePinsDerivableSet) {
+  IntervalMap knowledge;
+  knowledge[Itemset{}] = Interval::Exact(8);
+  knowledge[Itemset{1}] = Interval::Exact(5);
+  knowledge[Itemset{2}] = Interval::Exact(8);
+  knowledge[Itemset{1, 2}] = Interval(0, 100);  // unknown a priori
+  TighteningStats stats = TightenIntervals(&knowledge);
+  // T(12) >= T(1)+T(2)−T(∅) = 5 and <= min(T1,T2) = 5.
+  EXPECT_EQ(knowledge[(Itemset{1, 2})], Interval::Exact(5));
+  EXPECT_GE(stats.now_tight, 4u);
+  EXPECT_FALSE(stats.contradiction);
+}
+
+TEST(TightenIntervalsTest, MonotonicityPropagatesBothWays) {
+  IntervalMap knowledge;
+  knowledge[Itemset{1}] = Interval(0, 10);
+  knowledge[Itemset{1, 2}] = Interval(6, 20);
+  TightenIntervals(&knowledge);
+  // Superset's lower bound lifts the subset; subset's upper caps the superset.
+  EXPECT_GE(knowledge[(Itemset{1})].lo, 6);
+  EXPECT_LE(knowledge[(Itemset{1, 2})].hi, 10);
+}
+
+TEST(TightenIntervalsTest, DetectsContradiction) {
+  IntervalMap knowledge;
+  knowledge[Itemset{1}] = Interval(0, 3);
+  knowledge[Itemset{1, 2}] = Interval(5, 9);  // impossible: superset > subset
+  TighteningStats stats = TightenIntervals(&knowledge);
+  EXPECT_TRUE(stats.contradiction);
+}
+
+TEST(TightenIntervalsTest, FixpointTerminatesEarly) {
+  IntervalMap knowledge;
+  knowledge[Itemset{1}] = Interval::Exact(4);
+  knowledge[Itemset{2}] = Interval::Exact(6);
+  TighteningStats stats = TightenIntervals(&knowledge, 8);
+  EXPECT_LT(stats.rounds, 8u);  // nothing to do after round one
+}
+
+TEST(TightenIntervalsTest, TruthAlwaysStaysInside) {
+  // Property: seed intervals that contain the true supports of a random
+  // window; after tightening, every interval still contains the truth.
+  Rng rng(23);
+  for (int round = 0; round < 10; ++round) {
+    std::vector<Transaction> window;
+    for (int i = 0; i < 30; ++i) {
+      std::vector<Item> items;
+      for (Item a = 0; a < 5; ++a) {
+        if (rng.Bernoulli(0.5)) items.push_back(a);
+      }
+      if (items.empty()) items.push_back(0);
+      window.emplace_back(i + 1, Itemset(std::move(items)));
+    }
+
+    IntervalMap knowledge;
+    std::vector<std::pair<Itemset, Support>> truths;
+    knowledge[Itemset{}] = Interval::Exact(30);
+    for (uint32_t mask = 1; mask < 32; ++mask) {
+      std::vector<Item> items;
+      for (Item a = 0; a < 5; ++a) {
+        if (mask & (1u << a)) items.push_back(a);
+      }
+      Itemset s(items);
+      Support truth = CountSupport(window, s);
+      truths.emplace_back(s, truth);
+      // Random slack around the truth.
+      Support lo = std::max<Support>(0, truth - rng.UniformInt(0, 4));
+      Support hi = truth + rng.UniformInt(0, 4);
+      knowledge[s] = Interval(lo, hi);
+    }
+
+    TighteningStats stats = TightenIntervals(&knowledge);
+    EXPECT_FALSE(stats.contradiction);
+    for (const auto& [s, truth] : truths) {
+      EXPECT_TRUE(knowledge[s].Contains(truth))
+          << "round " << round << " itemset " << s.ToString() << " truth "
+          << truth << " interval " << knowledge[s].ToString();
+    }
+  }
+}
+
+TEST(TightenIntervalsTest, NarrowingIsCounted) {
+  IntervalMap knowledge;
+  knowledge[Itemset{}] = Interval::Exact(8);
+  knowledge[Itemset{1}] = Interval::Exact(5);
+  knowledge[Itemset{2}] = Interval::Exact(8);
+  knowledge[Itemset{1, 2}] = Interval(0, 100);
+  TighteningStats stats = TightenIntervals(&knowledge);
+  EXPECT_GE(stats.intervals_narrowed, 1u);
+}
+
+}  // namespace
+}  // namespace butterfly

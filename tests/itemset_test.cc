@@ -1,0 +1,157 @@
+#include "common/itemset.h"
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace butterfly {
+namespace {
+
+TEST(ItemsetTest, DefaultIsEmpty) {
+  Itemset s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.size(), 0u);
+  EXPECT_EQ(s.ToString(), "{}");
+}
+
+TEST(ItemsetTest, NormalizesUnsortedInput) {
+  Itemset s(std::vector<Item>{5, 1, 3});
+  EXPECT_EQ(s.items(), (std::vector<Item>{1, 3, 5}));
+}
+
+TEST(ItemsetTest, NormalizesDuplicates) {
+  Itemset s(std::vector<Item>{2, 2, 7, 2, 7});
+  EXPECT_EQ(s.items(), (std::vector<Item>{2, 7}));
+}
+
+TEST(ItemsetTest, InitializerListLiteral) {
+  Itemset s{3, 1, 2};
+  EXPECT_EQ(s.size(), 3u);
+  EXPECT_EQ(s[0], 1u);
+  EXPECT_EQ(s[2], 3u);
+}
+
+TEST(ItemsetTest, FromSortedSkipsNormalization) {
+  Itemset s = Itemset::FromSorted({1, 4, 9});
+  EXPECT_EQ(s.items(), (std::vector<Item>{1, 4, 9}));
+}
+
+TEST(ItemsetTest, Contains) {
+  Itemset s{1, 3, 5};
+  EXPECT_TRUE(s.Contains(1));
+  EXPECT_TRUE(s.Contains(3));
+  EXPECT_TRUE(s.Contains(5));
+  EXPECT_FALSE(s.Contains(2));
+  EXPECT_FALSE(s.Contains(0));
+  EXPECT_FALSE(s.Contains(6));
+}
+
+TEST(ItemsetTest, ContainsAllAndSubset) {
+  Itemset big{1, 2, 3, 4};
+  Itemset small{2, 4};
+  EXPECT_TRUE(big.ContainsAll(small));
+  EXPECT_FALSE(small.ContainsAll(big));
+  EXPECT_TRUE(small.IsSubsetOf(big));
+  EXPECT_TRUE(big.IsSubsetOf(big));
+  EXPECT_TRUE(small.IsStrictSubsetOf(big));
+  EXPECT_FALSE(big.IsStrictSubsetOf(big));
+}
+
+TEST(ItemsetTest, EmptySetIsSubsetOfEverything) {
+  Itemset empty;
+  Itemset s{7};
+  EXPECT_TRUE(empty.IsSubsetOf(s));
+  EXPECT_TRUE(empty.IsSubsetOf(empty));
+  EXPECT_TRUE(s.ContainsAll(empty));
+}
+
+TEST(ItemsetTest, DisjointWith) {
+  EXPECT_TRUE((Itemset{1, 3}).DisjointWith(Itemset{2, 4}));
+  EXPECT_FALSE((Itemset{1, 3}).DisjointWith(Itemset{3}));
+  EXPECT_TRUE(Itemset{}.DisjointWith(Itemset{1}));
+}
+
+TEST(ItemsetTest, UnionMinusIntersect) {
+  Itemset a{1, 2, 3};
+  Itemset b{3, 4};
+  EXPECT_EQ(a.Union(b), (Itemset{1, 2, 3, 4}));
+  EXPECT_EQ(a.Minus(b), (Itemset{1, 2}));
+  EXPECT_EQ(b.Minus(a), (Itemset{4}));
+  EXPECT_EQ(a.Intersect(b), (Itemset{3}));
+}
+
+TEST(ItemsetTest, WithAndWithout) {
+  Itemset s{2, 4};
+  EXPECT_EQ(s.With(3), (Itemset{2, 3, 4}));
+  EXPECT_EQ(s.With(2), s);  // idempotent
+  EXPECT_EQ(s.Without(2), (Itemset{4}));
+  EXPECT_EQ(s.Without(9), s);
+}
+
+TEST(ItemsetTest, LexicographicOrder) {
+  EXPECT_LT((Itemset{1}), (Itemset{1, 2}));
+  EXPECT_LT((Itemset{1, 2}), (Itemset{1, 3}));
+  EXPECT_LT((Itemset{1, 9}), (Itemset{2}));
+  EXPECT_EQ((Itemset{1, 2}), (Itemset{2, 1}));
+}
+
+TEST(ItemsetTest, ToStringFormat) {
+  EXPECT_EQ((Itemset{3, 1}).ToString(), "{1, 3}");
+}
+
+TEST(ItemsetTest, HashEqualSetsAgree) {
+  Itemset a{5, 1, 3};
+  Itemset b{1, 3, 5};
+  EXPECT_EQ(a.Hash(), b.Hash());
+}
+
+TEST(ItemsetTest, HashDistinguishesOrderSensitiveContent) {
+  // {1, 23} vs {12, 3}: naive concatenation hashes would collide.
+  EXPECT_NE((Itemset{1, 23}).Hash(), (Itemset{12, 3}).Hash());
+}
+
+// Property check: every set operation agrees with std::set arithmetic on
+// random inputs.
+class ItemsetPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ItemsetPropertyTest, AgreesWithStdSet) {
+  Rng rng(GetParam());
+  for (int round = 0; round < 50; ++round) {
+    std::set<Item> sa, sb;
+    for (int i = 0; i < 12; ++i) {
+      if (rng.Bernoulli(0.4)) sa.insert(static_cast<Item>(rng.UniformInt(0, 15)));
+      if (rng.Bernoulli(0.4)) sb.insert(static_cast<Item>(rng.UniformInt(0, 15)));
+    }
+    Itemset a((std::vector<Item>(sa.begin(), sa.end())));
+    Itemset b((std::vector<Item>(sb.begin(), sb.end())));
+
+    std::set<Item> u(sa);
+    u.insert(sb.begin(), sb.end());
+    EXPECT_EQ(a.Union(b).items(), std::vector<Item>(u.begin(), u.end()));
+
+    std::vector<Item> diff;
+    std::set_difference(sa.begin(), sa.end(), sb.begin(), sb.end(),
+                        std::back_inserter(diff));
+    EXPECT_EQ(a.Minus(b).items(), diff);
+
+    std::vector<Item> inter;
+    std::set_intersection(sa.begin(), sa.end(), sb.begin(), sb.end(),
+                          std::back_inserter(inter));
+    EXPECT_EQ(a.Intersect(b).items(), inter);
+
+    bool subset = std::includes(sb.begin(), sb.end(), sa.begin(), sa.end());
+    EXPECT_EQ(a.IsSubsetOf(b), subset);
+
+    EXPECT_EQ(a.DisjointWith(b), inter.empty());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ItemsetPropertyTest,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u));
+
+}  // namespace
+}  // namespace butterfly

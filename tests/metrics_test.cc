@@ -1,0 +1,181 @@
+#include <gtest/gtest.h>
+
+#include "metrics/privacy_metrics.h"
+#include "metrics/utility_metrics.h"
+
+namespace butterfly {
+namespace {
+
+MiningOutput Truth(std::vector<std::pair<Itemset, Support>> entries) {
+  MiningOutput out(2);
+  for (auto& [itemset, support] : entries) out.Add(itemset, support);
+  out.Seal();
+  return out;
+}
+
+SanitizedOutput Release(std::vector<std::tuple<Itemset, Support, double>> items,
+                        Support window = 100) {
+  SanitizedOutput out(2, window);
+  for (auto& [itemset, sanitized, bias] : items) {
+    out.Add(SanitizedItemset{itemset, sanitized, bias, 4.0});
+  }
+  out.Seal();
+  return out;
+}
+
+TEST(AvgPredTest, HandComputed) {
+  MiningOutput truth = Truth({{Itemset{1}, 10}, {Itemset{2}, 20}});
+  SanitizedOutput release =
+      Release({{Itemset{1}, 11, 0.0}, {Itemset{2}, 18, 0.0}});
+  // ((1/10)² + (2/20)²)/2 = (0.01 + 0.01)/2 = 0.01.
+  EXPECT_NEAR(AvgPred(truth, release), 0.01, 1e-12);
+}
+
+TEST(AvgPredTest, ZeroWhenExact) {
+  MiningOutput truth = Truth({{Itemset{1}, 10}});
+  SanitizedOutput release = Release({{Itemset{1}, 10, 0.0}});
+  EXPECT_DOUBLE_EQ(AvgPred(truth, release), 0.0);
+}
+
+TEST(AvgPredTest, EmptyReleaseIsZero) {
+  MiningOutput truth = Truth({});
+  SanitizedOutput release = Release({});
+  EXPECT_DOUBLE_EQ(AvgPred(truth, release), 0.0);
+}
+
+TEST(RoppTest, AllOrdersPreserved) {
+  MiningOutput truth =
+      Truth({{Itemset{1}, 10}, {Itemset{2}, 20}, {Itemset{3}, 30}});
+  SanitizedOutput release = Release(
+      {{Itemset{1}, 12, 0.0}, {Itemset{2}, 19, 0.0}, {Itemset{3}, 35, 0.0}});
+  EXPECT_DOUBLE_EQ(Ropp(truth, release), 1.0);
+}
+
+TEST(RoppTest, OneInversionOutOfThreePairs) {
+  MiningOutput truth =
+      Truth({{Itemset{1}, 10}, {Itemset{2}, 20}, {Itemset{3}, 30}});
+  SanitizedOutput release = Release(
+      {{Itemset{1}, 25, 0.0}, {Itemset{2}, 19, 0.0}, {Itemset{3}, 35, 0.0}});
+  // Pairs: (1,2) inverted; (1,3) ok; (2,3) ok.
+  EXPECT_NEAR(Ropp(truth, release), 2.0 / 3.0, 1e-12);
+}
+
+TEST(RoppTest, SanitizedTieOnStrictOrderCountsAsPreserved) {
+  MiningOutput truth = Truth({{Itemset{1}, 10}, {Itemset{2}, 20}});
+  SanitizedOutput release =
+      Release({{Itemset{1}, 15, 0.0}, {Itemset{2}, 15, 0.0}});
+  EXPECT_DOUBLE_EQ(Ropp(truth, release), 1.0);
+}
+
+TEST(RoppTest, TrueTiePreservedOnlyWhenSanitizedEqual) {
+  MiningOutput truth = Truth({{Itemset{1}, 10}, {Itemset{2}, 10}});
+  SanitizedOutput kept =
+      Release({{Itemset{1}, 12, 0.0}, {Itemset{2}, 12, 0.0}});
+  SanitizedOutput broken =
+      Release({{Itemset{1}, 9, 0.0}, {Itemset{2}, 12, 0.0}});
+  EXPECT_DOUBLE_EQ(Ropp(truth, kept), 1.0);
+  EXPECT_DOUBLE_EQ(Ropp(truth, broken), 0.0);
+}
+
+TEST(RrppTest, TiedPairUsesSymmetricBand) {
+  MiningOutput truth = Truth({{Itemset{1}, 10}, {Itemset{2}, 10}});
+  // min/max ratio 12/12 = 1 >= k: preserved.
+  SanitizedOutput kept =
+      Release({{Itemset{1}, 12, 0.0}, {Itemset{2}, 12, 0.0}});
+  // min/max ratio 9/12 = 0.75 < 0.95: broken, regardless of orientation.
+  SanitizedOutput broken =
+      Release({{Itemset{1}, 12, 0.0}, {Itemset{2}, 9, 0.0}});
+  EXPECT_DOUBLE_EQ(Rrpp(truth, kept, 0.95), 1.0);
+  EXPECT_DOUBLE_EQ(Rrpp(truth, broken, 0.95), 0.0);
+}
+
+TEST(RoppTest, FewerThanTwoItemsIsPerfect) {
+  MiningOutput truth = Truth({{Itemset{1}, 10}});
+  SanitizedOutput release = Release({{Itemset{1}, 12, 0.0}});
+  EXPECT_DOUBLE_EQ(Ropp(truth, release), 1.0);
+}
+
+TEST(RrppTest, ExactValuesPreserveRatios) {
+  MiningOutput truth = Truth({{Itemset{1}, 10}, {Itemset{2}, 20}});
+  SanitizedOutput release =
+      Release({{Itemset{1}, 10, 0.0}, {Itemset{2}, 20, 0.0}});
+  EXPECT_DOUBLE_EQ(Rrpp(truth, release, 0.95), 1.0);
+}
+
+TEST(RrppTest, ProportionalShiftPreservesRatios) {
+  // Doubling both supports keeps every pairwise ratio exactly.
+  MiningOutput truth = Truth(
+      {{Itemset{1}, 10}, {Itemset{2}, 20}, {Itemset{3}, 40}});
+  SanitizedOutput release = Release(
+      {{Itemset{1}, 20, 0.0}, {Itemset{2}, 40, 0.0}, {Itemset{3}, 80, 0.0}});
+  EXPECT_DOUBLE_EQ(Rrpp(truth, release, 0.95), 1.0);
+}
+
+TEST(RrppTest, SkewedPairFallsOutsideBand) {
+  MiningOutput truth = Truth({{Itemset{1}, 10}, {Itemset{2}, 20}});
+  // True ratio 0.5; sanitized ratio 18/20 = 0.9, way above 0.5/0.95.
+  SanitizedOutput release =
+      Release({{Itemset{1}, 18, 0.0}, {Itemset{2}, 20, 0.0}});
+  EXPECT_DOUBLE_EQ(Rrpp(truth, release, 0.95), 0.0);
+}
+
+TEST(RrppTest, BandBoundaryInclusive) {
+  MiningOutput truth = Truth({{Itemset{1}, 19}, {Itemset{2}, 20}});
+  SanitizedOutput release =
+      Release({{Itemset{1}, 19, 0.0}, {Itemset{2}, 20, 0.0}});
+  // k = 1: only the exact ratio qualifies, which it is.
+  EXPECT_DOUBLE_EQ(Rrpp(truth, release, 1.0), 1.0);
+}
+
+TEST(EvaluatePrivacyTest, PerfectReleaseHasZeroPrig) {
+  // If sanitized == true (no noise), the adversary's estimate is exact.
+  std::vector<InferredPattern> breaches = {
+      InferredPattern{Pattern(Itemset{1}, Itemset{2}), 2, false}};
+  SanitizedOutput release =
+      Release({{Itemset{1}, 10, 0.0}, {Itemset{1, 2}, 8, 0.0}});
+  PrivacyEvaluation eval = EvaluatePrivacy(breaches, release);
+  EXPECT_EQ(eval.evaluated_patterns, 1u);
+  EXPECT_DOUBLE_EQ(eval.avg_prig, 0.0);
+}
+
+TEST(EvaluatePrivacyTest, HandComputedError) {
+  // T(1∧¬2) = 10 − 8 = 2 truly; sanitized says 12 − 7 = 5; bias 0.
+  // Squared relative error: (2−5)²/2² = 2.25.
+  std::vector<InferredPattern> breaches = {
+      InferredPattern{Pattern(Itemset{1}, Itemset{2}), 2, false}};
+  SanitizedOutput release =
+      Release({{Itemset{1}, 12, 0.0}, {Itemset{1, 2}, 7, 0.0}});
+  PrivacyEvaluation eval = EvaluatePrivacy(breaches, release);
+  EXPECT_NEAR(eval.avg_prig, 2.25, 1e-12);
+}
+
+TEST(EvaluatePrivacyTest, BiasCorrectionApplied) {
+  // Sanitized 12 with bias 2 ⇒ corrected 10; 7 with bias −1 ⇒ 8. Estimate
+  // = 10 − 8 = 2 = truth ⇒ zero error.
+  std::vector<InferredPattern> breaches = {
+      InferredPattern{Pattern(Itemset{1}, Itemset{2}), 2, false}};
+  SanitizedOutput release =
+      Release({{Itemset{1}, 12, 2.0}, {Itemset{1, 2}, 7, -1.0}});
+  PrivacyEvaluation eval = EvaluatePrivacy(breaches, release);
+  EXPECT_NEAR(eval.avg_prig, 0.0, 1e-12);
+}
+
+TEST(EvaluatePrivacyTest, MissingLatticeNodeCountsUnestimable) {
+  std::vector<InferredPattern> breaches = {
+      InferredPattern{Pattern(Itemset{1}, Itemset{2}), 2, false}};
+  SanitizedOutput release = Release({{Itemset{1}, 12, 0.0}});  // {1,2} gone
+  PrivacyEvaluation eval = EvaluatePrivacy(breaches, release);
+  EXPECT_EQ(eval.evaluated_patterns, 0u);
+  EXPECT_EQ(eval.unestimable_patterns, 1u);
+  EXPECT_DOUBLE_EQ(eval.avg_prig, 0.0);
+}
+
+TEST(EvaluatePrivacyTest, EmptyBreachListIsNeutral) {
+  SanitizedOutput release = Release({});
+  PrivacyEvaluation eval = EvaluatePrivacy({}, release);
+  EXPECT_EQ(eval.evaluated_patterns, 0u);
+  EXPECT_DOUBLE_EQ(eval.avg_prig, 0.0);
+}
+
+}  // namespace
+}  // namespace butterfly

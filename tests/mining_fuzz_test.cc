@@ -1,0 +1,101 @@
+/// Larger-scale randomized differential testing of the mining substrate:
+/// all miners agree with each other across a parameter grid, and the
+/// condensed representations (closed / maximal / non-derivable) relate to
+/// the full frequent collection exactly as theory says.
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "inference/ndi.h"
+#include "mining/apriori.h"
+#include "mining/closed.h"
+#include "mining/eclat.h"
+#include "mining/fpgrowth.h"
+#include "mining/maximal.h"
+
+namespace butterfly {
+namespace {
+
+struct FuzzCase {
+  uint64_t seed;
+  size_t records;
+  Item alphabet;
+  double density;
+  Support min_support;
+};
+
+std::vector<Transaction> RandomWindow(const FuzzCase& param) {
+  Rng rng(param.seed);
+  std::vector<Transaction> window;
+  for (size_t i = 0; i < param.records; ++i) {
+    std::vector<Item> items;
+    for (Item a = 0; a < param.alphabet; ++a) {
+      if (rng.Bernoulli(param.density)) items.push_back(a);
+    }
+    if (items.empty()) {
+      items.push_back(static_cast<Item>(rng.UniformInt(0, param.alphabet - 1)));
+    }
+    window.emplace_back(i + 1, Itemset(std::move(items)));
+  }
+  return window;
+}
+
+class MiningFuzzTest : public ::testing::TestWithParam<FuzzCase> {};
+
+TEST_P(MiningFuzzTest, AllMinersAgree) {
+  std::vector<Transaction> window = RandomWindow(GetParam());
+  AprioriMiner apriori;
+  EclatMiner eclat;
+  FpGrowthMiner fpgrowth;
+  MiningOutput a = apriori.Mine(window, GetParam().min_support);
+  MiningOutput b = eclat.Mine(window, GetParam().min_support);
+  MiningOutput c = fpgrowth.Mine(window, GetParam().min_support);
+  EXPECT_TRUE(a.SameAs(b));
+  EXPECT_TRUE(a.SameAs(c));
+}
+
+TEST_P(MiningFuzzTest, CondensedRepresentationHierarchy) {
+  std::vector<Transaction> window = RandomWindow(GetParam());
+  EclatMiner eclat;
+  MiningOutput all = eclat.Mine(window, GetParam().min_support);
+  MiningOutput closed = FilterClosed(all);
+  MiningOutput maximal = FilterMaximal(all);
+  MiningOutput ndi =
+      FilterNonDerivable(all, static_cast<Support>(window.size()));
+
+  // maximal ⊆ closed ⊆ all, with matching supports.
+  for (const FrequentItemset& m : maximal.itemsets()) {
+    EXPECT_EQ(closed.SupportOf(m.itemset), m.support) << m.itemset.ToString();
+  }
+  for (const FrequentItemset& c : closed.itemsets()) {
+    EXPECT_EQ(all.SupportOf(c.itemset), c.support) << c.itemset.ToString();
+  }
+  EXPECT_LE(maximal.size(), closed.size());
+  EXPECT_LE(closed.size(), all.size());
+  EXPECT_LE(ndi.size(), all.size());
+}
+
+TEST_P(MiningFuzzTest, BothExpansionsInvertTheirFilters) {
+  std::vector<Transaction> window = RandomWindow(GetParam());
+  EclatMiner eclat;
+  MiningOutput all = eclat.Mine(window, GetParam().min_support);
+  EXPECT_TRUE(ExpandClosed(FilterClosed(all)).SameAs(all));
+  Support n = static_cast<Support>(window.size());
+  EXPECT_TRUE(ExpandNonDerivable(FilterNonDerivable(all, n), n).SameAs(all));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, MiningFuzzTest,
+    ::testing::Values(FuzzCase{101, 60, 10, 0.20, 4},
+                      FuzzCase{102, 80, 8, 0.30, 6},
+                      FuzzCase{103, 50, 12, 0.15, 3},
+                      FuzzCase{104, 100, 6, 0.40, 10},
+                      FuzzCase{105, 40, 9, 0.35, 5},
+                      FuzzCase{106, 120, 7, 0.25, 8},
+                      FuzzCase{107, 70, 10, 0.30, 2},
+                      FuzzCase{108, 90, 5, 0.50, 12},
+                      FuzzCase{109, 30, 14, 0.20, 3},
+                      FuzzCase{110, 150, 8, 0.20, 6}));
+
+}  // namespace
+}  // namespace butterfly

@@ -1,0 +1,126 @@
+/// Adversarial stream structures for the incremental CET: shapes that stress
+/// specific transition paths (gateway promotion/demotion, unpromising
+/// blocking/unblocking, cascaded prunes), each validated against the deep
+/// self-check and the static miner.
+
+#include <gtest/gtest.h>
+
+#include "mining/closed.h"
+#include "moment/moment.h"
+
+namespace butterfly {
+namespace {
+
+void DriveAndCheck(MomentMiner* miner, const std::vector<Itemset>& records) {
+  ClosedMiner reference;
+  for (const Itemset& items : records) {
+    miner->Append(Transaction(0, items));
+    Status status = miner->Validate();
+    ASSERT_TRUE(status.ok()) << status.ToString();
+    MiningOutput expected =
+        reference.Mine(miner->window().Snapshot(), miner->min_support());
+    ASSERT_TRUE(miner->GetClosedFrequent().SameAs(expected))
+        << miner->window().Label();
+  }
+}
+
+TEST(MomentStressTest, AscendingChains) {
+  // Each record extends the previous: r_i = {0..i mod 6}. Deep subset
+  // structure with constant churn at the chain tip.
+  std::vector<Itemset> records;
+  for (int i = 0; i < 30; ++i) {
+    std::vector<Item> items;
+    for (Item a = 0; a <= static_cast<Item>(i % 6); ++a) items.push_back(a);
+    records.emplace_back(items);
+  }
+  MomentMiner miner(7, 3);
+  DriveAndCheck(&miner, records);
+}
+
+TEST(MomentStressTest, DescendingChains) {
+  std::vector<Itemset> records;
+  for (int i = 0; i < 30; ++i) {
+    std::vector<Item> items;
+    for (Item a = static_cast<Item>(i % 6); a < 6; ++a) items.push_back(a);
+    records.emplace_back(items);
+  }
+  MomentMiner miner(7, 3);
+  DriveAndCheck(&miner, records);
+}
+
+TEST(MomentStressTest, ThresholdOscillation) {
+  // Two alternating record types around the exact threshold of a window of
+  // six: supports bounce across C on almost every slide, exercising gateway
+  // promotion and demotion repeatedly.
+  std::vector<Itemset> records;
+  for (int i = 0; i < 36; ++i) {
+    records.push_back(i % 2 == 0 ? Itemset{1, 2} : Itemset{2, 3});
+  }
+  MomentMiner miner(6, 3);
+  DriveAndCheck(&miner, records);
+}
+
+TEST(MomentStressTest, BlockerFlipFlop) {
+  // Records engineered so that item 0 alternately covers and uncovers the
+  // records containing item 3, toggling the unpromising blocker on the {3}
+  // branch.
+  std::vector<Itemset> records;
+  for (int i = 0; i < 40; ++i) {
+    switch (i % 4) {
+      case 0: records.push_back(Itemset{0, 3}); break;
+      case 1: records.push_back(Itemset{0, 1, 3}); break;
+      case 2: records.push_back(Itemset{3, 4}); break;  // breaks 0-coverage
+      default: records.push_back(Itemset{0, 4}); break;
+    }
+  }
+  MomentMiner miner(8, 2);
+  DriveAndCheck(&miner, records);
+}
+
+TEST(MomentStressTest, WideSingleItemRecords) {
+  // Window full of singletons: the CET is a flat forest of leaves; no
+  // multi-item itemset must ever appear.
+  std::vector<Itemset> records;
+  for (int i = 0; i < 24; ++i) {
+    records.push_back(Itemset{static_cast<Item>(i % 4)});
+  }
+  MomentMiner miner(8, 2);
+  DriveAndCheck(&miner, records);
+  MiningOutput closed = miner.GetClosedFrequent();
+  for (const FrequentItemset& f : closed.itemsets()) {
+    EXPECT_EQ(f.itemset.size(), 1u);
+  }
+}
+
+TEST(MomentStressTest, FullUniverseRecords) {
+  // Every record is the whole alphabet: exactly one closed itemset exists.
+  std::vector<Itemset> records(20, Itemset{0, 1, 2, 3, 4, 5, 6, 7});
+  MomentMiner miner(5, 2);
+  DriveAndCheck(&miner, records);
+  MiningOutput closed = miner.GetClosedFrequent();
+  ASSERT_EQ(closed.size(), 1u);
+  EXPECT_EQ(closed.itemsets()[0].itemset.size(), 8u);
+}
+
+TEST(MomentStressTest, WindowOfOne) {
+  MomentMiner miner(1, 1);
+  std::vector<Itemset> records = {Itemset{1, 2}, Itemset{3}, Itemset{1, 3},
+                                  Itemset{2}};
+  DriveAndCheck(&miner, records);
+  EXPECT_EQ(miner.GetClosedFrequent().size(), 1u);
+}
+
+TEST(MomentStressTest, ShiftingAlphabet) {
+  // The item universe slides: items enter, dominate, and vanish entirely —
+  // node removal down to zero-support must keep the tree consistent.
+  std::vector<Itemset> records;
+  for (int i = 0; i < 50; ++i) {
+    Item base = static_cast<Item>(i / 5);
+    records.push_back(Itemset{base, static_cast<Item>(base + 1)});
+  }
+  MomentMiner miner(6, 2);
+  DriveAndCheck(&miner, records);
+}
+
+}  // namespace
+}  // namespace butterfly

@@ -1,0 +1,95 @@
+#include "core/noise.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace butterfly {
+namespace {
+
+TEST(NoiseModelTest, AlphaMatchesClosedForm) {
+  // α = ceil(√(1 + 6δK²) − 1); for δ = 0.4, K = 5: √61 − 1 ≈ 6.81 → 7.
+  NoiseModel noise(0.4, 5);
+  EXPECT_EQ(noise.alpha(), 7);
+}
+
+TEST(NoiseModelTest, VarianceMeetsPrivacyFloor) {
+  for (double delta : {0.05, 0.2, 0.4, 0.6, 1.0}) {
+    for (Support k : {1, 2, 5, 10}) {
+      NoiseModel noise(delta, k);
+      EXPECT_GE(noise.variance(), delta * k * k / 2.0 - 1e-9)
+          << "delta=" << delta << " K=" << k;
+    }
+  }
+}
+
+TEST(NoiseModelTest, VarianceIsNotWastefullyLarge) {
+  // One fewer step of α would violate the floor (minimality of the ceil).
+  for (double delta : {0.1, 0.4, 0.8}) {
+    for (Support k : {2, 5, 8}) {
+      NoiseModel noise(delta, k);
+      int64_t a = noise.alpha();
+      if (a <= 1) continue;
+      double smaller_var = (static_cast<double>(a) * a - 1.0) / 12.0;
+      EXPECT_LT(smaller_var, delta * k * k / 2.0)
+          << "delta=" << delta << " K=" << k;
+    }
+  }
+}
+
+TEST(NoiseModelTest, TinyDeltaStillPerturbs) {
+  NoiseModel noise(1e-6, 1);
+  EXPECT_GE(noise.alpha(), 1);
+  EXPECT_GT(noise.variance(), 0.0);
+}
+
+TEST(NoiseModelTest, CenteredMeanTracksBias) {
+  NoiseModel noise(0.4, 5);
+  for (double bias : {-10.0, -2.5, 0.0, 3.0, 11.75}) {
+    DiscreteUniform d = noise.Centered(bias);
+    EXPECT_EQ(d.alpha(), noise.alpha());
+    EXPECT_NEAR(d.Mean(), bias, 0.51);  // integer endpoints round the center
+  }
+}
+
+TEST(NoiseModelTest, ZeroBiasIsSymmetricWithinRounding) {
+  NoiseModel noise(0.4, 5);
+  DiscreteUniform d = noise.Centered(0.0);
+  EXPECT_LE(std::abs(d.Mean()), 0.51);
+}
+
+TEST(NoiseModelTest, SamplesStayInRegion) {
+  NoiseModel noise(0.6, 4);
+  Rng rng(3);
+  DiscreteUniform d = noise.Centered(2.0);
+  for (int i = 0; i < 2000; ++i) {
+    int64_t v = noise.Sample(2.0, &rng);
+    EXPECT_GE(v, d.lo());
+    EXPECT_LE(v, d.hi());
+  }
+}
+
+TEST(NoiseModelTest, EmpiricalVarianceMatches) {
+  NoiseModel noise(0.4, 5);
+  Rng rng(17);
+  const int n = 60000;
+  double sum = 0, sumsq = 0;
+  for (int i = 0; i < n; ++i) {
+    double v = static_cast<double>(noise.Sample(0.0, &rng));
+    sum += v;
+    sumsq += v * v;
+  }
+  double mean = sum / n;
+  double var = sumsq / n - mean * mean;
+  EXPECT_NEAR(var, noise.variance(), 0.15);
+}
+
+TEST(NoiseModelTest, LargerDeltaWidensRegion) {
+  NoiseModel small(0.1, 5);
+  NoiseModel large(1.0, 5);
+  EXPECT_GT(large.alpha(), small.alpha());
+  EXPECT_GT(large.variance(), small.variance());
+}
+
+}  // namespace
+}  // namespace butterfly

@@ -1,0 +1,181 @@
+/// The paper's experimental claims as CI assertions: each test runs a
+/// miniature version of a figure's pipeline and asserts the *shape* the
+/// paper reports — so a regression that silently flips a comparison (e.g.
+/// ratio-preserving losing its own metric) fails the suite rather than just
+/// bending a curve in bench output.
+
+#include <gtest/gtest.h>
+
+#include "core/butterfly.h"
+#include "datagen/profiles.h"
+#include "inference/breach_finder.h"
+#include "metrics/privacy_metrics.h"
+#include "metrics/utility_metrics.h"
+#include "moment/moment.h"
+
+namespace butterfly {
+namespace {
+
+// One small trace shared by all claims (cached across tests).
+struct Trace {
+  std::vector<MiningOutput> raw;
+  std::vector<std::vector<InferredPattern>> breaches;
+  Support window_size = 600;
+};
+
+const Trace& GetTrace() {
+  static Trace trace = [] {
+    Trace t;
+    auto data = GenerateProfile(DatasetProfile::kBmsWebView1, 900, 7);
+    MomentMiner miner(600, 12);
+    AttackConfig attack;
+    attack.vulnerable_support = 4;
+    size_t fed = 0;
+    for (const Transaction& txn : *data) {
+      miner.Append(txn);
+      ++fed;
+      if (fed >= 600 && (fed - 600) % 15 == 0 && t.raw.size() < 20) {
+        t.raw.push_back(miner.GetAllFrequent());
+        t.breaches.push_back(
+            FindIntraWindowBreaches(t.raw.back(), 600, attack));
+      }
+    }
+    return t;
+  }();
+  return trace;
+}
+
+ButterflyConfig Config(ButterflyScheme scheme, double epsilon, double delta,
+                       double lambda = 0.4) {
+  ButterflyConfig config;
+  config.scheme = scheme;
+  config.epsilon = epsilon;
+  config.delta = delta;
+  config.lambda = lambda;
+  config.min_support = 12;
+  config.vulnerable_support = 4;
+  config.seed = 99;
+  return config;
+}
+
+struct Averages {
+  double pred = 0, ropp = 0, rrpp = 0, prig = 0;
+};
+
+Averages Evaluate(const ButterflyConfig& config) {
+  const Trace& trace = GetTrace();
+  ButterflyEngine engine(config);
+  Averages avg;
+  size_t prig_count = 0;
+  for (size_t w = 0; w < trace.raw.size(); ++w) {
+    SanitizedOutput release =
+        engine.Sanitize(trace.raw[w], trace.window_size);
+    avg.pred += AvgPred(trace.raw[w], release);
+    avg.ropp += Ropp(trace.raw[w], release);
+    avg.rrpp += Rrpp(trace.raw[w], release, 0.95);
+    PrivacyEvaluation eval = EvaluatePrivacy(trace.breaches[w], release);
+    if (eval.evaluated_patterns > 0) {
+      avg.prig += eval.avg_prig;
+      ++prig_count;
+    }
+  }
+  double n = static_cast<double>(trace.raw.size());
+  avg.pred /= n;
+  avg.ropp /= n;
+  avg.rrpp /= n;
+  if (prig_count) avg.prig /= static_cast<double>(prig_count);
+  return avg;
+}
+
+TEST(PaperClaimsTest, Fig4PrigAboveFloorForAllVariants) {
+  for (double delta : {0.2, 0.6, 1.0}) {
+    for (ButterflyScheme scheme :
+         {ButterflyScheme::kBasic, ButterflyScheme::kOrderPreserving,
+          ButterflyScheme::kRatioPreserving, ButterflyScheme::kHybrid}) {
+      Averages avg = Evaluate(Config(scheme, 0.08 * delta + 0.02, delta));
+      EXPECT_GE(avg.prig, delta)
+          << SchemeName(scheme) << " at delta " << delta;
+    }
+  }
+}
+
+TEST(PaperClaimsTest, Fig4PredBelowCeilingForAllVariants) {
+  for (double epsilon : {0.03, 0.06, 0.1}) {
+    for (ButterflyScheme scheme :
+         {ButterflyScheme::kBasic, ButterflyScheme::kOrderPreserving,
+          ButterflyScheme::kRatioPreserving, ButterflyScheme::kHybrid}) {
+      Averages avg = Evaluate(Config(scheme, epsilon, 0.4));
+      EXPECT_LE(avg.pred, epsilon * 1.25)
+          << SchemeName(scheme) << " at epsilon " << epsilon;
+    }
+  }
+}
+
+TEST(PaperClaimsTest, Fig4BasicHasLowestPrecisionLoss) {
+  double basic = Evaluate(Config(ButterflyScheme::kBasic, 0.1, 0.4)).pred;
+  for (ButterflyScheme scheme :
+       {ButterflyScheme::kOrderPreserving, ButterflyScheme::kRatioPreserving,
+        ButterflyScheme::kHybrid}) {
+    EXPECT_LE(basic, Evaluate(Config(scheme, 0.1, 0.4)).pred + 1e-9)
+        << SchemeName(scheme);
+  }
+}
+
+TEST(PaperClaimsTest, Fig5OrderSchemeWinsRopp) {
+  Averages order = Evaluate(Config(ButterflyScheme::kOrderPreserving, 0.2, 0.4));
+  Averages ratio = Evaluate(Config(ButterflyScheme::kRatioPreserving, 0.2, 0.4));
+  Averages basic = Evaluate(Config(ButterflyScheme::kBasic, 0.2, 0.4));
+  EXPECT_GE(order.ropp, ratio.ropp);
+  EXPECT_GE(order.ropp, basic.ropp);
+}
+
+TEST(PaperClaimsTest, Fig5RatioSchemeWinsRrppAndOrderSchemeLosesIt) {
+  Averages order = Evaluate(Config(ButterflyScheme::kOrderPreserving, 0.2, 0.4));
+  Averages ratio = Evaluate(Config(ButterflyScheme::kRatioPreserving, 0.2, 0.4));
+  Averages basic = Evaluate(Config(ButterflyScheme::kBasic, 0.2, 0.4));
+  EXPECT_GE(ratio.rrpp, basic.rrpp);
+  EXPECT_GE(ratio.rrpp, order.rrpp);
+  // The paper's sharpest observation: order-preservation disturbs ratios
+  // below even the unbiased basic scheme.
+  EXPECT_LE(order.rrpp, basic.rrpp);
+}
+
+TEST(PaperClaimsTest, Fig5QualityRisesWithPpr) {
+  Averages small = Evaluate(Config(ButterflyScheme::kOrderPreserving, 0.08, 0.4));
+  Averages large = Evaluate(Config(ButterflyScheme::kOrderPreserving, 0.4, 0.4));
+  EXPECT_GE(large.ropp, small.ropp - 0.003);
+}
+
+TEST(PaperClaimsTest, Fig7LambdaTradesOrderForRatio) {
+  double prev_ropp = -1, prev_rrpp = 2;
+  for (double lambda : {0.0, 0.5, 1.0}) {
+    Averages avg =
+        Evaluate(Config(ButterflyScheme::kHybrid, 0.24, 0.4, lambda));
+    EXPECT_GE(avg.ropp, prev_ropp - 0.004) << "lambda " << lambda;
+    EXPECT_LE(avg.rrpp, prev_rrpp + 0.02) << "lambda " << lambda;
+    prev_ropp = avg.ropp;
+    prev_rrpp = avg.rrpp;
+  }
+}
+
+TEST(PaperClaimsTest, Fig6GammaKneeAtTwo) {
+  double gamma0, gamma2;
+  {
+    ButterflyConfig config = Config(ButterflyScheme::kOrderPreserving, 0.24, 0.4);
+    config.order_opt.gamma = 0;
+    gamma0 = Evaluate(config).ropp;
+    config.order_opt.gamma = 2;
+    gamma2 = Evaluate(config).ropp;
+  }
+  EXPECT_GT(gamma2, gamma0);
+}
+
+TEST(PaperClaimsTest, UnprotectedStreamLeaks) {
+  const Trace& trace = GetTrace();
+  size_t total = 0;
+  for (const auto& breaches : trace.breaches) total += breaches.size();
+  EXPECT_GT(total, 0u) << "the census premise: raw releases leak";
+}
+
+}  // namespace
+}  // namespace butterfly

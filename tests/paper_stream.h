@@ -1,0 +1,58 @@
+/// \file paper_stream.h
+/// \brief The concrete 12-record stream of the paper's Fig. 2/3, used by the
+/// worked-example tests (Examples 2-5).
+///
+/// Items: a=1, b=2, c=3, d=4. The window size is 8, so Ds(11,8) covers
+/// r4..r11 and Ds(12,8) covers r5..r12. The record contents reproduce every
+/// support the paper quotes:
+///   Ds(11,8): c=8, a=b=ac=bc=6, ab=abc=4
+///   Ds(12,8): c=8, a=b=ac=bc=5, ab=abc=3
+/// and Example 4's bound [2,5] for abc in Ds(12,8).
+
+#ifndef BUTTERFLY_TESTS_PAPER_STREAM_H_
+#define BUTTERFLY_TESTS_PAPER_STREAM_H_
+
+#include <vector>
+
+#include "common/transaction.h"
+
+namespace butterfly::testing {
+
+inline constexpr Item kA = 1;
+inline constexpr Item kB = 2;
+inline constexpr Item kC = 3;
+inline constexpr Item kD = 4;
+
+/// The records r1..r12 of Fig. 2 (tids 1..12).
+inline std::vector<Transaction> PaperStream() {
+  std::vector<Itemset> itemsets = {
+      /*r1*/ {kA},
+      /*r2*/ {kB},
+      /*r3*/ {kC, kD},
+      /*r4*/ {kA, kB, kC, kD},
+      /*r5*/ {kA, kB, kC},
+      /*r6*/ {kA, kB, kC},
+      /*r7*/ {kA, kB, kC},
+      /*r8*/ {kA, kC},
+      /*r9*/ {kA, kC},
+      /*r10*/ {kB, kC},
+      /*r11*/ {kB, kC},
+      /*r12*/ {kC, kD},
+  };
+  std::vector<Transaction> stream;
+  for (size_t i = 0; i < itemsets.size(); ++i) {
+    stream.emplace_back(static_cast<Tid>(i + 1), itemsets[i]);
+  }
+  return stream;
+}
+
+/// Window contents Ds(n, 8) for n in [8, 12]: records r(n-7)..rn.
+inline std::vector<Transaction> PaperWindow(size_t n) {
+  std::vector<Transaction> stream = PaperStream();
+  return std::vector<Transaction>(stream.begin() + (n - 8),
+                                  stream.begin() + n);
+}
+
+}  // namespace butterfly::testing
+
+#endif  // BUTTERFLY_TESTS_PAPER_STREAM_H_

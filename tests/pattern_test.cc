@@ -1,0 +1,99 @@
+#include "common/pattern.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace butterfly {
+namespace {
+
+TEST(PatternTest, EmptyPatternSatisfiedByEverything) {
+  Pattern p;
+  EXPECT_TRUE(p.SatisfiedBy(Itemset{}));
+  EXPECT_TRUE(p.SatisfiedBy(Itemset{1, 2, 3}));
+}
+
+TEST(PatternTest, PositiveOnly) {
+  Pattern p = Pattern::OfItemset(Itemset{1, 2});
+  EXPECT_TRUE(p.SatisfiedBy(Itemset{1, 2}));
+  EXPECT_TRUE(p.SatisfiedBy(Itemset{1, 2, 9}));
+  EXPECT_FALSE(p.SatisfiedBy(Itemset{1}));
+  EXPECT_FALSE(p.SatisfiedBy(Itemset{2, 9}));
+}
+
+TEST(PatternTest, NegationExcludes) {
+  Pattern p(Itemset{1}, Itemset{3});
+  EXPECT_TRUE(p.SatisfiedBy(Itemset{1, 2}));
+  EXPECT_FALSE(p.SatisfiedBy(Itemset{1, 3}));
+  EXPECT_FALSE(p.SatisfiedBy(Itemset{3}));
+  EXPECT_FALSE(p.SatisfiedBy(Itemset{2}));  // missing the positive item
+}
+
+TEST(PatternTest, PureNegationPattern) {
+  Pattern p(Itemset{}, Itemset{4, 5});
+  EXPECT_TRUE(p.SatisfiedBy(Itemset{}));
+  EXPECT_TRUE(p.SatisfiedBy(Itemset{1, 2, 3}));
+  EXPECT_FALSE(p.SatisfiedBy(Itemset{4}));
+  EXPECT_FALSE(p.SatisfiedBy(Itemset{1, 5}));
+}
+
+TEST(PatternTest, DerivedSplitsSuperset) {
+  Pattern p = Pattern::Derived(Itemset{3}, Itemset{1, 2, 3});
+  EXPECT_EQ(p.positive(), (Itemset{3}));
+  EXPECT_EQ(p.negated(), (Itemset{1, 2}));
+  EXPECT_EQ(p.EnclosingItemset(), (Itemset{1, 2, 3}));
+}
+
+TEST(PatternTest, DerivedWithEmptySub) {
+  Pattern p = Pattern::Derived(Itemset{}, Itemset{1, 2});
+  EXPECT_TRUE(p.positive().empty());
+  EXPECT_EQ(p.negated(), (Itemset{1, 2}));
+}
+
+TEST(PatternTest, SizeCountsAllLiterals) {
+  Pattern p(Itemset{1, 2}, Itemset{3});
+  EXPECT_EQ(p.size(), 3u);
+}
+
+TEST(PatternTest, ToStringMarksNegations) {
+  Pattern p(Itemset{1}, Itemset{5});
+  EXPECT_EQ(p.ToString(), "{1, !5}");
+}
+
+TEST(PatternTest, EqualityAndOrdering) {
+  Pattern a(Itemset{1}, Itemset{2});
+  Pattern b(Itemset{1}, Itemset{2});
+  Pattern c(Itemset{2}, Itemset{1});
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_EQ(a.Hash(), b.Hash());
+}
+
+TEST(PatternTest, HashDistinguishesPolarity) {
+  // Same literals, swapped polarity, must hash apart.
+  Pattern p(Itemset{1}, Itemset{2});
+  Pattern q(Itemset{2}, Itemset{1});
+  EXPECT_NE(p.Hash(), q.Hash());
+}
+
+TEST(PatternTest, SatisfiedByMatchesDefinitionOnRandomRecords) {
+  Rng rng(99);
+  for (int round = 0; round < 200; ++round) {
+    std::vector<Item> pos, neg, rec;
+    for (Item i = 0; i < 10; ++i) {
+      double u = rng.UniformReal();
+      if (u < 0.2) pos.push_back(i);
+      else if (u < 0.4) neg.push_back(i);
+      if (rng.Bernoulli(0.5)) rec.push_back(i);
+    }
+    Pattern p((Itemset(pos)), Itemset(neg));
+    Itemset record(rec);
+    bool expected = true;
+    for (Item i : pos) expected &= record.Contains(i);
+    for (Item i : neg) expected &= !record.Contains(i);
+    EXPECT_EQ(p.SatisfiedBy(record), expected);
+  }
+}
+
+}  // namespace
+}  // namespace butterfly

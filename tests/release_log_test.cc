@@ -1,0 +1,117 @@
+#include "core/release_log.h"
+
+#include <cstdio>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace butterfly {
+namespace {
+
+SanitizedOutput MakeRelease() {
+  SanitizedOutput release(25, 2000);
+  release.Add(SanitizedItemset{Itemset{1}, 120, 1.5, 4.0});
+  release.Add(SanitizedItemset{Itemset{1, 2}, 45, 0.5, 4.0});
+  release.Add(SanitizedItemset{Itemset{3}, 80, 0.0, 4.0});
+  release.Seal();
+  return release;
+}
+
+TEST(ReleaseLogTest, WriteThenReadRoundTrip) {
+  std::ostringstream out;
+  ASSERT_TRUE(WriteRelease(&out, "Ds(2000,2000)", MakeRelease()).ok());
+
+  std::istringstream in(out.str());
+  auto parsed = ReadReleases(&in);
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_EQ(parsed->size(), 1u);
+  const LoggedRelease& release = (*parsed)[0];
+  EXPECT_EQ(release.label, "Ds(2000,2000)");
+  EXPECT_EQ(release.window_size, 2000);
+  EXPECT_EQ(release.min_support, 25);
+  ASSERT_EQ(release.items.size(), 3u);
+  EXPECT_EQ(release.items[0].first, (Itemset{1}));
+  EXPECT_EQ(release.items[0].second, 120);
+  EXPECT_EQ(release.items[1].first, (Itemset{1, 2}));
+  EXPECT_EQ(release.items[1].second, 45);
+}
+
+TEST(ReleaseLogTest, BiasMetadataIsNotSerialized) {
+  std::ostringstream out;
+  ASSERT_TRUE(WriteRelease(&out, "w", MakeRelease()).ok());
+  // The realized bias 1.5 must not leak into the public log.
+  EXPECT_EQ(out.str().find("1.5"), std::string::npos);
+}
+
+TEST(ReleaseLogTest, MultipleBlocks) {
+  std::ostringstream out;
+  ASSERT_TRUE(WriteRelease(&out, "w1", MakeRelease()).ok());
+  ASSERT_TRUE(WriteRelease(&out, "w2", MakeRelease()).ok());
+  std::istringstream in(out.str());
+  auto parsed = ReadReleases(&in);
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_EQ(parsed->size(), 2u);
+  EXPECT_EQ((*parsed)[0].label, "w1");
+  EXPECT_EQ((*parsed)[1].label, "w2");
+}
+
+TEST(ReleaseLogTest, RejectsSpacedLabel) {
+  std::ostringstream out;
+  EXPECT_FALSE(WriteRelease(&out, "bad label", MakeRelease()).ok());
+}
+
+TEST(ReleaseLogTest, EmptyLabelWrittenAsDash) {
+  std::ostringstream out;
+  ASSERT_TRUE(WriteRelease(&out, "", MakeRelease()).ok());
+  std::istringstream in(out.str());
+  auto parsed = ReadReleases(&in);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ((*parsed)[0].label, "-");
+}
+
+TEST(ReleaseLogTest, RejectsItemLineOutsideBlock) {
+  std::istringstream in("1 2 45\n");
+  EXPECT_FALSE(ReadReleases(&in).ok());
+}
+
+TEST(ReleaseLogTest, RejectsMalformedHeader) {
+  std::istringstream in("#release only-a-label\n");
+  EXPECT_FALSE(ReadReleases(&in).ok());
+}
+
+TEST(ReleaseLogTest, RejectsNonNumericItemLine) {
+  std::istringstream in("#release w 2000 25 1\n1 x 45\n");
+  EXPECT_FALSE(ReadReleases(&in).ok());
+}
+
+TEST(ReleaseLogTest, RejectsLoneNumberLine) {
+  std::istringstream in("#release w 2000 25 1\n45\n");
+  EXPECT_FALSE(ReadReleases(&in).ok());
+}
+
+TEST(ReleaseLogTest, FileAppendAndRead) {
+  std::string path = ::testing::TempDir() + "/bfly_release_log_test.log";
+  std::remove(path.c_str());
+  ASSERT_TRUE(AppendReleaseToFile(path, "w1", MakeRelease()).ok());
+  ASSERT_TRUE(AppendReleaseToFile(path, "w2", MakeRelease()).ok());
+  auto parsed = ReadReleasesFromFile(path);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->size(), 2u);
+  std::remove(path.c_str());
+}
+
+TEST(ReleaseLogTest, MissingFileIsIOError) {
+  auto parsed = ReadReleasesFromFile("/no/such/file.log");
+  EXPECT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), StatusCode::kIOError);
+}
+
+TEST(ReleaseLogTest, EmptyStreamYieldsNoReleases) {
+  std::istringstream in("");
+  auto parsed = ReadReleases(&in);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(parsed->empty());
+}
+
+}  // namespace
+}  // namespace butterfly

@@ -1,0 +1,110 @@
+#include "common/rng.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace butterfly {
+namespace {
+
+TEST(RngTest, SameSeedSameSequence) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.UniformInt(0, 1000), b.UniformInt(0, 1000));
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  bool differs = false;
+  for (int i = 0; i < 20 && !differs; ++i) {
+    differs = a.UniformInt(0, 1 << 20) != b.UniformInt(0, 1 << 20);
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(RngTest, UniformIntStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = rng.UniformInt(-3, 4);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 4);
+  }
+}
+
+TEST(RngTest, UniformRealInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    double v = rng.UniformReal();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(RngTest, BernoulliMatchesProbability) {
+  Rng rng(11);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) hits += rng.Bernoulli(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(RngTest, PoissonMeanMatches) {
+  Rng rng(13);
+  double total = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) total += static_cast<double>(rng.Poisson(4.5));
+  EXPECT_NEAR(total / n, 4.5, 0.1);
+}
+
+TEST(DiscreteUniformTest, AlphaAndMoments) {
+  DiscreteUniform d(-3, 3);
+  EXPECT_EQ(d.alpha(), 6);
+  EXPECT_DOUBLE_EQ(d.Mean(), 0.0);
+  // ((6+1)^2 - 1)/12 = 4
+  EXPECT_DOUBLE_EQ(d.Variance(), 4.0);
+}
+
+TEST(DiscreteUniformTest, AsymmetricMean) {
+  DiscreteUniform d(2, 5);
+  EXPECT_DOUBLE_EQ(d.Mean(), 3.5);
+  EXPECT_DOUBLE_EQ(d.Variance(), (16.0 - 1.0) / 12.0);
+}
+
+TEST(DiscreteUniformTest, SampleStaysInSupport) {
+  Rng rng(17);
+  DiscreteUniform d(-4, 9);
+  for (int i = 0; i < 2000; ++i) {
+    int64_t v = d.Sample(&rng);
+    EXPECT_GE(v, -4);
+    EXPECT_LE(v, 9);
+  }
+}
+
+TEST(DiscreteUniformTest, EmpiricalMomentsMatchAnalytic) {
+  Rng rng(19);
+  DiscreteUniform d(-5, 5);
+  const int n = 50000;
+  double sum = 0, sumsq = 0;
+  for (int i = 0; i < n; ++i) {
+    double v = static_cast<double>(d.Sample(&rng));
+    sum += v;
+    sumsq += v * v;
+  }
+  double mean = sum / n;
+  double var = sumsq / n - mean * mean;
+  EXPECT_NEAR(mean, d.Mean(), 0.05);
+  EXPECT_NEAR(var, d.Variance(), 0.2);
+}
+
+TEST(DiscreteUniformTest, DegenerateSingleton) {
+  Rng rng(23);
+  DiscreteUniform d(4, 4);
+  EXPECT_EQ(d.alpha(), 0);
+  EXPECT_DOUBLE_EQ(d.Variance(), 0.0);
+  EXPECT_EQ(d.Sample(&rng), 4);
+}
+
+}  // namespace
+}  // namespace butterfly

@@ -1,0 +1,142 @@
+#include "core/rule_release.h"
+
+#include <gtest/gtest.h>
+
+#include "core/butterfly.h"
+#include "core/parameter_advisor.h"
+#include "mining/eclat.h"
+#include "mining/rules.h"
+#include "paper_stream.h"
+
+namespace butterfly {
+namespace {
+
+using butterfly::testing::kA;
+using butterfly::testing::kC;
+using butterfly::testing::PaperWindow;
+
+ButterflyConfig ToyConfig() {
+  ButterflyConfig config;
+  config.min_support = 3;
+  config.vulnerable_support = 1;
+  config.epsilon = 0.5;
+  config.delta = 0.5;
+  config.seed = 4;
+  return config;
+}
+
+TEST(SanitizedRuleTest, ConfidenceBoundsContainTruth) {
+  std::vector<Transaction> window = PaperWindow(12);
+  EclatMiner eclat;
+  MiningOutput raw = eclat.Mine(window, 3);
+  std::vector<AssociationRule> true_rules = GenerateRules(raw, 0.0);
+
+  for (uint64_t seed = 1; seed <= 20; ++seed) {
+    ButterflyConfig config = ToyConfig();
+    config.seed = seed;
+    ButterflyEngine engine(config);
+    SanitizedOutput release = engine.Sanitize(raw, 8);
+    std::vector<SanitizedRule> rules =
+        GenerateSanitizedRules(release, engine.noise(), 0.0);
+    for (const SanitizedRule& rule : rules) {
+      // Find the matching true rule.
+      for (const AssociationRule& truth : true_rules) {
+        if (truth.antecedent == rule.antecedent &&
+            truth.consequent == rule.consequent) {
+          EXPECT_GE(truth.confidence, rule.confidence_lo - 1e-9)
+              << rule.ToString() << " seed " << seed;
+          EXPECT_LE(truth.confidence, rule.confidence_hi + 1e-9)
+              << rule.ToString() << " seed " << seed;
+        }
+      }
+    }
+  }
+}
+
+TEST(SanitizedRuleTest, PointEstimateWithinBounds) {
+  std::vector<Transaction> window = PaperWindow(12);
+  EclatMiner eclat;
+  ButterflyEngine engine(ToyConfig());
+  SanitizedOutput release = engine.Sanitize(eclat.Mine(window, 3), 8);
+  for (const SanitizedRule& rule :
+       GenerateSanitizedRules(release, engine.noise(), 0.0)) {
+    EXPECT_GE(rule.released_confidence, rule.confidence_lo - 1e-9);
+    // The released point may exceed hi only through the [0,1] cap.
+    EXPECT_LE(rule.confidence_lo, rule.confidence_hi);
+    EXPECT_GE(rule.confidence_lo, 0.0);
+    EXPECT_LE(rule.confidence_hi, 1.0);
+  }
+}
+
+TEST(SanitizedRuleTest, MinConfidenceFilters) {
+  std::vector<Transaction> window = PaperWindow(12);
+  EclatMiner eclat;
+  ButterflyEngine engine(ToyConfig());
+  SanitizedOutput release = engine.Sanitize(eclat.Mine(window, 3), 8);
+  std::vector<SanitizedRule> strict =
+      GenerateSanitizedRules(release, engine.noise(), 0.8);
+  std::vector<SanitizedRule> loose =
+      GenerateSanitizedRules(release, engine.noise(), 0.1);
+  EXPECT_LE(strict.size(), loose.size());
+  for (const SanitizedRule& rule : strict) {
+    EXPECT_GE(rule.released_confidence, 0.8 - 1e-9);
+  }
+}
+
+TEST(SanitizedRuleTest, SortedByReleasedConfidence) {
+  std::vector<Transaction> window = PaperWindow(12);
+  EclatMiner eclat;
+  ButterflyEngine engine(ToyConfig());
+  SanitizedOutput release = engine.Sanitize(eclat.Mine(window, 3), 8);
+  std::vector<SanitizedRule> rules =
+      GenerateSanitizedRules(release, engine.noise(), 0.0);
+  for (size_t i = 1; i < rules.size(); ++i) {
+    EXPECT_GE(rules[i - 1].released_confidence,
+              rules[i].released_confidence);
+  }
+}
+
+TEST(ParameterAdvisorTest, MinEpsilonIsExactlyFeasible) {
+  for (double delta : {0.1, 0.4, 1.0}) {
+    double eps = MinFeasibleEpsilon(delta, 25, 5);
+    ButterflyConfig config;
+    config.min_support = 25;
+    config.vulnerable_support = 5;
+    config.delta = delta;
+    config.epsilon = eps + 1e-9;
+    EXPECT_TRUE(config.Validate().ok()) << "delta " << delta;
+    config.epsilon = eps * 0.95;
+    EXPECT_FALSE(config.Validate().ok()) << "delta " << delta;
+  }
+}
+
+TEST(ParameterAdvisorTest, MaxDeltaIsExactlyFeasible) {
+  for (double epsilon : {0.01, 0.016, 0.1}) {
+    double delta = MaxFeasibleDelta(epsilon, 25, 5);
+    ASSERT_GT(delta, 0.0);
+    ButterflyConfig config;
+    config.min_support = 25;
+    config.vulnerable_support = 5;
+    config.epsilon = epsilon;
+    config.delta = delta;
+    EXPECT_TRUE(config.Validate().ok()) << "epsilon " << epsilon;
+    // A noticeably larger δ must push the region one step wider and fail.
+    config.delta = delta * 1.5;
+    EXPECT_FALSE(config.Validate().ok()) << "epsilon " << epsilon;
+  }
+}
+
+TEST(ParameterAdvisorTest, TinyBudgetYieldsZeroDelta) {
+  EXPECT_DOUBLE_EQ(MaxFeasibleDelta(1e-6, 25, 5), 0.0);
+}
+
+TEST(ParameterAdvisorTest, DiscretizationGapVisible) {
+  // The continuous min ppr would allow ε = δ·K²/(2C²) = 0.008 at δ = 0.4;
+  // the advisor reports the true (discretized) boundary above it.
+  double eps = MinFeasibleEpsilon(0.4, 25, 5);
+  EXPECT_GT(eps, 0.008);
+  EXPECT_LT(eps, 0.010);
+}
+
+}  // namespace
+}  // namespace butterfly

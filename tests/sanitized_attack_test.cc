@@ -1,0 +1,148 @@
+#include "metrics/sanitized_attack.h"
+
+#include <gtest/gtest.h>
+
+#include "core/butterfly.h"
+
+namespace butterfly {
+namespace {
+
+MiningOutput LeakyOutput() {
+  MiningOutput out(25);
+  out.Add(Itemset{1}, 30);
+  out.Add(Itemset{2}, 60);
+  out.Add(Itemset{1, 2}, 27);
+  out.Seal();
+  return out;
+}
+
+// The derivable vulnerable pattern: T(1 ∧ ¬2) = 30 − 27 = 3.
+std::vector<InferredPattern> LeakyBreach() {
+  return {InferredPattern{Pattern(Itemset{1}, Itemset{2}), 3, false}};
+}
+
+ButterflyConfig BaseConfig() {
+  ButterflyConfig config;
+  config.epsilon = 0.016;
+  config.delta = 0.4;
+  config.min_support = 25;
+  config.vulnerable_support = 5;
+  return config;
+}
+
+TEST(IntervalKnowledgeTest, ReleasedValuePinsTrueSupportToRegion) {
+  ButterflyEngine engine(BaseConfig());
+  SanitizedOutput release = engine.Sanitize(LeakyOutput(), 2000);
+  IntervalMap knowledge =
+      IntervalKnowledgeFromRelease(release, engine.noise());
+  // Every true support must lie inside the adversary's interval.
+  EXPECT_TRUE(knowledge.at(Itemset{1}).Contains(30));
+  EXPECT_TRUE(knowledge.at(Itemset{2}).Contains(60));
+  EXPECT_TRUE(knowledge.at(Itemset{1, 2}).Contains(27));
+  EXPECT_EQ(knowledge.at(Itemset{}), Interval::Exact(2000));
+  // And be exactly as wide as the noise region.
+  EXPECT_EQ(knowledge.at(Itemset{1}).Width(), engine.noise().alpha() + 1);
+}
+
+TEST(DerivePatternIntervalTest, ZeroNoiseGivesExactDerivation) {
+  IntervalMap knowledge;
+  knowledge[Itemset{}] = Interval::Exact(2000);
+  knowledge[Itemset{1}] = Interval::Exact(30);
+  knowledge[Itemset{1, 2}] = Interval::Exact(27);
+  auto interval =
+      DerivePatternInterval(knowledge, Pattern(Itemset{1}, Itemset{2}));
+  ASSERT_TRUE(interval.has_value());
+  EXPECT_EQ(*interval, Interval::Exact(3));
+}
+
+TEST(DerivePatternIntervalTest, UncertaintyAccumulates) {
+  // Two lattice nodes with width-8 intervals: the derived pattern interval
+  // is wider than either input (the accumulation property of §V-C.3).
+  IntervalMap knowledge;
+  knowledge[Itemset{1}] = Interval(26, 33);
+  knowledge[Itemset{1, 2}] = Interval(24, 31);
+  auto interval =
+      DerivePatternInterval(knowledge, Pattern(Itemset{1}, Itemset{2}));
+  ASSERT_TRUE(interval.has_value());
+  EXPECT_GT(interval->Width(), Interval(26, 33).Width());
+  EXPECT_TRUE(interval->Contains(3));
+}
+
+TEST(DerivePatternIntervalTest, MissingNodeReturnsNullopt) {
+  IntervalMap knowledge;
+  knowledge[Itemset{1}] = Interval(26, 33);
+  EXPECT_FALSE(
+      DerivePatternInterval(knowledge, Pattern(Itemset{1}, Itemset{2}))
+          .has_value());
+}
+
+TEST(DerivePatternIntervalTest, ClampsAtZero) {
+  IntervalMap knowledge;
+  knowledge[Itemset{1}] = Interval(10, 12);
+  knowledge[Itemset{1, 2}] = Interval(10, 12);
+  auto interval =
+      DerivePatternInterval(knowledge, Pattern(Itemset{1}, Itemset{2}));
+  ASSERT_TRUE(interval.has_value());
+  EXPECT_GE(interval->lo, 0);
+}
+
+TEST(AttackSanitizedReleaseTest, NoResidualBreachUnderButterfly) {
+  for (uint64_t seed = 1; seed <= 25; ++seed) {
+    ButterflyConfig config = BaseConfig();
+    config.seed = seed;
+    ButterflyEngine engine(config);
+    SanitizedOutput release = engine.Sanitize(LeakyOutput(), 2000);
+    SanitizedAttackReport report =
+        AttackSanitizedRelease(release, engine.noise(), LeakyBreach());
+    ASSERT_EQ(report.patterns_examined, 1u);
+    EXPECT_EQ(report.residual_breaches, 0u) << "seed " << seed;
+    // The adversary cannot pin the pattern down: the sound interval keeps
+    // several candidate values even after tightening and the >= 0 clamp.
+    EXPECT_GT(report.avg_interval_width, 2.0) << "seed " << seed;
+  }
+}
+
+TEST(AttackSanitizedReleaseTest, UnprotectedReleaseIsFullyBreached) {
+  // A "release" with zero noise (sanitized == true, width-0 regions modeled
+  // by a tiny NoiseModel is impossible — α >= 1 — so emulate the unprotected
+  // system by checking that exact intervals pin the pattern).
+  IntervalMap knowledge;
+  knowledge[Itemset{}] = Interval::Exact(2000);
+  knowledge[Itemset{1}] = Interval::Exact(30);
+  knowledge[Itemset{1, 2}] = Interval::Exact(27);
+  auto interval =
+      DerivePatternInterval(knowledge, Pattern(Itemset{1}, Itemset{2}));
+  ASSERT_TRUE(interval.has_value());
+  EXPECT_TRUE(interval->Tight());
+  EXPECT_EQ(interval->lo, 3);
+}
+
+TEST(AttackSanitizedReleaseTest, ZeroIndistinguishabilityForSmallPatterns) {
+  // A pattern with true support 1 and δ = 1.0 noise: the adversary's sound
+  // interval should include 0 — they cannot even prove the pattern exists.
+  MiningOutput out(25);
+  out.Add(Itemset{1}, 28);
+  out.Add(Itemset{2}, 60);
+  out.Add(Itemset{1, 2}, 27);
+  out.Seal();
+  std::vector<InferredPattern> breach = {
+      InferredPattern{Pattern(Itemset{1}, Itemset{2}), 1, false}};
+
+  size_t zero_indistinguishable = 0;
+  const int seeds = 20;
+  for (uint64_t seed = 1; seed <= seeds; ++seed) {
+    ButterflyConfig config = BaseConfig();
+    config.delta = 1.0;
+    config.epsilon = 0.04;
+    config.seed = seed;
+    ButterflyEngine engine(config);
+    SanitizedOutput release = engine.Sanitize(out, 2000);
+    SanitizedAttackReport report =
+        AttackSanitizedRelease(release, engine.noise(), breach);
+    zero_indistinguishable += report.zero_indistinguishable;
+  }
+  EXPECT_EQ(zero_indistinguishable, static_cast<size_t>(seeds));
+}
+
+}  // namespace
+}  // namespace butterfly

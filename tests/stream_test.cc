@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include "stream/sliding_window.h"
+#include "stream/transaction_source.h"
+#include "stream/window_driver.h"
+
+namespace butterfly {
+namespace {
+
+Transaction T(Tid tid, std::initializer_list<Item> items) {
+  return Transaction(tid, Itemset(items));
+}
+
+TEST(SlidingWindowTest, FillsToCapacity) {
+  SlidingWindow w(3);
+  EXPECT_FALSE(w.Full());
+  EXPECT_FALSE(w.Append(T(0, {1})).has_value());
+  EXPECT_FALSE(w.Append(T(0, {2})).has_value());
+  EXPECT_FALSE(w.Append(T(0, {3})).has_value());
+  EXPECT_TRUE(w.Full());
+  EXPECT_EQ(w.size(), 3u);
+}
+
+TEST(SlidingWindowTest, EvictsOldestWhenFull) {
+  SlidingWindow w(2);
+  w.Append(T(0, {1}));
+  w.Append(T(0, {2}));
+  std::optional<Transaction> evicted = w.Append(T(0, {3}));
+  ASSERT_TRUE(evicted.has_value());
+  EXPECT_EQ(evicted->items, (Itemset{1}));
+  EXPECT_EQ(w.transactions().front().items, (Itemset{2}));
+  EXPECT_EQ(w.transactions().back().items, (Itemset{3}));
+}
+
+TEST(SlidingWindowTest, AssignsStreamTids) {
+  SlidingWindow w(2);
+  w.Append(T(0, {1}));
+  w.Append(T(0, {2}));
+  EXPECT_EQ(w.transactions()[0].tid, 1u);
+  EXPECT_EQ(w.transactions()[1].tid, 2u);
+  EXPECT_EQ(w.stream_position(), 2u);
+}
+
+TEST(SlidingWindowTest, PreservesExplicitTids) {
+  SlidingWindow w(2);
+  w.Append(T(42, {1}));
+  EXPECT_EQ(w.transactions()[0].tid, 42u);
+}
+
+TEST(SlidingWindowTest, LabelMatchesPaperNotation) {
+  SlidingWindow w(8);
+  for (int i = 0; i < 12; ++i) w.Append(T(0, {1}));
+  EXPECT_EQ(w.Label(), "Ds(12, 8)");
+}
+
+TEST(SlidingWindowTest, SnapshotCopiesInOrder) {
+  SlidingWindow w(2);
+  w.Append(T(0, {1}));
+  w.Append(T(0, {2}));
+  w.Append(T(0, {3}));
+  std::vector<Transaction> snap = w.Snapshot();
+  ASSERT_EQ(snap.size(), 2u);
+  EXPECT_EQ(snap[0].items, (Itemset{2}));
+  EXPECT_EQ(snap[1].items, (Itemset{3}));
+}
+
+TEST(VectorSourceTest, ReplaysAllThenExhausts) {
+  VectorSource source({T(1, {1}), T(2, {2})});
+  EXPECT_EQ(source.remaining(), 2u);
+  EXPECT_TRUE(source.Next().has_value());
+  EXPECT_TRUE(source.Next().has_value());
+  EXPECT_FALSE(source.Next().has_value());
+}
+
+TEST(VectorSourceTest, FromItemsetsAssignsTids) {
+  VectorSource source = VectorSource::FromItemsets({Itemset{1}, Itemset{2}});
+  std::optional<Transaction> first = source.Next();
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(first->tid, 1u);
+}
+
+TEST(WindowDriverTest, SlideEventsCarryEvictions) {
+  SlidingWindow window(2);
+  WindowDriver driver(&window, 0);
+  std::vector<bool> had_eviction;
+  driver.set_on_slide([&](const SlideEvent& e) {
+    had_eviction.push_back(e.evicted != nullptr);
+  });
+  VectorSource source({T(1, {1}), T(2, {2}), T(3, {3})});
+  EXPECT_EQ(driver.Run(&source), 3u);
+  EXPECT_EQ(had_eviction, (std::vector<bool>{false, false, true}));
+}
+
+TEST(WindowDriverTest, ReportsOnlyWhenFullAndOnStride) {
+  SlidingWindow window(2);
+  WindowDriver driver(&window, 2);  // report every 2nd record once full
+  std::vector<Tid> report_positions;
+  driver.set_on_report([&](const SlidingWindow& w) {
+    report_positions.push_back(w.stream_position());
+  });
+  VectorSource source(
+      {T(1, {1}), T(2, {2}), T(3, {3}), T(4, {4}), T(5, {5}), T(6, {6})});
+  driver.Run(&source);
+  EXPECT_EQ(report_positions, (std::vector<Tid>{2, 4, 6}));
+}
+
+TEST(WindowDriverTest, MaxRecordsLimitsPumping) {
+  SlidingWindow window(2);
+  WindowDriver driver(&window, 0);
+  VectorSource source({T(1, {1}), T(2, {2}), T(3, {3})});
+  EXPECT_EQ(driver.Run(&source, 2), 2u);
+  EXPECT_EQ(source.remaining(), 1u);
+}
+
+}  // namespace
+}  // namespace butterfly

@@ -1,0 +1,122 @@
+#include "metrics/topk.h"
+
+#include <gtest/gtest.h>
+
+#include "core/butterfly.h"
+
+namespace butterfly {
+namespace {
+
+MiningOutput MakeOutput(std::vector<std::pair<Itemset, Support>> entries) {
+  MiningOutput out(2);
+  for (auto& [itemset, support] : entries) out.Add(itemset, support);
+  out.Seal();
+  return out;
+}
+
+SanitizedOutput MakeRelease(std::vector<std::pair<Itemset, Support>> entries) {
+  SanitizedOutput out(2, 100);
+  for (auto& [itemset, support] : entries) {
+    out.Add(SanitizedItemset{itemset, support, 0.0, 1.0});
+  }
+  out.Seal();
+  return out;
+}
+
+TEST(TopKTest, OrdersBySupportDescending) {
+  MiningOutput out = MakeOutput(
+      {{Itemset{1}, 10}, {Itemset{2}, 30}, {Itemset{3}, 20}});
+  std::vector<RankedItemset> top = TopK(out, 2);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0].itemset, (Itemset{2}));
+  EXPECT_EQ(top[1].itemset, (Itemset{3}));
+}
+
+TEST(TopKTest, TiesBreakLexicographically) {
+  MiningOutput out = MakeOutput(
+      {{Itemset{5}, 10}, {Itemset{1}, 10}, {Itemset{3}, 10}});
+  std::vector<RankedItemset> top = TopK(out, 3);
+  EXPECT_EQ(top[0].itemset, (Itemset{1}));
+  EXPECT_EQ(top[1].itemset, (Itemset{3}));
+  EXPECT_EQ(top[2].itemset, (Itemset{5}));
+}
+
+TEST(TopKTest, MinSizeFiltersSingletons) {
+  MiningOutput out = MakeOutput(
+      {{Itemset{1}, 50}, {Itemset{2, 3}, 20}, {Itemset{2, 4}, 10}});
+  std::vector<RankedItemset> top = TopK(out, 5, /*min_size=*/2);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0].itemset, (Itemset{2, 3}));
+}
+
+TEST(TopKTest, KLargerThanUniverse) {
+  MiningOutput out = MakeOutput({{Itemset{1}, 10}});
+  EXPECT_EQ(TopK(out, 10).size(), 1u);
+}
+
+TEST(TopKTest, SanitizedOverloadUsesReleasedSupports) {
+  SanitizedOutput release =
+      MakeRelease({{Itemset{1}, 5}, {Itemset{2}, 50}});
+  std::vector<RankedItemset> top = TopK(release, 1);
+  ASSERT_EQ(top.size(), 1u);
+  EXPECT_EQ(top[0].itemset, (Itemset{2}));
+  EXPECT_EQ(top[0].support, 50);
+}
+
+TEST(TopKOverlapTest, FullAndPartialOverlap) {
+  std::vector<RankedItemset> a = {{Itemset{1}, 10}, {Itemset{2}, 9}};
+  std::vector<RankedItemset> b = {{Itemset{2}, 11}, {Itemset{1}, 10}};
+  EXPECT_DOUBLE_EQ(TopKOverlap(a, b, 2), 1.0);
+  std::vector<RankedItemset> c = {{Itemset{2}, 11}, {Itemset{3}, 10}};
+  EXPECT_DOUBLE_EQ(TopKOverlap(a, c, 2), 0.5);
+  EXPECT_DOUBLE_EQ(TopKOverlap(a, {}, 2), 0.0);
+  EXPECT_DOUBLE_EQ(TopKOverlap({}, {}, 0), 1.0);
+}
+
+TEST(KendallDistanceTest, IdenticalAndReversed) {
+  std::vector<RankedItemset> truth = {
+      {Itemset{1}, 30}, {Itemset{2}, 20}, {Itemset{3}, 10}};
+  EXPECT_DOUBLE_EQ(RankingKendallDistance(truth, truth), 0.0);
+  std::vector<RankedItemset> reversed = {
+      {Itemset{3}, 30}, {Itemset{2}, 20}, {Itemset{1}, 10}};
+  EXPECT_DOUBLE_EQ(RankingKendallDistance(truth, reversed), 1.0);
+}
+
+TEST(KendallDistanceTest, SingleSwap) {
+  std::vector<RankedItemset> truth = {
+      {Itemset{1}, 30}, {Itemset{2}, 20}, {Itemset{3}, 10}};
+  std::vector<RankedItemset> swapped = {
+      {Itemset{2}, 30}, {Itemset{1}, 20}, {Itemset{3}, 10}};
+  EXPECT_NEAR(RankingKendallDistance(truth, swapped), 1.0 / 3.0, 1e-12);
+}
+
+TEST(KendallDistanceTest, IgnoresNonCommonItemsets) {
+  std::vector<RankedItemset> truth = {
+      {Itemset{1}, 30}, {Itemset{9}, 25}, {Itemset{2}, 20}};
+  std::vector<RankedItemset> released = {
+      {Itemset{1}, 28}, {Itemset{2}, 21}, {Itemset{8}, 5}};
+  EXPECT_DOUBLE_EQ(RankingKendallDistance(truth, released), 0.0);
+}
+
+TEST(TopKTest, SanitizedRankingTracksTruthUnderOrderScheme) {
+  MiningOutput raw = MakeOutput({{Itemset{1}, 200},
+                                 {Itemset{2}, 150},
+                                 {Itemset{3}, 100},
+                                 {Itemset{4}, 60},
+                                 {Itemset{5}, 30}});
+  ButterflyConfig config;
+  config.min_support = 25;
+  config.vulnerable_support = 5;
+  config.epsilon = 0.016;
+  config.delta = 0.4;
+  config.scheme = ButterflyScheme::kOrderPreserving;
+  ButterflyEngine engine(config);
+  SanitizedOutput release = engine.Sanitize(raw, 2000);
+  // Supports are far apart relative to the region: the ranking must hold.
+  EXPECT_DOUBLE_EQ(
+      RankingKendallDistance(TopK(raw, 5), TopK(release, 5)), 0.0);
+  EXPECT_DOUBLE_EQ(TopKOverlap(TopK(raw, 3), TopK(release, 3), 3), 1.0);
+}
+
+}  // namespace
+}  // namespace butterfly
