@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_moment.dir/ablation_moment.cc.o"
+  "CMakeFiles/ablation_moment.dir/ablation_moment.cc.o.d"
+  "ablation_moment"
+  "ablation_moment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_moment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_republish.dir/ablation_republish.cc.o"
+  "CMakeFiles/ablation_republish.dir/ablation_republish.cc.o.d"
+  "ablation_republish"
+  "ablation_republish.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_republish.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

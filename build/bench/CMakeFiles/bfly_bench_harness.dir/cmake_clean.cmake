@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bfly_bench_harness.dir/harness.cc.o"
+  "CMakeFiles/bfly_bench_harness.dir/harness.cc.o.d"
+  "libbfly_bench_harness.a"
+  "libbfly_bench_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bfly_bench_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/breach_census.dir/breach_census.cc.o"
+  "CMakeFiles/breach_census.dir/breach_census.cc.o.d"
+  "breach_census"
+  "breach_census.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/breach_census.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

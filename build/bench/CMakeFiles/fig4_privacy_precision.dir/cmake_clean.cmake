@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_privacy_precision.dir/fig4_privacy_precision.cc.o"
+  "CMakeFiles/fig4_privacy_precision.dir/fig4_privacy_precision.cc.o.d"
+  "fig4_privacy_precision"
+  "fig4_privacy_precision.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_privacy_precision.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_order_ratio.dir/fig5_order_ratio.cc.o"
+  "CMakeFiles/fig5_order_ratio.dir/fig5_order_ratio.cc.o.d"
+  "fig5_order_ratio"
+  "fig5_order_ratio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_order_ratio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

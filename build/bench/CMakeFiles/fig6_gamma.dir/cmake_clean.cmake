@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_gamma.dir/fig6_gamma.cc.o"
+  "CMakeFiles/fig6_gamma.dir/fig6_gamma.cc.o.d"
+  "fig6_gamma"
+  "fig6_gamma.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_gamma.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

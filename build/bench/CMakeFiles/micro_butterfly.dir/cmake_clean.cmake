@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_butterfly.dir/micro_butterfly.cc.o"
+  "CMakeFiles/micro_butterfly.dir/micro_butterfly.cc.o.d"
+  "micro_butterfly"
+  "micro_butterfly.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_butterfly.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_inference.dir/micro_inference.cc.o"
+  "CMakeFiles/micro_inference.dir/micro_inference.cc.o.d"
+  "micro_inference"
+  "micro_inference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_inference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_miners.dir/micro_miners.cc.o"
+  "CMakeFiles/micro_miners.dir/micro_miners.cc.o.d"
+  "micro_miners"
+  "micro_miners.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_miners.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_datasets.dir/table_datasets.cc.o"
+  "CMakeFiles/table_datasets.dir/table_datasets.cc.o.d"
+  "table_datasets"
+  "table_datasets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_datasets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/breach_demo.dir/breach_demo.cpp.o"
+  "CMakeFiles/breach_demo.dir/breach_demo.cpp.o.d"
+  "breach_demo"
+  "breach_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/breach_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

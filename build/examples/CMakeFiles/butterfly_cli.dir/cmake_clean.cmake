@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/butterfly_cli.dir/butterfly_cli.cpp.o"
+  "CMakeFiles/butterfly_cli.dir/butterfly_cli.cpp.o.d"
+  "butterfly_cli"
+  "butterfly_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/butterfly_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clickstream_rules.dir/clickstream_rules.cpp.o"
+  "CMakeFiles/clickstream_rules.dir/clickstream_rules.cpp.o.d"
+  "clickstream_rules"
+  "clickstream_rules.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clickstream_rules.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

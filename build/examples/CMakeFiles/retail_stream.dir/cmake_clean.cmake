@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/retail_stream.dir/retail_stream.cpp.o"
+  "CMakeFiles/retail_stream.dir/retail_stream.cpp.o.d"
+  "retail_stream"
+  "retail_stream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/retail_stream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

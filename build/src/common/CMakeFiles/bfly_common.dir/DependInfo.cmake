@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/flags.cc" "src/common/CMakeFiles/bfly_common.dir/flags.cc.o" "gcc" "src/common/CMakeFiles/bfly_common.dir/flags.cc.o.d"
+  "/root/repo/src/common/interval.cc" "src/common/CMakeFiles/bfly_common.dir/interval.cc.o" "gcc" "src/common/CMakeFiles/bfly_common.dir/interval.cc.o.d"
+  "/root/repo/src/common/itemset.cc" "src/common/CMakeFiles/bfly_common.dir/itemset.cc.o" "gcc" "src/common/CMakeFiles/bfly_common.dir/itemset.cc.o.d"
+  "/root/repo/src/common/pattern.cc" "src/common/CMakeFiles/bfly_common.dir/pattern.cc.o" "gcc" "src/common/CMakeFiles/bfly_common.dir/pattern.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/common/CMakeFiles/bfly_common.dir/status.cc.o" "gcc" "src/common/CMakeFiles/bfly_common.dir/status.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

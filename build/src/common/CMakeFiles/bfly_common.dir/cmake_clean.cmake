@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bfly_common.dir/flags.cc.o"
+  "CMakeFiles/bfly_common.dir/flags.cc.o.d"
+  "CMakeFiles/bfly_common.dir/interval.cc.o"
+  "CMakeFiles/bfly_common.dir/interval.cc.o.d"
+  "CMakeFiles/bfly_common.dir/itemset.cc.o"
+  "CMakeFiles/bfly_common.dir/itemset.cc.o.d"
+  "CMakeFiles/bfly_common.dir/pattern.cc.o"
+  "CMakeFiles/bfly_common.dir/pattern.cc.o.d"
+  "CMakeFiles/bfly_common.dir/status.cc.o"
+  "CMakeFiles/bfly_common.dir/status.cc.o.d"
+  "libbfly_common.a"
+  "libbfly_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bfly_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

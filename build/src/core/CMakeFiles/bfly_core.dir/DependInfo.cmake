@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/bias_setting.cc" "src/core/CMakeFiles/bfly_core.dir/bias_setting.cc.o" "gcc" "src/core/CMakeFiles/bfly_core.dir/bias_setting.cc.o.d"
+  "/root/repo/src/core/butterfly.cc" "src/core/CMakeFiles/bfly_core.dir/butterfly.cc.o" "gcc" "src/core/CMakeFiles/bfly_core.dir/butterfly.cc.o.d"
+  "/root/repo/src/core/config.cc" "src/core/CMakeFiles/bfly_core.dir/config.cc.o" "gcc" "src/core/CMakeFiles/bfly_core.dir/config.cc.o.d"
+  "/root/repo/src/core/fec.cc" "src/core/CMakeFiles/bfly_core.dir/fec.cc.o" "gcc" "src/core/CMakeFiles/bfly_core.dir/fec.cc.o.d"
+  "/root/repo/src/core/noise.cc" "src/core/CMakeFiles/bfly_core.dir/noise.cc.o" "gcc" "src/core/CMakeFiles/bfly_core.dir/noise.cc.o.d"
+  "/root/repo/src/core/parameter_advisor.cc" "src/core/CMakeFiles/bfly_core.dir/parameter_advisor.cc.o" "gcc" "src/core/CMakeFiles/bfly_core.dir/parameter_advisor.cc.o.d"
+  "/root/repo/src/core/release_log.cc" "src/core/CMakeFiles/bfly_core.dir/release_log.cc.o" "gcc" "src/core/CMakeFiles/bfly_core.dir/release_log.cc.o.d"
+  "/root/repo/src/core/republish_cache.cc" "src/core/CMakeFiles/bfly_core.dir/republish_cache.cc.o" "gcc" "src/core/CMakeFiles/bfly_core.dir/republish_cache.cc.o.d"
+  "/root/repo/src/core/rule_release.cc" "src/core/CMakeFiles/bfly_core.dir/rule_release.cc.o" "gcc" "src/core/CMakeFiles/bfly_core.dir/rule_release.cc.o.d"
+  "/root/repo/src/core/sanitized_output.cc" "src/core/CMakeFiles/bfly_core.dir/sanitized_output.cc.o" "gcc" "src/core/CMakeFiles/bfly_core.dir/sanitized_output.cc.o.d"
+  "/root/repo/src/core/stream_engine.cc" "src/core/CMakeFiles/bfly_core.dir/stream_engine.cc.o" "gcc" "src/core/CMakeFiles/bfly_core.dir/stream_engine.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/bfly_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/mining/CMakeFiles/bfly_mining.dir/DependInfo.cmake"
+  "/root/repo/build/src/moment/CMakeFiles/bfly_moment.dir/DependInfo.cmake"
+  "/root/repo/build/src/inference/CMakeFiles/bfly_inference.dir/DependInfo.cmake"
+  "/root/repo/build/src/stream/CMakeFiles/bfly_stream.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

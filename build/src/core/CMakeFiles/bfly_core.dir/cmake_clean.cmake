@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bfly_core.dir/bias_setting.cc.o"
+  "CMakeFiles/bfly_core.dir/bias_setting.cc.o.d"
+  "CMakeFiles/bfly_core.dir/butterfly.cc.o"
+  "CMakeFiles/bfly_core.dir/butterfly.cc.o.d"
+  "CMakeFiles/bfly_core.dir/config.cc.o"
+  "CMakeFiles/bfly_core.dir/config.cc.o.d"
+  "CMakeFiles/bfly_core.dir/fec.cc.o"
+  "CMakeFiles/bfly_core.dir/fec.cc.o.d"
+  "CMakeFiles/bfly_core.dir/noise.cc.o"
+  "CMakeFiles/bfly_core.dir/noise.cc.o.d"
+  "CMakeFiles/bfly_core.dir/parameter_advisor.cc.o"
+  "CMakeFiles/bfly_core.dir/parameter_advisor.cc.o.d"
+  "CMakeFiles/bfly_core.dir/release_log.cc.o"
+  "CMakeFiles/bfly_core.dir/release_log.cc.o.d"
+  "CMakeFiles/bfly_core.dir/republish_cache.cc.o"
+  "CMakeFiles/bfly_core.dir/republish_cache.cc.o.d"
+  "CMakeFiles/bfly_core.dir/rule_release.cc.o"
+  "CMakeFiles/bfly_core.dir/rule_release.cc.o.d"
+  "CMakeFiles/bfly_core.dir/sanitized_output.cc.o"
+  "CMakeFiles/bfly_core.dir/sanitized_output.cc.o.d"
+  "CMakeFiles/bfly_core.dir/stream_engine.cc.o"
+  "CMakeFiles/bfly_core.dir/stream_engine.cc.o.d"
+  "libbfly_core.a"
+  "libbfly_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bfly_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

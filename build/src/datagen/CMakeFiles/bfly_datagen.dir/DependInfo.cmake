@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/datagen/drift.cc" "src/datagen/CMakeFiles/bfly_datagen.dir/drift.cc.o" "gcc" "src/datagen/CMakeFiles/bfly_datagen.dir/drift.cc.o.d"
+  "/root/repo/src/datagen/fimi_io.cc" "src/datagen/CMakeFiles/bfly_datagen.dir/fimi_io.cc.o" "gcc" "src/datagen/CMakeFiles/bfly_datagen.dir/fimi_io.cc.o.d"
+  "/root/repo/src/datagen/profiles.cc" "src/datagen/CMakeFiles/bfly_datagen.dir/profiles.cc.o" "gcc" "src/datagen/CMakeFiles/bfly_datagen.dir/profiles.cc.o.d"
+  "/root/repo/src/datagen/quest_generator.cc" "src/datagen/CMakeFiles/bfly_datagen.dir/quest_generator.cc.o" "gcc" "src/datagen/CMakeFiles/bfly_datagen.dir/quest_generator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/bfly_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bfly_datagen.dir/drift.cc.o"
+  "CMakeFiles/bfly_datagen.dir/drift.cc.o.d"
+  "CMakeFiles/bfly_datagen.dir/fimi_io.cc.o"
+  "CMakeFiles/bfly_datagen.dir/fimi_io.cc.o.d"
+  "CMakeFiles/bfly_datagen.dir/profiles.cc.o"
+  "CMakeFiles/bfly_datagen.dir/profiles.cc.o.d"
+  "CMakeFiles/bfly_datagen.dir/quest_generator.cc.o"
+  "CMakeFiles/bfly_datagen.dir/quest_generator.cc.o.d"
+  "libbfly_datagen.a"
+  "libbfly_datagen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bfly_datagen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

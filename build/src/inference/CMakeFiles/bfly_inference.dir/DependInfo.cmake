@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/inference/breach_finder.cc" "src/inference/CMakeFiles/bfly_inference.dir/breach_finder.cc.o" "gcc" "src/inference/CMakeFiles/bfly_inference.dir/breach_finder.cc.o.d"
+  "/root/repo/src/inference/freqsat.cc" "src/inference/CMakeFiles/bfly_inference.dir/freqsat.cc.o" "gcc" "src/inference/CMakeFiles/bfly_inference.dir/freqsat.cc.o.d"
+  "/root/repo/src/inference/inclusion_exclusion.cc" "src/inference/CMakeFiles/bfly_inference.dir/inclusion_exclusion.cc.o" "gcc" "src/inference/CMakeFiles/bfly_inference.dir/inclusion_exclusion.cc.o.d"
+  "/root/repo/src/inference/interval_tightening.cc" "src/inference/CMakeFiles/bfly_inference.dir/interval_tightening.cc.o" "gcc" "src/inference/CMakeFiles/bfly_inference.dir/interval_tightening.cc.o.d"
+  "/root/repo/src/inference/interwindow.cc" "src/inference/CMakeFiles/bfly_inference.dir/interwindow.cc.o" "gcc" "src/inference/CMakeFiles/bfly_inference.dir/interwindow.cc.o.d"
+  "/root/repo/src/inference/ndi.cc" "src/inference/CMakeFiles/bfly_inference.dir/ndi.cc.o" "gcc" "src/inference/CMakeFiles/bfly_inference.dir/ndi.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/bfly_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/mining/CMakeFiles/bfly_mining.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bfly_inference.dir/breach_finder.cc.o"
+  "CMakeFiles/bfly_inference.dir/breach_finder.cc.o.d"
+  "CMakeFiles/bfly_inference.dir/freqsat.cc.o"
+  "CMakeFiles/bfly_inference.dir/freqsat.cc.o.d"
+  "CMakeFiles/bfly_inference.dir/inclusion_exclusion.cc.o"
+  "CMakeFiles/bfly_inference.dir/inclusion_exclusion.cc.o.d"
+  "CMakeFiles/bfly_inference.dir/interval_tightening.cc.o"
+  "CMakeFiles/bfly_inference.dir/interval_tightening.cc.o.d"
+  "CMakeFiles/bfly_inference.dir/interwindow.cc.o"
+  "CMakeFiles/bfly_inference.dir/interwindow.cc.o.d"
+  "CMakeFiles/bfly_inference.dir/ndi.cc.o"
+  "CMakeFiles/bfly_inference.dir/ndi.cc.o.d"
+  "libbfly_inference.a"
+  "libbfly_inference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bfly_inference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

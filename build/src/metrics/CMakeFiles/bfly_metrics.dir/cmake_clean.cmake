@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bfly_metrics.dir/auditor.cc.o"
+  "CMakeFiles/bfly_metrics.dir/auditor.cc.o.d"
+  "CMakeFiles/bfly_metrics.dir/privacy_metrics.cc.o"
+  "CMakeFiles/bfly_metrics.dir/privacy_metrics.cc.o.d"
+  "CMakeFiles/bfly_metrics.dir/sanitized_attack.cc.o"
+  "CMakeFiles/bfly_metrics.dir/sanitized_attack.cc.o.d"
+  "CMakeFiles/bfly_metrics.dir/topk.cc.o"
+  "CMakeFiles/bfly_metrics.dir/topk.cc.o.d"
+  "CMakeFiles/bfly_metrics.dir/utility_metrics.cc.o"
+  "CMakeFiles/bfly_metrics.dir/utility_metrics.cc.o.d"
+  "libbfly_metrics.a"
+  "libbfly_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bfly_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

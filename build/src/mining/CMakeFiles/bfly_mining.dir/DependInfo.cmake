@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mining/apriori.cc" "src/mining/CMakeFiles/bfly_mining.dir/apriori.cc.o" "gcc" "src/mining/CMakeFiles/bfly_mining.dir/apriori.cc.o.d"
+  "/root/repo/src/mining/closed.cc" "src/mining/CMakeFiles/bfly_mining.dir/closed.cc.o" "gcc" "src/mining/CMakeFiles/bfly_mining.dir/closed.cc.o.d"
+  "/root/repo/src/mining/eclat.cc" "src/mining/CMakeFiles/bfly_mining.dir/eclat.cc.o" "gcc" "src/mining/CMakeFiles/bfly_mining.dir/eclat.cc.o.d"
+  "/root/repo/src/mining/fpgrowth.cc" "src/mining/CMakeFiles/bfly_mining.dir/fpgrowth.cc.o" "gcc" "src/mining/CMakeFiles/bfly_mining.dir/fpgrowth.cc.o.d"
+  "/root/repo/src/mining/maximal.cc" "src/mining/CMakeFiles/bfly_mining.dir/maximal.cc.o" "gcc" "src/mining/CMakeFiles/bfly_mining.dir/maximal.cc.o.d"
+  "/root/repo/src/mining/mining_result.cc" "src/mining/CMakeFiles/bfly_mining.dir/mining_result.cc.o" "gcc" "src/mining/CMakeFiles/bfly_mining.dir/mining_result.cc.o.d"
+  "/root/repo/src/mining/rules.cc" "src/mining/CMakeFiles/bfly_mining.dir/rules.cc.o" "gcc" "src/mining/CMakeFiles/bfly_mining.dir/rules.cc.o.d"
+  "/root/repo/src/mining/support.cc" "src/mining/CMakeFiles/bfly_mining.dir/support.cc.o" "gcc" "src/mining/CMakeFiles/bfly_mining.dir/support.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/bfly_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

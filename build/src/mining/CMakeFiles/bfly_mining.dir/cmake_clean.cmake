@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bfly_mining.dir/apriori.cc.o"
+  "CMakeFiles/bfly_mining.dir/apriori.cc.o.d"
+  "CMakeFiles/bfly_mining.dir/closed.cc.o"
+  "CMakeFiles/bfly_mining.dir/closed.cc.o.d"
+  "CMakeFiles/bfly_mining.dir/eclat.cc.o"
+  "CMakeFiles/bfly_mining.dir/eclat.cc.o.d"
+  "CMakeFiles/bfly_mining.dir/fpgrowth.cc.o"
+  "CMakeFiles/bfly_mining.dir/fpgrowth.cc.o.d"
+  "CMakeFiles/bfly_mining.dir/maximal.cc.o"
+  "CMakeFiles/bfly_mining.dir/maximal.cc.o.d"
+  "CMakeFiles/bfly_mining.dir/mining_result.cc.o"
+  "CMakeFiles/bfly_mining.dir/mining_result.cc.o.d"
+  "CMakeFiles/bfly_mining.dir/rules.cc.o"
+  "CMakeFiles/bfly_mining.dir/rules.cc.o.d"
+  "CMakeFiles/bfly_mining.dir/support.cc.o"
+  "CMakeFiles/bfly_mining.dir/support.cc.o.d"
+  "libbfly_mining.a"
+  "libbfly_mining.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bfly_mining.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libbfly_mining.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bfly_moment.dir/moment.cc.o"
+  "CMakeFiles/bfly_moment.dir/moment.cc.o.d"
+  "libbfly_moment.a"
+  "libbfly_moment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bfly_moment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bfly_stream.dir/sliding_window.cc.o"
+  "CMakeFiles/bfly_stream.dir/sliding_window.cc.o.d"
+  "libbfly_stream.a"
+  "libbfly_stream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bfly_stream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

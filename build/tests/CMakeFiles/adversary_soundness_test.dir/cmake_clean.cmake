@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adversary_soundness_test.dir/adversary_soundness_test.cc.o"
+  "CMakeFiles/adversary_soundness_test.dir/adversary_soundness_test.cc.o.d"
+  "adversary_soundness_test"
+  "adversary_soundness_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adversary_soundness_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

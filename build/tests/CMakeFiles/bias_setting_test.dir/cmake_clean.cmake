@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bias_setting_test.dir/bias_setting_test.cc.o"
+  "CMakeFiles/bias_setting_test.dir/bias_setting_test.cc.o.d"
+  "bias_setting_test"
+  "bias_setting_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bias_setting_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

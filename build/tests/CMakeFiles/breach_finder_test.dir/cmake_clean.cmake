@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/breach_finder_test.dir/breach_finder_test.cc.o"
+  "CMakeFiles/breach_finder_test.dir/breach_finder_test.cc.o.d"
+  "breach_finder_test"
+  "breach_finder_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/breach_finder_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/butterfly_engine_test.dir/butterfly_engine_test.cc.o"
+  "CMakeFiles/butterfly_engine_test.dir/butterfly_engine_test.cc.o.d"
+  "butterfly_engine_test"
+  "butterfly_engine_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/butterfly_engine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

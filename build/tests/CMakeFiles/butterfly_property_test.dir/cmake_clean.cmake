@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/butterfly_property_test.dir/butterfly_property_test.cc.o"
+  "CMakeFiles/butterfly_property_test.dir/butterfly_property_test.cc.o.d"
+  "butterfly_property_test"
+  "butterfly_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/butterfly_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

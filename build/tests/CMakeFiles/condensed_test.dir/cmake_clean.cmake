@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/condensed_test.dir/condensed_test.cc.o"
+  "CMakeFiles/condensed_test.dir/condensed_test.cc.o.d"
+  "condensed_test"
+  "condensed_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/condensed_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

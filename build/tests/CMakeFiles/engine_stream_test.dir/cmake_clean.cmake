@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/engine_stream_test.dir/engine_stream_test.cc.o"
+  "CMakeFiles/engine_stream_test.dir/engine_stream_test.cc.o.d"
+  "engine_stream_test"
+  "engine_stream_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/engine_stream_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fec_test.dir/fec_test.cc.o"
+  "CMakeFiles/fec_test.dir/fec_test.cc.o.d"
+  "fec_test"
+  "fec_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fec_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/freqsat_test.dir/freqsat_test.cc.o"
+  "CMakeFiles/freqsat_test.dir/freqsat_test.cc.o.d"
+  "freqsat_test"
+  "freqsat_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/freqsat_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inclusion_exclusion_test.dir/inclusion_exclusion_test.cc.o"
+  "CMakeFiles/inclusion_exclusion_test.dir/inclusion_exclusion_test.cc.o.d"
+  "inclusion_exclusion_test"
+  "inclusion_exclusion_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inclusion_exclusion_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interval_tightening_test.dir/interval_tightening_test.cc.o"
+  "CMakeFiles/interval_tightening_test.dir/interval_tightening_test.cc.o.d"
+  "interval_tightening_test"
+  "interval_tightening_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interval_tightening_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interwindow_test.dir/interwindow_test.cc.o"
+  "CMakeFiles/interwindow_test.dir/interwindow_test.cc.o.d"
+  "interwindow_test"
+  "interwindow_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interwindow_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

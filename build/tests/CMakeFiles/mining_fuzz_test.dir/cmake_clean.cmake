@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mining_fuzz_test.dir/mining_fuzz_test.cc.o"
+  "CMakeFiles/mining_fuzz_test.dir/mining_fuzz_test.cc.o.d"
+  "mining_fuzz_test"
+  "mining_fuzz_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mining_fuzz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

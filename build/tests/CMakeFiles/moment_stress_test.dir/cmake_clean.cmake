@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/moment_stress_test.dir/moment_stress_test.cc.o"
+  "CMakeFiles/moment_stress_test.dir/moment_stress_test.cc.o.d"
+  "moment_stress_test"
+  "moment_stress_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/moment_stress_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/moment_test.dir/moment_test.cc.o"
+  "CMakeFiles/moment_test.dir/moment_test.cc.o.d"
+  "moment_test"
+  "moment_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/moment_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

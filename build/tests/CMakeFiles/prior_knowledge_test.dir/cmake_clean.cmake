@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prior_knowledge_test.dir/prior_knowledge_test.cc.o"
+  "CMakeFiles/prior_knowledge_test.dir/prior_knowledge_test.cc.o.d"
+  "prior_knowledge_test"
+  "prior_knowledge_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prior_knowledge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

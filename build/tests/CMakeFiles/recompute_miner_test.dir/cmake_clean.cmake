@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recompute_miner_test.dir/recompute_miner_test.cc.o"
+  "CMakeFiles/recompute_miner_test.dir/recompute_miner_test.cc.o.d"
+  "recompute_miner_test"
+  "recompute_miner_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recompute_miner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/release_log_test.dir/release_log_test.cc.o"
+  "CMakeFiles/release_log_test.dir/release_log_test.cc.o.d"
+  "release_log_test"
+  "release_log_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/release_log_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/republish_cache_test.dir/republish_cache_test.cc.o"
+  "CMakeFiles/republish_cache_test.dir/republish_cache_test.cc.o.d"
+  "republish_cache_test"
+  "republish_cache_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/republish_cache_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

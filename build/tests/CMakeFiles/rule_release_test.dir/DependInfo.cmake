@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/rule_release_test.cc" "tests/CMakeFiles/rule_release_test.dir/rule_release_test.cc.o" "gcc" "tests/CMakeFiles/rule_release_test.dir/rule_release_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/bfly_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/mining/CMakeFiles/bfly_mining.dir/DependInfo.cmake"
+  "/root/repo/build/src/moment/CMakeFiles/bfly_moment.dir/DependInfo.cmake"
+  "/root/repo/build/src/inference/CMakeFiles/bfly_inference.dir/DependInfo.cmake"
+  "/root/repo/build/src/stream/CMakeFiles/bfly_stream.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/bfly_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rule_release_test.dir/rule_release_test.cc.o"
+  "CMakeFiles/rule_release_test.dir/rule_release_test.cc.o.d"
+  "rule_release_test"
+  "rule_release_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rule_release_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

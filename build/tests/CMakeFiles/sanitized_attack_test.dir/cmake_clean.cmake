@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sanitized_attack_test.dir/sanitized_attack_test.cc.o"
+  "CMakeFiles/sanitized_attack_test.dir/sanitized_attack_test.cc.o.d"
+  "sanitized_attack_test"
+  "sanitized_attack_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sanitized_attack_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
