@@ -7,9 +7,26 @@
 /// to the mining cost; both grow as C shrinks, but the overhead grows much
 /// more slowly (the number of FECs rises far slower than the number of
 /// frequent itemsets).
+///
+/// Beyond the figure, this binary tracks the release-path perf trajectory:
+///  * scratch vs incremental closed→full expansion per reported window, and
+///  * a sanitize thread sweep (1/2/4/8) over the window trace, verifying the
+///    parallel release is bit-identical to the serial one.
+/// Results are written as machine-readable JSON (--json=PATH; see
+/// BENCH_overhead.json) so future PRs can diff the trajectory. --smoke runs
+/// a seconds-scale variant, registered in ctest.
+///
+/// Flags: --smoke --json=PATH --threads=N (extra sweep point, 0 = auto)
 
+#include <algorithm>
+#include <cstdlib>
+#include <string>
+#include <utility>
 #include <vector>
 
+#include "common/flags.h"
+#include "common/thread_pool.h"
+#include "core/stream_engine.h"
 #include "harness.h"
 #include "metrics/timing.h"
 #include "moment/moment.h"
@@ -17,22 +34,32 @@
 namespace butterfly::bench {
 namespace {
 
+struct RunShape {
+  size_t window = 5000;
+  size_t reports = 20;
+  size_t stride = 25;
+  std::vector<Support> supports{30, 25, 20, 15, 10};
+  std::vector<size_t> sweep_threads{1, 2, 4, 8};
+};
+
+std::vector<BenchRecord> g_records;
+
 struct OverheadRow {
   double mining_per_window = 0;
+  double expand_scratch_per_window = 0;
+  double expand_incremental_per_window = 0;
   double basic_per_window = 0;
   double opt_per_window = 0;
   size_t frequent = 0;
   size_t fecs = 0;
 };
 
-OverheadRow Measure(DatasetProfile profile, Support min_support) {
-  const size_t window = 5000;
-  const size_t reports = 20;
-  const size_t stride = 25;
-  auto data = GenerateProfile(profile, window + reports * stride, 7);
+OverheadRow Measure(DatasetProfile profile, Support min_support,
+                    const RunShape& shape) {
+  auto data = GenerateProfile(profile, shape.window + shape.reports * shape.stride, 7);
   if (!data.ok()) std::exit(1);
 
-  MomentMiner miner(window, min_support);
+  MomentMiner miner(shape.window, min_support);
 
   SchemeVariant basic{"Basic", ButterflyScheme::kBasic, 0.0};
   SchemeVariant opt{"Opt", ButterflyScheme::kOrderPreserving, 1.0};
@@ -53,63 +80,216 @@ OverheadRow Measure(DatasetProfile profile, Support min_support) {
     miner.Append(t);
     mine_time += mine_watch.Seconds();
     ++fed;
-    if (fed < window) continue;
-    if ((fed - window) % stride != 0 || reported >= reports) continue;
+    if (fed < shape.window) continue;
+    if ((fed - shape.window) % shape.stride != 0 || reported >= shape.reports) {
+      continue;
+    }
     ++reported;
 
     // Mining cost of this window = incremental maintenance since the last
-    // report plus the output walk.
-    mine_watch.Restart();
-    MiningOutput raw = miner.GetAllFrequent();
-    mine_time += mine_watch.Seconds();
+    // report. The output walk is timed separately, both ways: the full
+    // re-expansion of the closed lattice and the incremental cache path.
     row.mining_per_window += mine_time;
     mine_time = 0;
+
+    Stopwatch watch;
+    MiningOutput raw = miner.GetAllFrequent();
+    row.expand_scratch_per_window += watch.Seconds();
+
+    watch.Restart();
+    const MiningOutput& raw_incremental = miner.GetAllFrequentIncremental();
+    row.expand_incremental_per_window += watch.Seconds();
+    if (!raw_incremental.SameAs(raw)) {
+      std::fprintf(stderr, "incremental expansion diverged from scratch\n");
+      std::exit(1);
+    }
 
     row.frequent = raw.size();
     row.fecs = PartitionIntoFecs(raw).size();
 
-    Stopwatch watch;
+    watch.Restart();
     SanitizedOutput basic_release =
-        basic_engine.Sanitize(raw, static_cast<Support>(window));
+        basic_engine.Sanitize(raw, static_cast<Support>(shape.window));
     row.basic_per_window += watch.Seconds();
 
     watch.Restart();
     SanitizedOutput opt_release =
-        opt_engine.Sanitize(raw, static_cast<Support>(window));
+        opt_engine.Sanitize(raw, static_cast<Support>(shape.window));
     row.opt_per_window += watch.Seconds();
     (void)basic_release;
     (void)opt_release;
   }
   double n = static_cast<double>(reported);
   row.mining_per_window /= n;
+  row.expand_scratch_per_window /= n;
+  row.expand_incremental_per_window /= n;
   row.basic_per_window /= n;
   row.opt_per_window /= n;
   return row;
 }
 
-void RunDataset(DatasetProfile profile) {
+void RecordExpand(DatasetProfile profile, const RunShape& shape,
+                  const OverheadRow& row) {
+  for (const auto& [bench, seconds] :
+       {std::pair<std::string, double>{"expand/scratch",
+                                       row.expand_scratch_per_window},
+        {"expand/incremental", row.expand_incremental_per_window}}) {
+    BenchRecord rec;
+    rec.bench = bench;
+    rec.dataset = ProfileName(profile);
+    rec.threads = 1;
+    rec.windows = shape.reports;
+    rec.itemsets_per_window = row.frequent;
+    rec.ns_per_window = seconds * 1e9;
+    rec.windows_per_sec = seconds > 0 ? 1.0 / seconds : 0;
+    g_records.push_back(rec);
+  }
+}
+
+void RunDataset(DatasetProfile profile, const RunShape& shape) {
   PrintTableHeader(
-      "Fig 8: per-window running time (s), " + ProfileName(profile) +
-          ", H=5000",
-      {"C", "Mining alg", "Basic", "Opt", "frequent", "FECs"});
-  for (Support c : {30, 25, 20, 15, 10}) {
-    OverheadRow row = Measure(profile, c);
+      "Fig 8: per-window running time (s), " + ProfileName(profile) + ", H=" +
+          std::to_string(shape.window),
+      {"C", "Mining alg", "Expand", "Expand-inc", "Basic", "Opt", "frequent",
+       "FECs"});
+  for (Support c : shape.supports) {
+    OverheadRow row = Measure(profile, c, shape);
     PrintTableRow({std::to_string(c), FormatDouble(row.mining_per_window, 5),
+                   FormatDouble(row.expand_scratch_per_window, 5),
+                   FormatDouble(row.expand_incremental_per_window, 5),
                    FormatDouble(row.basic_per_window, 5),
                    FormatDouble(row.opt_per_window, 5),
                    std::to_string(row.frequent), std::to_string(row.fecs)});
+    if (c == shape.supports.back()) RecordExpand(profile, shape, row);
+  }
+}
+
+/// Replays the trace through one engine configuration and returns seconds.
+double TimeReplay(const WindowTrace& trace, ButterflyConfig config,
+                  std::vector<SanitizedOutput>* releases) {
+  ButterflyEngine engine(config);
+  if (releases) releases->clear();
+  Stopwatch watch;
+  double total = 0;
+  for (const MiningOutput& raw : trace.raw) {
+    watch.Restart();
+    SanitizedOutput release =
+        engine.Sanitize(raw, static_cast<Support>(trace.config.window));
+    total += watch.Seconds();
+    if (releases) releases->push_back(std::move(release));
+  }
+  return total;
+}
+
+void ThreadSweep(DatasetProfile profile, const RunShape& shape) {
+  TraceConfig trace_config;
+  trace_config.profile = profile;
+  trace_config.window = shape.window;
+  trace_config.min_support = shape.supports.back();  // densest point
+  trace_config.reports = shape.reports;
+  trace_config.stride = shape.stride;
+  WindowTrace trace = CollectTrace(trace_config);
+  size_t itemsets = trace.raw.empty() ? 0 : trace.raw.back().size();
+
+  SchemeVariant opt{"Opt", ButterflyScheme::kOrderPreserving, 1.0};
+  ButterflyConfig config = MakeConfig(trace_config, opt, 0.016, 0.4);
+  config.republish_cache = false;  // time the full perturbation path
+
+  PrintTableHeader(
+      "Sanitize thread sweep, " + ProfileName(profile) + ", C=" +
+          std::to_string(trace_config.min_support) + ", " +
+          std::to_string(itemsets) + " itemsets/window",
+      {"threads", "s/window", "windows/s", "identical"});
+
+  std::vector<SanitizedOutput> serial_releases;
+  for (size_t threads : shape.sweep_threads) {
+    config.threads = static_cast<int64_t>(threads);
+    std::vector<SanitizedOutput> releases;
+    double seconds =
+        TimeReplay(trace, config, threads == 1 ? &serial_releases : &releases);
+    const std::vector<SanitizedOutput>& got =
+        threads == 1 ? serial_releases : releases;
+    bool identical = got.size() == serial_releases.size();
+    for (size_t w = 0; identical && w < got.size(); ++w) {
+      identical = got[w].items() == serial_releases[w].items();
+    }
+    if (!identical) {
+      std::fprintf(stderr, "parallel release diverged at %zu threads\n",
+                   threads);
+      std::exit(1);
+    }
+    double per_window = seconds / static_cast<double>(trace.raw.size());
+    PrintTableRow({std::to_string(threads), FormatDouble(per_window, 6),
+                   FormatDouble(per_window > 0 ? 1.0 / per_window : 0, 1),
+                   "yes"});
+
+    BenchRecord rec;
+    rec.bench = "sanitize/opt";
+    rec.dataset = ProfileName(profile);
+    rec.threads = threads;
+    rec.windows = trace.raw.size();
+    rec.itemsets_per_window = itemsets;
+    rec.ns_per_window = per_window * 1e9;
+    rec.windows_per_sec = per_window > 0 ? 1.0 / per_window : 0;
+    g_records.push_back(rec);
   }
 }
 
 }  // namespace
 }  // namespace butterfly::bench
 
-int main() {
+int main(int argc, char** argv) {
+  using namespace butterfly;
+  using namespace butterfly::bench;
+
+  FlagParser flags(argc, argv);
+  const bool smoke = flags.GetBool("smoke", false);
+  const std::string json_path =
+      flags.GetString("json", smoke ? "BENCH_overhead.json" : "");
+  const int64_t extra_threads = flags.GetInt("threads", 0);
+  if (!flags.ok()) {
+    for (const std::string& e : flags.errors()) {
+      std::fprintf(stderr, "%s\n", e.c_str());
+    }
+    return 2;
+  }
+
+  RunShape shape;
+  std::vector<DatasetProfile> profiles{DatasetProfile::kBmsWebView1,
+                                       DatasetProfile::kBmsPos};
+  if (smoke) {
+    shape.window = 800;
+    shape.reports = 6;
+    shape.stride = 10;
+    shape.supports = {25, 15};
+    shape.sweep_threads = {1, 2, 4, 8};
+    profiles = {DatasetProfile::kBmsWebView1};
+  }
+  if (extra_threads > 0 &&
+      std::find(shape.sweep_threads.begin(), shape.sweep_threads.end(),
+                static_cast<size_t>(extra_threads)) ==
+          shape.sweep_threads.end()) {
+    shape.sweep_threads.push_back(static_cast<size_t>(extra_threads));
+  }
+
   std::printf("Butterfly reproduction: Fig. 8 (overhead of Butterfly in the "
-              "mining system)\nH=5000, 20 reported windows, stride 25; "
-              "'Mining alg' = incremental Moment maintenance + output walk "
-              "per reported window\n");
-  butterfly::bench::RunDataset(butterfly::DatasetProfile::kBmsWebView1);
-  butterfly::bench::RunDataset(butterfly::DatasetProfile::kBmsPos);
+              "mining system)\nH=%zu, %zu reported windows, stride %zu; "
+              "'Mining alg' = incremental Moment maintenance per reported "
+              "window; 'Expand' / 'Expand-inc' = scratch vs incremental "
+              "closed->full output walk\n",
+              shape.window, shape.reports, shape.stride);
+  for (DatasetProfile profile : profiles) {
+    RunDataset(profile, shape);
+    ThreadSweep(profile, shape);
+  }
+
+  if (!json_path.empty()) {
+    if (!WriteBenchJson(json_path, g_records)) {
+      std::fprintf(stderr, "failed to write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::printf("\nwrote %s (%zu records)\n", json_path.c_str(),
+                g_records.size());
+  }
   return 0;
 }

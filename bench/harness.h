@@ -28,6 +28,9 @@ struct TraceConfig {
   size_t reports = 100;      ///< number of reported windows
   size_t stride = 1;         ///< slides between consecutive reports
   uint64_t data_seed = 7;
+  /// Parallelism of the replay-side analysis (per-window breach scans and
+  /// the per-report output expansion); mining itself is inherently serial.
+  int64_t threads = 1;
 };
 
 /// The raw outputs of the reported windows (shared across schemes).
@@ -62,6 +65,23 @@ void PrintTableHeader(const std::string& title,
                       const std::vector<std::string>& columns);
 void PrintTableRow(const std::vector<std::string>& cells);
 std::string FormatDouble(double v, int precision = 4);
+
+/// One measured point of a perf-trajectory benchmark (see BENCH_overhead.json):
+/// a labeled path timed at a thread count over some windows.
+struct BenchRecord {
+  std::string bench;    ///< e.g. "sanitize/opt" or "release/incremental"
+  std::string dataset;
+  size_t threads = 1;
+  size_t windows = 0;
+  size_t itemsets_per_window = 0;
+  double ns_per_window = 0;
+  double windows_per_sec = 0;
+};
+
+/// Writes the records as a JSON array (machine-readable perf trajectory so
+/// future PRs can diff against it). Returns false on I/O failure.
+bool WriteBenchJson(const std::string& path,
+                    const std::vector<BenchRecord>& records);
 
 }  // namespace butterfly::bench
 

@@ -54,6 +54,60 @@ BENCHMARK(BM_SanitizeScheme)
     ->Arg(static_cast<int>(ButterflyScheme::kRatioPreserving))
     ->Arg(static_cast<int>(ButterflyScheme::kHybrid));
 
+/// A dense synthetic window: `count` distinct 3-item itemsets spread over
+/// FECs of ~8 members — the shape where per-itemset work dominates and the
+/// parallel release path pays off.
+MiningOutput LargeSyntheticWindow(size_t count) {
+  MiningOutput out(25);
+  Support support = 25;
+  for (size_t i = 0; i < count; ++i) {
+    if (i % 8 == 0) support += 1 + static_cast<Support>(i % 3);
+    Item base = static_cast<Item>(3 * i + 1);
+    out.Add(Itemset::FromSorted({base, base + 1, base + 2}), support);
+  }
+  out.Seal();
+  return out;
+}
+
+/// The sanitize hot path at 16k itemsets/window versus thread count; the
+/// counter-based RNG keeps the release bit-identical across the sweep (the
+/// determinism suite asserts this; here we only time it). Pass
+/// --benchmark_out=FILE --benchmark_out_format=json for a machine-readable
+/// trajectory alongside BENCH_overhead.json.
+void BM_SanitizeParallel(benchmark::State& state) {
+  ButterflyConfig config = SchemeConfig(ButterflyScheme::kOrderPreserving);
+  config.threads = state.range(0);
+  ButterflyEngine engine(config);
+  MiningOutput raw = LargeSyntheticWindow(16384);
+  for (auto _ : state) {
+    SanitizedOutput release = engine.Sanitize(raw, 100000);
+    benchmark::DoNotOptimize(release);
+  }
+  state.counters["itemsets/s"] = benchmark::Counter(
+      static_cast<double>(raw.size()) * state.iterations(),
+      benchmark::Counter::kIsRate);
+  state.counters["threads"] = static_cast<double>(state.range(0));
+}
+
+BENCHMARK(BM_SanitizeParallel)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+
+/// Same sweep for the basic scheme (independent per-itemset draws).
+void BM_SanitizeParallelBasic(benchmark::State& state) {
+  ButterflyConfig config = SchemeConfig(ButterflyScheme::kBasic);
+  config.threads = state.range(0);
+  ButterflyEngine engine(config);
+  MiningOutput raw = LargeSyntheticWindow(16384);
+  for (auto _ : state) {
+    SanitizedOutput release = engine.Sanitize(raw, 100000);
+    benchmark::DoNotOptimize(release);
+  }
+  state.counters["threads"] = static_cast<double>(state.range(0));
+}
+
+BENCHMARK(BM_SanitizeParallelBasic)->Arg(1)->Arg(4)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+
 void BM_OrderDpVsFecCount(benchmark::State& state) {
   const size_t n = static_cast<size_t>(state.range(0));
   std::vector<FecProfile> fecs;

@@ -68,6 +68,7 @@ int main(int argc, char** argv) {
   config.delta = flags.GetDouble("delta", 0.4);
   config.lambda = flags.GetDouble("lambda", 0.4);
   config.seed = static_cast<uint64_t>(flags.GetInt("seed", 66));
+  config.threads = flags.GetInt("threads", 1);  // 0 = auto-detect
   std::string scheme_name = flags.GetString("scheme", "hybrid");
 
   if (!flags.ok()) return Fail(flags.errors().front());

@@ -65,6 +65,62 @@ class Rng {
   std::mt19937_64 engine_;
 };
 
+/// SplitMix64's finalizer: a high-quality 64-bit mixing function. Used both
+/// as the CounterRng output function and to fold key material together.
+inline uint64_t SplitMix64Mix(uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ull;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebull;
+  x ^= x >> 31;
+  return x;
+}
+
+/// A counter-based (splittable) random stream keyed by up to three 64-bit
+/// words. Unlike Rng, whose outputs depend on every draw made before them,
+/// a CounterRng's i-th output is a pure function of (key, i). The sanitizer
+/// keys one stream per released itemset — (engine seed, release epoch,
+/// itemset identity) — so the noise an itemset receives is independent of
+/// FEC iteration order, thread count, and scheduling, making the parallel
+/// release bit-identical to the serial one.
+class CounterRng {
+ public:
+  explicit CounterRng(uint64_t k0, uint64_t k1 = 0, uint64_t k2 = 0) {
+    // Fold the key words through the mixer with distinct offsets so
+    // (a, b, 0) and (a, 0, b) key different streams.
+    state_ = SplitMix64Mix(k0 + 0x9e3779b97f4a7c15ull);
+    state_ = SplitMix64Mix(state_ ^ (k1 + 0xbf58476d1ce4e5b9ull));
+    state_ = SplitMix64Mix(state_ ^ (k2 + 0x94d049bb133111ebull));
+  }
+
+  /// The next 64 raw bits of the stream (the splitmix64 generator).
+  uint64_t Next() {
+    state_ += 0x9e3779b97f4a7c15ull;
+    return SplitMix64Mix(state_);
+  }
+
+  /// Uniform integer in the closed range [lo, hi], unbiased (rejection
+  /// sampling on the raw stream).
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    uint64_t range = static_cast<uint64_t>(hi) - static_cast<uint64_t>(lo) + 1;
+    if (range == 0) return static_cast<int64_t>(Next());  // full 64-bit range
+    uint64_t reject_above = ~uint64_t{0} - ~uint64_t{0} % range;
+    uint64_t draw;
+    do {
+      draw = Next();
+    } while (draw >= reject_above);
+    return lo + static_cast<int64_t>(draw % range);
+  }
+
+  /// Uniform real in [0, 1) with 53 random bits.
+  double UniformReal() {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+ private:
+  uint64_t state_;
+};
+
 /// The discrete uniform noise distribution used by Butterfly: integers in
 /// [lo, hi], each equally likely. Exposes the moments the scheme's analysis
 /// relies on. For region length alpha = hi - lo, the variance is
@@ -86,7 +142,11 @@ class DiscreteUniform {
     return (n * n - 1.0) / 12.0;
   }
 
-  int64_t Sample(Rng* rng) const { return rng->UniformInt(lo_, hi_); }
+  /// Draws from any source exposing UniformInt(lo, hi) — Rng or CounterRng.
+  template <typename RngT>
+  int64_t Sample(RngT* rng) const {
+    return rng->UniformInt(lo_, hi_);
+  }
 
  private:
   int64_t lo_;

@@ -1,0 +1,133 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <map>
+#include <memory>
+
+namespace butterfly {
+
+namespace {
+thread_local bool t_on_worker_thread = false;
+}  // namespace
+
+bool ThreadPool::OnWorkerThread() { return t_on_worker_thread; }
+
+ThreadPool::ThreadPool(size_t workers) {
+  workers_.reserve(workers);
+  for (size_t i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::WorkerLoop() {
+  t_on_worker_thread = true;
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+size_t ResolveThreadCount(int64_t requested) {
+  if (requested > 0) return static_cast<size_t>(requested);
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<size_t>(hw);
+}
+
+ThreadPool* SharedPool(size_t threads) {
+  if (threads <= 1) return nullptr;
+  static std::mutex registry_mu;
+  // Leaked deliberately: worker threads must not be joined from static
+  // destructors racing other teardown; the OS reclaims them at exit.
+  static auto* registry = new std::map<size_t, std::unique_ptr<ThreadPool>>();
+  std::lock_guard<std::mutex> lock(registry_mu);
+  std::unique_ptr<ThreadPool>& slot = (*registry)[threads];
+  if (!slot) slot = std::make_unique<ThreadPool>(threads - 1);
+  return slot.get();
+}
+
+void ParallelFor(ThreadPool* pool, size_t n, size_t grain,
+                 const std::function<void(size_t, size_t)>& body) {
+  if (n == 0) return;
+  if (grain == 0) grain = 1;
+  if (pool == nullptr || pool->worker_count() == 0 || n <= grain ||
+      ThreadPool::OnWorkerThread()) {
+    body(0, n);
+    return;
+  }
+
+  // Shared per-call state, heap-allocated so straggler workers finishing
+  // after the caller's rethrow still touch valid memory.
+  struct Call {
+    std::atomic<size_t> cursor{0};
+    size_t n = 0;
+    size_t chunk = 0;
+    const std::function<void(size_t, size_t)>* body = nullptr;
+    std::mutex mu;
+    std::condition_variable done_cv;
+    size_t pending = 0;
+    std::exception_ptr error;
+  };
+  auto call = std::make_shared<Call>();
+  call->n = n;
+  // Aim for several chunks per participant so skewed bodies balance, but
+  // never below the caller's grain.
+  size_t participants = pool->worker_count() + 1;
+  call->chunk = std::max(grain, n / (participants * 4) + 1);
+  call->body = &body;
+
+  auto run_chunks = [call] {
+    try {
+      for (;;) {
+        size_t begin = call->cursor.fetch_add(call->chunk);
+        if (begin >= call->n) break;
+        (*call->body)(begin, std::min(begin + call->chunk, call->n));
+      }
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(call->mu);
+      if (!call->error) call->error = std::current_exception();
+    }
+  };
+
+  size_t helpers = std::min(pool->worker_count(), (n - 1) / call->chunk + 1);
+  call->pending = helpers;
+  for (size_t i = 0; i < helpers; ++i) {
+    pool->Submit([call, run_chunks] {
+      run_chunks();
+      std::lock_guard<std::mutex> lock(call->mu);
+      if (--call->pending == 0) call->done_cv.notify_one();
+    });
+  }
+
+  run_chunks();
+  std::unique_lock<std::mutex> lock(call->mu);
+  call->done_cv.wait(lock, [&] { return call->pending == 0; });
+  if (call->error) std::rethrow_exception(call->error);
+}
+
+}  // namespace butterfly

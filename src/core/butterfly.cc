@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdint>
+#include <optional>
+#include <utility>
 
 namespace butterfly {
 
@@ -61,7 +64,7 @@ Result<ButterflyEngine> ButterflyEngine::Create(const ButterflyConfig& config) {
 ButterflyEngine::ButterflyEngine(const ButterflyConfig& config)
     : config_(config),
       noise_(config.delta, config.vulnerable_support),
-      rng_(config.seed) {
+      pool_(SharedPool(ResolveThreadCount(config.threads))) {
   assert(config.Validate().ok());
 }
 
@@ -85,8 +88,15 @@ std::vector<double> ButterflyEngine::ComputeBiases(
   return ZeroBiases(profiles.size());
 }
 
+namespace {
+// Domain separator keying the shared per-FEC noise streams apart from the
+// per-itemset streams of the basic scheme.
+constexpr uint64_t kFecStreamDomain = 0x9e3779b97f4a7c15ull;
+}  // namespace
+
 SanitizedOutput ButterflyEngine::Sanitize(const MiningOutput& frequent,
                                           Support window_size) {
+  const uint64_t epoch = epoch_++;
   SanitizedOutput release(config_.min_support, window_size);
   if (frequent.empty()) {
     if (config_.republish_cache) cache_.NextEpoch();
@@ -113,48 +123,70 @@ SanitizedOutput ButterflyEngine::Sanitize(const MiningOutput& frequent,
   const bool per_itemset_noise = config_.scheme == ButterflyScheme::kBasic;
   const double variance = noise_.variance();
 
+  // Flatten the FEC membership so the itemset work partitions evenly across
+  // threads regardless of FEC size skew.
+  const size_t total = frequent.size();
+  std::vector<std::pair<uint32_t, uint32_t>> flat;
+  flat.reserve(total);
   for (size_t i = 0; i < fecs.size(); ++i) {
-    const Fec& fec = fecs[i];
-    const double bias = biases[i];
+    for (size_t m = 0; m < fecs[i].members.size(); ++m) {
+      flat.emplace_back(static_cast<uint32_t>(i), static_cast<uint32_t>(m));
+    }
+  }
 
-    // Optimized schemes share one draw per FEC so within-class equality
-    // survives; the draw is made lazily, only if some member misses the
-    // republish cache.
-    std::optional<Support> fec_draw;
-    auto fresh_value = [&]() -> Support {
-      if (per_itemset_noise) {
-        return fec.support + noise_.Sample(bias, &rng_);
-      }
-      if (!fec_draw) fec_draw = fec.support + noise_.Sample(bias, &rng_);
-      return *fec_draw;
-    };
-
-    for (const Itemset& member : fec.members) {
+  // Phase 1 (parallel): per-itemset value computation into disjoint slots.
+  // Safe concurrently: cache_.Lookup only reads the map structure and stamps
+  // last_seen on the hit slot, and each released itemset is unique, so no
+  // two threads touch the same slot. Every miss derives its noise from its
+  // own counter-based stream — no shared generator state. Members of one FEC
+  // under the optimized schemes key the same stream and hence recompute the
+  // identical shared draw.
+  std::vector<SanitizedItemset> items(total);
+  std::vector<uint8_t> needs_store(total, 0);
+  auto sanitize_range = [&](size_t begin, size_t end) {
+    for (size_t k = begin; k < end; ++k) {
+      const Fec& fec = fecs[flat[k].first];
+      const Itemset& member = fec.members[flat[k].second];
       SanitizedItemset item;
       item.itemset = member;
-      item.bias = bias;
+      item.bias = biases[flat[k].first];
       item.variance = variance;
 
+      bool pinned = false;
       if (config_.republish_cache) {
-        std::optional<RepublishCache::Entry> cached =
-            cache_.Lookup(member, fec.support);
-        if (cached) {
+        if (std::optional<RepublishCache::Entry> cached =
+                cache_.Lookup(member, fec.support)) {
           item.sanitized_support = cached->sanitized_support;
           item.bias = cached->bias;
           item.variance = cached->variance;
-          release.Add(std::move(item));
-          continue;
+          pinned = true;
         }
       }
-
-      item.sanitized_support = fresh_value();
-      if (config_.republish_cache) {
-        cache_.Store(member,
-                     RepublishCache::Entry{fec.support, item.sanitized_support,
-                                           item.bias, item.variance});
+      if (!pinned) {
+        CounterRng stream =
+            per_itemset_noise
+                ? CounterRng(config_.seed, epoch, member.Hash())
+                : CounterRng(config_.seed ^ kFecStreamDomain, epoch,
+                             static_cast<uint64_t>(fec.support));
+        item.sanitized_support = fec.support + noise_.Sample(item.bias, &stream);
+        if (config_.republish_cache) needs_store[k] = 1;
       }
-      release.Add(std::move(item));
+      items[k] = std::move(item);
     }
+  };
+  ParallelFor(pool_, total, /*grain=*/128, sanitize_range);
+
+  // Phase 2 (serial): pin the fresh draws and assemble the release in the
+  // deterministic FEC order.
+  for (size_t k = 0; k < total; ++k) {
+    if (needs_store[k]) {
+      const Fec& fec = fecs[flat[k].first];
+      cache_.Store(items[k].itemset,
+                   RepublishCache::Entry{fec.support,
+                                         items[k].sanitized_support,
+                                         items[k].bias, items[k].variance});
+    }
+    release.Add(std::move(items[k]));
   }
 
   if (config_.republish_cache) cache_.NextEpoch();

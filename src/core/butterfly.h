@@ -20,6 +20,7 @@
 
 #include "common/rng.h"
 #include "common/status.h"
+#include "common/thread_pool.h"
 #include "core/bias_setting.h"
 #include "core/config.h"
 #include "core/fec.h"
@@ -42,6 +43,13 @@ class ButterflyEngine {
   /// Sanitizes one window's frequent-itemset output. \p window_size is the
   /// (public) window size H, carried into the release for the adversary
   /// model and the metrics.
+  ///
+  /// Noise is drawn from counter-based streams keyed on (engine seed,
+  /// release epoch, itemset / FEC identity), so the release is a pure
+  /// function of the engine's seed, its call history length, and the input —
+  /// independent of FEC iteration order and of `config.threads`. With
+  /// threads > 1 the per-itemset work is spread over a shared ThreadPool and
+  /// the output is bit-identical to the serial release.
   SanitizedOutput Sanitize(const MiningOutput& frequent, Support window_size);
 
   /// The per-FEC biases the configured scheme would assign to \p frequent —
@@ -71,8 +79,13 @@ class ButterflyEngine {
 
   ButterflyConfig config_;
   NoiseModel noise_;
-  Rng rng_;
   RepublishCache cache_;
+  /// Release counter: the per-itemset noise streams are keyed on it, so each
+  /// Sanitize call draws fresh, mutually independent noise.
+  uint64_t epoch_ = 0;
+  /// Shared worker pool for config_.threads > 1; nullptr when serial. Not
+  /// owned (pools are process-wide, see common/thread_pool.h).
+  ThreadPool* pool_ = nullptr;
 
   // Incremental mode: the previous window's FEC profiles and their biases.
   std::vector<FecProfile> cached_profiles_;

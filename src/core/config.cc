@@ -39,6 +39,10 @@ Status ButterflyConfig::Validate() const {
   if (order_opt.gamma > 8) {
     return Status::InvalidArgument("gamma above 8 is not supported");
   }
+  if (threads < 0 || threads > 1024) {
+    return Status::InvalidArgument(
+        "threads must lie in [0, 1024] (0 = hardware concurrency)");
+  }
   if (ppr() + 1e-12 < MinPpr()) {
     std::ostringstream msg;
     msg << "epsilon/delta = " << ppr() << " below the minimum ppr K^2/(2C^2) = "

@@ -79,6 +79,13 @@ struct ButterflyConfig {
 
   uint64_t seed = 0x42u;
 
+  /// Total parallelism of the release path (caller + worker threads).
+  /// 1 = serial; 0 = auto (hardware concurrency). The release content is
+  /// bit-identical for every value — noise is drawn from counter-based
+  /// per-itemset streams, not from a shared sequential generator — so this
+  /// is purely a latency knob.
+  int64_t threads = 1;
+
   /// The precision-privacy ratio ε/δ.
   double ppr() const { return epsilon / delta; }
 

@@ -37,8 +37,11 @@ class NoiseModel {
   /// at \p bias: integers in [round(bias − α/2), round(bias − α/2) + α].
   DiscreteUniform Centered(double bias) const;
 
-  /// Draws one noise value with the given bias.
-  int64_t Sample(double bias, Rng* rng) const {
+  /// Draws one noise value with the given bias, from any source exposing
+  /// UniformInt (Rng for sequential use, CounterRng for the keyed per-itemset
+  /// streams of the parallel release path).
+  template <typename RngT>
+  int64_t Sample(double bias, RngT* rng) const {
     return Centered(bias).Sample(rng);
   }
 

@@ -37,6 +37,11 @@ class RepublishCache {
 
   /// The pinned sanitized value for \p itemset, if its true support still
   /// equals \p true_support. Marks the entry as seen this epoch.
+  ///
+  /// Concurrency: Lookup never mutates the map structure — it only stamps
+  /// last_seen on the hit slot — so concurrent Lookups on DISTINCT itemsets
+  /// are safe (the parallel Sanitize relies on this; released itemsets are
+  /// unique). Store and NextEpoch must not run concurrently with anything.
   std::optional<Entry> Lookup(const Itemset& itemset, Support true_support);
 
   /// Pins a fresh sanitized value.

@@ -34,15 +34,26 @@ class StreamPrivacyEngine {
   bool WindowFull() const { return miner_.window().Full(); }
 
   /// The raw (unprotected) full frequent-itemset output — what a mining
-  /// system without output-privacy protection would publish.
+  /// system without output-privacy protection would publish. Expands the
+  /// closed lattice from scratch; prefer RawOutputIncremental on the release
+  /// hot path.
   MiningOutput RawOutput() const { return miner_.GetAllFrequent(); }
+
+  /// The raw full output, served from the miner's incremental expansion
+  /// cache (identical content to RawOutput). The reference stays valid until
+  /// the next Append or Release-path call.
+  const MiningOutput& RawOutputIncremental() {
+    return miner_.GetAllFrequentIncremental();
+  }
 
   /// The raw closed frequent itemsets (Moment's native output).
   MiningOutput RawClosedOutput() const { return miner_.GetClosedFrequent(); }
 
-  /// The sanitized release for the current window.
+  /// The sanitized release for the current window. Feeds the sanitizer from
+  /// the incremental expansion cache by reference — no per-release copy of
+  /// the full MiningOutput is materialized.
   SanitizedOutput Release() {
-    return sanitizer_.Sanitize(RawOutput(),
+    return sanitizer_.Sanitize(RawOutputIncremental(),
                                static_cast<Support>(miner_.window().size()));
   }
 

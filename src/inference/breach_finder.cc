@@ -1,7 +1,11 @@
 #include "inference/breach_finder.h"
 
 #include <algorithm>
+#include <iterator>
+#include <mutex>
 #include <unordered_set>
+
+#include "common/thread_pool.h"
 
 namespace butterfly {
 
@@ -73,35 +77,50 @@ size_t TightenKnowledge(KnowledgeBase* knowledge, const AttackConfig& config) {
 
 std::vector<InferredPattern> DeriveBreaches(const KnowledgeBase& knowledge,
                                             const AttackConfig& config) {
+  // Each anchor J is derived independently against the (read-only) knowledge
+  // base, so the scan partitions across threads; the final sort makes the
+  // result identical for every thread count.
+  const std::vector<Itemset>& anchors = knowledge.known_itemsets();
   std::vector<InferredPattern> breaches;
-  for (const Itemset& j : knowledge.known_itemsets()) {
-    if (j.empty() || j.size() > config.max_itemset_size) continue;
+  std::mutex merge_mu;
+  auto scan_range = [&](size_t begin, size_t end) {
+    std::vector<InferredPattern> local;
+    for (size_t a = begin; a < end; ++a) {
+      const Itemset& j = anchors[a];
+      if (j.empty() || j.size() > config.max_itemset_size) continue;
 
-    const uint32_t full = (1u << j.size()) - 1;
-    for (uint32_t mask = 0; mask < full; ++mask) {  // strict subsets I ⊂ J
-      std::vector<Item> positive;
-      for (size_t b = 0; b < j.size(); ++b) {
-        if (mask & (1u << b)) positive.push_back(j[b]);
-      }
-      if (positive.empty() && !config.knows_window_size) continue;
+      const uint32_t full = (1u << j.size()) - 1;
+      for (uint32_t mask = 0; mask < full; ++mask) {  // strict subsets I ⊂ J
+        std::vector<Item> positive;
+        for (size_t b = 0; b < j.size(); ++b) {
+          if (mask & (1u << b)) positive.push_back(j[b]);
+        }
+        if (positive.empty() && !config.knows_window_size) continue;
 
-      Pattern pattern = Pattern::Derived(Itemset::FromSorted(positive), j);
-      bool used_inferred = knowledge.WasInferred(j);
-      auto tracking_provider =
-          [&](const Itemset& x) -> std::optional<Support> {
-        auto support = knowledge.Lookup(x);
-        if (support && knowledge.WasInferred(x)) used_inferred = true;
-        return support;
-      };
-      std::optional<Support> derived =
-          DerivePatternSupport(tracking_provider, pattern);
-      if (!derived) continue;
-      if (*derived > 0 && *derived <= config.vulnerable_support) {
-        breaches.push_back(
-            InferredPattern{std::move(pattern), *derived, used_inferred});
+        Pattern pattern = Pattern::Derived(Itemset::FromSorted(positive), j);
+        bool used_inferred = knowledge.WasInferred(j);
+        auto tracking_provider =
+            [&](const Itemset& x) -> std::optional<Support> {
+          auto support = knowledge.Lookup(x);
+          if (support && knowledge.WasInferred(x)) used_inferred = true;
+          return support;
+        };
+        std::optional<Support> derived =
+            DerivePatternSupport(tracking_provider, pattern);
+        if (!derived) continue;
+        if (*derived > 0 && *derived <= config.vulnerable_support) {
+          local.push_back(
+              InferredPattern{std::move(pattern), *derived, used_inferred});
+        }
       }
     }
-  }
+    if (local.empty()) return;
+    std::lock_guard<std::mutex> lock(merge_mu);
+    breaches.insert(breaches.end(), std::make_move_iterator(local.begin()),
+                    std::make_move_iterator(local.end()));
+  };
+  ParallelFor(SharedPool(ResolveThreadCount(config.threads)), anchors.size(),
+              /*grain=*/16, scan_range);
 
   std::sort(breaches.begin(), breaches.end(),
             [](const InferredPattern& a, const InferredPattern& b) {

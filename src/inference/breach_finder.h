@@ -39,6 +39,11 @@ struct AttackConfig {
   /// Lattice enumeration cap: itemsets larger than this are not used as the
   /// enclosing J (the derivation cost is 2^|J| per anchor).
   size_t max_itemset_size = 12;
+
+  /// Total parallelism of the derivation scan (caller + workers); 1 = serial,
+  /// 0 = hardware concurrency. The anchors are scanned independently and the
+  /// result is sorted, so the output is identical for every value.
+  int64_t threads = 1;
 };
 
 /// A pattern the adversary managed to pin down exactly.

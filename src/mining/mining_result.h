@@ -39,6 +39,12 @@ class MiningOutput {
   /// Sorts itemsets lexicographically; call once after the last Add.
   void Seal();
 
+  /// Updates the support of an already-present itemset in place (the sealed
+  /// order is unaffected). Returns false if the itemset is absent. Used by
+  /// the incremental closed-set expansion to patch support drift without
+  /// rebuilding the output. Requires a sealed output.
+  bool UpdateSupport(const Itemset& itemset, Support support);
+
   size_t size() const { return itemsets_.size(); }
   bool empty() const { return itemsets_.empty(); }
   Support min_support() const { return min_support_; }

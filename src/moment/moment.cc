@@ -1,6 +1,8 @@
 #include "moment/moment.h"
 
 #include <cassert>
+#include <unordered_set>
+#include <utility>
 
 #include "mining/closed.h"
 
@@ -45,6 +47,7 @@ void MomentMiner::Append(Transaction t) {
   const Transaction& added = window_.transactions().back();
   if (evicted) UpdateDelete(root_.get(), *evicted);
   UpdateAdd(root_.get(), added);
+  expansion_dirty_ = true;
 }
 
 std::vector<const Transaction*> MomentMiner::RecordsContaining(
@@ -238,6 +241,117 @@ MiningOutput MomentMiner::GetClosedFrequent() const {
 
 MiningOutput MomentMiner::GetAllFrequent() const {
   return ExpandClosed(GetClosedFrequent());
+}
+
+namespace {
+
+/// Calls fn(subset) for every non-empty subset of `s`.
+template <typename Fn>
+void ForEachSubset(const Itemset& s, size_t start, std::vector<Item>* prefix,
+                   const Fn& fn) {
+  if (!prefix->empty()) fn(Itemset::FromSorted(*prefix));
+  for (size_t i = start; i < s.size(); ++i) {
+    prefix->push_back(s[i]);
+    ForEachSubset(s, i + 1, prefix, fn);
+    prefix->pop_back();
+  }
+}
+
+}  // namespace
+
+const MiningOutput& MomentMiner::GetAllFrequentIncremental() {
+  if (!expansion_dirty_ && expansion_cached_) return cached_all_;
+  MiningOutput closed = GetClosedFrequent();
+  expansion_dirty_ = false;
+
+  if (!expansion_cached_) {
+    // First call: full expansion, then remember its accumulator.
+    cached_all_ = ExpandClosed(closed);
+    expansion_best_.clear();
+    expansion_best_.reserve(cached_all_.size());
+    for (const FrequentItemset& f : cached_all_.itemsets()) {
+      expansion_best_.emplace(f.itemset, f.support);
+    }
+    cached_closed_ = std::move(closed);
+    expansion_cached_ = true;
+    return cached_all_;
+  }
+
+  // Diff the two sealed (lexicographically sorted) closed outputs; a support
+  // change counts as removed + added, so its subsets are re-expanded too.
+  std::vector<const Itemset*> changed;
+  const auto& old_items = cached_closed_.itemsets();
+  const auto& new_items = closed.itemsets();
+  size_t o = 0, n = 0;
+  while (o < old_items.size() || n < new_items.size()) {
+    if (o == old_items.size()) {
+      changed.push_back(&new_items[n++].itemset);
+    } else if (n == new_items.size()) {
+      changed.push_back(&old_items[o++].itemset);
+    } else if (old_items[o].itemset < new_items[n].itemset) {
+      changed.push_back(&old_items[o++].itemset);
+    } else if (new_items[n].itemset < old_items[o].itemset) {
+      changed.push_back(&new_items[n++].itemset);
+    } else {
+      if (old_items[o].support != new_items[n].support) {
+        changed.push_back(&new_items[n].itemset);
+      }
+      ++o;
+      ++n;
+    }
+  }
+  if (changed.empty()) {
+    cached_closed_ = std::move(closed);
+    return cached_all_;
+  }
+
+  // Only subsets of changed closed itemsets can change value: for any other
+  // frequent X, every closed superset of X kept its support, and no closed
+  // itemset newly contains X.
+  std::unordered_set<Itemset, ItemsetHash> affected;
+  std::vector<Item> prefix;
+  for (const Itemset* z : changed) {
+    ForEachSubset(*z, 0, &prefix,
+                  [&](Itemset subset) { affected.insert(std::move(subset)); });
+  }
+
+  // Recompute each affected subset's max over the new closed supersets.
+  // Support-only drift is patched into the sealed output in place; itemsets
+  // entering or leaving the frequent set force a rebuild from the
+  // accumulator (still no global re-expansion).
+  bool membership_changed = false;
+  for (const Itemset& x : affected) {
+    Support best = 0;
+    bool frequent = false;
+    for (const FrequentItemset& z : new_items) {
+      if (z.itemset.ContainsAll(x)) {
+        frequent = true;
+        if (z.support > best) best = z.support;
+      }
+    }
+    if (frequent) {
+      auto [it, inserted] = expansion_best_.insert_or_assign(x, best);
+      (void)it;
+      if (inserted) {
+        membership_changed = true;
+      } else if (!membership_changed) {
+        cached_all_.UpdateSupport(x, best);
+      }
+    } else if (expansion_best_.erase(x) > 0) {
+      membership_changed = true;
+    }
+  }
+
+  if (membership_changed) {
+    MiningOutput rebuilt(min_support_);
+    for (const auto& [itemset, support] : expansion_best_) {
+      rebuilt.Add(itemset, support);
+    }
+    rebuilt.Seal();
+    cached_all_ = std::move(rebuilt);
+  }
+  cached_closed_ = std::move(closed);
+  return cached_all_;
 }
 
 std::optional<Support> MomentMiner::SupportOf(const Itemset& itemset) const {

@@ -34,6 +34,7 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <unordered_map>
 
 #include "common/status.h"
 #include "common/transaction.h"
@@ -93,6 +94,15 @@ class MomentMiner {
   /// All frequent itemsets of the current window (closed set expanded).
   MiningOutput GetAllFrequent() const;
 
+  /// All frequent itemsets, maintained incrementally across slides. The
+  /// previous call's closed→full expansion is cached; a slide that left the
+  /// closed set unchanged returns the cache untouched (an Append sets a
+  /// dirty flag, cleared after re-validation), and a slide that changed only
+  /// a few closed itemsets re-expands just the subsets of those. The result
+  /// is always identical to GetAllFrequent(). Returns a reference into the
+  /// miner, valid until the next non-const call.
+  const MiningOutput& GetAllFrequentIncremental();
+
   /// Live node counts by kind.
   MomentStats Stats() const;
 
@@ -131,6 +141,19 @@ class MomentMiner {
   SlidingWindow window_;
   Support min_support_;
   std::unique_ptr<CetNode> root_;
+
+  // --- incremental closed→full expansion cache (GetAllFrequentIncremental).
+  /// Set by Append (any CET mutation), cleared once the cache is revalidated.
+  bool expansion_dirty_ = true;
+  /// True once a full expansion has been built and the cache is usable.
+  bool expansion_cached_ = false;
+  /// The closed output the cache was built from (the diff baseline).
+  MiningOutput cached_closed_;
+  /// The cached full expansion, patched in place on support-only drift.
+  MiningOutput cached_all_;
+  /// frequent itemset → max support over closed supersets; the persistent
+  /// form of ExpandClosed's accumulator, patched per changed closed itemset.
+  std::unordered_map<Itemset, Support, ItemsetHash> expansion_best_;
 };
 
 }  // namespace butterfly

@@ -163,7 +163,7 @@ TEST(FreqSatTest, WitnessCountShrinksWithPrecision) {
     config.vulnerable_support = 1;
     config.epsilon = 1.0;
     config.delta = delta;
-    config.seed = 9;
+    config.seed = 10;
     ButterflyEngine engine(config);
     SanitizedOutput release = engine.Sanitize(raw, 8);
     WitnessQuery query;
