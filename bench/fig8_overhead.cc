@@ -17,6 +17,8 @@
 /// a seconds-scale variant, registered in ctest.
 ///
 /// Flags: --smoke --json=PATH --threads=N (extra sweep point, 0 = auto)
+///        --baseline=PATH (fail if sanitize/opt regresses >3x vs artifact)
+///        --baseline_factor=F (override the 3x bound)
 
 #include <algorithm>
 #include <cstdlib>
@@ -164,21 +166,35 @@ void RunDataset(DatasetProfile profile, const RunShape& shape) {
   }
 }
 
-/// Replays the trace through one engine configuration and returns seconds.
-double TimeReplay(const WindowTrace& trace, ButterflyConfig config,
-                  std::vector<SanitizedOutput>* releases) {
+/// One replay measurement: total seconds plus the engine's per-stage sums.
+struct ReplayTimes {
+  double seconds = 0;
+  double partition_ns = 0;
+  double bias_dp_ns = 0;
+  double noise_ns = 0;
+  double emit_ns = 0;
+};
+
+/// Replays the trace through one engine configuration.
+ReplayTimes TimeReplay(const WindowTrace& trace, ButterflyConfig config,
+                       std::vector<SanitizedOutput>* releases) {
   ButterflyEngine engine(config);
   if (releases) releases->clear();
   Stopwatch watch;
-  double total = 0;
+  ReplayTimes times;
   for (const MiningOutput& raw : trace.raw) {
     watch.Restart();
     SanitizedOutput release =
         engine.Sanitize(raw, static_cast<Support>(trace.config.window));
-    total += watch.Seconds();
+    times.seconds += watch.Seconds();
+    const SanitizeStageTimes& stages = engine.last_stage_times();
+    times.partition_ns += stages.partition_ns;
+    times.bias_dp_ns += stages.bias_ns;
+    times.noise_ns += stages.noise_ns;
+    times.emit_ns += stages.emit_ns;
     if (releases) releases->push_back(std::move(release));
   }
-  return total;
+  return times;
 }
 
 void ThreadSweep(DatasetProfile profile, const RunShape& shape) {
@@ -199,16 +215,31 @@ void ThreadSweep(DatasetProfile profile, const RunShape& shape) {
       "Sanitize thread sweep, " + ProfileName(profile) + ", C=" +
           std::to_string(trace_config.min_support) + ", " +
           std::to_string(itemsets) + " itemsets/window",
-      {"threads", "s/window", "windows/s", "identical"});
+      {"threads", "s/window", "windows/s", "speedup", "identical"});
 
-  std::vector<SanitizedOutput> serial_releases;
-  for (size_t threads : shape.sweep_threads) {
-    config.threads = static_cast<int64_t>(threads);
-    std::vector<SanitizedOutput> releases;
-    double seconds =
-        TimeReplay(trace, config, threads == 1 ? &serial_releases : &releases);
-    const std::vector<SanitizedOutput>& got =
-        threads == 1 ? serial_releases : releases;
+  // Several repetitions per thread count, *interleaved* (rep-major order) so
+  // machine-load drift hits every row equally; the per-row minimum damps the
+  // remaining scheduler noise. Engines are fresh per rep — every measurement
+  // is a cold run.
+  constexpr int kReps = 11;
+  TimeReplay(trace, config, nullptr);  // untimed warmup (caches, cpu clocks)
+  const size_t sweep_size = shape.sweep_threads.size();
+  std::vector<ReplayTimes> best(sweep_size);
+  std::vector<std::vector<SanitizedOutput>> releases(sweep_size);
+  for (int rep = 0; rep < kReps; ++rep) {
+    for (size_t ti = 0; ti < sweep_size; ++ti) {
+      config.threads = static_cast<int64_t>(shape.sweep_threads[ti]);
+      ReplayTimes times =
+          TimeReplay(trace, config, rep == 0 ? &releases[ti] : nullptr);
+      if (rep == 0 || times.seconds < best[ti].seconds) best[ti] = times;
+    }
+  }
+
+  double ns_1t = 0;
+  const std::vector<SanitizedOutput>& serial_releases = releases.front();
+  for (size_t ti = 0; ti < sweep_size; ++ti) {
+    const size_t threads = shape.sweep_threads[ti];
+    const std::vector<SanitizedOutput>& got = releases[ti];
     bool identical = got.size() == serial_releases.size();
     for (size_t w = 0; identical && w < got.size(); ++w) {
       identical = got[w].items() == serial_releases[w].items();
@@ -218,10 +249,9 @@ void ThreadSweep(DatasetProfile profile, const RunShape& shape) {
                    threads);
       std::exit(1);
     }
-    double per_window = seconds / static_cast<double>(trace.raw.size());
-    PrintTableRow({std::to_string(threads), FormatDouble(per_window, 6),
-                   FormatDouble(per_window > 0 ? 1.0 / per_window : 0, 1),
-                   "yes"});
+    const double windows = static_cast<double>(trace.raw.size());
+    double per_window = best[ti].seconds / windows;
+    if (threads == 1) ns_1t = per_window * 1e9;
 
     BenchRecord rec;
     rec.bench = "sanitize/opt";
@@ -231,8 +261,63 @@ void ThreadSweep(DatasetProfile profile, const RunShape& shape) {
     rec.itemsets_per_window = itemsets;
     rec.ns_per_window = per_window * 1e9;
     rec.windows_per_sec = per_window > 0 ? 1.0 / per_window : 0;
+    rec.speedup_vs_1t =
+        rec.ns_per_window > 0 ? ns_1t / rec.ns_per_window : 0;
+    rec.partition_ns = best[ti].partition_ns / windows;
+    rec.bias_dp_ns = best[ti].bias_dp_ns / windows;
+    rec.noise_ns = best[ti].noise_ns / windows;
+    rec.emit_ns = best[ti].emit_ns / windows;
+    // 5% tolerance so timer noise on a pool-free small window (parallel ==
+    // serial path) does not masquerade as inverse scaling.
+    if (threads > 1 && rec.speedup_vs_1t < 0.95) {
+      rec.note = "inverse scaling: slower than 1 thread";
+    }
     g_records.push_back(rec);
+
+    PrintTableRow({std::to_string(threads), FormatDouble(per_window, 6),
+                   FormatDouble(per_window > 0 ? 1.0 / per_window : 0, 1),
+                   FormatDouble(rec.speedup_vs_1t, 2), "yes"});
   }
+}
+
+/// Regression guard: compares the sanitize/opt rows just measured against a
+/// checked-in baseline artifact; fails on a > `factor`× ns/window regression
+/// (a generous bound that catches order-of-magnitude regressions — the bug
+/// class where a cache stops firing — without tripping on machine noise).
+bool CheckBaseline(const std::string& baseline_path, double factor) {
+  std::vector<BenchRecord> baseline;
+  if (!ReadBenchJson(baseline_path, &baseline)) {
+    std::fprintf(stderr, "baseline %s missing or unreadable\n",
+                 baseline_path.c_str());
+    return false;
+  }
+  bool ok = true;
+  bool compared = false;
+  for (const BenchRecord& now : g_records) {
+    if (now.bench != "sanitize/opt") continue;
+    for (const BenchRecord& base : baseline) {
+      if (base.bench != now.bench || base.dataset != now.dataset ||
+          base.threads != now.threads) {
+        continue;
+      }
+      compared = true;
+      if (base.ns_per_window > 0 &&
+          now.ns_per_window > factor * base.ns_per_window) {
+        std::fprintf(stderr,
+                     "REGRESSION %s @%zu threads (%s): %.0f ns/window vs "
+                     "baseline %.0f (> %.1fx)\n",
+                     now.bench.c_str(), now.threads, now.dataset.c_str(),
+                     now.ns_per_window, base.ns_per_window, factor);
+        ok = false;
+      }
+    }
+  }
+  if (!compared) {
+    std::fprintf(stderr, "baseline %s has no comparable sanitize/opt rows\n",
+                 baseline_path.c_str());
+    return false;
+  }
+  return ok;
 }
 
 }  // namespace
@@ -247,6 +332,8 @@ int main(int argc, char** argv) {
   const std::string json_path =
       flags.GetString("json", smoke ? "BENCH_overhead.json" : "");
   const int64_t extra_threads = flags.GetInt("threads", 0);
+  const std::string baseline_path = flags.GetString("baseline", "");
+  const double baseline_factor = flags.GetDouble("baseline_factor", 3.0);
   if (!flags.ok()) {
     for (const std::string& e : flags.errors()) {
       std::fprintf(stderr, "%s\n", e.c_str());
@@ -290,6 +377,10 @@ int main(int argc, char** argv) {
     }
     std::printf("\nwrote %s (%zu records)\n", json_path.c_str(),
                 g_records.size());
+  }
+  if (!baseline_path.empty() &&
+      !CheckBaseline(baseline_path, baseline_factor)) {
+    return 1;
   }
   return 0;
 }

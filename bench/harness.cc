@@ -111,13 +111,91 @@ bool WriteBenchJson(const std::string& path,
                  "  {\"bench\": \"%s\", \"dataset\": \"%s\", "
                  "\"threads\": %zu, \"windows\": %zu, "
                  "\"itemsets_per_window\": %zu, \"ns_per_window\": %.1f, "
-                 "\"windows_per_sec\": %.2f}%s\n",
+                 "\"windows_per_sec\": %.2f",
                  r.bench.c_str(), r.dataset.c_str(), r.threads, r.windows,
-                 r.itemsets_per_window, r.ns_per_window, r.windows_per_sec,
-                 i + 1 < records.size() ? "," : "");
+                 r.itemsets_per_window, r.ns_per_window, r.windows_per_sec);
+    if (r.speedup_vs_1t > 0) {
+      std::fprintf(f, ", \"speedup_vs_1t\": %.3f", r.speedup_vs_1t);
+    }
+    if (r.partition_ns >= 0) {
+      std::fprintf(f,
+                   ", \"partition_ns\": %.1f, \"bias_dp_ns\": %.1f, "
+                   "\"noise_ns\": %.1f, \"emit_ns\": %.1f",
+                   r.partition_ns, r.bias_dp_ns, r.noise_ns, r.emit_ns);
+    }
+    if (!r.note.empty()) {
+      std::fprintf(f, ", \"note\": \"%s\"", r.note.c_str());
+    }
+    std::fprintf(f, "}%s\n", i + 1 < records.size() ? "," : "");
   }
   std::fprintf(f, "]\n");
   return std::fclose(f) == 0;
+}
+
+namespace {
+
+/// Pulls `"key": <value>` out of one record line of our own JSON format.
+/// Quoted values lose their quotes; missing keys return false.
+bool ExtractField(const std::string& line, const std::string& key,
+                  std::string* value) {
+  const std::string needle = "\"" + key + "\":";
+  size_t pos = line.find(needle);
+  if (pos == std::string::npos) return false;
+  pos += needle.size();
+  while (pos < line.size() && line[pos] == ' ') ++pos;
+  if (pos >= line.size()) return false;
+  size_t end;
+  if (line[pos] == '"') {
+    ++pos;
+    end = line.find('"', pos);
+    if (end == std::string::npos) return false;
+  } else {
+    end = line.find_first_of(",}", pos);
+    if (end == std::string::npos) return false;
+  }
+  *value = line.substr(pos, end - pos);
+  return true;
+}
+
+}  // namespace
+
+bool ReadBenchJson(const std::string& path,
+                   std::vector<BenchRecord>* records) {
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  if (f == nullptr) return false;
+  records->clear();
+  char buf[4096];
+  while (std::fgets(buf, sizeof(buf), f) != nullptr) {
+    std::string line(buf);
+    BenchRecord r;
+    std::string value;
+    if (!ExtractField(line, "bench", &r.bench)) continue;  // not a record line
+    r.dataset = ExtractField(line, "dataset", &value) ? value : "";
+    if (ExtractField(line, "threads", &value)) r.threads = std::stoul(value);
+    if (ExtractField(line, "windows", &value)) r.windows = std::stoul(value);
+    if (ExtractField(line, "itemsets_per_window", &value)) {
+      r.itemsets_per_window = std::stoul(value);
+    }
+    if (ExtractField(line, "ns_per_window", &value)) {
+      r.ns_per_window = std::stod(value);
+    }
+    if (ExtractField(line, "windows_per_sec", &value)) {
+      r.windows_per_sec = std::stod(value);
+    }
+    if (ExtractField(line, "speedup_vs_1t", &value)) {
+      r.speedup_vs_1t = std::stod(value);
+    }
+    if (ExtractField(line, "partition_ns", &value)) {
+      r.partition_ns = std::stod(value);
+    }
+    if (ExtractField(line, "bias_dp_ns", &value)) r.bias_dp_ns = std::stod(value);
+    if (ExtractField(line, "noise_ns", &value)) r.noise_ns = std::stod(value);
+    if (ExtractField(line, "emit_ns", &value)) r.emit_ns = std::stod(value);
+    if (ExtractField(line, "note", &value)) r.note = value;
+    records->push_back(std::move(r));
+  }
+  std::fclose(f);
+  return !records->empty();
 }
 
 }  // namespace butterfly::bench

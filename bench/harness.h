@@ -76,12 +76,28 @@ struct BenchRecord {
   size_t itemsets_per_window = 0;
   double ns_per_window = 0;
   double windows_per_sec = 0;
+  /// Thread-sweep rows: throughput relative to the 1-thread row of the same
+  /// bench (1.0 at 1 thread; < 1 flags inverse scaling). 0 = not a sweep row.
+  double speedup_vs_1t = 0;
+  /// Per-stage ns/window breakdown (sanitize rows only; negative = absent).
+  double partition_ns = -1;
+  double bias_dp_ns = -1;
+  double noise_ns = -1;
+  double emit_ns = -1;
+  /// Nonzero when the measurement looks wrong (e.g. inverse thread scaling);
+  /// makes BENCH artifacts flag the bug class instead of hiding it.
+  std::string note;
 };
 
 /// Writes the records as a JSON array (machine-readable perf trajectory so
 /// future PRs can diff against it). Returns false on I/O failure.
 bool WriteBenchJson(const std::string& path,
                     const std::vector<BenchRecord>& records);
+
+/// Reads back a WriteBenchJson artifact (the fields this harness writes; not
+/// a general JSON parser). Returns false when the file is missing or
+/// malformed. Used by the regression guard against the checked-in baseline.
+bool ReadBenchJson(const std::string& path, std::vector<BenchRecord>* records);
 
 }  // namespace butterfly::bench
 

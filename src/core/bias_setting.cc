@@ -4,7 +4,7 @@
 #include <cassert>
 #include <cmath>
 #include <limits>
-#include <unordered_map>
+#include <map>
 
 namespace butterfly {
 
@@ -12,25 +12,37 @@ std::vector<double> ZeroBiases(size_t n) { return std::vector<double>(n, 0.0); }
 
 namespace {
 
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Hard ceilings on the flat tables: per-step states and total backtrack
+/// bytes. Configurations beyond them (extreme γ × grid products far past the
+/// default max_states budget) fall back to the map-based reference, which
+/// materializes only reachable states.
+constexpr size_t kMaxFlatStatesPerStep = size_t{1} << 20;
+constexpr size_t kMaxFlatBacktrackBytes = size_t{1} << 24;
+
 // Integer bias candidates for one FEC: a symmetric grid over [−βᵐ, βᵐ] with
 // at most `max_candidates` points, always containing 0 (so the zero-bias
 // configuration — feasible because supports are strictly increasing — is
-// always reachable).
-std::vector<int64_t> BiasGrid(double max_bias, size_t max_candidates) {
+// always reachable). Writes into *out to reuse its capacity across calls.
+void BiasGridInto(double max_bias, size_t max_candidates,
+                  std::vector<int64_t>* out) {
+  out->clear();
   int64_t bound = static_cast<int64_t>(std::floor(max_bias));
-  if (bound <= 0 || max_candidates <= 1) return {0};
+  if (bound <= 0 || max_candidates <= 1) {
+    out->push_back(0);
+    return;
+  }
   size_t span = static_cast<size_t>(2 * bound + 1);
   size_t points = std::min(max_candidates | 1u, span);  // odd => includes 0
-  std::vector<int64_t> grid;
-  grid.reserve(points);
+  out->reserve(points);
   for (size_t i = 0; i < points; ++i) {
     double frac = static_cast<double>(i) / static_cast<double>(points - 1);
-    grid.push_back(
+    out->push_back(
         static_cast<int64_t>(std::llround(-bound + frac * 2.0 * bound)));
   }
-  std::sort(grid.begin(), grid.end());
-  grid.erase(std::unique(grid.begin(), grid.end()), grid.end());
-  return grid;
+  std::sort(out->begin(), out->end());
+  out->erase(std::unique(out->begin(), out->end()), out->end());
 }
 
 // Pairwise inversion-risk cost (the objective of Algorithm 1): zero once the
@@ -42,30 +54,9 @@ double PairCost(const FecProfile& a, const FecProfile& b, int64_t distance,
   return static_cast<double>(a.member_count + b.member_count) * gap * gap;
 }
 
-// Packs up to 8 candidate indices (each < 256) into a state key.
-uint64_t PackKey(const std::vector<uint8_t>& window) {
-  uint64_t key = 0;
-  for (uint8_t idx : window) key = (key << 8) | (uint64_t(idx) + 1);
-  return key;
-}
-
-struct DpEntry {
-  double cost = std::numeric_limits<double>::infinity();
-  uint8_t dropped = 0xff;  // candidate index of the FEC that left the window
-};
-
-}  // namespace
-
-std::vector<double> OrderPreservingBiases(const std::vector<FecProfile>& fecs,
-                                          int64_t alpha,
-                                          const OrderOptConfig& opt) {
-  const size_t n = fecs.size();
-  if (n == 0) return {};
-  const size_t gamma = std::min<size_t>(opt.gamma, 8);
-  if (gamma == 0 || n == 1) return ZeroBiases(n);
-
-  // Derive the per-FEC grid size from the state budget: the DP window holds
-  // γ FECs, so grids of size G yield at most G^γ states.
+/// The per-FEC grid size for one state budget: the DP window holds γ FECs,
+/// so grids of size G yield at most G^γ states.
+size_t DeriveGridCap(const OrderOptConfig& opt, size_t gamma) {
   size_t grid_cap = opt.max_candidates;
   if (gamma > 1) {
     double budget = std::pow(static_cast<double>(opt.max_states),
@@ -73,16 +64,46 @@ std::vector<double> OrderPreservingBiases(const std::vector<FecProfile>& fecs,
     grid_cap = std::min<size_t>(
         grid_cap, std::max<size_t>(3, static_cast<size_t>(budget)));
   }
+  // Candidate indices are bytes (0xff is the "nothing dropped" sentinel), so
+  // a grid never exceeds 255 points.
+  return std::min<size_t>(grid_cap, 255);
+}
 
+// Packs up to 8 candidate indices (each < 255) into a state key. The first
+// window element lands in the most significant byte, so ascending key order
+// is lexicographic window order — the tie-break order shared with the
+// flat-table DP.
+uint64_t PackKey(const std::vector<uint8_t>& window) {
+  uint64_t key = 0;
+  for (uint8_t idx : window) key = (key << 8) | (uint64_t(idx) + 1);
+  return key;
+}
+
+struct DpEntry {
+  double cost = kInf;
+  uint8_t dropped = 0xff;  // candidate index of the FEC that left the window
+};
+
+}  // namespace
+
+std::vector<double> OrderPreservingBiasesReference(
+    const std::vector<FecProfile>& fecs, int64_t alpha,
+    const OrderOptConfig& opt) {
+  const size_t n = fecs.size();
+  if (n == 0) return {};
+  const size_t gamma = std::min<size_t>(opt.gamma, 8);
+  if (gamma == 0 || n == 1) return ZeroBiases(n);
+
+  const size_t grid_cap = DeriveGridCap(opt, gamma);
   std::vector<std::vector<int64_t>> grids(n);
   for (size_t i = 0; i < n; ++i) {
-    grids[i] = BiasGrid(fecs[i].max_bias, grid_cap);
-    assert(grids[i].size() <= 255);
+    BiasGridInto(fecs[i].max_bias, grid_cap, &grids[i]);
   }
 
   // steps[i]: state (packed candidate indices of FECs [i-γ+1 .. i], or fewer
   // while the window fills) -> best cost and the dropped index for backtrack.
-  std::vector<std::unordered_map<uint64_t, DpEntry>> steps(n);
+  // Ordered maps so equal-cost ties resolve in lexicographic state order.
+  std::vector<std::map<uint64_t, DpEntry>> steps(n);
 
   // Initialize with FEC 0 alone in the window.
   for (uint8_t c = 0; c < grids[0].size(); ++c) {
@@ -139,7 +160,7 @@ std::vector<double> OrderPreservingBiases(const std::vector<FecProfile>& fecs,
 
   // Pick the cheapest final state and backtrack.
   uint64_t best_key = 0;
-  double best_cost = std::numeric_limits<double>::infinity();
+  double best_cost = kInf;
   for (const auto& [key, entry] : steps[n - 1]) {
     if (entry.cost < best_cost) {
       best_cost = entry.cost;
@@ -162,16 +183,16 @@ std::vector<double> OrderPreservingBiases(const std::vector<FecProfile>& fecs,
       const DpEntry& entry = steps[i].at(key);
       choice[i - gamma] = entry.dropped;
       // Parent key: prepend dropped, remove last.
-      uint64_t parent = 0;
-      size_t parent_len = std::min(i, gamma);
-      // Current window indices are FECs [i-γ+1 .. i]; parent window is
-      // [i-parent_len .. i-1] = dropped ++ current[0..γ-2].
       std::vector<uint8_t> cur(gamma);
       uint64_t kk = key;
       for (size_t k2 = gamma; k2-- > 0;) {
         cur[k2] = static_cast<uint8_t>((kk & 0xff) - 1);
         kk >>= 8;
       }
+      size_t parent_len = std::min(i, gamma);
+      // Current window indices are FECs [i-γ+1 .. i]; parent window is
+      // [i-parent_len .. i-1] = dropped ++ current[0..γ-2].
+      uint64_t parent = 0;
       std::vector<uint8_t> parent_window;
       if (parent_len == gamma) parent_window.push_back(entry.dropped);
       for (size_t k2 = 0; k2 + 1 < gamma; ++k2) parent_window.push_back(cur[k2]);
@@ -183,6 +204,181 @@ std::vector<double> OrderPreservingBiases(const std::vector<FecProfile>& fecs,
   std::vector<double> biases(n);
   for (size_t i = 0; i < n; ++i) {
     biases[i] = static_cast<double>(grids[i][choice[i]]);
+  }
+  return biases;
+}
+
+std::vector<double> OrderPreservingBiases(const std::vector<FecProfile>& fecs,
+                                          int64_t alpha,
+                                          const OrderOptConfig& opt,
+                                          BiasDpScratch* scratch) {
+  const size_t n = fecs.size();
+  if (n == 0) return {};
+  const size_t gamma = std::min<size_t>(opt.gamma, 8);
+  if (gamma == 0 || n == 1) return ZeroBiases(n);
+
+  BiasDpScratch local;
+  BiasDpScratch& s = scratch ? *scratch : local;
+
+  const size_t grid_cap = DeriveGridCap(opt, gamma);
+  if (s.grids.size() < n) s.grids.resize(n);
+  if (s.est.size() < n) s.est.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    BiasGridInto(fecs[i].max_bias, grid_cap, &s.grids[i]);
+    s.est[i].clear();
+    s.est[i].reserve(s.grids[i].size());
+    for (int64_t b : s.grids[i]) s.est[i].push_back(fecs[i].support + b);
+  }
+
+  // State space per step: the mixed-radix product of the window's grid sizes
+  // (most significant digit = earliest FEC in the window, so ascending flat
+  // index is lexicographic window order). Bail out to the reference when the
+  // dense tables would not fit.
+  s.state_count.assign(n, 0);
+  s.step_offset.assign(n, 0);
+  size_t backtrack_bytes = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const size_t w = std::min(i + 1, gamma);
+    size_t states = 1;
+    for (size_t j = i + 1 - w; j <= i; ++j) {
+      states *= s.grids[j].size();
+      if (states > kMaxFlatStatesPerStep) {
+        return OrderPreservingBiasesReference(fecs, alpha, opt);
+      }
+    }
+    s.state_count[i] = states;
+    s.step_offset[i] = backtrack_bytes;
+    backtrack_bytes += states;
+    if (backtrack_bytes > kMaxFlatBacktrackBytes) {
+      return OrderPreservingBiasesReference(fecs, alpha, opt);
+    }
+  }
+  s.dropped.assign(backtrack_bytes, 0xff);
+
+  // Step 0: FEC 0 alone in the window, zero cost for every candidate.
+  s.prev_cost.assign(s.state_count[0], 0.0);
+
+  for (size_t i = 1; i < n; ++i) {
+    const size_t w_prev = std::min(i, gamma);
+    const bool drops = w_prev == gamma;
+    const size_t first_fec = i - w_prev;
+    const size_t prev_states = s.state_count[i - 1];
+    const size_t cur_states = s.state_count[i];
+    const size_t r_cur = s.grids[i].size();
+    const size_t r_last = s.grids[i - 1].size();
+    // Digits kept from the previous window when the oldest drops out.
+    const size_t keep = drops ? prev_states / s.grids[first_fec].size() : prev_states;
+
+    s.cur_cost.assign(cur_states, kInf);
+    uint8_t* drop_row = s.dropped.data() + s.step_offset[i];
+    const int64_t* est_cur = s.est[i].data();
+
+    // First feasible candidate per last-digit value: estimators are
+    // ascending in the candidate index, so the e_{i-1} < e_i constraint is a
+    // lower bound on c. Two-pointer over the two ascending arrays.
+    s.c_min.assign(r_last, static_cast<uint32_t>(r_cur));
+    {
+      const int64_t* est_prev = s.est[i - 1].data();
+      size_t c = 0;
+      for (size_t d = 0; d < r_last; ++d) {
+        while (c < r_cur && est_cur[c] <= est_prev[d]) ++c;
+        s.c_min[d] = static_cast<uint32_t>(c);
+      }
+    }
+
+    // Pairwise cost tables: T_k[d][c] = cost of FEC (first_fec + k) at
+    // candidate d against FEC i at candidate c.
+    s.pair_offset.assign(w_prev, 0);
+    {
+      size_t bytes = 0;
+      for (size_t k = 0; k < w_prev; ++k) {
+        s.pair_offset[k] = bytes;
+        bytes += s.grids[first_fec + k].size() * r_cur;
+      }
+      s.pair_cost.resize(bytes);
+      for (size_t k = 0; k < w_prev; ++k) {
+        const size_t j = first_fec + k;
+        double* table = s.pair_cost.data() + s.pair_offset[k];
+        const int64_t* est_j = s.est[j].data();
+        for (size_t d = 0; d < s.grids[j].size(); ++d) {
+          for (size_t c = 0; c < r_cur; ++c) {
+            table[d * r_cur + c] =
+                PairCost(fecs[j], fecs[i], est_cur[c] - est_j[d], alpha);
+          }
+        }
+      }
+    }
+
+    // Sweep the previous states in ascending (lexicographic) order,
+    // maintaining the window digits as an odometer.
+    s.digits.assign(w_prev, 0);
+    const double* rows[8];
+    for (size_t p = 0; p < prev_states; ++p) {
+      const double base_cost = s.prev_cost[p];
+      if (base_cost < kInf) {
+        for (size_t k = 0; k < w_prev; ++k) {
+          rows[k] = s.pair_cost.data() + s.pair_offset[k] +
+                    static_cast<size_t>(s.digits[k]) * r_cur;
+        }
+        const size_t base_state = (drops ? p % keep : p) * r_cur;
+        const uint8_t drop_digit = drops ? s.digits[0] : 0xff;
+        for (size_t c = s.c_min[s.digits[w_prev - 1]]; c < r_cur; ++c) {
+          double added = 0.0;
+          for (size_t k = 0; k < w_prev; ++k) added += rows[k][c];
+          const double total = base_cost + added;
+          double& slot = s.cur_cost[base_state + c];
+          if (total < slot) {
+            slot = total;
+            drop_row[base_state + c] = drop_digit;
+          }
+        }
+      }
+      // Advance the odometer (digit radix = the matching FEC's grid size).
+      for (size_t k = w_prev; k-- > 0;) {
+        if (++s.digits[k] < s.grids[first_fec + k].size()) break;
+        s.digits[k] = 0;
+      }
+    }
+    std::swap(s.prev_cost, s.cur_cost);
+    assert(std::any_of(s.prev_cost.begin(), s.prev_cost.end(),
+                       [](double c) { return c < kInf; }));
+  }
+
+  // Pick the cheapest final state (ties to the lexicographically smallest,
+  // matching the reference's ordered-map sweep) and backtrack.
+  size_t best_state = 0;
+  double best_cost = kInf;
+  for (size_t p = 0; p < s.state_count[n - 1]; ++p) {
+    if (s.prev_cost[p] < best_cost) {
+      best_cost = s.prev_cost[p];
+      best_state = p;
+    }
+  }
+
+  s.choice.assign(n, 0);
+  {
+    // The final window covers FECs [n - w .. n-1].
+    const size_t w = std::min(n, gamma);
+    size_t idx = best_state;
+    for (size_t pos = n; pos-- > n - w;) {
+      s.choice[pos] = static_cast<uint8_t>(idx % s.grids[pos].size());
+      idx /= s.grids[pos].size();
+    }
+    // Walk back: at step i the stored `dropped` is the choice of FEC i - γ.
+    size_t state = best_state;
+    for (size_t i = n - 1; i >= gamma; --i) {
+      const uint8_t drop = s.dropped[s.step_offset[i] + state];
+      s.choice[i - gamma] = drop;
+      // Parent state at step i-1: dropped digit prepended, last removed.
+      const size_t keep_prev =
+          s.state_count[i - 1] / s.grids[i - gamma].size();
+      state = static_cast<size_t>(drop) * keep_prev + state / s.grids[i].size();
+    }
+  }
+
+  std::vector<double> biases(n);
+  for (size_t i = 0; i < n; ++i) {
+    biases[i] = static_cast<double>(s.grids[i][s.choice[i]]);
   }
   return biases;
 }

@@ -24,15 +24,52 @@ struct FecProfile {
 /// All-zero biases (the basic scheme's setting).
 std::vector<double> ZeroBiases(size_t n);
 
+/// Preallocated working memory for the flat-table order-preserving DP,
+/// reusable across calls so the per-release hot path performs no steady-state
+/// allocation. A default-constructed scratch is valid; buffers grow on first
+/// use and keep their capacity afterwards. Not thread-safe: use one scratch
+/// per concurrent caller.
+struct BiasDpScratch {
+  std::vector<std::vector<int64_t>> grids;  ///< per-FEC bias candidates
+  std::vector<std::vector<int64_t>> est;    ///< est[i][c] = t_i + grid[i][c]
+  std::vector<size_t> state_count;          ///< DP states per step
+  std::vector<size_t> step_offset;          ///< per-step base into `dropped`
+  std::vector<double> prev_cost;            ///< flat cost table, step i−1
+  std::vector<double> cur_cost;             ///< flat cost table, step i
+  std::vector<uint8_t> dropped;    ///< per (step, state) backtrack digit
+  std::vector<double> pair_cost;   ///< per-step pairwise-cost tables
+  std::vector<size_t> pair_offset; ///< per window position into `pair_cost`
+  std::vector<uint32_t> c_min;     ///< per last-digit first feasible candidate
+  std::vector<uint8_t> digits;     ///< state-decoding odometer
+  std::vector<uint8_t> choice;     ///< backtracked candidate per FEC
+};
+
 /// Order-preserving bias setting (Algorithm 1). FECs must be strictly
 /// ascending by support. Minimizes Σ_{i<j} (s_i + s_j)(α + 1 − d_ij)² over a
 /// γ-window via dynamic programming on integer bias grids, subject to
 /// strictly increasing estimators e_i = t_i + β_i; α is the noise region
 /// length. The grid resolution adapts to the state budget in
 /// \p opt so that the table stays within max_states entries.
+///
+/// The DP runs over dense flat tables indexed by mixed-radix packed candidate
+/// windows; \p scratch (optional) lets callers reuse the tables across
+/// releases. Equal-cost ties are broken toward the lexicographically
+/// smallest candidate window, so the result is deterministic and identical
+/// to OrderPreservingBiasesReference.
 std::vector<double> OrderPreservingBiases(const std::vector<FecProfile>& fecs,
                                           int64_t alpha,
-                                          const OrderOptConfig& opt);
+                                          const OrderOptConfig& opt,
+                                          BiasDpScratch* scratch = nullptr);
+
+/// The retained map-based reference implementation of Algorithm 1: one
+/// ordered map of packed-window states per step. Bit-identical to
+/// OrderPreservingBiases (the equivalence is pinned by a property test);
+/// kept as the oracle for that test, as the micro-benchmark baseline, and as
+/// the fallback when an extreme (γ, grid) configuration would overflow the
+/// flat tables.
+std::vector<double> OrderPreservingBiasesReference(
+    const std::vector<FecProfile>& fecs, int64_t alpha,
+    const OrderOptConfig& opt);
 
 /// Ratio-preserving bias setting (Algorithm 2): β_1 = βᵐ_1 and
 /// β_i = β_{i-1}·t_i/t_{i-1} (so β_i ∝ t_i), clamped into [−βᵐ_i, βᵐ_i]

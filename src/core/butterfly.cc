@@ -1,12 +1,41 @@
 #include "core/butterfly.h"
 
 #include <algorithm>
+#include <bit>
 #include <cassert>
+#include <chrono>
 #include <cstdint>
 #include <optional>
 #include <utility>
 
 namespace butterfly {
+
+namespace {
+
+/// Monotonic now, for the per-stage wall-clock breakdown.
+inline std::chrono::steady_clock::time_point StageNow() {
+  return std::chrono::steady_clock::now();
+}
+
+inline double StageNs(std::chrono::steady_clock::time_point from,
+                      std::chrono::steady_clock::time_point to) {
+  return std::chrono::duration<double, std::nano>(to - from).count();
+}
+
+/// Order-independent key of a FEC profile vector for the DP memo. Collisions
+/// are resolved by exact profile comparison, so the hash only needs to be
+/// well-mixed, not perfect.
+uint64_t HashProfiles(const std::vector<FecProfile>& profiles) {
+  uint64_t h = SplitMix64Mix(0x6275746572666c79ull ^ profiles.size());
+  for (const FecProfile& p : profiles) {
+    h = SplitMix64Mix(h ^ static_cast<uint64_t>(p.support));
+    h = SplitMix64Mix(h ^ static_cast<uint64_t>(p.member_count));
+    h = SplitMix64Mix(h ^ std::bit_cast<uint64_t>(p.max_bias));
+  }
+  return h;
+}
+
+}  // namespace
 
 std::vector<FecProfile> BuildFecProfiles(const std::vector<Fec>& fecs,
                                          double epsilon,
@@ -55,6 +84,62 @@ bool ButterflyEngine::TryReuseBiases(const std::vector<FecProfile>& profiles,
   return true;
 }
 
+bool ButterflyEngine::MemoEnabled() const {
+  // Only the schemes that run the Algorithm 1 DP gain anything; memoizing
+  // the trivial settings would just burn memory.
+  return config_.bias_memo_capacity > 0 &&
+         (config_.scheme == ButterflyScheme::kOrderPreserving ||
+          config_.scheme == ButterflyScheme::kHybrid);
+}
+
+bool ButterflyEngine::MemoLookup(const std::vector<FecProfile>& profiles,
+                                 std::vector<double>* biases) {
+  if (!MemoEnabled() || profiles.empty()) return false;
+  auto bucket = bias_memo_.find(HashProfiles(profiles));
+  if (bucket != bias_memo_.end()) {
+    for (MemoEntry& entry : bucket->second) {
+      if (entry.profiles == profiles) {
+        entry.last_used = ++bias_memo_clock_;
+        *biases = entry.biases;
+        ++bias_memo_hits_;
+        return true;
+      }
+    }
+  }
+  ++bias_memo_misses_;
+  return false;
+}
+
+void ButterflyEngine::MemoInsert(const std::vector<FecProfile>& profiles,
+                                 const std::vector<double>& biases) {
+  if (!MemoEnabled() || profiles.empty()) return;
+  if (bias_memo_size_ >= config_.bias_memo_capacity) {
+    // Evict the least recently used entry; a linear scan is fine at the
+    // default capacity and only runs once the memo is full.
+    std::unordered_map<uint64_t, std::vector<MemoEntry>>::iterator lru_bucket =
+        bias_memo_.end();
+    size_t lru_index = 0;
+    uint64_t lru_used = UINT64_MAX;
+    for (auto it = bias_memo_.begin(); it != bias_memo_.end(); ++it) {
+      for (size_t i = 0; i < it->second.size(); ++i) {
+        if (it->second[i].last_used < lru_used) {
+          lru_used = it->second[i].last_used;
+          lru_bucket = it;
+          lru_index = i;
+        }
+      }
+    }
+    if (lru_bucket != bias_memo_.end()) {
+      lru_bucket->second.erase(lru_bucket->second.begin() + lru_index);
+      if (lru_bucket->second.empty()) bias_memo_.erase(lru_bucket);
+      --bias_memo_size_;
+    }
+  }
+  std::vector<MemoEntry>& chain = bias_memo_[HashProfiles(profiles)];
+  chain.push_back(MemoEntry{profiles, biases, ++bias_memo_clock_});
+  ++bias_memo_size_;
+}
+
 Result<ButterflyEngine> ButterflyEngine::Create(const ButterflyConfig& config) {
   Status status = config.Validate();
   if (!status.ok()) return status;
@@ -75,12 +160,12 @@ std::vector<double> ButterflyEngine::ComputeBiases(
       return ZeroBiases(profiles.size());
     case ButterflyScheme::kOrderPreserving:
       return OrderPreservingBiases(profiles, noise_.alpha(),
-                                   config_.order_opt);
+                                   config_.order_opt, &dp_scratch_);
     case ButterflyScheme::kRatioPreserving:
       return RatioPreservingBiases(profiles);
     case ButterflyScheme::kHybrid: {
-      std::vector<double> order =
-          OrderPreservingBiases(profiles, noise_.alpha(), config_.order_opt);
+      std::vector<double> order = OrderPreservingBiases(
+          profiles, noise_.alpha(), config_.order_opt, &dp_scratch_);
       std::vector<double> ratio = RatioPreservingBiases(profiles);
       return HybridBiases(profiles, order, ratio, config_.lambda);
     }
@@ -96,6 +181,27 @@ constexpr uint64_t kFecStreamDomain = 0x9e3779b97f4a7c15ull;
 
 SanitizedOutput ButterflyEngine::Sanitize(const MiningOutput& frequent,
                                           Support window_size) {
+  const auto start = StageNow();
+  std::vector<Fec> fecs = PartitionIntoFecs(frequent);
+  FecView view;
+  view.reserve(fecs.size());
+  for (const Fec& fec : fecs) view.push_back(&fec);
+  const double partition_ns = StageNs(start, StageNow());
+  SanitizedOutput release = SanitizeWithFecs(frequent, window_size, view);
+  last_stage_times_.partition_ns += partition_ns;
+  return release;
+}
+
+SanitizedOutput ButterflyEngine::Sanitize(const MiningOutput& frequent,
+                                          Support window_size,
+                                          const FecView& fecs) {
+  return SanitizeWithFecs(frequent, window_size, fecs);
+}
+
+SanitizedOutput ButterflyEngine::SanitizeWithFecs(const MiningOutput& frequent,
+                                                  Support window_size,
+                                                  const FecView& fecs) {
+  last_stage_times_ = SanitizeStageTimes{};
   const uint64_t epoch = epoch_++;
   SanitizedOutput release(config_.min_support, window_size);
   if (frequent.empty()) {
@@ -104,32 +210,59 @@ SanitizedOutput ButterflyEngine::Sanitize(const MiningOutput& frequent,
     return release;
   }
 
-  std::vector<Fec> fecs = PartitionIntoFecs(frequent);
-  std::vector<FecProfile> profiles =
-      BuildFecProfiles(fecs, config_.epsilon, noise_.variance());
+  auto stage_start = StageNow();
+  std::vector<FecProfile>& profiles = profiles_scratch_;
+  profiles.clear();
+  profiles.reserve(fecs.size());
+  for (const Fec* fec : fecs) {
+    profiles.push_back(FecProfile{
+        fec->support, fec->size(),
+        MaxAdjustableBias(fec->support, config_.epsilon, noise_.variance())});
+  }
+  auto stage_end = StageNow();
+  last_stage_times_.partition_ns += StageNs(stage_start, stage_end);
 
+  // Bias stage: previous-window reuse, then the cross-window DP memo, then a
+  // fresh optimization. All three produce identical biases for identical
+  // profiles (the reuse path only diverges under a nonzero drift tolerance).
+  stage_start = stage_end;
   std::vector<double> biases;
   last_biases_were_cached_ = false;
   if (config_.cache_bias_settings && TryReuseBiases(profiles, &biases)) {
     last_biases_were_cached_ = true;
+    last_stage_times_.bias_cache_hit = true;
+  } else if (MemoLookup(profiles, &biases)) {
+    last_biases_were_cached_ = true;
+    last_stage_times_.bias_memo_hit = true;
+    if (config_.cache_bias_settings) {
+      cached_profiles_ = profiles;
+      cached_biases_ = biases;
+    }
   } else {
     biases = ComputeBiases(profiles);
+    MemoInsert(profiles, biases);
     if (config_.cache_bias_settings) {
       cached_profiles_ = profiles;
       cached_biases_ = biases;
     }
   }
+  stage_end = StageNow();
+  last_stage_times_.bias_ns = StageNs(stage_start, stage_end);
 
   const bool per_itemset_noise = config_.scheme == ButterflyScheme::kBasic;
   const double variance = noise_.variance();
 
   // Flatten the FEC membership so the itemset work partitions evenly across
   // threads regardless of FEC size skew.
-  const size_t total = frequent.size();
-  std::vector<std::pair<uint32_t, uint32_t>> flat;
+  stage_start = stage_end;
+  size_t total = 0;
+  for (const Fec* fec : fecs) total += fec->size();
+  assert(total == frequent.size());
+  std::vector<std::pair<uint32_t, uint32_t>>& flat = flat_scratch_;
+  flat.clear();
   flat.reserve(total);
   for (size_t i = 0; i < fecs.size(); ++i) {
-    for (size_t m = 0; m < fecs[i].members.size(); ++m) {
+    for (size_t m = 0; m < fecs[i]->members.size(); ++m) {
       flat.emplace_back(static_cast<uint32_t>(i), static_cast<uint32_t>(m));
     }
   }
@@ -141,11 +274,13 @@ SanitizedOutput ButterflyEngine::Sanitize(const MiningOutput& frequent,
   // own counter-based stream — no shared generator state. Members of one FEC
   // under the optimized schemes key the same stream and hence recompute the
   // identical shared draw.
-  std::vector<SanitizedItemset> items(total);
-  std::vector<uint8_t> needs_store(total, 0);
+  std::vector<SanitizedItemset>& items = items_scratch_;
+  items.resize(std::max(items.size(), total));
+  std::vector<uint8_t>& needs_store = needs_store_scratch_;
+  needs_store.assign(total, 0);
   auto sanitize_range = [&](size_t begin, size_t end) {
     for (size_t k = begin; k < end; ++k) {
-      const Fec& fec = fecs[flat[k].first];
+      const Fec& fec = *fecs[flat[k].first];
       const Itemset& member = fec.members[flat[k].second];
       SanitizedItemset item;
       item.itemset = member;
@@ -174,13 +309,21 @@ SanitizedOutput ButterflyEngine::Sanitize(const MiningOutput& frequent,
       items[k] = std::move(item);
     }
   };
-  ParallelFor(pool_, total, /*grain=*/128, sanitize_range);
+  // Chunk so each participant sees a few chunks for load balance, but never
+  // below a floor that keeps the atomic-cursor and wakeup overhead amortized
+  // (small windows run inline — threading is pure overhead for them).
+  const size_t participants = pool_ ? pool_->worker_count() + 1 : 1;
+  const size_t grain = std::max<size_t>(64, total / (participants * 4));
+  ParallelFor(pool_, total, grain, sanitize_range);
+  stage_end = StageNow();
+  last_stage_times_.noise_ns = StageNs(stage_start, stage_end);
 
   // Phase 2 (serial): pin the fresh draws and assemble the release in the
   // deterministic FEC order.
+  stage_start = stage_end;
   for (size_t k = 0; k < total; ++k) {
     if (needs_store[k]) {
-      const Fec& fec = fecs[flat[k].first];
+      const Fec& fec = *fecs[flat[k].first];
       cache_.Store(items[k].itemset,
                    RepublishCache::Entry{fec.support,
                                          items[k].sanitized_support,
@@ -191,6 +334,7 @@ SanitizedOutput ButterflyEngine::Sanitize(const MiningOutput& frequent,
 
   if (config_.republish_cache) cache_.NextEpoch();
   release.Seal();
+  last_stage_times_.emit_ns = StageNs(stage_start, StageNow());
   return release;
 }
 

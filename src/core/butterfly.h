@@ -11,11 +11,20 @@
 ///      the optimized schemes, independent per itemset for basic),
 ///   4. pins sanitized values across windows while true supports are
 ///      unchanged (republish cache, Prior Knowledge 2).
+///
+/// The bias-setting stage is cached at two levels: the previous window's
+/// profiles (with optional drift tolerance, ButterflyConfig::
+/// bias_cache_tolerance) and a cross-window memo keyed on the exact FEC
+/// support-profile vector (profiles repeat heavily under sliding windows),
+/// so repeated profiles skip the Algorithm 1 DP entirely while producing
+/// bit-identical biases.
 
 #ifndef BUTTERFLY_CORE_BUTTERFLY_H_
 #define BUTTERFLY_CORE_BUTTERFLY_H_
 
 #include <memory>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/rng.h"
@@ -30,6 +39,18 @@
 #include "mining/mining_result.h"
 
 namespace butterfly {
+
+/// Wall-clock breakdown of the last Sanitize call, in nanoseconds per stage.
+/// Exposed for the overhead benchmarks (fig8_overhead emits these into
+/// BENCH_overhead.json) and for tests pinning the cache behavior.
+struct SanitizeStageTimes {
+  double partition_ns = 0;  ///< FEC partition + profile construction
+  double bias_ns = 0;       ///< bias reuse/memo lookup + DP on a miss
+  double noise_ns = 0;      ///< per-itemset perturbation (parallel phase)
+  double emit_ns = 0;       ///< republish pinning + release assembly + seal
+  bool bias_cache_hit = false;  ///< previous-window bias reuse fired
+  bool bias_memo_hit = false;   ///< cross-window DP memo fired
+};
 
 class ButterflyEngine {
  public:
@@ -52,6 +73,13 @@ class ButterflyEngine {
   /// the output is bit-identical to the serial release.
   SanitizedOutput Sanitize(const MiningOutput& frequent, Support window_size);
 
+  /// Same, with the FEC partition of \p frequent prebuilt by the caller
+  /// (StreamPrivacyEngine maintains it incrementally across window slides).
+  /// \p fecs must partition \p frequent exactly, strictly ascending by
+  /// support; the release is bit-identical to the two-argument overload.
+  SanitizedOutput Sanitize(const MiningOutput& frequent, Support window_size,
+                           const FecView& fecs);
+
   /// The per-FEC biases the configured scheme would assign to \p frequent —
   /// exposed for tests and for the bias-setting benchmarks.
   std::vector<double> ComputeBiases(const std::vector<FecProfile>& profiles);
@@ -60,8 +88,18 @@ class ButterflyEngine {
   const NoiseModel& noise() const { return noise_; }
 
   /// True iff the last Sanitize call reused cached bias settings (the FEC
-  /// structure was unchanged). Exposed for the incremental-mode benchmarks.
+  /// structure was unchanged, or the DP memo held the profile vector).
   bool last_biases_were_cached() const { return last_biases_were_cached_; }
+
+  /// Stage breakdown of the last Sanitize call.
+  const SanitizeStageTimes& last_stage_times() const {
+    return last_stage_times_;
+  }
+
+  /// Cumulative cross-window DP-memo hits / misses (misses count only
+  /// windows that ran the optimizer, not previous-window cache hits).
+  uint64_t bias_memo_hits() const { return bias_memo_hits_; }
+  uint64_t bias_memo_misses() const { return bias_memo_misses_; }
 
   /// Drops every pinned sanitized value so the next Sanitize draws fresh
   /// noise. Intended for audit-driven redraw: bounded noise admits unlucky
@@ -77,6 +115,19 @@ class ButterflyEngine {
   bool TryReuseBiases(const std::vector<FecProfile>& profiles,
                       std::vector<double>* biases);
 
+  /// Cross-window DP memo (exact profile-vector match). Lookup returns true
+  /// and fills \p biases on a hit; Insert stores a fresh optimization,
+  /// evicting the least recently used entry past the configured capacity.
+  bool MemoLookup(const std::vector<FecProfile>& profiles,
+                  std::vector<double>* biases);
+  void MemoInsert(const std::vector<FecProfile>& profiles,
+                  const std::vector<double>& biases);
+  bool MemoEnabled() const;
+
+  /// Shared implementation: sanitizes \p frequent given its partition.
+  SanitizedOutput SanitizeWithFecs(const MiningOutput& frequent,
+                                   Support window_size, const FecView& fecs);
+
   ButterflyConfig config_;
   NoiseModel noise_;
   RepublishCache cache_;
@@ -91,6 +142,27 @@ class ButterflyEngine {
   std::vector<FecProfile> cached_profiles_;
   std::vector<double> cached_biases_;
   bool last_biases_were_cached_ = false;
+
+  // Cross-window DP memo: profile-vector hash -> entries (collision chain).
+  struct MemoEntry {
+    std::vector<FecProfile> profiles;
+    std::vector<double> biases;
+    uint64_t last_used = 0;
+  };
+  std::unordered_map<uint64_t, std::vector<MemoEntry>> bias_memo_;
+  size_t bias_memo_size_ = 0;
+  uint64_t bias_memo_clock_ = 0;
+  uint64_t bias_memo_hits_ = 0;
+  uint64_t bias_memo_misses_ = 0;
+
+  SanitizeStageTimes last_stage_times_;
+
+  // Preallocated hot-path scratch, reused across releases.
+  BiasDpScratch dp_scratch_;
+  std::vector<FecProfile> profiles_scratch_;
+  std::vector<std::pair<uint32_t, uint32_t>> flat_scratch_;
+  std::vector<SanitizedItemset> items_scratch_;
+  std::vector<uint8_t> needs_store_scratch_;
 };
 
 /// Equality of FEC profiles, the cache key of the incremental mode.

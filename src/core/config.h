@@ -5,6 +5,7 @@
 #ifndef BUTTERFLY_CORE_CONFIG_H_
 #define BUTTERFLY_CORE_CONFIG_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 
@@ -76,6 +77,14 @@ struct ButterflyConfig {
   /// dynamic program on most slides; the ablation_incremental benchmark
   /// quantifies both sides.
   Support bias_cache_tolerance = 0;
+
+  /// Capacity (entries) of the cross-window bias-DP memo: optimized bias
+  /// settings keyed on the exact FEC support-profile vector, so windows
+  /// whose profile repeats skip the Algorithm 1 DP entirely and reuse its
+  /// bit-identical result. Profiles repeat heavily under sliding windows —
+  /// the republish-cache insight applied to the optimizer. 0 disables the
+  /// memo; it only engages for the order-preserving and hybrid schemes.
+  size_t bias_memo_capacity = 128;
 
   uint64_t seed = 0x42u;
 

@@ -51,19 +51,30 @@ class StreamPrivacyEngine {
 
   /// The sanitized release for the current window. Feeds the sanitizer from
   /// the incremental expansion cache by reference — no per-release copy of
-  /// the full MiningOutput is materialized.
+  /// the full MiningOutput is materialized — and keeps the FEC partition
+  /// itself incremental: the expansion delta patches only the itemsets whose
+  /// support changed since the last release, instead of re-partitioning and
+  /// re-sorting every class per window. The release is bit-identical to
+  /// sanitizing RawOutput() from scratch.
   SanitizedOutput Release() {
-    return sanitizer_.Sanitize(RawOutputIncremental(),
-                               static_cast<Support>(miner_.window().size()));
+    const MiningOutput& raw = miner_.GetAllFrequentIncremental();
+    fec_partition_.Sync(raw, miner_.expansion_version(),
+                        miner_.last_expansion_delta());
+    return sanitizer_.Sanitize(raw,
+                               static_cast<Support>(miner_.window().size()),
+                               fec_partition_.view());
   }
 
   const MomentMiner& miner() const { return miner_; }
   ButterflyEngine& sanitizer() { return sanitizer_; }
   const ButterflyConfig& config() const { return sanitizer_.config(); }
+  /// The incrementally maintained FEC partition of the release path.
+  const FecPartitioner& fec_partition() const { return fec_partition_; }
 
  private:
   MomentMiner miner_;
   ButterflyEngine sanitizer_;
+  FecPartitioner fec_partition_;
 };
 
 }  // namespace butterfly

@@ -265,7 +265,8 @@ const MiningOutput& MomentMiner::GetAllFrequentIncremental() {
   expansion_dirty_ = false;
 
   if (!expansion_cached_) {
-    // First call: full expansion, then remember its accumulator.
+    // First call: full expansion, then remember its accumulator. No precise
+    // delta exists yet, so consumers are told to resync.
     cached_all_ = ExpandClosed(closed);
     expansion_best_.clear();
     expansion_best_.reserve(cached_all_.size());
@@ -274,6 +275,9 @@ const MiningOutput& MomentMiner::GetAllFrequentIncremental() {
     }
     cached_closed_ = std::move(closed);
     expansion_cached_ = true;
+    expansion_delta_.Reset();
+    expansion_delta_.rebuilt = true;
+    ++expansion_version_;
     return cached_all_;
   }
 
@@ -318,7 +322,9 @@ const MiningOutput& MomentMiner::GetAllFrequentIncremental() {
   // Recompute each affected subset's max over the new closed supersets.
   // Support-only drift is patched into the sealed output in place; itemsets
   // entering or leaving the frequent set force a rebuild from the
-  // accumulator (still no global re-expansion).
+  // accumulator (still no global re-expansion). Every realized change is
+  // recorded in expansion_delta_ so downstream mirrors can patch too.
+  expansion_delta_.Reset();
   bool membership_changed = false;
   for (const Itemset& x : affected) {
     Support best = 0;
@@ -329,15 +335,20 @@ const MiningOutput& MomentMiner::GetAllFrequentIncremental() {
         if (z.support > best) best = z.support;
       }
     }
+    auto it = expansion_best_.find(x);
     if (frequent) {
-      auto [it, inserted] = expansion_best_.insert_or_assign(x, best);
-      (void)it;
-      if (inserted) {
+      if (it == expansion_best_.end()) {
+        expansion_best_.emplace(x, best);
+        expansion_delta_.added.emplace_back(x, best);
         membership_changed = true;
-      } else if (!membership_changed) {
-        cached_all_.UpdateSupport(x, best);
+      } else if (it->second != best) {
+        expansion_delta_.changed.push_back({x, it->second, best});
+        if (!membership_changed) cached_all_.UpdateSupport(x, best);
+        it->second = best;
       }
-    } else if (expansion_best_.erase(x) > 0) {
+    } else if (it != expansion_best_.end()) {
+      expansion_delta_.removed.emplace_back(x, it->second);
+      expansion_best_.erase(it);
       membership_changed = true;
     }
   }
@@ -350,6 +361,10 @@ const MiningOutput& MomentMiner::GetAllFrequentIncremental() {
     rebuilt.Seal();
     cached_all_ = std::move(rebuilt);
   }
+  // The delta above is exact even on the membership path (the output was
+  // re-materialized, but only the recorded itemsets changed value), so the
+  // version advances only when something actually changed.
+  if (!expansion_delta_.Empty()) ++expansion_version_;
   cached_closed_ = std::move(closed);
   return cached_all_;
 }

@@ -29,6 +29,7 @@
 #define BUTTERFLY_MOMENT_MOMENT_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <map>
 #include <memory>
@@ -101,7 +102,22 @@ class MomentMiner {
   /// a few closed itemsets re-expands just the subsets of those. The result
   /// is always identical to GetAllFrequent(). Returns a reference into the
   /// miner, valid until the next non-const call.
+  ///
+  /// Each call that changes the cached output also bumps expansion_version()
+  /// and records the exact per-itemset change in last_expansion_delta(), so
+  /// downstream mirrors (the FEC partitioner) can patch instead of rebuild.
   const MiningOutput& GetAllFrequentIncremental();
+
+  /// Version of the incrementally maintained output: 0 before the first
+  /// expansion, then +1 per GetAllFrequentIncremental call whose result
+  /// differs from the previous one.
+  uint64_t expansion_version() const { return expansion_version_; }
+
+  /// The change from version−1 to version of the incremental output.
+  /// `rebuilt` is set when no precise delta exists (the first expansion).
+  const MiningOutputDelta& last_expansion_delta() const {
+    return expansion_delta_;
+  }
 
   /// Live node counts by kind.
   MomentStats Stats() const;
@@ -154,6 +170,10 @@ class MomentMiner {
   /// frequent itemset → max support over closed supersets; the persistent
   /// form of ExpandClosed's accumulator, patched per changed closed itemset.
   std::unordered_map<Itemset, Support, ItemsetHash> expansion_best_;
+  /// Version counter and exact change record of cached_all_ (see
+  /// expansion_version / last_expansion_delta).
+  uint64_t expansion_version_ = 0;
+  MiningOutputDelta expansion_delta_;
 };
 
 }  // namespace butterfly

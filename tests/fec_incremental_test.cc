@@ -1,0 +1,167 @@
+/// Tests of the incrementally maintained FEC partition (FecPartitioner):
+/// the patched partition must equal PartitionIntoFecs over the full output —
+/// class for class and member for member, in order — on hand-built deltas,
+/// on a real sliding-window stream, and regardless of delta ordering.
+
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/fec.h"
+#include "datagen/profiles.h"
+#include "moment/moment.h"
+
+namespace butterfly {
+namespace {
+
+MiningOutput MakeOutput(std::vector<std::pair<Itemset, Support>> entries) {
+  MiningOutput out(2);
+  for (auto& [itemset, support] : entries) out.Add(itemset, support);
+  out.Seal();
+  return out;
+}
+
+/// Asserts the partitioner's view equals a from-scratch partition exactly,
+/// including member order within every class.
+void ExpectMatchesRebuild(const FecPartitioner& partitioner,
+                          const MiningOutput& out) {
+  std::vector<Fec> rebuilt = PartitionIntoFecs(out);
+  const FecView& view = partitioner.view();
+  ASSERT_EQ(view.size(), rebuilt.size());
+  size_t members = 0;
+  for (size_t i = 0; i < view.size(); ++i) {
+    EXPECT_EQ(view[i]->support, rebuilt[i].support) << "class " << i;
+    EXPECT_EQ(view[i]->members, rebuilt[i].members) << "class " << i;
+    members += view[i]->size();
+  }
+  EXPECT_EQ(partitioner.total_members(), members);
+}
+
+TEST(FecPartitionerTest, FirstSyncRebuilds) {
+  MiningOutput out = MakeOutput({{Itemset{1}, 5}, {Itemset{2}, 5}});
+  FecPartitioner partitioner;
+  MiningOutputDelta delta;  // rebuilt = true by default
+  partitioner.Sync(out, 1, delta);
+  EXPECT_FALSE(partitioner.last_sync_was_incremental());
+  ExpectMatchesRebuild(partitioner, out);
+}
+
+TEST(FecPartitionerTest, AppliesDeltaIncrementally) {
+  MiningOutput v1 = MakeOutput({{Itemset{1}, 5},
+                                {Itemset{2}, 5},
+                                {Itemset{3}, 7},
+                                {Itemset{1, 2}, 5}});
+  FecPartitioner partitioner;
+  MiningOutputDelta rebuild;
+  partitioner.Sync(v1, 1, rebuild);
+
+  // {3} gains support (7→9), {1,2} disappears, {4} appears at support 7
+  // (re-creating the class {3} vacated), {2} moves 5→7.
+  MiningOutput v2 = MakeOutput(
+      {{Itemset{1}, 5}, {Itemset{2}, 7}, {Itemset{3}, 9}, {Itemset{4}, 7}});
+  MiningOutputDelta delta;
+  delta.rebuilt = false;
+  delta.removed.push_back({Itemset{1, 2}, 5});
+  delta.added.push_back({Itemset{4}, 7});
+  delta.changed.push_back({Itemset{3}, 7, 9});
+  delta.changed.push_back({Itemset{2}, 5, 7});
+  partitioner.Sync(v2, 2, delta);
+  EXPECT_TRUE(partitioner.last_sync_was_incremental());
+  ExpectMatchesRebuild(partitioner, v2);
+}
+
+TEST(FecPartitionerTest, MemberOrderStableRegardlessOfDeltaOrder) {
+  // The miner's affected set iterates in hash order; the partition must not
+  // depend on it. Apply the same logical delta in two orders and compare
+  // against the rebuild (which defines the canonical member order).
+  MiningOutput v1 = MakeOutput(
+      {{Itemset{2}, 5}, {Itemset{5}, 5}, {Itemset{8}, 5}, {Itemset{9}, 6}});
+  MiningOutput v2 = MakeOutput({{Itemset{1}, 5},
+                                {Itemset{2}, 5},
+                                {Itemset{5}, 5},
+                                {Itemset{7}, 5},
+                                {Itemset{9}, 5}});
+  for (bool reversed : {false, true}) {
+    MiningOutputDelta delta;
+    delta.rebuilt = false;
+    delta.added.push_back({Itemset{7}, 5});
+    delta.added.push_back({Itemset{1}, 5});
+    delta.removed.push_back({Itemset{8}, 5});
+    delta.changed.push_back({Itemset{9}, 6, 5});
+    if (reversed) {
+      std::swap(delta.added.front(), delta.added.back());
+    }
+    FecPartitioner partitioner;
+    MiningOutputDelta rebuild;
+    partitioner.Sync(v1, 1, rebuild);
+    partitioner.Sync(v2, 2, delta);
+    EXPECT_TRUE(partitioner.last_sync_was_incremental());
+    ExpectMatchesRebuild(partitioner, v2);
+  }
+}
+
+TEST(FecPartitionerTest, SyncIsIdempotentPerVersion) {
+  MiningOutput out = MakeOutput({{Itemset{1}, 5}, {Itemset{2}, 6}});
+  FecPartitioner partitioner;
+  MiningOutputDelta delta;
+  partitioner.Sync(out, 3, delta);
+  partitioner.Sync(out, 3, delta);  // same version: no-op
+  ExpectMatchesRebuild(partitioner, out);
+}
+
+TEST(FecPartitionerTest, MissedVersionFallsBackToRebuild) {
+  MiningOutput v1 = MakeOutput({{Itemset{1}, 5}});
+  FecPartitioner partitioner;
+  MiningOutputDelta rebuild;
+  partitioner.Sync(v1, 1, rebuild);
+
+  // Version jumps 1→5: the delta only covers the last step, so the
+  // partitioner must not trust it.
+  MiningOutput v5 = MakeOutput({{Itemset{2}, 8}});
+  MiningOutputDelta stale;
+  stale.rebuilt = false;
+  stale.added.push_back({Itemset{2}, 8});
+  partitioner.Sync(v5, 5, stale);
+  EXPECT_FALSE(partitioner.last_sync_was_incremental());
+  ExpectMatchesRebuild(partitioner, v5);
+}
+
+TEST(FecPartitionerTest, ResetForcesRebuild) {
+  MiningOutput out = MakeOutput({{Itemset{1}, 5}});
+  FecPartitioner partitioner;
+  MiningOutputDelta delta;
+  partitioner.Sync(out, 1, delta);
+  partitioner.Reset();
+  EXPECT_EQ(partitioner.total_members(), 0u);
+  partitioner.Sync(out, 1, delta);
+  EXPECT_FALSE(partitioner.last_sync_was_incremental());
+  ExpectMatchesRebuild(partitioner, out);
+}
+
+TEST(FecPartitionerTest, TracksMomentAcrossSlidingWindow) {
+  // End to end against the real producer: sync after batches of slides and
+  // compare with a from-scratch partition every time. The incremental path
+  // must actually engage (otherwise this tests nothing).
+  auto data = *GenerateProfile(DatasetProfile::kBmsWebView1, 950, 7);
+  MomentMiner miner(600, 12);
+  FecPartitioner partitioner;
+  size_t fed = 0;
+  size_t checked = 0;
+  size_t incremental = 0;
+  for (const Transaction& t : data) {
+    miner.Append(t);
+    if (++fed < 600 || fed % 7 != 0) continue;
+    const MiningOutput& raw = miner.GetAllFrequentIncremental();
+    partitioner.Sync(raw, miner.expansion_version(),
+                     miner.last_expansion_delta());
+    incremental += partitioner.last_sync_was_incremental() ? 1 : 0;
+    ExpectMatchesRebuild(partitioner, raw);
+    ++checked;
+  }
+  EXPECT_GE(checked, 40u);
+  EXPECT_GT(incremental, checked / 2) << "delta path should dominate";
+}
+
+}  // namespace
+}  // namespace butterfly
