@@ -1,9 +1,11 @@
 #include "harness.h"
 
+#include <algorithm>
 #include <cstdio>
 
 #include "common/thread_pool.h"
 #include "core/stream_engine.h"
+#include "metrics/timing.h"
 
 namespace butterfly::bench {
 
@@ -79,6 +81,27 @@ ButterflyConfig MakeConfig(const TraceConfig& trace, const SchemeVariant& v,
   return config;
 }
 
+double Median(std::vector<double> values) {
+  if (values.empty()) return 0;
+  std::sort(values.begin(), values.end());
+  const size_t mid = values.size() / 2;
+  if (values.size() % 2 == 1) return values[mid];
+  return (values[mid - 1] + values[mid]) / 2;
+}
+
+double MeasureMedianSeconds(const RepeatPlan& plan,
+                            const std::function<void()>& body) {
+  for (int i = 0; i < plan.warmup; ++i) body();
+  std::vector<double> seconds;
+  seconds.reserve(static_cast<size_t>(plan.reps));
+  for (int i = 0; i < plan.reps; ++i) {
+    Stopwatch watch;
+    body();
+    seconds.push_back(watch.Seconds());
+  }
+  return Median(std::move(seconds));
+}
+
 void PrintTableHeader(const std::string& title,
                       const std::vector<std::string>& columns) {
   std::printf("\n== %s ==\n", title.c_str());
@@ -122,6 +145,9 @@ bool WriteBenchJson(const std::string& path,
                    ", \"partition_ns\": %.1f, \"bias_dp_ns\": %.1f, "
                    "\"noise_ns\": %.1f, \"emit_ns\": %.1f",
                    r.partition_ns, r.bias_dp_ns, r.noise_ns, r.emit_ns);
+    }
+    if (r.mine_ns >= 0) {
+      std::fprintf(f, ", \"mine_ns\": %.1f", r.mine_ns);
     }
     if (!r.note.empty()) {
       std::fprintf(f, ", \"note\": \"%s\"", r.note.c_str());
@@ -191,6 +217,7 @@ bool ReadBenchJson(const std::string& path,
     if (ExtractField(line, "bias_dp_ns", &value)) r.bias_dp_ns = std::stod(value);
     if (ExtractField(line, "noise_ns", &value)) r.noise_ns = std::stod(value);
     if (ExtractField(line, "emit_ns", &value)) r.emit_ns = std::stod(value);
+    if (ExtractField(line, "mine_ns", &value)) r.mine_ns = std::stod(value);
     if (ExtractField(line, "note", &value)) r.note = value;
     records->push_back(std::move(r));
   }

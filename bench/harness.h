@@ -11,6 +11,7 @@
 #define BUTTERFLY_BENCH_HARNESS_H_
 
 #include <cstdio>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -60,6 +61,24 @@ ButterflyConfig MakeConfig(const TraceConfig& trace, const SchemeVariant& v,
                            double epsilon, double delta, size_t gamma = 2,
                            uint64_t seed = 0x42);
 
+/// Warmup/repeat discipline for a timed measurement: `warmup` untimed runs
+/// (caches, branch predictors, cpu clocks), then `reps` timed runs whose
+/// median is reported. The median damps scheduler noise without the min's
+/// bias toward lucky runs.
+struct RepeatPlan {
+  int warmup = 1;
+  int reps = 5;
+};
+
+/// Median of \p values (0 when empty); averages the middle pair on even
+/// sizes. Consumes the vector (it is sorted in place).
+double Median(std::vector<double> values);
+
+/// Runs \p body plan.warmup times untimed, then plan.reps times timed, and
+/// returns the median seconds of the timed runs.
+double MeasureMedianSeconds(const RepeatPlan& plan,
+                            const std::function<void()>& body);
+
 /// Aligned table printing helpers (one table per figure panel).
 void PrintTableHeader(const std::string& title,
                       const std::vector<std::string>& columns);
@@ -84,6 +103,8 @@ struct BenchRecord {
   double bias_dp_ns = -1;
   double noise_ns = -1;
   double emit_ns = -1;
+  /// Mining maintenance ns/window (mine rows only; negative = absent).
+  double mine_ns = -1;
   /// Nonzero when the measurement looks wrong (e.g. inverse thread scaling);
   /// makes BENCH artifacts flag the bug class instead of hiding it.
   std::string note;

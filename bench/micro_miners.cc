@@ -1,15 +1,20 @@
 /// \file micro_miners.cc
 /// \brief google-benchmark microbenchmarks for the mining substrate: the
 /// three batch miners, the closed-itemset pipeline, and Moment's incremental
-/// maintenance (per-append steady-state cost and output walk).
+/// maintenance (per-append steady-state cost and output walk), plus a
+/// harness-measured bitmap-vs-map comparison of the two CET implementations
+/// (the arena + WindowBitmapIndex MomentMiner against the std::map
+/// reference MapCetMiner) printed before the registered benchmarks run.
 
 #include <benchmark/benchmark.h>
 
 #include "datagen/profiles.h"
+#include "harness.h"
 #include "mining/apriori.h"
 #include "mining/closed.h"
 #include "mining/eclat.h"
 #include "mining/fpgrowth.h"
+#include "moment/map_cet_miner.h"
 #include "moment/moment.h"
 
 namespace butterfly {
@@ -47,11 +52,12 @@ BENCHMARK_TEMPLATE(BM_BatchMiner, EclatMiner)->Arg(500)->Arg(2000);
 BENCHMARK_TEMPLATE(BM_BatchMiner, FpGrowthMiner)->Arg(500)->Arg(2000);
 BENCHMARK_TEMPLATE(BM_BatchMiner, ClosedMiner)->Arg(500)->Arg(2000);
 
-void BM_MomentAppend(benchmark::State& state) {
+template <typename Miner>
+void BM_StreamMinerAppend(benchmark::State& state) {
   const size_t window = static_cast<size_t>(state.range(0));
   auto data = *GenerateProfile(DatasetProfile::kBmsWebView1,
                                window + 200000, 7);
-  MomentMiner miner(window, ScaledSupport(window));
+  Miner miner(window, ScaledSupport(window));
   size_t next = 0;
   // Fill to steady state outside the timed loop.
   for (; next < window; ++next) miner.Append(data[next]);
@@ -67,7 +73,8 @@ void BM_MomentAppend(benchmark::State& state) {
       static_cast<double>(state.iterations()), benchmark::Counter::kIsRate);
 }
 
-BENCHMARK(BM_MomentAppend)->Arg(2000)->Arg(5000);
+BENCHMARK_TEMPLATE(BM_StreamMinerAppend, MomentMiner)->Arg(2000)->Arg(5000);
+BENCHMARK_TEMPLATE(BM_StreamMinerAppend, MapCetMiner)->Arg(2000)->Arg(5000);
 
 void BM_MomentOutputWalk(benchmark::State& state) {
   const size_t window = 2000;
@@ -96,7 +103,55 @@ void BM_MomentExpandClosed(benchmark::State& state) {
 
 BENCHMARK(BM_MomentExpandClosed);
 
+/// Head-to-head steady-state maintenance comparison of the two CET
+/// implementations on the same stream, measured with the shared harness's
+/// warmup + median-of-N discipline (whole-segment timing, so per-append
+/// clock-read overhead does not distort the short arena appends).
+void RunBitmapVsMapComparison() {
+  using bench::MeasureMedianSeconds;
+  using bench::RepeatPlan;
+
+  const size_t window = 2000;
+  const size_t appends = 20000;
+  const Support c = ScaledSupport(window);
+  auto data = *GenerateProfile(DatasetProfile::kBmsWebView1,
+                               window + appends, 7);
+
+  RepeatPlan plan{/*warmup=*/1, /*reps=*/5};
+  auto per_append_ns = [&](auto make_miner) {
+    double seconds = MeasureMedianSeconds(plan, [&] {
+      auto miner = make_miner();
+      for (size_t i = 0; i < window; ++i) miner.Append(data[i]);  // fill
+      for (size_t i = window; i < data.size(); ++i) miner.Append(data[i]);
+    });
+    // The fill is inside the timed body (it cannot be split out without
+    // timing per append); both miners pay it identically.
+    return seconds * 1e9 / static_cast<double>(appends);
+  };
+
+  double map_ns =
+      per_append_ns([&] { return MapCetMiner(window, c); });
+  double arena_ns =
+      per_append_ns([&] { return MomentMiner(window, c); });
+
+  bench::PrintTableHeader(
+      "bitmap+arena vs map CET, WebView1, H=" + std::to_string(window) +
+          ", C=" + std::to_string(c) + ", " + std::to_string(appends) +
+          " steady-state appends, median of " + std::to_string(plan.reps),
+      {"miner", "ns/append", "speedup"});
+  bench::PrintTableRow({"map", bench::FormatDouble(map_ns, 0), "1.00"});
+  bench::PrintTableRow({"bitmap+arena", bench::FormatDouble(arena_ns, 0),
+                        bench::FormatDouble(map_ns / arena_ns, 2)});
+}
+
 }  // namespace
 }  // namespace butterfly
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  butterfly::RunBitmapVsMapComparison();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

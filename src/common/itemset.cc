@@ -62,6 +62,16 @@ Itemset Itemset::With(Item item) const {
   return FromSorted(std::move(merged));
 }
 
+void Itemset::AssignWith(const Itemset& base, Item item) {
+  assert(&base != this);
+  items_.clear();
+  items_.reserve(base.items_.size() + 1);
+  auto split = std::lower_bound(base.items_.begin(), base.items_.end(), item);
+  items_.insert(items_.end(), base.items_.begin(), split);
+  if (split == base.items_.end() || *split != item) items_.push_back(item);
+  items_.insert(items_.end(), split, base.items_.end());
+}
+
 Itemset Itemset::Minus(const Itemset& other) const {
   std::vector<Item> diff;
   diff.reserve(items_.size());

@@ -70,6 +70,11 @@ class Itemset {
   /// Set union with a single item.
   Itemset With(Item item) const;
 
+  /// In-place form of With for steady-state reuse: *this = base ∪ {item},
+  /// reusing this itemset's existing storage (no allocation once the
+  /// capacity suffices). \p base must not alias *this.
+  void AssignWith(const Itemset& base, Item item);
+
   /// Set difference (`J \ I` in the paper's notation).
   Itemset Minus(const Itemset& other) const;
 

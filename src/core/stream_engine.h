@@ -10,6 +10,7 @@
 
 #include "common/status.h"
 #include "core/butterfly.h"
+#include "metrics/timing.h"
 #include "moment/moment.h"
 
 namespace butterfly {
@@ -27,8 +28,15 @@ class StreamPrivacyEngine {
 
   StreamPrivacyEngine(StreamPrivacyEngine&&) = default;
 
-  /// Feeds the next stream record.
-  void Append(Transaction t) { miner_.Append(std::move(t)); }
+  /// Feeds the next stream record. Time spent in the miner's incremental
+  /// maintenance accumulates into mine_ns() — the mine stage of the
+  /// pipeline's per-stage accounting (the sanitize stages live in
+  /// SanitizeStageTimes on the sanitizer).
+  void Append(Transaction t) {
+    Stopwatch watch;
+    miner_.Append(std::move(t));
+    mine_ns_ += watch.Seconds() * 1e9;
+  }
 
   /// True once the window holds H records.
   bool WindowFull() const { return miner_.window().Full(); }
@@ -65,6 +73,18 @@ class StreamPrivacyEngine {
                                fec_partition_.view());
   }
 
+  /// Nanoseconds spent inside mining maintenance since the last TakeMineNs()
+  /// (the `mine_ns` stage reported by the overhead benchmarks).
+  double mine_ns() const { return mine_ns_; }
+
+  /// Returns mine_ns() and resets the accumulator, so callers can attribute
+  /// mining time per reported window.
+  double TakeMineNs() {
+    double ns = mine_ns_;
+    mine_ns_ = 0;
+    return ns;
+  }
+
   const MomentMiner& miner() const { return miner_; }
   ButterflyEngine& sanitizer() { return sanitizer_; }
   const ButterflyConfig& config() const { return sanitizer_.config(); }
@@ -75,6 +95,7 @@ class StreamPrivacyEngine {
   MomentMiner miner_;
   ButterflyEngine sanitizer_;
   FecPartitioner fec_partition_;
+  double mine_ns_ = 0;
 };
 
 }  // namespace butterfly

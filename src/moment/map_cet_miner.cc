@@ -1,0 +1,321 @@
+#include "moment/map_cet_miner.h"
+
+#include <cassert>
+#include <string>
+#include <utility>
+
+#include "mining/closed.h"
+
+namespace butterfly {
+
+struct MapCetMiner::CetNode {
+  Itemset itemset;
+  Item branch_item = kInvalidItem;  // invalid for the root
+  Support support = 0;
+
+  /// True for frequent nodes carrying extension counts (and for the root,
+  /// which is always maintained); false for infrequent gateway leaves.
+  bool frequent_explored = false;
+  bool unpromising = false;  // unpromising gateway leaf
+  bool closed = false;
+
+  /// j -> T(I ∪ {j}) for every item j outside I co-occurring with I.
+  std::map<Item, Support> ext_counts;
+  /// Children keyed by branch item (> branch_item); empty for leaves.
+  std::map<Item, std::unique_ptr<CetNode>> children;
+
+  bool is_root() const { return branch_item == kInvalidItem; }
+};
+
+MapCetMiner::MapCetMiner(size_t window_capacity, Support min_support)
+    : window_(window_capacity), min_support_(min_support) {
+  assert(min_support > 0);
+  root_ = std::make_unique<CetNode>();
+  root_->frequent_explored = true;
+}
+
+MapCetMiner::~MapCetMiner() = default;
+MapCetMiner::MapCetMiner(MapCetMiner&&) noexcept = default;
+MapCetMiner& MapCetMiner::operator=(MapCetMiner&&) noexcept = default;
+
+void MapCetMiner::Append(Transaction t) {
+  // Slide the window first: Explore() scans the window, so it must already
+  // reflect the post-slide contents when the tree update runs. The expiry
+  // path never explores (expiries cannot promote nodes), so processing it
+  // against the already-slid window is sound.
+  std::optional<Transaction> evicted = window_.Append(std::move(t));
+  const Transaction& added = window_.transactions().back();
+  if (evicted) UpdateDelete(root_.get(), *evicted);
+  UpdateAdd(root_.get(), added);
+}
+
+std::vector<const Transaction*> MapCetMiner::RecordsContaining(
+    const Itemset& itemset) const {
+  std::vector<const Transaction*> containing;
+  for (const Transaction& t : window_.transactions()) {
+    if (t.items.ContainsAll(itemset)) containing.push_back(&t);
+  }
+  return containing;
+}
+
+bool MapCetMiner::HasUnpromisingBlocker(const CetNode& node) {
+  if (node.is_root()) return false;
+  for (const auto& [j, count] : node.ext_counts) {
+    if (j >= node.branch_item) break;  // map is ordered
+    if (count == node.support) return true;
+  }
+  return false;
+}
+
+void MapCetMiner::RecomputeClosed(CetNode* node) {
+  for (const auto& [j, count] : node->ext_counts) {
+    if (count == node->support) {
+      node->closed = false;
+      return;
+    }
+  }
+  node->closed = true;
+}
+
+void MapCetMiner::Explore(CetNode* node,
+                          const std::vector<const Transaction*>& containing) {
+  node->frequent_explored = true;
+  node->unpromising = false;
+  node->closed = false;
+  node->children.clear();
+  node->ext_counts.clear();
+  assert(node->support == static_cast<Support>(containing.size()));
+
+  for (const Transaction* t : containing) {
+    for (Item j : t->items) {
+      if (!node->itemset.Contains(j)) ++node->ext_counts[j];
+    }
+  }
+
+  if (HasUnpromisingBlocker(*node)) {
+    node->unpromising = true;
+    return;
+  }
+  ExpandFromCounts(node, containing);
+}
+
+void MapCetMiner::ExpandFromCounts(
+    CetNode* node, const std::vector<const Transaction*>& containing) {
+  for (const auto& [j, count] : node->ext_counts) {
+    if (!node->is_root() && j < node->branch_item) continue;
+    auto child = std::make_unique<CetNode>();
+    child->itemset = node->itemset.With(j);
+    child->branch_item = j;
+    child->support = count;
+    if (count >= min_support_) {
+      std::vector<const Transaction*> child_containing;
+      child_containing.reserve(count);
+      for (const Transaction* t : containing) {
+        if (t->items.Contains(j)) child_containing.push_back(t);
+      }
+      Explore(child.get(), child_containing);
+    }
+    node->children.emplace(j, std::move(child));
+  }
+  RecomputeClosed(node);
+}
+
+void MapCetMiner::UpdateAdd(CetNode* node, const Transaction& t) {
+  ++node->support;
+
+  if (!node->frequent_explored) {
+    // Infrequent gateway: promote once it crosses the threshold.
+    if (node->support >= min_support_) {
+      Explore(node, RecordsContaining(node->itemset));
+    }
+    return;
+  }
+
+  for (Item j : t.items) {
+    if (!node->itemset.Contains(j)) ++node->ext_counts[j];
+  }
+
+  if (node->unpromising) {
+    // Arrivals can only break blockers (a blocker item occurs in every record
+    // containing I, hence also in t, so equalities survive unless broken).
+    if (!HasUnpromisingBlocker(*node)) {
+      node->unpromising = false;
+      ExpandFromCounts(node, RecordsContaining(node->itemset));
+    }
+    return;
+  }
+
+  for (Item j : t.items) {
+    if (node->itemset.Contains(j)) continue;
+    if (!node->is_root() && j < node->branch_item) continue;
+    auto it = node->children.find(j);
+    if (it != node->children.end()) {
+      UpdateAdd(it->second.get(), t);
+    } else {
+      // First co-occurrence of I with j in the window: new boundary child.
+      auto child = std::make_unique<CetNode>();
+      child->itemset = node->itemset.With(j);
+      child->branch_item = j;
+      child->support = node->ext_counts.at(j);
+      if (child->support >= min_support_) {
+        Explore(child.get(), RecordsContaining(child->itemset));
+      }
+      node->children.emplace(j, std::move(child));
+    }
+  }
+  RecomputeClosed(node);
+}
+
+bool MapCetMiner::UpdateDelete(CetNode* node, const Transaction& t) {
+  --node->support;
+
+  if (!node->frequent_explored) {
+    return node->support == 0 && !node->is_root();
+  }
+
+  for (Item j : t.items) {
+    if (node->itemset.Contains(j)) continue;
+    auto it = node->ext_counts.find(j);
+    assert(it != node->ext_counts.end());
+    if (--it->second == 0) node->ext_counts.erase(it);
+  }
+
+  if (!node->is_root() && node->support < min_support_) {
+    // Demote to infrequent gateway; the subtree dissolves with it.
+    node->children.clear();
+    node->ext_counts.clear();
+    node->frequent_explored = false;
+    node->unpromising = false;
+    node->closed = false;
+    return node->support == 0;
+  }
+
+  if (node->unpromising) {
+    // Expiries cannot unblock: a blocker occurs in every record containing I,
+    // including the expiring one, so the equality count == support survives.
+    return false;
+  }
+
+  if (HasUnpromisingBlocker(*node)) {
+    node->unpromising = true;
+    node->children.clear();
+    node->closed = false;
+    return false;
+  }
+
+  for (Item j : t.items) {
+    if (node->itemset.Contains(j)) continue;
+    if (!node->is_root() && j < node->branch_item) continue;
+    auto it = node->children.find(j);
+    if (it != node->children.end() && UpdateDelete(it->second.get(), t)) {
+      node->children.erase(it);
+    }
+  }
+  RecomputeClosed(node);
+  return false;
+}
+
+namespace {
+
+template <typename NodeT, typename Fn>
+void VisitTree(const NodeT& node, const Fn& fn) {
+  fn(node);
+  for (const auto& [item, child] : node.children) {
+    (void)item;
+    VisitTree(*child, fn);
+  }
+}
+
+}  // namespace
+
+MiningOutput MapCetMiner::GetClosedFrequent() const {
+  MiningOutput output(min_support_);
+  VisitTree(*root_, [&](const CetNode& node) {
+    if (!node.is_root() && node.frequent_explored && !node.unpromising &&
+        node.closed) {
+      output.Add(node.itemset, node.support);
+    }
+  });
+  output.Seal();
+  return output;
+}
+
+MiningOutput MapCetMiner::GetAllFrequent() const {
+  return ExpandClosed(GetClosedFrequent());
+}
+
+Status MapCetMiner::Validate() const {
+  Status failure = Status::OK();
+  VisitTree(*root_, [&](const CetNode& node) {
+    if (!failure.ok()) return;
+    auto fail = [&](const std::string& what) {
+      failure = Status::Internal(node.itemset.ToString() + ": " + what);
+    };
+
+    Support support = 0;
+    std::map<Item, Support> ext_counts;
+    for (const Transaction& t : window_.transactions()) {
+      if (!t.items.ContainsAll(node.itemset)) continue;
+      ++support;
+      for (Item j : t.items) {
+        if (!node.itemset.Contains(j)) ++ext_counts[j];
+      }
+    }
+    if (node.support != support) {
+      return fail("stored support " + std::to_string(node.support) +
+                  " != recounted " + std::to_string(support));
+    }
+
+    if (!node.frequent_explored) {
+      if (!node.is_root() && node.support >= min_support_) {
+        return fail("infrequent gateway at or above the threshold");
+      }
+      if (!node.children.empty() || !node.ext_counts.empty()) {
+        return fail("infrequent gateway carrying children or counts");
+      }
+      return;
+    }
+
+    if (!node.is_root() && node.support < min_support_) {
+      return fail("explored node below the threshold");
+    }
+    if (node.ext_counts != ext_counts) {
+      return fail("stale extension counts");
+    }
+
+    bool blocked = HasUnpromisingBlocker(node);
+    if (node.unpromising != blocked) {
+      return fail(blocked ? "promising node with a blocker"
+                          : "unpromising node without a blocker");
+    }
+    if (node.unpromising) {
+      if (!node.children.empty()) return fail("unpromising node with children");
+      return;
+    }
+
+    bool closed = true;
+    for (const auto& [j, count] : ext_counts) {
+      if (count == node.support) closed = false;
+      if (!node.is_root() && j < node.branch_item) continue;
+      auto it = node.children.find(j);
+      if (it == node.children.end()) {
+        return fail("missing child for item " + std::to_string(j));
+      }
+      if (it->second->support != count) {
+        return fail("child support mismatch for item " + std::to_string(j));
+      }
+    }
+    for (const auto& [j, child] : node.children) {
+      (void)child;
+      if (!ext_counts.count(j)) {
+        return fail("child for vanished item " + std::to_string(j));
+      }
+    }
+    if (!node.is_root() && node.closed != closed) {
+      return fail(closed ? "closed node not flagged" : "non-closed flagged");
+    }
+  });
+  return failure;
+}
+
+}  // namespace butterfly

@@ -1,6 +1,8 @@
 #include "moment/moment.h"
 
+#include <algorithm>
 #include <cassert>
+#include <map>
 #include <unordered_set>
 #include <utility>
 
@@ -8,7 +10,20 @@
 
 namespace butterfly {
 
+/// One arena slot. Links are arena indices, never pointers: the pool may
+/// reallocate while a subtree is being built. Child and extension-count
+/// arrays are flat and sorted by item — the same ascending order the legacy
+/// std::map layout iterated in, which keeps the mined output bit-identical.
 struct MomentMiner::CetNode {
+  struct ExtCount {
+    Item item;
+    Support count;
+  };
+  struct ChildEntry {
+    Item item;
+    uint32_t node;
+  };
+
   Itemset itemset;
   Item branch_item = kInvalidItem;  // invalid for the root
   Support support = 0;
@@ -20,57 +35,118 @@ struct MomentMiner::CetNode {
   bool closed = false;
 
   /// j -> T(I ∪ {j}) for every item j outside I co-occurring with I.
-  std::map<Item, Support> ext_counts;
+  std::vector<ExtCount> ext_counts;
   /// Children keyed by branch item (> branch_item); empty for leaves.
-  std::map<Item, std::unique_ptr<CetNode>> children;
+  std::vector<ChildEntry> children;
 
   bool is_root() const { return branch_item == kInvalidItem; }
+
+  /// Index into children for \p item, or npos.
+  size_t FindChild(Item item) const {
+    auto it = std::lower_bound(
+        children.begin(), children.end(), item,
+        [](const ChildEntry& e, Item j) { return e.item < j; });
+    if (it == children.end() || it->item != item) return npos;
+    return static_cast<size_t>(it - children.begin());
+  }
+
+  /// Extension count of \p item; the entry must exist.
+  Support ExtCountOf(Item item) const {
+    auto it = std::lower_bound(
+        ext_counts.begin(), ext_counts.end(), item,
+        [](const ExtCount& e, Item j) { return e.item < j; });
+    assert(it != ext_counts.end() && it->item == item);
+    return it->count;
+  }
+
+  static constexpr size_t npos = static_cast<size_t>(-1);
 };
 
 MomentMiner::MomentMiner(size_t window_capacity, Support min_support)
-    : window_(window_capacity), min_support_(min_support) {
+    : window_(window_capacity),
+      min_support_(min_support),
+      index_(window_capacity) {
   assert(min_support > 0);
-  root_ = std::make_unique<CetNode>();
-  root_->frequent_explored = true;
+  arena_.emplace_back();  // the root, index kRoot
+  arena_[kRoot].frequent_explored = true;
 }
 
 MomentMiner::~MomentMiner() = default;
+
+MomentMiner::CetNode& MomentMiner::N(uint32_t idx) { return arena_[idx]; }
+const MomentMiner::CetNode& MomentMiner::N(uint32_t idx) const {
+  return arena_[idx];
+}
+
 MomentMiner::MomentMiner(MomentMiner&&) noexcept = default;
 MomentMiner& MomentMiner::operator=(MomentMiner&&) noexcept = default;
 
+uint32_t MomentMiner::AllocNode() {
+  uint32_t idx;
+  if (!free_.empty()) {
+    idx = free_.back();
+    free_.pop_back();
+  } else {
+    idx = static_cast<uint32_t>(arena_.size());
+    arena_.emplace_back();
+  }
+  CetNode& node = arena_[idx];
+  node.branch_item = kInvalidItem;
+  node.support = 0;
+  node.frequent_explored = false;
+  node.unpromising = false;
+  node.closed = false;
+  assert(node.ext_counts.empty() && node.children.empty());
+  return idx;
+}
+
+void MomentMiner::FreeNode(uint32_t idx) {
+  assert(idx != kRoot);
+  CetNode& node = arena_[idx];
+  assert(node.children.empty());
+  node.ext_counts.clear();  // clear() keeps capacity for the next tenant
+  free_.push_back(idx);
+}
+
+void MomentMiner::FreeChildren(uint32_t idx) {
+  CetNode& node = arena_[idx];
+  for (const CetNode::ChildEntry& entry : node.children) {
+    FreeChildren(entry.node);
+    FreeNode(entry.node);
+  }
+  node.children.clear();
+}
+
 void MomentMiner::Append(Transaction t) {
-  // Slide the window first: Explore() scans the window, so it must already
-  // reflect the post-slide contents when the tree update runs. The expiry
-  // path never explores (expiries cannot promote nodes), so processing it
-  // against the already-slid window is sound.
+  // Slide the window (and its bitmap mirror) first: the exploration paths
+  // query the index, so it must already reflect the post-slide contents when
+  // the tree update runs. The expiry path never explores (expiries cannot
+  // promote nodes), so processing it against the already-slid state is sound.
   std::optional<Transaction> evicted = window_.Append(std::move(t));
   const Transaction& added = window_.transactions().back();
-  if (evicted) UpdateDelete(root_.get(), *evicted);
-  UpdateAdd(root_.get(), added);
+  index_.Apply(&added, evicted ? &*evicted : nullptr);
+  if (evicted) UpdateDelete(kRoot, *evicted);
+  UpdateAdd(kRoot, added);
   expansion_dirty_ = true;
 }
 
-std::vector<const Transaction*> MomentMiner::RecordsContaining(
-    const Itemset& itemset) const {
-  std::vector<const Transaction*> containing;
-  for (const Transaction& t : window_.transactions()) {
-    if (t.items.ContainsAll(itemset)) containing.push_back(&t);
-  }
-  return containing;
+Bitmap& MomentMiner::ScratchAt(size_t depth) {
+  while (tidset_scratch_.size() <= depth) tidset_scratch_.emplace_back();
+  return tidset_scratch_[depth];
 }
 
 bool MomentMiner::HasUnpromisingBlocker(const CetNode& node) {
   if (node.is_root()) return false;
-  for (const auto& [j, count] : node.ext_counts) {
-    if (j >= node.branch_item) break;  // map is ordered
-    if (count == node.support) return true;
+  for (const CetNode::ExtCount& ec : node.ext_counts) {
+    if (ec.item >= node.branch_item) break;  // array is sorted
+    if (ec.count == node.support) return true;
   }
   return false;
 }
 
 void MomentMiner::RecomputeClosed(CetNode* node) {
-  for (const auto& [j, count] : node->ext_counts) {
-    if (count == node->support) {
+  for (const CetNode::ExtCount& ec : node->ext_counts) {
+    if (ec.count == node->support) {
       node->closed = false;
       return;
     }
@@ -78,158 +154,274 @@ void MomentMiner::RecomputeClosed(CetNode* node) {
   node->closed = true;
 }
 
-void MomentMiner::Explore(CetNode* node,
-                          const std::vector<const Transaction*>& containing) {
-  node->frequent_explored = true;
-  node->unpromising = false;
-  node->closed = false;
-  node->children.clear();
-  node->ext_counts.clear();
-  assert(node->support == static_cast<Support>(containing.size()));
-
-  for (const Transaction* t : containing) {
+void MomentMiner::BuildExtCounts(uint32_t idx, size_t depth) {
+  if (count_scratch_.size() < index_.dense_limit()) {
+    count_scratch_.resize(index_.dense_limit(), 0);
+  }
+  touched_scratch_.clear();
+  CetNode& node = N(idx);  // stable: nothing below allocates arena nodes
+  const Itemset& self = node.itemset;
+  tidset_scratch_[depth].ForEachSetBit([&](size_t slot) {
+    const Transaction* t = index_.transaction(slot);
+    size_t si = 0;  // merge pointer into the (sorted) own itemset
     for (Item j : t->items) {
-      if (!node->itemset.Contains(j)) ++node->ext_counts[j];
+      while (si < self.size() && self[si] < j) ++si;
+      if (si < self.size() && self[si] == j) continue;
+      const uint32_t dense = index_.DenseId(j);
+      assert(dense != ItemRemap::kNone);
+      if (count_scratch_[dense]++ == 0) touched_scratch_.push_back(j);
     }
+  });
+  std::sort(touched_scratch_.begin(), touched_scratch_.end());
+  node.ext_counts.clear();
+  if (node.ext_counts.capacity() < touched_scratch_.size()) {
+    node.ext_counts.reserve(touched_scratch_.size());
   }
-
-  if (HasUnpromisingBlocker(*node)) {
-    node->unpromising = true;
-    return;
+  for (Item j : touched_scratch_) {
+    const uint32_t dense = index_.DenseId(j);
+    node.ext_counts.push_back({j, count_scratch_[dense]});
+    count_scratch_[dense] = 0;  // leave the scratch zeroed for the next use
   }
-  ExpandFromCounts(node, containing);
 }
 
-void MomentMiner::ExpandFromCounts(
-    CetNode* node, const std::vector<const Transaction*>& containing) {
-  for (const auto& [j, count] : node->ext_counts) {
-    if (!node->is_root() && j < node->branch_item) continue;
-    auto child = std::make_unique<CetNode>();
-    child->itemset = node->itemset.With(j);
-    child->branch_item = j;
-    child->support = count;
-    if (count >= min_support_) {
-      std::vector<const Transaction*> child_containing;
-      child_containing.reserve(count);
-      for (const Transaction* t : containing) {
-        if (t->items.Contains(j)) child_containing.push_back(t);
+void MomentMiner::Explore(uint32_t idx, size_t depth) {
+  {
+    CetNode& node = N(idx);
+    node.frequent_explored = true;
+    node.unpromising = false;
+    node.closed = false;
+    assert(node.support ==
+           static_cast<Support>(tidset_scratch_[depth].Popcount()));
+    if (!node.children.empty()) FreeChildren(idx);
+  }
+  BuildExtCounts(idx, depth);
+  if (HasUnpromisingBlocker(N(idx))) {
+    N(idx).unpromising = true;
+    return;
+  }
+  ExpandFromCounts(idx, depth);
+}
+
+void MomentMiner::ExpandFromCounts(uint32_t idx, size_t depth) {
+  assert(N(idx).children.empty());
+  // Children materialize in ascending item order (ext_counts is sorted), so
+  // the child array is appended, never inserted into. Entries are re-read
+  // through N() each round: Explore below may grow the arena.
+  for (size_t k = 0; k < N(idx).ext_counts.size(); ++k) {
+    const CetNode::ExtCount ec = N(idx).ext_counts[k];
+    if (!N(idx).is_root() && ec.item < N(idx).branch_item) continue;
+    const uint32_t child_idx = AllocNode();
+    {
+      CetNode& child = N(child_idx);
+      child.itemset.AssignWith(N(idx).itemset, ec.item);
+      child.branch_item = ec.item;
+      child.support = ec.count;
+    }
+    if (ec.count >= min_support_) {
+      Bitmap& child_tidset = ScratchAt(depth + 1);
+      const Support refined =
+          index_.Refine(tidset_scratch_[depth], ec.item, &child_tidset);
+      assert(refined == ec.count);
+      (void)refined;
+      Explore(child_idx, depth + 1);
+    }
+    N(idx).children.push_back({ec.item, child_idx});
+  }
+  RecomputeClosed(&N(idx));
+}
+
+void MomentMiner::MergeAddExtCounts(CetNode* node, const Transaction& t) {
+  std::vector<CetNode::ExtCount>& ec = node->ext_counts;
+  const Itemset& self = node->itemset;
+  missing_scratch_.clear();
+  size_t si = 0;  // merge pointer into the own itemset
+  size_t e = 0;   // merge pointer into ext_counts (both ascend with j)
+  for (Item j : t.items) {
+    while (si < self.size() && self[si] < j) ++si;
+    if (si < self.size() && self[si] == j) continue;
+    while (e < ec.size() && ec[e].item < j) ++e;
+    if (e < ec.size() && ec[e].item == j) {
+      ++ec[e].count;
+    } else {
+      missing_scratch_.push_back(j);  // first co-occurrence in the window
+    }
+  }
+  if (missing_scratch_.empty()) return;
+  // Backward in-place merge of the new items (count 1 each).
+  const size_t old_size = ec.size();
+  ec.resize(old_size + missing_scratch_.size());
+  ptrdiff_t read = static_cast<ptrdiff_t>(old_size) - 1;
+  ptrdiff_t write = static_cast<ptrdiff_t>(ec.size()) - 1;
+  ptrdiff_t m = static_cast<ptrdiff_t>(missing_scratch_.size()) - 1;
+  while (m >= 0) {
+    if (read >= 0 && ec[read].item > missing_scratch_[m]) {
+      ec[write--] = ec[read--];
+    } else {
+      ec[write--] = {missing_scratch_[m--], 1};
+    }
+  }
+}
+
+void MomentMiner::MergeSubExtCounts(CetNode* node, const Transaction& t) {
+  std::vector<CetNode::ExtCount>& ec = node->ext_counts;
+  const Itemset& self = node->itemset;
+  size_t si = 0;
+  size_t e = 0;
+  bool zeroed = false;
+  for (Item j : t.items) {
+    while (si < self.size() && self[si] < j) ++si;
+    if (si < self.size() && self[si] == j) continue;
+    while (e < ec.size() && ec[e].item < j) ++e;
+    assert(e < ec.size() && ec[e].item == j);
+    if (--ec[e].count == 0) zeroed = true;
+  }
+  if (zeroed) {
+    ec.erase(std::remove_if(
+                 ec.begin(), ec.end(),
+                 [](const CetNode::ExtCount& c) { return c.count == 0; }),
+             ec.end());
+  }
+}
+
+void MomentMiner::UpdateAdd(uint32_t idx, const Transaction& t) {
+  {
+    CetNode& node = N(idx);
+    ++node.support;
+
+    if (!node.frequent_explored) {
+      // Infrequent gateway: promote once it crosses the threshold.
+      if (node.support >= min_support_) {
+        const size_t depth = node.itemset.size();
+        const Support support = index_.Tidset(node.itemset, &ScratchAt(depth));
+        assert(support == node.support);
+        (void)support;
+        Explore(idx, depth);
       }
-      Explore(child.get(), child_containing);
+      return;
     }
-    node->children.emplace(j, std::move(child));
-  }
-  RecomputeClosed(node);
-}
 
-void MomentMiner::UpdateAdd(CetNode* node, const Transaction& t) {
-  ++node->support;
+    MergeAddExtCounts(&node, t);
 
-  if (!node->frequent_explored) {
-    // Infrequent gateway: promote once it crosses the threshold.
-    if (node->support >= min_support_) {
-      Explore(node, RecordsContaining(node->itemset));
+    if (node.unpromising) {
+      // Arrivals can only break blockers (a blocker item occurs in every
+      // record containing I, hence also in t, so equalities survive unless
+      // broken).
+      if (!HasUnpromisingBlocker(node)) {
+        node.unpromising = false;
+        const size_t depth = node.itemset.size();
+        const Support support = index_.Tidset(node.itemset, &ScratchAt(depth));
+        assert(support == node.support);
+        (void)support;
+        ExpandFromCounts(idx, depth);
+      }
+      return;
     }
-    return;
   }
 
+  // Recursion below may grow the arena, so the node is re-read through N()
+  // after every step that can allocate.
   for (Item j : t.items) {
-    if (!node->itemset.Contains(j)) ++node->ext_counts[j];
-  }
-
-  if (node->unpromising) {
-    // Arrivals can only break blockers (a blocker item occurs in every record
-    // containing I, hence also in t, so equalities survive unless broken).
-    if (!HasUnpromisingBlocker(*node)) {
-      node->unpromising = false;
-      ExpandFromCounts(node, RecordsContaining(node->itemset));
-    }
-    return;
-  }
-
-  for (Item j : t.items) {
-    if (node->itemset.Contains(j)) continue;
-    if (!node->is_root() && j < node->branch_item) continue;
-    auto it = node->children.find(j);
-    if (it != node->children.end()) {
-      UpdateAdd(it->second.get(), t);
+    if (N(idx).itemset.Contains(j)) continue;
+    if (!N(idx).is_root() && j < N(idx).branch_item) continue;
+    const size_t pos = N(idx).FindChild(j);
+    if (pos != CetNode::npos) {
+      UpdateAdd(N(idx).children[pos].node, t);
     } else {
       // First co-occurrence of I with j in the window: new boundary child.
-      auto child = std::make_unique<CetNode>();
-      child->itemset = node->itemset.With(j);
-      child->branch_item = j;
-      child->support = node->ext_counts.at(j);
-      if (child->support >= min_support_) {
-        Explore(child.get(), RecordsContaining(child->itemset));
+      const Support child_support = N(idx).ExtCountOf(j);
+      const uint32_t child_idx = AllocNode();
+      {
+        CetNode& child = N(child_idx);
+        child.itemset.AssignWith(N(idx).itemset, j);
+        child.branch_item = j;
+        child.support = child_support;
       }
-      node->children.emplace(j, std::move(child));
+      if (child_support >= min_support_) {
+        const size_t depth = N(child_idx).itemset.size();
+        const Support support =
+            index_.Tidset(N(child_idx).itemset, &ScratchAt(depth));
+        assert(support == child_support);
+        (void)support;
+        Explore(child_idx, depth);
+      }
+      CetNode& node = N(idx);
+      std::vector<CetNode::ChildEntry>& children = node.children;
+      children.insert(
+          std::upper_bound(
+              children.begin(), children.end(), j,
+              [](Item item, const CetNode::ChildEntry& e) {
+                return item < e.item;
+              }),
+          {j, child_idx});
     }
   }
-  RecomputeClosed(node);
+  RecomputeClosed(&N(idx));
 }
 
-bool MomentMiner::UpdateDelete(CetNode* node, const Transaction& t) {
-  --node->support;
+bool MomentMiner::UpdateDelete(uint32_t idx, const Transaction& t) {
+  // The delete path never allocates arena nodes, so references stay valid.
+  CetNode& node = N(idx);
+  --node.support;
 
-  if (!node->frequent_explored) {
-    return node->support == 0 && !node->is_root();
+  if (!node.frequent_explored) {
+    return node.support == 0 && !node.is_root();
   }
 
-  for (Item j : t.items) {
-    if (node->itemset.Contains(j)) continue;
-    auto it = node->ext_counts.find(j);
-    assert(it != node->ext_counts.end());
-    if (--it->second == 0) node->ext_counts.erase(it);
+  MergeSubExtCounts(&node, t);
+
+  if (!node.is_root() && node.support < min_support_) {
+    // Demote to infrequent gateway; the subtree dissolves into the pool.
+    FreeChildren(idx);
+    node.ext_counts.clear();
+    node.frequent_explored = false;
+    node.unpromising = false;
+    node.closed = false;
+    return node.support == 0;
   }
 
-  if (!node->is_root() && node->support < min_support_) {
-    // Demote to infrequent gateway; the subtree dissolves with it.
-    node->children.clear();
-    node->ext_counts.clear();
-    node->frequent_explored = false;
-    node->unpromising = false;
-    node->closed = false;
-    return node->support == 0;
-  }
-
-  if (node->unpromising) {
+  if (node.unpromising) {
     // Expiries cannot unblock: a blocker occurs in every record containing I,
     // including the expiring one, so the equality count == support survives.
     return false;
   }
 
-  if (HasUnpromisingBlocker(*node)) {
-    node->unpromising = true;
-    node->children.clear();
-    node->closed = false;
+  if (HasUnpromisingBlocker(node)) {
+    node.unpromising = true;
+    FreeChildren(idx);
+    node.closed = false;
     return false;
   }
 
   for (Item j : t.items) {
-    if (node->itemset.Contains(j)) continue;
-    if (!node->is_root() && j < node->branch_item) continue;
-    auto it = node->children.find(j);
-    if (it != node->children.end() && UpdateDelete(it->second.get(), t)) {
-      node->children.erase(it);
+    if (node.itemset.Contains(j)) continue;
+    if (!node.is_root() && j < node.branch_item) continue;
+    const size_t pos = node.FindChild(j);
+    if (pos != CetNode::npos) {
+      const uint32_t child_idx = node.children[pos].node;
+      if (UpdateDelete(child_idx, t)) {
+        // The child is a drained gateway leaf (support 0, no subtree).
+        FreeNode(child_idx);
+        node.children.erase(node.children.begin() +
+                            static_cast<ptrdiff_t>(pos));
+      }
     }
   }
-  RecomputeClosed(node);
+  RecomputeClosed(&node);
   return false;
 }
 
-// The recursive walkers are generic on the node type so the private CetNode
-// never has to be named outside member functions.
-template <typename NodeT, typename Fn>
-static void VisitTree(const NodeT& node, const Fn& fn) {
+template <typename Fn>
+void MomentMiner::VisitTree(uint32_t idx, const Fn& fn) const {
+  const CetNode& node = N(idx);
   fn(node);
-  for (const auto& [item, child] : node.children) {
-    (void)item;
-    VisitTree(*child, fn);
+  for (const CetNode::ChildEntry& entry : node.children) {
+    VisitTree(entry.node, fn);
   }
 }
 
 MiningOutput MomentMiner::GetClosedFrequent() const {
   MiningOutput output(min_support_);
-  VisitTree(*root_, [&](const CetNode& node) {
+  VisitTree(kRoot, [&](const CetNode& node) {
     if (!node.is_root() && node.frequent_explored && !node.unpromising &&
         node.closed) {
       output.Add(node.itemset, node.support);
@@ -371,7 +563,7 @@ const MiningOutput& MomentMiner::GetAllFrequentIncremental() {
 
 std::optional<Support> MomentMiner::SupportOf(const Itemset& itemset) const {
   std::optional<Support> best;
-  VisitTree(*root_, [&](const CetNode& node) {
+  VisitTree(kRoot, [&](const CetNode& node) {
     if (node.is_root() || !node.frequent_explored || node.unpromising ||
         !node.closed) {
       return;
@@ -385,8 +577,13 @@ std::optional<Support> MomentMiner::SupportOf(const Itemset& itemset) const {
 }
 
 Status MomentMiner::Validate() const {
+  Status index_status = index_.Validate(window_);
+  if (!index_status.ok()) return index_status;
+
+  size_t reachable = 0;
   Status failure = Status::OK();
-  VisitTree(*root_, [&](const CetNode& node) {
+  VisitTree(kRoot, [&](const CetNode& node) {
+    ++reachable;
     if (!failure.ok()) return;
     auto fail = [&](const std::string& what) {
       failure = Status::Internal(node.itemset.ToString() + ": " + what);
@@ -420,8 +617,15 @@ Status MomentMiner::Validate() const {
     if (!node.is_root() && node.support < min_support_) {
       return fail("explored node below the threshold");
     }
-    if (node.ext_counts != ext_counts) {
+    if (node.ext_counts.size() != ext_counts.size()) {
       return fail("stale extension counts");
+    }
+    size_t k = 0;
+    for (const auto& [j, count] : ext_counts) {
+      if (node.ext_counts[k].item != j || node.ext_counts[k].count != count) {
+        return fail("stale extension counts");
+      }
+      ++k;
     }
 
     bool blocked = HasUnpromisingBlocker(node);
@@ -439,30 +643,52 @@ Status MomentMiner::Validate() const {
     for (const auto& [j, count] : ext_counts) {
       if (count == node.support) closed = false;
       if (!node.is_root() && j < node.branch_item) continue;
-      auto it = node.children.find(j);
-      if (it == node.children.end()) {
+      const size_t pos = node.FindChild(j);
+      if (pos == CetNode::npos) {
         return fail("missing child for item " + std::to_string(j));
       }
-      if (it->second->support != count) {
+      if (N(node.children[pos].node).support != count) {
         return fail("child support mismatch for item " + std::to_string(j));
       }
     }
-    for (const auto& [j, child] : node.children) {
-      (void)child;
-      if (!ext_counts.count(j)) {
-        return fail("child for vanished item " + std::to_string(j));
+    for (const CetNode::ChildEntry& entry : node.children) {
+      if (!ext_counts.count(entry.item)) {
+        return fail("child for vanished item " + std::to_string(entry.item));
       }
     }
     if (!node.is_root() && node.closed != closed) {
       return fail(closed ? "closed node not flagged" : "non-closed flagged");
     }
   });
-  return failure;
+  if (!failure.ok()) return failure;
+
+  // Arena accounting: every pool slot is either reachable or on the free
+  // list, with no overlap.
+  if (reachable + free_.size() != arena_.size()) {
+    return Status::Internal(
+        "arena leak: " + std::to_string(reachable) + " reachable + " +
+        std::to_string(free_.size()) + " free != pool of " +
+        std::to_string(arena_.size()));
+  }
+  std::unordered_set<uint32_t> free_set(free_.begin(), free_.end());
+  if (free_set.size() != free_.size()) {
+    return Status::Internal("arena free list holds duplicates");
+  }
+  Status reuse_failure = Status::OK();
+  VisitTree(kRoot, [&](const CetNode& node) {
+    if (!reuse_failure.ok() || node.is_root()) return;
+    const uint32_t idx =
+        static_cast<uint32_t>(&node - arena_.data());
+    if (free_set.count(idx)) {
+      reuse_failure = Status::Internal("reachable node on the free list");
+    }
+  });
+  return reuse_failure;
 }
 
 MomentStats MomentMiner::Stats() const {
   MomentStats stats;
-  VisitTree(*root_, [&](const CetNode& node) {
+  VisitTree(kRoot, [&](const CetNode& node) {
     if (node.is_root()) return;
     if (!node.frequent_explored) {
       ++stats.infrequent_gateway;
@@ -474,6 +700,14 @@ MomentStats MomentMiner::Stats() const {
       ++stats.intermediate;
     }
   });
+  return stats;
+}
+
+MomentArenaStats MomentMiner::arena_stats() const {
+  MomentArenaStats stats;
+  stats.capacity = arena_.size();
+  stats.free_list = free_.size();
+  stats.live = arena_.size() - free_.size();
   return stats;
 }
 

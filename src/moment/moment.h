@@ -18,12 +18,26 @@
 ///  * closed node — frequent and closed.
 ///
 /// Instead of Moment's tid-sum hash, each frequent node carries its
-/// extension-count map `j -> T(I ∪ {j})`, which a record arrival/expiry
+/// extension-count table `j -> T(I ∪ {j})`, which a record arrival/expiry
 /// updates in O(|record|) per affected node and which answers all three
 /// questions (children supports, the unpromising check, closedness) exactly.
 /// Expiries can only create unpromising blockers and arrivals can only break
-/// them, so transitions are localized; newly frequent or newly promising
-/// nodes are (re)explored by a scan of the in-memory window, as in Moment.
+/// them, so transitions are localized, exactly as in Moment.
+///
+/// Two layout decisions make the maintenance fast (see DESIGN.md):
+///
+///  * a WindowBitmapIndex (vertical per-item tid-bitmaps over the H window
+///    slots) answers every "which records contain I" question — gateway
+///    promotion, unpromising un-blocking, subtree (re)exploration — by
+///    AND + popcount over 64-bit words instead of rescanning the window;
+///  * CET nodes live in an arena (contiguous pool, uint32 index links,
+///    free-list reuse) with flat sorted child and extension-count arrays, so
+///    steady-state maintenance performs no per-node heap allocation and no
+///    pointer-chasing through std::map nodes.
+///
+/// The mined output is bit-identical (same closed itemsets, same supports,
+/// same canonical order) to the map-based reference implementation preserved
+/// in map_cet_miner.h, which the equivalence test suites pin it against.
 
 #ifndef BUTTERFLY_MOMENT_MOMENT_H_
 #define BUTTERFLY_MOMENT_MOMENT_H_
@@ -31,16 +45,17 @@
 #include <cstddef>
 #include <cstdint>
 #include <deque>
-#include <map>
-#include <memory>
 #include <optional>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
+#include "common/bitmap.h"
 #include "common/status.h"
 #include "common/transaction.h"
 #include "mining/mining_result.h"
 #include "stream/sliding_window.h"
+#include "stream/window_bitmap_index.h"
 
 namespace butterfly {
 
@@ -64,6 +79,15 @@ struct MomentStats {
   }
 };
 
+/// Occupancy of the CET node arena, for the steady-state reuse tests: once a
+/// workload's node population stabilizes, `capacity` stops growing and churn
+/// is served entirely from the free list.
+struct MomentArenaStats {
+  size_t capacity = 0;  ///< nodes ever materialized (pool size, incl. root)
+  size_t live = 0;      ///< nodes currently in the tree (incl. root)
+  size_t free_list = 0; ///< pooled nodes awaiting reuse
+};
+
 /// Incremental closed-frequent-itemset miner over a sliding window.
 class MomentMiner {
  public:
@@ -78,11 +102,13 @@ class MomentMiner {
   MomentMiner& operator=(MomentMiner&&) noexcept;
 
   /// Appends the next stream record, expiring the oldest if the window is
-  /// full, and updates the CET incrementally.
+  /// full, and updates the bitmap index and the CET incrementally.
   void Append(Transaction t);
 
   Support min_support() const { return min_support_; }
   const SlidingWindow& window() const { return window_; }
+  /// The vertical bitmap index mirroring the window contents.
+  const WindowBitmapIndex& bitmap_index() const { return index_; }
 
   /// The closed frequent itemsets of the current window, with exact supports.
   MiningOutput GetClosedFrequent() const;
@@ -122,29 +148,55 @@ class MomentMiner {
   /// Live node counts by kind.
   MomentStats Stats() const;
 
+  /// Node-arena occupancy (for the allocation-reuse tests).
+  MomentArenaStats arena_stats() const;
+
   /// Deep self-check: recounts every node's support and extension counts
   /// from the window and re-derives its kind, the children invariant (an
   /// explored promising node has a child for every co-occurring extension
-  /// item above its branch item) and the closed flag. O(nodes × window);
-  /// intended for tests and debugging, not the hot path. Returns the first
-  /// violation found.
+  /// item above its branch item) and the closed flag; also cross-checks the
+  /// bitmap index against the window contents and the arena's free-list
+  /// accounting against the reachable tree. O(nodes × window); intended for
+  /// tests and debugging, not the hot path. Returns the first violation.
   Status Validate() const;
 
  private:
   struct CetNode;
+  static constexpr uint32_t kRoot = 0;
+  static constexpr uint32_t kNoNode = static_cast<uint32_t>(-1);
 
-  void UpdateAdd(CetNode* node, const Transaction& t);
+  CetNode& N(uint32_t idx);
+  const CetNode& N(uint32_t idx) const;
+
+  /// Takes a node from the free list (or grows the arena) and resets it.
+  /// Growing invalidates CetNode references — callers re-fetch via N().
+  uint32_t AllocNode();
+  /// Returns a leaf to the free list, keeping its buffers for reuse.
+  void FreeNode(uint32_t idx);
+  /// Frees a node's entire child subtree and clears its child array.
+  void FreeChildren(uint32_t idx);
+
+  void UpdateAdd(uint32_t idx, const Transaction& t);
   /// Returns true if the node should be removed from its parent.
-  bool UpdateDelete(CetNode* node, const Transaction& t);
+  bool UpdateDelete(uint32_t idx, const Transaction& t);
 
-  /// (Re)derives a node's extension counts from the window and builds its
-  /// subtree. `containing` are the window records containing node->itemset.
-  void Explore(CetNode* node,
-               const std::vector<const Transaction*>& containing);
+  /// (Re)derives a node's extension counts from its tidset (expected in
+  /// tidset_scratch_[depth]) and builds its subtree.
+  void Explore(uint32_t idx, size_t depth);
 
-  /// Builds children/closed flag for a node whose ext_counts are current.
-  void ExpandFromCounts(CetNode* node,
-                        const std::vector<const Transaction*>& containing);
+  /// Builds children/closed flag for a node whose ext_counts are current and
+  /// whose tidset is in tidset_scratch_[depth].
+  void ExpandFromCounts(uint32_t idx, size_t depth);
+
+  /// Recounts ext_counts from the tidset in tidset_scratch_[depth].
+  void BuildExtCounts(uint32_t idx, size_t depth);
+
+  /// Merges the items of \p t (minus the node's own items) into the node's
+  /// sorted extension-count array: +1 per present item, insert-at-1 for new
+  /// co-occurrences.
+  void MergeAddExtCounts(CetNode* node, const Transaction& t);
+  /// Inverse of MergeAddExtCounts; drops counts that reach zero.
+  static void MergeSubExtCounts(CetNode* node, const Transaction& t);
 
   /// Recomputes a frequent node's closed flag from its extension counts.
   static void RecomputeClosed(CetNode* node);
@@ -152,11 +204,28 @@ class MomentMiner {
   /// True iff some j < max(I) outside I occurs in every record containing I.
   static bool HasUnpromisingBlocker(const CetNode& node);
 
-  std::vector<const Transaction*> RecordsContaining(const Itemset& itemset) const;
+  /// tidset_scratch_[depth], grown on demand (deque: growth keeps existing
+  /// references valid across the recursion that holds them).
+  Bitmap& ScratchAt(size_t depth);
+
+  /// fn(node) over the subtree of idx in canonical (depth-first, ascending
+  /// branch item) order.
+  template <typename Fn>
+  void VisitTree(uint32_t idx, const Fn& fn) const;
 
   SlidingWindow window_;
   Support min_support_;
-  std::unique_ptr<CetNode> root_;
+  WindowBitmapIndex index_;
+
+  // --- CET node arena: contiguous pool + free list, uint32 links.
+  std::vector<CetNode> arena_;
+  std::vector<uint32_t> free_;
+
+  // --- reusable scratch (no steady-state allocation).
+  std::deque<Bitmap> tidset_scratch_;     ///< per-depth tidsets
+  std::vector<Support> count_scratch_;    ///< dense item id -> running count
+  std::vector<Item> touched_scratch_;     ///< items seen by BuildExtCounts
+  std::vector<Item> missing_scratch_;     ///< new items in MergeAddExtCounts
 
   // --- incremental closed→full expansion cache (GetAllFrequentIncremental).
   /// Set by Append (any CET mutation), cleared once the cache is revalidated.

@@ -1,0 +1,156 @@
+#include "stream/window_bitmap_index.h"
+
+#include <cassert>
+
+namespace butterfly {
+
+WindowBitmapIndex::WindowBitmapIndex(size_t capacity) : capacity_(capacity) {
+  assert(capacity > 0);
+  slots_.resize(capacity, nullptr);
+}
+
+void WindowBitmapIndex::SetBit(Item item, size_t slot) {
+  const uint32_t dense = remap_.Acquire(item);
+  if (dense >= rows_.size()) {
+    rows_.resize(dense + 1);
+    row_counts_.resize(dense + 1, 0);
+  }
+  Bitmap& row = rows_[dense];
+  if (row.size() != capacity_) row.Resize(capacity_);
+  row.Set(slot);
+  ++row_counts_[dense];
+}
+
+void WindowBitmapIndex::ClearBit(Item item, size_t slot) {
+  const uint32_t dense = remap_.Find(item);
+  assert(dense != ItemRemap::kNone);
+  rows_[dense].Clear(slot);
+  if (--row_counts_[dense] == 0) {
+    // The row is all-zero again; recycle the dense slot (the zeroed Bitmap
+    // stays allocated and is reused verbatim by the next item mapped here).
+    remap_.Release(item);
+  }
+}
+
+void WindowBitmapIndex::Apply(const Transaction* added,
+                              const Transaction* evicted) {
+  const size_t slot = next_slot_;
+  if (evicted != nullptr) {
+    assert(size_ == capacity_);
+    for (Item item : evicted->items) ClearBit(item, slot);
+  } else {
+    assert(size_ < capacity_);
+    ++size_;
+  }
+  for (Item item : added->items) SetBit(item, slot);
+  slots_[slot] = added;
+  next_slot_ = (next_slot_ + 1) % capacity_;
+}
+
+const Bitmap* WindowBitmapIndex::Row(Item item) const {
+  const uint32_t dense = remap_.Find(item);
+  return dense == ItemRemap::kNone ? nullptr : &rows_[dense];
+}
+
+Support WindowBitmapIndex::Tidset(const Itemset& itemset, Bitmap* out) const {
+  out->Resize(capacity_);
+  if (itemset.empty()) {
+    // All in-scope slots. Once full that is every slot; during fill, slots
+    // 0..size-1 (arrivals fill slots in order until the first wrap).
+    out->SetFirst(size_);
+    return static_cast<Support>(size_);
+  }
+  const Bitmap* first = Row(itemset[0]);
+  if (first == nullptr) {
+    out->ClearAll();
+    return 0;
+  }
+  if (itemset.size() == 1) {
+    out->Assign(*first);
+    return static_cast<Support>(out->Popcount());
+  }
+  const Bitmap* second = Row(itemset[1]);
+  if (second == nullptr) {
+    out->ClearAll();
+    return 0;
+  }
+  size_t count = out->AssignAnd(*first, *second);
+  for (size_t i = 2; i < itemset.size() && count > 0; ++i) {
+    const Bitmap* row = Row(itemset[i]);
+    if (row == nullptr) {
+      out->ClearAll();
+      return 0;
+    }
+    count = out->AndWith(*row);
+  }
+  return static_cast<Support>(count);
+}
+
+Support WindowBitmapIndex::Refine(const Bitmap& base, Item item,
+                                  Bitmap* out) const {
+  const Bitmap* row = Row(item);
+  if (row == nullptr) {
+    out->Resize(capacity_);
+    out->ClearAll();
+    return 0;
+  }
+  return static_cast<Support>(out->AssignAnd(base, *row));
+}
+
+Support WindowBitmapIndex::SupportOf(const Itemset& itemset) const {
+  Bitmap scratch;
+  return Tidset(itemset, &scratch);
+}
+
+Status WindowBitmapIndex::Validate(const SlidingWindow& window) const {
+  if (window.size() != size_) {
+    return Status::Internal("index size disagrees with the window");
+  }
+  // Recount every item row from the window contents. The slot of the record
+  // at deque position p is (stream_position - size + p) mod H.
+  const size_t base = static_cast<size_t>(window.stream_position()) - size_;
+  std::vector<std::pair<Item, Bitmap>> expected;
+  size_t p = 0;
+  for (const Transaction& t : window.transactions()) {
+    const size_t slot = (base + p) % capacity_;
+    if (slots_[slot] != &t) {
+      return Status::Internal("slot " + std::to_string(slot) +
+                              " does not point at its window record");
+    }
+    for (Item item : t.items) {
+      Bitmap* row = nullptr;
+      for (auto& [existing, bits] : expected) {
+        if (existing == item) {
+          row = &bits;
+          break;
+        }
+      }
+      if (row == nullptr) {
+        expected.emplace_back(item, Bitmap(capacity_));
+        row = &expected.back().second;
+      }
+      row->Set(slot);
+    }
+    ++p;
+  }
+  if (expected.size() != remap_.live()) {
+    return Status::Internal("live row count disagrees with a recount");
+  }
+  for (const auto& [item, bits] : expected) {
+    const Bitmap* row = Row(item);
+    if (row == nullptr) {
+      return Status::Internal("missing row for item " + std::to_string(item));
+    }
+    if (!(*row == bits)) {
+      return Status::Internal("row for item " + std::to_string(item) +
+                              " disagrees with a recount");
+    }
+    if (row_counts_[remap_.Find(item)] != bits.Popcount()) {
+      return Status::Internal("stale popcount for item " +
+                              std::to_string(item));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace butterfly

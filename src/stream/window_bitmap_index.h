@@ -1,0 +1,100 @@
+/// \file window_bitmap_index.h
+/// \brief Vertical bitmap index of a sliding window.
+///
+/// The index maintains, per live item, a tid-bitmap over the H window slots
+/// (slot = arrival position mod H, so an arriving record reuses the slot of
+/// the record it evicts). A single bit flips per (item, slide) on append and
+/// on evict, and every question the Moment miner used to answer by rescanning
+/// window transactions becomes word arithmetic:
+///
+///  * tidset(I)  = AND of the item rows of I          (O(|I| · H/64) words)
+///  * support(I) = popcount(tidset(I))
+///  * tidset(I ∪ {j}) = tidset(I) & row(j)            (the CET child refine)
+///
+/// Item rows are stored densely via ItemRemap, so the row table is bounded by
+/// the number of items concurrently in scope, not the stream's lifetime
+/// universe; a row whose last bit clears returns its dense slot for reuse.
+/// The index also keeps a per-slot pointer to the in-scope Transaction so a
+/// tidset can be walked back to records (deque pointers are stable across
+/// push_back/pop_front, which is all SlidingWindow does).
+
+#ifndef BUTTERFLY_STREAM_WINDOW_BITMAP_INDEX_H_
+#define BUTTERFLY_STREAM_WINDOW_BITMAP_INDEX_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/bitmap.h"
+#include "common/item_remap.h"
+#include "common/status.h"
+#include "common/transaction.h"
+#include "stream/sliding_window.h"
+
+namespace butterfly {
+
+/// Per-item tid-bitmaps over the current window, one bit per slot.
+class WindowBitmapIndex {
+ public:
+  /// \param capacity the window size H (> 0).
+  explicit WindowBitmapIndex(size_t capacity);
+
+  /// Mirrors one SlidingWindow::Append: \p added is the record just appended
+  /// (its pointer must stay valid while in scope — the window's deque element
+  /// qualifies), \p evicted the record it displaced, or nullptr while the
+  /// window is filling. Flips one bit per item of each.
+  void Apply(const Transaction* added, const Transaction* evicted);
+
+  size_t capacity() const { return capacity_; }
+  /// Number of records currently in scope.
+  size_t size() const { return size_; }
+
+  /// Computes tidset(I) into \p out (resized to H bits) and returns its
+  /// popcount, i.e. the exact support of \p itemset in the window. The empty
+  /// itemset yields every in-scope slot. An itemset with an unindexed item
+  /// yields the empty tidset.
+  Support Tidset(const Itemset& itemset, Bitmap* out) const;
+
+  /// out = base & row(item); returns the popcount (the support of I ∪ {j}
+  /// given tidset(I) = base). An unindexed item yields the empty tidset.
+  Support Refine(const Bitmap& base, Item item, Bitmap* out) const;
+
+  /// Support of \p itemset without keeping the tidset.
+  Support SupportOf(const Itemset& itemset) const;
+
+  /// The in-scope record occupying \p slot; valid only for set bits of a
+  /// current tidset.
+  const Transaction* transaction(size_t slot) const { return slots_[slot]; }
+
+  /// Number of live item rows (== items with at least one set bit).
+  size_t live_items() const { return remap_.live(); }
+
+  /// Dense id of \p item, or ItemRemap::kNone when the item is out of scope.
+  /// Dense ids are < dense_limit() and are recycled as items leave the
+  /// window, so callers can size scratch tables by dense_limit().
+  uint32_t DenseId(Item item) const { return remap_.Find(item); }
+  size_t dense_limit() const { return remap_.dense_limit(); }
+
+  /// Deep self-check against the ground-truth window contents: every row
+  /// matches a recount, live slots match, and no dead row has a set bit.
+  /// O(items × H); for tests.
+  Status Validate(const SlidingWindow& window) const;
+
+ private:
+  /// Row of \p item, or nullptr when the item is not in scope.
+  const Bitmap* Row(Item item) const;
+
+  void SetBit(Item item, size_t slot);
+  void ClearBit(Item item, size_t slot);
+
+  size_t capacity_;
+  size_t size_ = 0;
+  size_t next_slot_ = 0;  ///< slot the next arrival will occupy
+  ItemRemap remap_;
+  std::vector<Bitmap> rows_;           ///< dense item id -> slot bitmap
+  std::vector<uint32_t> row_counts_;   ///< dense item id -> set-bit count
+  std::vector<const Transaction*> slots_;
+};
+
+}  // namespace butterfly
+
+#endif  // BUTTERFLY_STREAM_WINDOW_BITMAP_INDEX_H_

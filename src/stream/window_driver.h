@@ -5,6 +5,7 @@
 #ifndef BUTTERFLY_STREAM_WINDOW_DRIVER_H_
 #define BUTTERFLY_STREAM_WINDOW_DRIVER_H_
 
+#include <chrono>
 #include <cstddef>
 #include <functional>
 #include <optional>
@@ -54,7 +55,11 @@ class WindowDriver {
     if (on_slide_) {
       SlideEvent event{window_->transactions().back(),
                        evicted ? &*evicted : nullptr};
+      const auto start = std::chrono::steady_clock::now();
       on_slide_(event);
+      slide_ns_ += std::chrono::duration<double, std::nano>(
+                       std::chrono::steady_clock::now() - start)
+                       .count();
     }
     if (on_report_ && report_stride_ > 0 && window_->Full() &&
         window_->stream_position() % report_stride_ == 0) {
@@ -62,11 +67,22 @@ class WindowDriver {
     }
   }
 
+  /// Nanoseconds spent inside the slide callback since the last take. When
+  /// the callback maintains a miner, this is the stream's `mine_ns` stage,
+  /// attributable per reported window by taking it from the report callback.
+  double slide_ns() const { return slide_ns_; }
+  double TakeSlideNs() {
+    double ns = slide_ns_;
+    slide_ns_ = 0;
+    return ns;
+  }
+
  private:
   SlidingWindow* window_;
   size_t report_stride_;
   SlideCallback on_slide_;
   ReportCallback on_report_;
+  double slide_ns_ = 0;
 };
 
 }  // namespace butterfly

@@ -1,11 +1,15 @@
 /// Adversarial stream structures for the incremental CET: shapes that stress
 /// specific transition paths (gateway promotion/demotion, unpromising
 /// blocking/unblocking, cascaded prunes), each validated against the deep
-/// self-check and the static miner.
+/// self-check, the static miner, and the map-CET reference implementation
+/// (bit-identical output on every slide). Also pins the arena's steady-state
+/// behavior: once a periodic workload's node population stabilizes, churn is
+/// served from the free list and the pool stops growing.
 
 #include <gtest/gtest.h>
 
 #include "mining/closed.h"
+#include "moment/map_cet_miner.h"
 #include "moment/moment.h"
 
 namespace butterfly {
@@ -13,14 +17,18 @@ namespace {
 
 void DriveAndCheck(MomentMiner* miner, const std::vector<Itemset>& records) {
   ClosedMiner reference;
+  MapCetMiner map_cet(miner->window().capacity(), miner->min_support());
   for (const Itemset& items : records) {
     miner->Append(Transaction(0, items));
+    map_cet.Append(Transaction(0, items));
     Status status = miner->Validate();
     ASSERT_TRUE(status.ok()) << status.ToString();
+    MiningOutput got = miner->GetClosedFrequent();
     MiningOutput expected =
         reference.Mine(miner->window().Snapshot(), miner->min_support());
-    ASSERT_TRUE(miner->GetClosedFrequent().SameAs(expected))
-        << miner->window().Label();
+    ASSERT_TRUE(got.SameAs(expected)) << miner->window().Label();
+    ASSERT_TRUE(got.SameAs(map_cet.GetClosedFrequent()))
+        << "diverged from the map CET at " << miner->window().Label();
   }
 }
 
@@ -120,6 +128,63 @@ TEST(MomentStressTest, ShiftingAlphabet) {
   }
   MomentMiner miner(6, 2);
   DriveAndCheck(&miner, records);
+}
+
+// A periodic record generator: after one full period the window contents
+// repeat exactly, so the CET node population is eventually periodic too.
+Itemset PeriodicRecord(int i) {
+  switch (i % 5) {
+    case 0: return Itemset{0, 1, 2};
+    case 1: return Itemset{1, 2, 3};
+    case 2: return Itemset{0, 3};
+    case 3: return Itemset{2, 4};
+    default: return Itemset{0, 1, 4};
+  }
+}
+
+TEST(MomentStressTest, ArenaServesSteadyStateFromFreeList) {
+  // Drive a periodic stream long enough for the node population to cycle,
+  // snapshot the pool size, then keep going: every node the churn needs must
+  // come from the free list — the arena must not grow again. This is the
+  // allocation-free steady state the arena exists for (no per-node heap
+  // allocation once capacity is reached; the ASAN variant of this suite
+  // additionally rules out stale-reference reuse bugs).
+  MomentMiner miner(10, 3);
+  int i = 0;
+  for (; i < 60; ++i) miner.Append(Transaction(0, PeriodicRecord(i)));
+  const MomentArenaStats warm = miner.arena_stats();
+  EXPECT_GT(warm.capacity, 1u);  // more than the root materialized
+  for (; i < 300; ++i) {
+    miner.Append(Transaction(0, PeriodicRecord(i)));
+    const MomentArenaStats now = miner.arena_stats();
+    EXPECT_EQ(now.capacity, warm.capacity)
+        << "arena grew in steady state at record " << i;
+    EXPECT_EQ(now.live + now.free_list, now.capacity);
+  }
+}
+
+TEST(MomentStressTest, ArenaRecyclesAfterAlphabetTurnover) {
+  // Two disjoint alphabets alternate in long phases. Returning to phase A
+  // must reuse the nodes freed when phase A's itemsets died — the pool may
+  // grow while *both* alphabets' nodes are transiently live, but a later
+  // full cycle must not allocate beyond the high-water mark.
+  MomentMiner miner(8, 2);
+  auto phase_record = [](int i) {
+    const bool phase_b = (i / 20) % 2 == 1;
+    const Item base = phase_b ? 10 : 0;
+    return Itemset{static_cast<Item>(base + i % 3),
+                   static_cast<Item>(base + i % 3 + 1)};
+  };
+  int i = 0;
+  for (; i < 80; ++i) miner.Append(Transaction(0, phase_record(i)));
+  const size_t high_water = miner.arena_stats().capacity;
+  for (; i < 400; ++i) {
+    miner.Append(Transaction(0, phase_record(i)));
+    EXPECT_EQ(miner.arena_stats().capacity, high_water)
+        << "arena grew after both phases were already seen, at record " << i;
+  }
+  Status status = miner.Validate();
+  ASSERT_TRUE(status.ok()) << status.ToString();
 }
 
 }  // namespace
