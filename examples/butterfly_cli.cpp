@@ -10,9 +10,19 @@
 ///                 [--scheme=basic|order|ratio|hybrid] [--lambda=0.4]
 ///                 [--stride=100] [--reports=10] [--records=N]
 ///                 [--out=releases.log] [--attack] [--seed=66]
+///                 [--checkpoint=path.ckpt] [--checkpoint-every=N]
+///                 [--restore=path.ckpt]
 ///
 /// --attack additionally replays the intra-window adversary against both the
 /// raw and the sanitized output of every reported window.
+///
+/// --checkpoint snapshots the engine to the given path after every
+/// --checkpoint-every reported windows (atomic rename; a crash mid-write
+/// keeps the previous snapshot). --restore rebuilds the engine from such a
+/// snapshot, skips the stream records it had already consumed, recovers a
+/// torn --out log, and continues emitting the exact releases the
+/// uninterrupted run would have: window/config flags are taken from the
+/// snapshot, not the command line.
 
 #include <cstdio>
 #include <optional>
@@ -20,6 +30,7 @@
 #include "common/flags.h"
 #include "core/release_log.h"
 #include "core/stream_engine.h"
+#include "persist/engine_checkpoint.h"
 #include "datagen/fimi_io.h"
 #include "datagen/profiles.h"
 #include "inference/breach_finder.h"
@@ -52,7 +63,7 @@ int main(int argc, char** argv) {
 
   const std::string data_path = flags.GetString("data", "");
   const std::string profile_name = flags.GetString("profile", "webview1");
-  const size_t window = static_cast<size_t>(flags.GetInt("window", 2000));
+  size_t window = static_cast<size_t>(flags.GetInt("window", 2000));
   const size_t stride = static_cast<size_t>(flags.GetInt("stride", 100));
   const size_t reports = static_cast<size_t>(flags.GetInt("reports", 10));
   const size_t records = static_cast<size_t>(flags.GetInt("records", 0));
@@ -60,6 +71,10 @@ int main(int argc, char** argv) {
   const bool run_attack = flags.GetBool("attack", false);
   const bool run_audit = flags.GetBool("audit", false);
   const std::string save_data_path = flags.GetString("save-data", "");
+  const std::string checkpoint_path = flags.GetString("checkpoint", "");
+  const size_t checkpoint_every =
+      static_cast<size_t>(flags.GetInt("checkpoint-every", 1));
+  const std::string restore_path = flags.GetString("restore", "");
 
   ButterflyConfig config;
   config.min_support = flags.GetInt("min-support", 25);
@@ -99,8 +114,39 @@ int main(int argc, char** argv) {
     if (!s.ok()) return Fail(s.ToString());
   }
 
-  Result<StreamPrivacyEngine> engine = StreamPrivacyEngine::Create(window, config);
+  size_t fed = 0;       // stream records consumed so far
+  size_t reported = 0;  // releases emitted so far
+  Result<StreamPrivacyEngine> engine = [&]() {
+    if (restore_path.empty()) {
+      return StreamPrivacyEngine::Create(window, config);
+    }
+    return persist::LoadEngineCheckpoint(restore_path);
+  }();
   if (!engine.ok()) return Fail(engine.status().ToString());
+
+  if (!restore_path.empty()) {
+    // The snapshot is authoritative: window and config come from the file so
+    // the resumed run is bit-identical to the uninterrupted one.
+    window = engine->miner().window().capacity();
+    config = engine->config();
+    fed = static_cast<size_t>(engine->miner().window().stream_position());
+    reported = static_cast<size_t>(engine->sanitizer().epoch());
+    if (fed > data->size()) {
+      return Fail("snapshot is ahead of the stream: it consumed " +
+                  std::to_string(fed) + " records but only " +
+                  std::to_string(data->size()) + " are available");
+    }
+    if (!out_path.empty()) {
+      Result<size_t> kept = RecoverReleaseLog(out_path);
+      if (!kept.ok()) return Fail(kept.status().ToString());
+      std::printf("restored %s: %zu records consumed, %zu releases emitted, "
+                  "release log holds %zu complete blocks\n",
+                  restore_path.c_str(), fed, reported, *kept);
+    } else {
+      std::printf("restored %s: %zu records consumed, %zu releases emitted\n",
+                  restore_path.c_str(), fed, reported);
+    }
+  }
 
   AttackConfig attack;
   attack.vulnerable_support = config.vulnerable_support;
@@ -116,14 +162,12 @@ int main(int argc, char** argv) {
   if (run_audit) std::printf(" %6s", "audit");
   std::printf("\n");
 
-  size_t reported = 0;
-  size_t fed = 0;
   size_t audit_failures = 0;
   MiningOutput previous_raw;
   SanitizedOutput previous_release;
   bool have_previous = false;
-  for (const Transaction& t : *data) {
-    engine->Append(t);
+  for (size_t i = fed; i < data->size(); ++i) {
+    engine->Append((*data)[i]);
     ++fed;
     if (fed < window || (fed - window) % stride != 0 || reported >= reports) {
       continue;
@@ -131,13 +175,25 @@ int main(int argc, char** argv) {
     ++reported;
 
     MiningOutput raw = engine->RawOutput();
-    SanitizedOutput release = engine->Release();
+    ReleaseResult result = engine->Release();
+    const SanitizedOutput& release = result.output;
 
     if (!out_path.empty()) {
       std::string label = "Ds(" + std::to_string(fed) + "," +
                           std::to_string(window) + ")";
       Status s = AppendReleaseToFile(out_path, label, release);
       if (!s.ok()) return Fail(s.ToString());
+    }
+
+    if (!checkpoint_path.empty() && checkpoint_every > 0 &&
+        reported % checkpoint_every == 0) {
+      persist::CheckpointWriteStats ckpt;
+      Status s = persist::SaveEngineCheckpoint(*engine, checkpoint_path, &ckpt);
+      if (!s.ok()) return Fail(s.ToString());
+      std::printf("checkpoint %s: %llu bytes in %.2f ms\n",
+                  checkpoint_path.c_str(),
+                  static_cast<unsigned long long>(ckpt.bytes),
+                  ckpt.seconds * 1e3);
     }
 
     std::printf("%-16s %9zu %8.5f %8.4f %8.4f",

@@ -68,7 +68,7 @@ int main() {
   MiningOutput raw = engine.RawOutput();
   std::vector<AssociationRule> rules = GenerateRules(raw, kMinConfidence);
 
-  SanitizedOutput ratio_release = engine.Release();
+  SanitizedOutput ratio_release = engine.Release().output;
 
   config.scheme = ButterflyScheme::kOrderPreserving;
   ButterflyEngine order_engine(config);

@@ -68,7 +68,7 @@ int main() {
     if (!engine.WindowFull() || (i + 1) % 500 != 0) continue;
 
     MiningOutput raw = engine.RawOutput();
-    SanitizedOutput release = engine.Release();
+    SanitizedOutput release = engine.Release().output;
     double churn = have_previous ? 1.0 - Jaccard(previous, raw) : 0.0;
 
     const char* phase = (i + 1) <= drift.drift_start

@@ -44,7 +44,7 @@ int main() {
   // 4. Release the current window. The raw output is what an unprotected
   //    system would publish; Release() is what Butterfly publishes.
   MiningOutput raw = engine->RawOutput();
-  SanitizedOutput release = engine->Release();
+  SanitizedOutput release = engine->Release().output;
 
   std::printf("window %s: %zu frequent itemsets (C=%ld)\n",
               engine->miner().window().Label().c_str(), raw.size(),

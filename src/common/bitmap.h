@@ -137,6 +137,21 @@ class Bitmap {
     return bits_ == other.bits_ && words_ == other.words_;
   }
 
+  /// The backing word array (tail bits past size() are zero). Exposed for
+  /// serialization; word layout is little-endian bit order (bit i lives in
+  /// word i>>6 at position i&63).
+  const std::vector<uint64_t>& words() const { return words_; }
+
+  /// Replaces the contents with \p word_count words addressing \p bits bits
+  /// (word_count must equal WordsFor(bits)); masks any stray tail bits. The
+  /// restore-side inverse of words().
+  void AssignWords(size_t bits, const uint64_t* words, size_t word_count) {
+    assert(word_count == WordsFor(bits));
+    Resize(bits);
+    for (size_t w = 0; w < word_count; ++w) words_[w] = words[w];
+    ClearTail();
+  }
+
  private:
   static size_t WordsFor(size_t bits) { return (bits + 63) >> 6; }
 

@@ -12,8 +12,10 @@
 #ifndef BUTTERFLY_COMMON_ITEM_REMAP_H_
 #define BUTTERFLY_COMMON_ITEM_REMAP_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/types.h"
@@ -61,6 +63,33 @@ class ItemRemap {
   /// Upper bound of the dense range ever handed out: arrays indexed by dense
   /// id need this many slots.
   size_t dense_limit() const { return dense_limit_; }
+
+  /// The live (item, dense id) pairs sorted by item — the canonical order
+  /// checkpoints serialize mappings in (the map itself iterates in hash
+  /// order, which is not stable across processes).
+  std::vector<std::pair<Item, uint32_t>> SortedMappings() const {
+    std::vector<std::pair<Item, uint32_t>> mappings(to_dense_.begin(),
+                                                    to_dense_.end());
+    std::sort(mappings.begin(), mappings.end());
+    return mappings;
+  }
+
+  /// Recycled ids in stack order (back is handed out next). Serialized
+  /// verbatim so a restored remap assigns the same dense ids the original
+  /// would have.
+  const std::vector<uint32_t>& free_ids() const { return free_; }
+
+  /// Replaces the whole state; the checkpoint-restore inverse of
+  /// SortedMappings/free_ids/dense_limit. The caller is responsible for
+  /// consistency (disjoint live and free ids covering [0, dense_limit)).
+  void RestoreState(const std::vector<std::pair<Item, uint32_t>>& mappings,
+                    std::vector<uint32_t> free_ids, uint32_t dense_limit) {
+    to_dense_.clear();
+    to_dense_.reserve(mappings.size());
+    for (const auto& [item, dense] : mappings) to_dense_.emplace(item, dense);
+    free_ = std::move(free_ids);
+    dense_limit_ = dense_limit;
+  }
 
  private:
   std::unordered_map<Item, uint32_t> to_dense_;

@@ -8,7 +8,13 @@
 #include <optional>
 #include <utility>
 
+#include "persist/serializer.h"
+
 namespace butterfly {
+
+namespace {
+constexpr uint32_t kSanitizerTag = persist::SectionTag('B', 'F', 'L', 'E');
+}  // namespace
 
 namespace {
 
@@ -180,22 +186,73 @@ constexpr uint64_t kFecStreamDomain = 0x9e3779b97f4a7c15ull;
 }  // namespace
 
 SanitizedOutput ButterflyEngine::Sanitize(const MiningOutput& frequent,
-                                          Support window_size) {
+                                          Support window_size,
+                                          const FecView* fecs) {
+  if (fecs != nullptr) return SanitizeWithFecs(frequent, window_size, *fecs);
   const auto start = StageNow();
-  std::vector<Fec> fecs = PartitionIntoFecs(frequent);
+  std::vector<Fec> local = PartitionIntoFecs(frequent);
   FecView view;
-  view.reserve(fecs.size());
-  for (const Fec& fec : fecs) view.push_back(&fec);
+  view.reserve(local.size());
+  for (const Fec& fec : local) view.push_back(&fec);
   const double partition_ns = StageNs(start, StageNow());
   SanitizedOutput release = SanitizeWithFecs(frequent, window_size, view);
   last_stage_times_.partition_ns += partition_ns;
   return release;
 }
 
-SanitizedOutput ButterflyEngine::Sanitize(const MiningOutput& frequent,
-                                          Support window_size,
-                                          const FecView& fecs) {
-  return SanitizeWithFecs(frequent, window_size, fecs);
+void ButterflyEngine::Checkpoint(persist::CheckpointWriter* writer) const {
+  writer->Tag(kSanitizerTag);
+  writer->U64(epoch_);
+  cache_.Checkpoint(writer);
+  writer->U64(cached_profiles_.size());
+  for (const FecProfile& p : cached_profiles_) {
+    writer->I64(p.support);
+    writer->U64(p.member_count);
+    writer->F64(p.max_bias);
+  }
+  writer->U64(cached_biases_.size());
+  for (double b : cached_biases_) writer->F64(b);
+}
+
+Status ButterflyEngine::Restore(persist::CheckpointReader* reader) {
+  if (Status s = reader->ExpectTag(kSanitizerTag, "butterfly engine");
+      !s.ok()) {
+    return s;
+  }
+  const uint64_t epoch = reader->U64();
+  if (!reader->ok()) return reader->status();
+  if (Status s = cache_.Restore(reader); !s.ok()) return s;
+  const uint64_t profile_count = reader->ReadCount(24, "cached FEC profiles");
+  if (!reader->ok()) return reader->status();
+  std::vector<FecProfile> profiles(profile_count);
+  for (uint64_t i = 0; i < profile_count; ++i) {
+    profiles[i].support = reader->I64();
+    profiles[i].member_count = reader->U64();
+    profiles[i].max_bias = reader->F64();
+  }
+  const uint64_t bias_count = reader->ReadCount(8, "cached biases");
+  if (!reader->ok()) return reader->status();
+  if (bias_count != profile_count) {
+    return reader->Fail(
+        "checkpoint corrupt: cached biases disagree with cached profiles");
+  }
+  std::vector<double> biases(bias_count);
+  for (uint64_t i = 0; i < bias_count; ++i) biases[i] = reader->F64();
+  if (!reader->ok()) return reader->status();
+
+  epoch_ = epoch;
+  cached_profiles_ = std::move(profiles);
+  cached_biases_ = std::move(biases);
+  // Reconstructible state is simply reset: the DP memo refills with
+  // bit-identical entries as profiles recur, and the diagnostics restart.
+  last_biases_were_cached_ = false;
+  bias_memo_.clear();
+  bias_memo_size_ = 0;
+  bias_memo_clock_ = 0;
+  bias_memo_hits_ = 0;
+  bias_memo_misses_ = 0;
+  last_stage_times_ = SanitizeStageTimes{};
+  return Status::OK();
 }
 
 SanitizedOutput ButterflyEngine::SanitizeWithFecs(const MiningOutput& frequent,

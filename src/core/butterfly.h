@@ -40,6 +40,11 @@
 
 namespace butterfly {
 
+namespace persist {
+class CheckpointWriter;
+class CheckpointReader;
+}  // namespace persist
+
 /// Wall-clock breakdown of the last Sanitize call, in nanoseconds per stage.
 /// Exposed for the overhead benchmarks (fig8_overhead emits these into
 /// BENCH_overhead.json) and for tests pinning the cache behavior.
@@ -65,20 +70,20 @@ class ButterflyEngine {
   /// (public) window size H, carried into the release for the adversary
   /// model and the metrics.
   ///
+  /// \p fecs optionally supplies a prebuilt FEC partition of \p frequent
+  /// (strictly ascending by support, partitioning it exactly) — the fast
+  /// path StreamPrivacyEngine maintains incrementally across window slides.
+  /// With fecs == nullptr the engine partitions from scratch. Both paths
+  /// emit the bit-identical release; the prebuilt one only skips work.
+  ///
   /// Noise is drawn from counter-based streams keyed on (engine seed,
   /// release epoch, itemset / FEC identity), so the release is a pure
   /// function of the engine's seed, its call history length, and the input —
   /// independent of FEC iteration order and of `config.threads`. With
   /// threads > 1 the per-itemset work is spread over a shared ThreadPool and
   /// the output is bit-identical to the serial release.
-  SanitizedOutput Sanitize(const MiningOutput& frequent, Support window_size);
-
-  /// Same, with the FEC partition of \p frequent prebuilt by the caller
-  /// (StreamPrivacyEngine maintains it incrementally across window slides).
-  /// \p fecs must partition \p frequent exactly, strictly ascending by
-  /// support; the release is bit-identical to the two-argument overload.
   SanitizedOutput Sanitize(const MiningOutput& frequent, Support window_size,
-                           const FecView& fecs);
+                           const FecView* fecs = nullptr);
 
   /// The per-FEC biases the configured scheme would assign to \p frequent —
   /// exposed for tests and for the bias-setting benchmarks.
@@ -86,6 +91,12 @@ class ButterflyEngine {
 
   const ButterflyConfig& config() const { return config_; }
   const NoiseModel& noise() const { return noise_; }
+
+  /// The epoch the NEXT Sanitize call will release under. Each call consumes
+  /// one epoch; the (seed, epoch) pair keys every noise stream, so this
+  /// counter is essential checkpoint state — a restored engine must continue
+  /// the sequence, not restart it.
+  uint64_t epoch() const { return epoch_; }
 
   /// True iff the last Sanitize call reused cached bias settings (the FEC
   /// structure was unchanged, or the DP memo held the profile vector).
@@ -108,6 +119,20 @@ class ButterflyEngine {
   /// re-sanitize. Use sparingly — the adversary knowing that rejected
   /// configurations are impossible is itself a (second-order) leak.
   void ForgetPinnedValues() { cache_.Clear(); }
+
+  /// Serializes the sanitizer's essential cross-release state: the epoch
+  /// counter, the republish cache, and the previous window's bias settings
+  /// (essential under a nonzero bias_cache_tolerance, where the reuse path
+  /// may legitimately diverge from a fresh optimization). The DP memo is
+  /// reconstructible — memo hits are bit-identical to recomputation — and is
+  /// dropped; so are the stage timings and memo hit counters. The config is
+  /// serialized by the owner (StreamPrivacyEngine), not here.
+  void Checkpoint(persist::CheckpointWriter* writer) const;
+
+  /// Restores from a checkpoint section into an engine built with the same
+  /// config. Resets the DP memo and diagnostics; returns Status errors on
+  /// corrupted sections.
+  Status Restore(persist::CheckpointReader* reader);
 
  private:
   /// Attempts to satisfy this window's bias setting from the cached one

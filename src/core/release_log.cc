@@ -1,7 +1,9 @@
 #include "core/release_log.h"
 
+#include <filesystem>
 #include <fstream>
 #include <sstream>
+#include <string_view>
 
 namespace butterfly {
 
@@ -95,6 +97,65 @@ Result<std::vector<LoggedRelease>> ReadReleasesFromFile(
   std::ifstream in(path);
   if (!in) return Status::IOError("cannot open '" + path + "'");
   return ReadReleases(&in);
+}
+
+Result<size_t> RecoverReleaseLog(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return size_t{0};  // no log yet: nothing to recover
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string text = buffer.str();
+  in.close();
+
+  // Walk whole lines, remembering the byte offset just past the last block
+  // that completed (header, its declared item count, terminating blank line).
+  // Anything after that offset — a torn tail from a crash mid-append, or a
+  // line without its trailing newline — is cut.
+  size_t good_end = 0;
+  size_t complete = 0;
+  size_t pos = 0;
+  bool in_block = false;
+  size_t items_left = 0;
+  while (pos < text.size()) {
+    const size_t eol = text.find('\n', pos);
+    if (eol == std::string::npos) break;  // unterminated final line: torn
+    const std::string_view line(text.data() + pos, eol - pos);
+    const size_t next = eol + 1;
+    if (!in_block) {
+      if (line.empty()) {
+        good_end = next;  // benign separator between blocks
+      } else if (line.rfind("#release", 0) == 0) {
+        std::istringstream header{std::string(line.substr(8))};
+        std::string label;
+        Support window_size = 0, min_support = 0;
+        if (!(header >> label >> window_size >> min_support >> items_left)) {
+          break;  // torn header
+        }
+        in_block = true;
+      } else {
+        break;  // stray line outside a block
+      }
+    } else if (items_left > 0) {
+      if (line.empty()) break;  // block ended short of its declared count
+      --items_left;
+    } else {
+      if (!line.empty()) break;  // missing terminating blank line
+      in_block = false;
+      good_end = next;
+      ++complete;
+    }
+    pos = next;
+  }
+
+  if (good_end < text.size()) {
+    std::error_code ec;
+    std::filesystem::resize_file(path, good_end, ec);
+    if (ec) {
+      return Status::IOError("cannot truncate torn release log '" + path +
+                             "': " + ec.message());
+    }
+  }
+  return complete;
 }
 
 }  // namespace butterfly

@@ -47,6 +47,15 @@ Status AppendReleaseToFile(const std::string& path, const std::string& label,
 Result<std::vector<LoggedRelease>> ReadReleasesFromFile(
     const std::string& path);
 
+/// Crash recovery for an append-mode release log: scans \p path and
+/// truncates a torn trailing block (a header whose declared item count never
+/// completed, or a block missing its terminating blank line) so the log ends
+/// on a whole release and appending can resume. A missing file is fine (a
+/// fresh log). Returns the number of complete releases kept. Used by the
+/// checkpoint-restore path: the engine snapshot restores internal state,
+/// this restores the public artifact to a consistent prefix.
+Result<size_t> RecoverReleaseLog(const std::string& path);
+
 }  // namespace butterfly
 
 #endif  // BUTTERFLY_CORE_RELEASE_LOG_H_

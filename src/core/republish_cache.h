@@ -18,9 +18,15 @@
 #include <unordered_map>
 
 #include "common/itemset.h"
+#include "common/status.h"
 #include "common/types.h"
 
 namespace butterfly {
+
+namespace persist {
+class CheckpointWriter;
+class CheckpointReader;
+}  // namespace persist
 
 class RepublishCache {
  public:
@@ -54,6 +60,16 @@ class RepublishCache {
   void Clear() { entries_.clear(); }
 
   size_t size() const { return entries_.size(); }
+
+  /// Serializes every pinned entry (sorted by itemset for deterministic
+  /// bytes) plus the epoch clock. The cache is ESSENTIAL checkpoint state:
+  /// losing a pin re-perturbs an unchanged support after restart, which is
+  /// exactly the averaging leak (Prior Knowledge 2) the cache defends
+  /// against.
+  void Checkpoint(persist::CheckpointWriter* writer) const;
+
+  /// Restores from a checkpoint section, replacing the current contents.
+  Status Restore(persist::CheckpointReader* reader);
 
  private:
   struct Slot {

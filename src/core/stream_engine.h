@@ -2,11 +2,20 @@
 /// \brief StreamPrivacyEngine: the end-to-end pipeline of the paper —
 /// Moment mining over a sliding window with Butterfly sanitization on top.
 /// This is the primary public entry point for applications.
+///
+/// The release surface is one call: Release() returns a ReleaseResult
+/// bundling the sanitized output with an EngineStats snapshot (per-stage
+/// nanoseconds, cache-hit flags, the release epoch), so callers no longer
+/// juggle the engine's timing accumulator and the sanitizer's stage times
+/// as two objects. The engine also checkpoints: Checkpoint/Restore (and the
+/// file-level wrappers in persist/engine_checkpoint.h) capture every piece
+/// of state a bit-identical resume needs.
 
 #ifndef BUTTERFLY_CORE_STREAM_ENGINE_H_
 #define BUTTERFLY_CORE_STREAM_ENGINE_H_
 
 #include <cstddef>
+#include <cstdint>
 
 #include "common/status.h"
 #include "core/butterfly.h"
@@ -14,6 +23,34 @@
 #include "moment/moment.h"
 
 namespace butterfly {
+
+namespace persist {
+class CheckpointWriter;
+class CheckpointReader;
+}  // namespace persist
+
+/// Per-release pipeline statistics, snapshotted by Release(). Replaces the
+/// old mine_ns()/TakeMineNs() + ButterflyEngine::last_stage_times() pair.
+struct EngineStats {
+  double mine_ns = 0;       ///< miner maintenance since the previous release
+  double partition_ns = 0;  ///< FEC sync + profile construction
+  double bias_ns = 0;       ///< bias reuse/memo lookup + DP on a miss
+  double noise_ns = 0;      ///< per-itemset perturbation (parallel phase)
+  double emit_ns = 0;       ///< republish pinning + release assembly + seal
+
+  bool bias_cache_hit = false;  ///< previous-window bias reuse fired
+  bool bias_memo_hit = false;   ///< cross-window DP memo fired
+
+  uint64_t epoch = 0;            ///< the epoch this release was drawn under
+  size_t frequent_itemsets = 0;  ///< size of the raw mined output
+  size_t fec_count = 0;          ///< frequency equivalence classes released
+};
+
+/// What one Release() returns: the sanitized output plus its statistics.
+struct ReleaseResult {
+  SanitizedOutput output;
+  EngineStats stats;
+};
 
 class StreamPrivacyEngine {
  public:
@@ -29,9 +66,7 @@ class StreamPrivacyEngine {
   StreamPrivacyEngine(StreamPrivacyEngine&&) = default;
 
   /// Feeds the next stream record. Time spent in the miner's incremental
-  /// maintenance accumulates into mine_ns() — the mine stage of the
-  /// pipeline's per-stage accounting (the sanitize stages live in
-  /// SanitizeStageTimes on the sanitizer).
+  /// maintenance accumulates into the next Release()'s stats.mine_ns.
   void Append(Transaction t) {
     Stopwatch watch;
     miner_.Append(std::move(t));
@@ -42,44 +77,65 @@ class StreamPrivacyEngine {
   bool WindowFull() const { return miner_.window().Full(); }
 
   /// The raw (unprotected) full frequent-itemset output — what a mining
-  /// system without output-privacy protection would publish. Expands the
-  /// closed lattice from scratch; prefer RawOutputIncremental on the release
-  /// hot path.
-  MiningOutput RawOutput() const { return miner_.GetAllFrequent(); }
+  /// system without output-privacy protection would publish.
+  ///
+  /// Freshness: served from the miner's incremental expansion cache, which
+  /// is revalidated on this call, so the content always reflects every
+  /// Append made so far (identical to expanding the closed lattice from
+  /// scratch). The returned reference is invalidated by the next Append(),
+  /// Release(), RawOutput() or Restore() — copy it to keep it.
+  const MiningOutput& RawOutput() { return miner_.GetAllFrequentIncremental(); }
 
-  /// The raw full output, served from the miner's incremental expansion
-  /// cache (identical content to RawOutput). The reference stays valid until
-  /// the next Append or Release-path call.
-  const MiningOutput& RawOutputIncremental() {
-    return miner_.GetAllFrequentIncremental();
+  /// Deprecated alias of RawOutput(), kept for source compatibility with the
+  /// pre-unification API (there used to be a scratch-expanding RawOutput and
+  /// an incremental variant; they now share the one implementation).
+  [[deprecated("use RawOutput()")]] const MiningOutput& RawOutputIncremental() {
+    return RawOutput();
   }
 
   /// The raw closed frequent itemsets (Moment's native output).
   MiningOutput RawClosedOutput() const { return miner_.GetClosedFrequent(); }
 
-  /// The sanitized release for the current window. Feeds the sanitizer from
-  /// the incremental expansion cache by reference — no per-release copy of
-  /// the full MiningOutput is materialized — and keeps the FEC partition
-  /// itself incremental: the expansion delta patches only the itemsets whose
-  /// support changed since the last release, instead of re-partitioning and
-  /// re-sorting every class per window. The release is bit-identical to
-  /// sanitizing RawOutput() from scratch.
-  SanitizedOutput Release() {
+  /// The sanitized release for the current window, with per-stage stats.
+  ///
+  /// Feeds the sanitizer from the incremental expansion cache by reference —
+  /// no per-release copy of the full MiningOutput is materialized — and
+  /// keeps the FEC partition itself incremental: the expansion delta patches
+  /// only the itemsets whose support changed since the last release, instead
+  /// of re-partitioning and re-sorting every class per window. The release
+  /// is bit-identical to sanitizing RawOutput() from scratch.
+  ReleaseResult Release() {
+    ReleaseResult result;
+    result.stats.epoch = sanitizer_.epoch();
     const MiningOutput& raw = miner_.GetAllFrequentIncremental();
     fec_partition_.Sync(raw, miner_.expansion_version(),
                         miner_.last_expansion_delta());
-    return sanitizer_.Sanitize(raw,
-                               static_cast<Support>(miner_.window().size()),
-                               fec_partition_.view());
+    result.output = sanitizer_.Sanitize(
+        raw, static_cast<Support>(miner_.window().size()),
+        &fec_partition_.view());
+    const SanitizeStageTimes& stages = sanitizer_.last_stage_times();
+    result.stats.mine_ns = mine_ns_;
+    mine_ns_ = 0;
+    result.stats.partition_ns = stages.partition_ns;
+    result.stats.bias_ns = stages.bias_ns;
+    result.stats.noise_ns = stages.noise_ns;
+    result.stats.emit_ns = stages.emit_ns;
+    result.stats.bias_cache_hit = stages.bias_cache_hit;
+    result.stats.bias_memo_hit = stages.bias_memo_hit;
+    result.stats.frequent_itemsets = raw.size();
+    result.stats.fec_count = fec_partition_.view().size();
+    return result;
   }
 
-  /// Nanoseconds spent inside mining maintenance since the last TakeMineNs()
-  /// (the `mine_ns` stage reported by the overhead benchmarks).
-  double mine_ns() const { return mine_ns_; }
+  /// Deprecated: nanoseconds of mining maintenance since the last release.
+  /// Release() now reports this as ReleaseResult::stats.mine_ns.
+  [[deprecated("read ReleaseResult::stats.mine_ns")]] double mine_ns() const {
+    return mine_ns_;
+  }
 
-  /// Returns mine_ns() and resets the accumulator, so callers can attribute
-  /// mining time per reported window.
-  double TakeMineNs() {
+  /// Deprecated: returns mine_ns() and resets the accumulator. Release()
+  /// drains the accumulator itself now.
+  [[deprecated("read ReleaseResult::stats.mine_ns")]] double TakeMineNs() {
     double ns = mine_ns_;
     mine_ns_ = 0;
     return ns;
@@ -91,7 +147,30 @@ class StreamPrivacyEngine {
   /// The incrementally maintained FEC partition of the release path.
   const FecPartitioner& fec_partition() const { return fec_partition_; }
 
+  /// Serializes the full engine: window capacity + config header, then the
+  /// miner (window, bitmap index, CET arena) and the sanitizer (epoch,
+  /// republish cache, previous-window bias settings). The FEC partition and
+  /// the miner's expansion cache are reconstructible and are not written —
+  /// the first post-restore Release rebuilds both with identical content.
+  /// See persist/engine_checkpoint.h for the file-level wrappers.
+  void Checkpoint(persist::CheckpointWriter* writer) const;
+
+  /// Restores this engine from a checkpoint whose window capacity and config
+  /// exactly match this engine's (bit-compared; returns kInvalidArgument
+  /// otherwise). After a successful restore the engine emits byte-identical
+  /// releases to the uninterrupted run it was checkpointed from.
+  Status Restore(persist::CheckpointReader* reader);
+
+  /// Builds an engine directly from a checkpoint payload — the capacity and
+  /// config are read from the snapshot itself (and re-validated), so the
+  /// caller needs nothing but the file.
+  static Result<StreamPrivacyEngine> FromCheckpoint(
+      persist::CheckpointReader* reader);
+
  private:
+  /// Restores the component sections that follow the capacity+config header.
+  Status RestoreBody(persist::CheckpointReader* reader);
+
   MomentMiner miner_;
   ButterflyEngine sanitizer_;
   FecPartitioner fec_partition_;

@@ -7,8 +7,14 @@
 #include <utility>
 
 #include "mining/closed.h"
+#include "persist/serializer.h"
 
 namespace butterfly {
+
+namespace {
+constexpr uint32_t kMinerTag = persist::SectionTag('C', 'E', 'T', 'M');
+constexpr uint32_t kArenaTag = persist::SectionTag('A', 'R', 'E', 'N');
+}  // namespace
 
 /// One arena slot. Links are arena indices, never pointers: the pool may
 /// reallocate while a subtree is being built. Child and extension-count
@@ -684,6 +690,170 @@ Status MomentMiner::Validate() const {
     }
   });
   return reuse_failure;
+}
+
+void MomentMiner::Checkpoint(persist::CheckpointWriter* writer) const {
+  writer->Tag(kMinerTag);
+  writer->I64(min_support_);
+  window_.Checkpoint(writer);
+  index_.Checkpoint(writer);
+
+  writer->Tag(kArenaTag);
+  writer->U64(arena_.size());
+  writer->U64(free_.size());
+  for (uint32_t idx : free_) writer->U32(idx);
+  std::vector<uint8_t> is_free(arena_.size(), 0);
+  for (uint32_t idx : free_) is_free[idx] = 1;
+  for (uint32_t idx = 0; idx < arena_.size(); ++idx) {
+    if (is_free[idx]) continue;
+    const CetNode& node = arena_[idx];
+    writer->U32(node.branch_item);
+    writer->I64(node.support);
+    writer->U8(static_cast<uint8_t>((node.frequent_explored ? 1 : 0) |
+                                    (node.unpromising ? 2 : 0) |
+                                    (node.closed ? 4 : 0)));
+    writer->U64(node.ext_counts.size());
+    for (const CetNode::ExtCount& ec : node.ext_counts) {
+      writer->U32(ec.item);
+      writer->I64(ec.count);
+    }
+    writer->U64(node.children.size());
+    for (const CetNode::ChildEntry& entry : node.children) {
+      writer->U32(entry.item);
+      writer->U32(entry.node);
+    }
+  }
+}
+
+Status MomentMiner::Restore(persist::CheckpointReader* reader) {
+  if (Status s = reader->ExpectTag(kMinerTag, "moment miner"); !s.ok()) {
+    return s;
+  }
+  const Support min_support = reader->I64();
+  if (!reader->ok()) return reader->status();
+  if (min_support != min_support_) {
+    return Status::InvalidArgument(
+        "checkpoint min_support " + std::to_string(min_support) +
+        " does not match this engine's " + std::to_string(min_support_));
+  }
+  if (Status s = window_.Restore(reader); !s.ok()) return s;
+  if (Status s = index_.Restore(reader, window_); !s.ok()) return s;
+
+  if (Status s = reader->ExpectTag(kArenaTag, "CET arena"); !s.ok()) return s;
+  const uint64_t arena_size = reader->U64();
+  const uint64_t free_count = reader->ReadCount(4, "arena free list");
+  if (!reader->ok()) return reader->status();
+  if (arena_size == 0 || free_count >= arena_size) {
+    return reader->Fail("checkpoint corrupt: CET arena has no root");
+  }
+  // Each live node carries at least branch/support/flags + two counts.
+  if (arena_size - free_count > reader->remaining() / 29) {
+    return reader->Fail("checkpoint corrupt: implausible CET arena size");
+  }
+  std::vector<uint32_t> free_list(free_count);
+  std::vector<uint8_t> is_free(arena_size, 0);
+  for (uint64_t i = 0; i < free_count; ++i) {
+    const uint32_t idx = reader->U32();
+    if (!reader->ok()) return reader->status();
+    if (idx >= arena_size || idx == kRoot || is_free[idx]) {
+      return reader->Fail("checkpoint corrupt: bad arena free-list entry");
+    }
+    is_free[idx] = 1;
+    free_list[i] = idx;
+  }
+
+  std::vector<CetNode> arena(arena_size);
+  for (uint32_t idx = 0; idx < arena_size; ++idx) {
+    if (is_free[idx]) continue;
+    CetNode& node = arena[idx];
+    node.branch_item = reader->U32();
+    node.support = reader->I64();
+    const uint8_t flags = reader->U8();
+    if (!reader->ok()) return reader->status();
+    if (flags > 7) {
+      return reader->Fail("checkpoint corrupt: bad CET node flags");
+    }
+    node.frequent_explored = (flags & 1) != 0;
+    node.unpromising = (flags & 2) != 0;
+    node.closed = (flags & 4) != 0;
+    const uint64_t ext_count = reader->ReadCount(12, "extension counts");
+    if (!reader->ok()) return reader->status();
+    node.ext_counts.resize(ext_count);
+    for (uint64_t e = 0; e < ext_count; ++e) {
+      node.ext_counts[e].item = reader->U32();
+      node.ext_counts[e].count = reader->I64();
+      if (e > 0 && reader->ok() &&
+          node.ext_counts[e].item <= node.ext_counts[e - 1].item) {
+        return reader->Fail(
+            "checkpoint corrupt: extension counts out of order");
+      }
+    }
+    const uint64_t child_count = reader->ReadCount(8, "CET children");
+    if (!reader->ok()) return reader->status();
+    node.children.resize(child_count);
+    for (uint64_t c = 0; c < child_count; ++c) {
+      node.children[c].item = reader->U32();
+      node.children[c].node = reader->U32();
+      if (!reader->ok()) return reader->status();
+      const uint32_t child = node.children[c].node;
+      if (child >= arena_size || child == kRoot || is_free[child]) {
+        return reader->Fail("checkpoint corrupt: bad CET child link");
+      }
+      if (c > 0 && node.children[c].item <= node.children[c - 1].item) {
+        return reader->Fail("checkpoint corrupt: CET children out of order");
+      }
+    }
+    if (!reader->ok()) return reader->status();
+  }
+  if (arena[kRoot].branch_item != kInvalidItem ||
+      !arena[kRoot].frequent_explored) {
+    return reader->Fail("checkpoint corrupt: malformed CET root");
+  }
+
+  // One DFS reconstructs every node's itemset from its root path and proves
+  // the links form a tree (each live node reached exactly once).
+  std::vector<uint8_t> visited(arena_size, 0);
+  std::vector<uint32_t> stack = {kRoot};
+  visited[kRoot] = 1;
+  uint64_t reached = 1;
+  while (!stack.empty()) {
+    const uint32_t idx = stack.back();
+    stack.pop_back();
+    const CetNode& node = arena[idx];
+    for (const CetNode::ChildEntry& entry : node.children) {
+      CetNode& child = arena[entry.node];
+      if (visited[entry.node]) {
+        return reader->Fail("checkpoint corrupt: CET links are not a tree");
+      }
+      if (child.branch_item != entry.item ||
+          (idx != kRoot && entry.item <= node.branch_item)) {
+        return reader->Fail("checkpoint corrupt: CET branch items disagree");
+      }
+      child.itemset.AssignWith(node.itemset, entry.item);
+      visited[entry.node] = 1;
+      ++reached;
+      stack.push_back(entry.node);
+    }
+  }
+  if (reached != arena_size - free_count) {
+    return reader->Fail("checkpoint corrupt: unreachable CET nodes");
+  }
+
+  arena_ = std::move(arena);
+  free_ = std::move(free_list);
+
+  // The closed→full expansion cache is reconstructible state: drop it and
+  // let the first post-restore expansion rebuild it. The rebuilt content is
+  // identical to what the uninterrupted run would serve, so downstream
+  // consumers (the FEC partitioner, after its own Reset) stay bit-identical.
+  expansion_dirty_ = true;
+  expansion_cached_ = false;
+  cached_closed_ = MiningOutput();
+  cached_all_ = MiningOutput();
+  expansion_best_.clear();
+  expansion_version_ = 0;
+  expansion_delta_ = MiningOutputDelta();
+  return Status::OK();
 }
 
 MomentStats MomentMiner::Stats() const {

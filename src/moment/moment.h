@@ -59,6 +59,11 @@
 
 namespace butterfly {
 
+namespace persist {
+class CheckpointWriter;
+class CheckpointReader;
+}  // namespace persist
+
 /// CET node taxonomy (see file comment).
 enum class CetNodeKind {
   kInfrequentGateway,
@@ -159,6 +164,19 @@ class MomentMiner {
   /// accounting against the reachable tree. O(nodes × window); intended for
   /// tests and debugging, not the hot path. Returns the first violation.
   Status Validate() const;
+
+  /// Serializes the window, the bitmap index and the CET arena (free list,
+  /// per-node links/counts/flags). Node itemsets are NOT written — each one
+  /// is its root path's item sequence, and Restore rebuilds them in one DFS.
+  /// The expansion cache is reconstructible and also not written; the first
+  /// post-restore expansion rebuilds it with identical content.
+  void Checkpoint(persist::CheckpointWriter* writer) const;
+
+  /// Restores from a checkpoint section into a miner constructed with the
+  /// same window capacity and min_support (both validated). Returns Status
+  /// errors, never asserts, on mismatched parameters or corrupted sections;
+  /// on error the miner's previous state is unspecified but destructible.
+  Status Restore(persist::CheckpointReader* reader);
 
  private:
   struct CetNode;

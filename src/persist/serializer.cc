@@ -1,0 +1,165 @@
+#include "persist/serializer.h"
+
+#include <array>
+#include <bit>
+#include <vector>
+
+namespace butterfly::persist {
+
+namespace {
+
+std::array<uint32_t, 256> BuildCrcTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+}  // namespace
+
+uint32_t Crc32(const void* data, size_t size, uint32_t crc) {
+  static const std::array<uint32_t, 256> table = BuildCrcTable();
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  uint32_t c = crc ^ 0xFFFFFFFFu;
+  for (size_t i = 0; i < size; ++i) {
+    c = table[(c ^ p[i]) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+void CheckpointWriter::AppendLe(uint64_t v, int bytes) {
+  for (int i = 0; i < bytes; ++i) {
+    buffer_.push_back(static_cast<char>((v >> (8 * i)) & 0xFFu));
+  }
+}
+
+void CheckpointWriter::F64(double v) { U64(std::bit_cast<uint64_t>(v)); }
+
+void CheckpointWriter::Str(std::string_view s) {
+  U64(s.size());
+  buffer_.append(s.data(), s.size());
+}
+
+void CheckpointWriter::WriteItemset(const Itemset& s) {
+  U64(s.size());
+  for (Item item : s) U32(item);
+}
+
+void CheckpointWriter::WriteBitmap(const Bitmap& b) {
+  U64(b.size());
+  for (uint64_t word : b.words()) U64(word);
+}
+
+const char* CheckpointReader::Take(size_t n, const char* what) {
+  if (!status_.ok()) return nullptr;
+  if (n > data_.size() - pos_) {
+    Fail(std::string("checkpoint truncated reading ") + what);
+    return nullptr;
+  }
+  const char* p = data_.data() + pos_;
+  pos_ += n;
+  return p;
+}
+
+Status CheckpointReader::Fail(std::string message) {
+  if (status_.ok()) status_ = Status::IOError(std::move(message));
+  return status_;
+}
+
+uint8_t CheckpointReader::U8() {
+  const char* p = Take(1, "u8");
+  return p == nullptr ? 0 : static_cast<uint8_t>(*p);
+}
+
+uint32_t CheckpointReader::U32() {
+  const char* p = Take(4, "u32");
+  if (p == nullptr) return 0;
+  uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) {
+    v = (v << 8) | static_cast<unsigned char>(p[i]);
+  }
+  return v;
+}
+
+uint64_t CheckpointReader::U64() {
+  const char* p = Take(8, "u64");
+  if (p == nullptr) return 0;
+  uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) {
+    v = (v << 8) | static_cast<unsigned char>(p[i]);
+  }
+  return v;
+}
+
+double CheckpointReader::F64() { return std::bit_cast<double>(U64()); }
+
+std::string CheckpointReader::Str() {
+  const uint64_t size = ReadCount(1, "string");
+  const char* p = Take(size, "string bytes");
+  return p == nullptr ? std::string() : std::string(p, size);
+}
+
+uint64_t CheckpointReader::ReadCount(uint64_t min_bytes_per_element,
+                                     const char* what) {
+  const uint64_t count = U64();
+  if (!status_.ok()) return 0;
+  if (count > remaining() / min_bytes_per_element) {
+    Fail(std::string("checkpoint corrupt: implausible count for ") + what);
+    return 0;
+  }
+  return count;
+}
+
+Status CheckpointReader::ReadItemset(Itemset* out) {
+  const uint64_t count = ReadCount(4, "itemset");
+  std::vector<Item> items;
+  items.reserve(count);
+  for (uint64_t i = 0; i < count && status_.ok(); ++i) {
+    const Item item = U32();
+    if (!items.empty() && item <= items.back()) {
+      return Fail("checkpoint corrupt: itemset items not strictly ascending");
+    }
+    items.push_back(item);
+  }
+  if (!status_.ok()) return status_;
+  *out = Itemset::FromSorted(std::move(items));
+  return Status::OK();
+}
+
+Status CheckpointReader::ReadBitmap(Bitmap* out, size_t expected_bits) {
+  const uint64_t bits = U64();
+  if (!status_.ok()) return status_;
+  if (bits != expected_bits) {
+    return Fail("checkpoint corrupt: bitmap size mismatch");
+  }
+  const size_t words = (expected_bits + 63) >> 6;
+  if (words * 8 > remaining()) {
+    return Fail("checkpoint truncated reading bitmap words");
+  }
+  std::vector<uint64_t> buffer(words);
+  for (size_t w = 0; w < words; ++w) buffer[w] = U64();
+  if (!status_.ok()) return status_;
+  if ((expected_bits & 63) != 0 && words > 0 &&
+      (buffer.back() >> (expected_bits & 63)) != 0) {
+    return Fail("checkpoint corrupt: bitmap tail bits set");
+  }
+  out->AssignWords(expected_bits, buffer.data(), words);
+  return Status::OK();
+}
+
+Status CheckpointReader::ExpectTag(uint32_t tag, const char* section) {
+  const uint32_t got = U32();
+  if (!status_.ok()) return status_;
+  if (got != tag) {
+    return Fail(std::string("checkpoint corrupt: bad section tag for ") +
+                section);
+  }
+  return Status::OK();
+}
+
+}  // namespace butterfly::persist

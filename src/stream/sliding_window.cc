@@ -1,9 +1,16 @@
 #include "stream/sliding_window.h"
 
+#include <algorithm>
 #include <cassert>
 #include <sstream>
 
+#include "persist/serializer.h"
+
 namespace butterfly {
+
+namespace {
+constexpr uint32_t kWindowTag = persist::SectionTag('W', 'I', 'N', 'D');
+}  // namespace
 
 SlidingWindow::SlidingWindow(size_t capacity) : capacity_(capacity) {
   assert(capacity > 0);
@@ -23,6 +30,47 @@ std::optional<Transaction> SlidingWindow::Append(Transaction t) {
 
 std::vector<Transaction> SlidingWindow::Snapshot() const {
   return std::vector<Transaction>(window_.begin(), window_.end());
+}
+
+void SlidingWindow::Checkpoint(persist::CheckpointWriter* writer) const {
+  writer->Tag(kWindowTag);
+  writer->U64(capacity_);
+  writer->U64(stream_position_);
+  writer->U64(window_.size());
+  for (const Transaction& t : window_) {
+    writer->U64(t.tid);
+    writer->WriteItemset(t.items);
+  }
+}
+
+Status SlidingWindow::Restore(persist::CheckpointReader* reader) {
+  if (Status s = reader->ExpectTag(kWindowTag, "sliding window"); !s.ok()) {
+    return s;
+  }
+  const uint64_t capacity = reader->U64();
+  const uint64_t position = reader->U64();
+  const uint64_t count = reader->ReadCount(12, "window records");
+  if (!reader->ok()) return reader->status();
+  if (capacity != capacity_) {
+    return Status::InvalidArgument(
+        "checkpoint window capacity " + std::to_string(capacity) +
+        " does not match this engine's " + std::to_string(capacity_));
+  }
+  if (count != std::min<uint64_t>(position, capacity)) {
+    return reader->Fail("checkpoint corrupt: window fill disagrees with the "
+                        "stream position");
+  }
+  std::deque<Transaction> restored;
+  for (uint64_t i = 0; i < count; ++i) {
+    Transaction t;
+    t.tid = reader->U64();
+    if (Status s = reader->ReadItemset(&t.items); !s.ok()) return s;
+    restored.push_back(std::move(t));
+  }
+  if (!reader->ok()) return reader->status();
+  stream_position_ = position;
+  window_ = std::move(restored);
+  return Status::OK();
 }
 
 std::string SlidingWindow::Label() const {

@@ -15,9 +15,15 @@
 #include <string>
 #include <vector>
 
+#include "common/status.h"
 #include "common/transaction.h"
 
 namespace butterfly {
+
+namespace persist {
+class CheckpointWriter;
+class CheckpointReader;
+}  // namespace persist
 
 /// A bounded FIFO of the H most recent stream records.
 class SlidingWindow {
@@ -50,6 +56,16 @@ class SlidingWindow {
 
   /// The paper's window label, e.g. "Ds(12, 8)".
   std::string Label() const;
+
+  /// Serializes capacity, stream position and the in-scope records. The
+  /// window is essential checkpoint state: every miner question is answered
+  /// from it (or from mirrors rebuilt over it).
+  void Checkpoint(persist::CheckpointWriter* writer) const;
+
+  /// Restores from a checkpoint section. The serialized capacity must match
+  /// this window's; returns a Status error (never asserts) on mismatch or a
+  /// corrupted section.
+  Status Restore(persist::CheckpointReader* reader);
 
  private:
   size_t capacity_;

@@ -1,8 +1,16 @@
 #include "stream/window_bitmap_index.h"
 
 #include <cassert>
+#include <string>
+#include <utility>
+
+#include "persist/serializer.h"
 
 namespace butterfly {
+
+namespace {
+constexpr uint32_t kIndexTag = persist::SectionTag('B', 'I', 'D', 'X');
+}  // namespace
 
 WindowBitmapIndex::WindowBitmapIndex(size_t capacity) : capacity_(capacity) {
   assert(capacity > 0);
@@ -100,6 +108,112 @@ Support WindowBitmapIndex::Refine(const Bitmap& base, Item item,
 Support WindowBitmapIndex::SupportOf(const Itemset& itemset) const {
   Bitmap scratch;
   return Tidset(itemset, &scratch);
+}
+
+void WindowBitmapIndex::Checkpoint(persist::CheckpointWriter* writer) const {
+  writer->Tag(kIndexTag);
+  writer->U64(capacity_);
+  writer->U64(size_);
+  writer->U64(next_slot_);
+  writer->U32(static_cast<uint32_t>(remap_.dense_limit()));
+  const std::vector<uint32_t>& free_ids = remap_.free_ids();
+  writer->U64(free_ids.size());
+  for (uint32_t id : free_ids) writer->U32(id);
+  const auto mappings = remap_.SortedMappings();
+  writer->U64(mappings.size());
+  for (const auto& [item, dense] : mappings) {
+    writer->U32(item);
+    writer->U32(dense);
+    writer->WriteBitmap(rows_[dense]);
+  }
+}
+
+Status WindowBitmapIndex::Restore(persist::CheckpointReader* reader,
+                                  const SlidingWindow& window) {
+  if (Status s = reader->ExpectTag(kIndexTag, "window bitmap index");
+      !s.ok()) {
+    return s;
+  }
+  const uint64_t capacity = reader->U64();
+  const uint64_t size = reader->U64();
+  const uint64_t next_slot = reader->U64();
+  const uint32_t dense_limit = reader->U32();
+  if (!reader->ok()) return reader->status();
+  if (capacity != capacity_) {
+    return Status::InvalidArgument("checkpoint index capacity mismatch");
+  }
+  if (size != window.size() ||
+      next_slot != window.stream_position() % capacity_) {
+    return reader->Fail(
+        "checkpoint corrupt: index cursor disagrees with the window");
+  }
+
+  // Live ids and recycled ids must partition [0, dense_limit) exactly.
+  const uint64_t free_count = reader->ReadCount(4, "recycled dense ids");
+  if (!reader->ok()) return reader->status();
+  std::vector<uint32_t> free_ids(free_count);
+  std::vector<uint8_t> seen(dense_limit, 0);
+  for (uint64_t i = 0; i < free_count; ++i) {
+    const uint32_t id = reader->U32();
+    if (!reader->ok()) return reader->status();
+    if (id >= dense_limit || seen[id]) {
+      return reader->Fail("checkpoint corrupt: bad recycled dense id");
+    }
+    seen[id] = 1;
+    free_ids[i] = id;
+  }
+  const uint64_t mapping_count = reader->ReadCount(16, "item rows");
+  if (!reader->ok()) return reader->status();
+  if (free_count + mapping_count != dense_limit) {
+    return reader->Fail(
+        "checkpoint corrupt: dense ids do not cover the dense range");
+  }
+
+  std::vector<std::pair<Item, uint32_t>> mappings(mapping_count);
+  std::vector<Bitmap> rows(dense_limit);
+  std::vector<uint32_t> row_counts(dense_limit, 0);
+  Item prev_item = 0;
+  for (uint64_t i = 0; i < mapping_count; ++i) {
+    const Item item = reader->U32();
+    const uint32_t dense = reader->U32();
+    if (!reader->ok()) return reader->status();
+    if (i > 0 && item <= prev_item) {
+      return reader->Fail("checkpoint corrupt: item rows out of order");
+    }
+    prev_item = item;
+    if (dense >= dense_limit || seen[dense]) {
+      return reader->Fail("checkpoint corrupt: bad live dense id");
+    }
+    seen[dense] = 1;
+    if (Status s = reader->ReadBitmap(&rows[dense], capacity_); !s.ok()) {
+      return s;
+    }
+    const size_t bits = rows[dense].Popcount();
+    if (bits == 0) {
+      return reader->Fail("checkpoint corrupt: live item row with no bits");
+    }
+    row_counts[dense] = static_cast<uint32_t>(bits);
+    mappings[i] = {item, dense};
+  }
+
+  remap_.RestoreState(mappings, std::move(free_ids), dense_limit);
+  rows_ = std::move(rows);
+  row_counts_ = std::move(row_counts);
+  size_ = size;
+  next_slot_ = next_slot;
+
+  // Rebind the per-slot record pointers: the record at deque position p
+  // occupies slot (stream_position - size + p) mod H. Slots holding evicted
+  // records carry stale pointers in a live index; nullptr is equivalent
+  // (they are only read through set bits of current tidsets).
+  slots_.assign(capacity_, nullptr);
+  const size_t base = static_cast<size_t>(window.stream_position()) - size_;
+  size_t p = 0;
+  for (const Transaction& t : window.transactions()) {
+    slots_[(base + p) % capacity_] = &t;
+    ++p;
+  }
+  return Status::OK();
 }
 
 Status WindowBitmapIndex::Validate(const SlidingWindow& window) const {

@@ -32,6 +32,11 @@
 
 namespace butterfly {
 
+namespace persist {
+class CheckpointWriter;
+class CheckpointReader;
+}  // namespace persist
+
 /// Per-item tid-bitmaps over the current window, one bit per slot.
 class WindowBitmapIndex {
  public:
@@ -78,6 +83,18 @@ class WindowBitmapIndex {
   /// matches a recount, live slots match, and no dead row has a set bit.
   /// O(items × H); for tests.
   Status Validate(const SlidingWindow& window) const;
+
+  /// Serializes the slot cursor, the item remap (including the exact
+  /// recycled-id order, so a restored index assigns the same dense ids the
+  /// original would) and every live item row. Dead rows and the per-slot
+  /// record pointers are reconstructible and not written.
+  void Checkpoint(persist::CheckpointWriter* writer) const;
+
+  /// Restores from a checkpoint section, rebinding the per-slot record
+  /// pointers into \p window (which must already be restored to the same
+  /// stream position). Structural inconsistencies return Status errors.
+  Status Restore(persist::CheckpointReader* reader,
+                 const SlidingWindow& window);
 
  private:
   /// Row of \p item, or nullptr when the item is not in scope.

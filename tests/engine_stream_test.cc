@@ -79,7 +79,7 @@ TEST_P(EngineStreamTest, RepublishPinsStableSupportsOnly) {
     engine.Append((*stream)[i]);
     if (!engine.WindowFull() || (i + 1) % 40 != 0) continue;
     MiningOutput raw = engine.RawOutput();
-    SanitizedOutput release = engine.Release();
+    SanitizedOutput release = engine.Release().output;
     if (have_previous) {
       for (const SanitizedItemset& item : release.items()) {
         std::optional<Support> now = raw.SupportOf(item.itemset);

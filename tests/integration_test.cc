@@ -39,7 +39,7 @@ TEST(StreamEngineTest, PaperScenarioEndToEnd) {
   MiningOutput raw = engine.RawOutput();
   EXPECT_EQ(raw.SupportOf(Itemset{kA, kB, kC}), 4);  // Ds(11,8)
 
-  SanitizedOutput release = engine.Release();
+  SanitizedOutput release = engine.Release().output;
   EXPECT_EQ(release.size(), raw.size());
   EXPECT_EQ(release.window_size(), 8);
 
@@ -86,7 +86,7 @@ TEST_P(EndToEndPropertyTest, PrecisionAndPrivacyBudgetsHold) {
     ++reports;
 
     MiningOutput raw = engine.RawOutput();
-    SanitizedOutput release = engine.Release();
+    SanitizedOutput release = engine.Release().output;
     pred_sum += AvgPred(raw, release);
 
     std::vector<InferredPattern> breaches = FindIntraWindowBreaches(
@@ -148,7 +148,7 @@ TEST(EndToEndTest, OptimizedSchemesPreserveMoreOrderThanTheyLose) {
       engine.Append((*data)[i]);
       if (!engine.WindowFull() || (i + 1) % 50 != 0) continue;
       MiningOutput raw = engine.RawOutput();
-      SanitizedOutput release = engine.Release();
+      SanitizedOutput release = engine.Release().output;
       ropp_sum += Ropp(raw, release);
       rrpp_sum += Rrpp(raw, release);
       ++reports;
@@ -184,7 +184,7 @@ TEST(EndToEndTest, SanitizationDefeatsTheExample5Attack) {
     config.seed = seed;
     StreamPrivacyEngine engine(8, config);
     for (size_t i = 0; i < 12; ++i) engine.Append(stream[i]);
-    SanitizedOutput release = engine.Release();
+    SanitizedOutput release = engine.Release().output;
     // The Example 5 target: T(c∧¬a∧¬b) = 1 in Ds(12,8). The adversary's
     // best estimator through the sanitized lattice (with inter-window abc
     // knowledge replaced by its sanitized derivation) needs abc, which is

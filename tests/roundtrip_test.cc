@@ -70,7 +70,7 @@ TEST(RoundTripTest, ReleaseLogFeedsTheAdversaryIdentically) {
   auto data = GenerateProfile(DatasetProfile::kBmsWebView1, 350, 5);
   ASSERT_TRUE(data.ok());
   for (const Transaction& t : *data) engine.Append(t);
-  SanitizedOutput release = engine.Release();
+  SanitizedOutput release = engine.Release().output;
 
   std::string path = ::testing::TempDir() + "/bfly_roundtrip_release.log";
   std::remove(path.c_str());
@@ -119,7 +119,7 @@ TEST(RoundTripTest, EngineDeterminismAcrossFileIo) {
   StreamPrivacyEngine a(300, config), b(300, config);
   for (const Transaction& t : *data) a.Append(t);
   for (const Transaction& t : *reloaded) b.Append(t);
-  EXPECT_EQ(a.Release().items(), b.Release().items());
+  EXPECT_EQ(a.Release().output.items(), b.Release().output.items());
 }
 
 }  // namespace

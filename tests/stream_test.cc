@@ -95,8 +95,8 @@ TEST(WindowDriverTest, ReportsOnlyWhenFullAndOnStride) {
   SlidingWindow window(2);
   WindowDriver driver(&window, 2);  // report every 2nd record once full
   std::vector<Tid> report_positions;
-  driver.set_on_report([&](const SlidingWindow& w) {
-    report_positions.push_back(w.stream_position());
+  driver.set_on_report([&](const ReportEvent& e) {
+    report_positions.push_back(e.window.stream_position());
   });
   VectorSource source(
       {T(1, {1}), T(2, {2}), T(3, {3}), T(4, {4}), T(5, {5}), T(6, {6})});

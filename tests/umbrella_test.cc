@@ -20,7 +20,7 @@ TEST(UmbrellaTest, PipelineCompilesAndRuns) {
   for (int i = 0; i < 8; ++i) {
     engine->Append(Transaction(0, Itemset{1, 2}));
   }
-  SanitizedOutput release = engine->Release();
+  SanitizedOutput release = engine->Release().output;
   EXPECT_FALSE(release.empty());
   EXPECT_TRUE(release.SanitizedSupportOf(Itemset{1, 2}).has_value());
 }
