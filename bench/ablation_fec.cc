@@ -68,7 +68,9 @@ void Run(DatasetProfile profile) {
     PrintTableRow({fec_shared ? "per-FEC" : "per-itemset",
                    FormatDouble(ropp / n, 4), FormatDouble(rrpp / n, 4),
                    FormatDouble(pred / n, 5),
-                   prig_count ? FormatDouble(prig / prig_count, 3) : "n/a"});
+                   prig_count
+                       ? FormatDouble(prig / static_cast<double>(prig_count), 3)
+                       : "n/a"});
   }
 }
 

@@ -65,8 +65,10 @@ void RunDataset(DatasetProfile profile) {
             ++prig_count;
           }
         }
-        row.push_back(prig_count ? FormatDouble(prig_sum / prig_count, 3)
-                                 : "n/a");
+        row.push_back(
+            prig_count
+                ? FormatDouble(prig_sum / static_cast<double>(prig_count), 3)
+                : "n/a");
       }
       PrintTableRow(row);
     }

@@ -44,7 +44,8 @@ void BM_BiasDpFlat(benchmark::State& state) {
     benchmark::DoNotOptimize(biases);
   }
   state.counters["fecs/s"] = benchmark::Counter(
-      static_cast<double>(n) * state.iterations(), benchmark::Counter::kIsRate);
+      static_cast<double>(n) * static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate);
 }
 
 void BM_BiasDpReference(benchmark::State& state) {
@@ -57,7 +58,8 @@ void BM_BiasDpReference(benchmark::State& state) {
     benchmark::DoNotOptimize(biases);
   }
   state.counters["fecs/s"] = benchmark::Counter(
-      static_cast<double>(n) * state.iterations(), benchmark::Counter::kIsRate);
+      static_cast<double>(n) * static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate);
 }
 
 void DpArgs(benchmark::internal::Benchmark* b) {

@@ -84,7 +84,7 @@ void BM_SanitizeParallel(benchmark::State& state) {
     benchmark::DoNotOptimize(release);
   }
   state.counters["itemsets/s"] = benchmark::Counter(
-      static_cast<double>(raw.size()) * state.iterations(),
+      static_cast<double>(raw.size()) * static_cast<double>(state.iterations()),
       benchmark::Counter::kIsRate);
   state.counters["threads"] = static_cast<double>(state.range(0));
 }
@@ -124,7 +124,7 @@ void BM_OrderDpVsFecCount(benchmark::State& state) {
     benchmark::DoNotOptimize(biases);
   }
   state.counters["fecs/s"] = benchmark::Counter(
-      static_cast<double>(n) * state.iterations(),
+      static_cast<double>(n) * static_cast<double>(state.iterations()),
       benchmark::Counter::kIsRate);
 }
 

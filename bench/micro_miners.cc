@@ -44,7 +44,8 @@ void BM_BatchMiner(benchmark::State& state) {
   }
   state.counters["itemsets"] = static_cast<double>(found);
   state.counters["records/s"] = benchmark::Counter(
-      static_cast<double>(window.size()) * state.iterations(),
+      static_cast<double>(window.size()) *
+          static_cast<double>(state.iterations()),
       benchmark::Counter::kIsRate);
 }
 

@@ -12,10 +12,11 @@
 #define BUTTERFLY_COMMON_BITMAP_H_
 
 #include <bit>
-#include <cassert>
 #include <cstddef>
 #include <cstdint>
 #include <vector>
+
+#include "common/check.h"
 
 namespace butterfly {
 
@@ -50,24 +51,24 @@ class Bitmap {
   }
 
   void Set(size_t i) {
-    assert(i < bits_);
+    BFLY_DCHECK_MSG(i < bits_, "bit index out of range");
     words_[i >> 6] |= uint64_t{1} << (i & 63);
   }
 
   void Clear(size_t i) {
-    assert(i < bits_);
+    BFLY_DCHECK_MSG(i < bits_, "bit index out of range");
     words_[i >> 6] &= ~(uint64_t{1} << (i & 63));
   }
 
   bool Test(size_t i) const {
-    assert(i < bits_);
+    BFLY_DCHECK_MSG(i < bits_, "bit index out of range");
     return (words_[i >> 6] >> (i & 63)) & 1;
   }
 
   /// Sets bits [0, n); clears the rest. Used for the "all in-scope slots"
   /// tidset of the empty itemset while the window is still filling.
   void SetFirst(size_t n) {
-    assert(n <= bits_);
+    BFLY_DCHECK_MSG(n <= bits_, "prefix length exceeds bitmap size");
     size_t full = n >> 6;
     for (size_t w = 0; w < full; ++w) words_[w] = ~uint64_t{0};
     if (full < words_.size()) {
@@ -93,7 +94,7 @@ class Bitmap {
   /// *this = a & b (the operands must share this bitmap's size). Returns the
   /// popcount of the result, fused so the hot path pays one pass.
   size_t AssignAnd(const Bitmap& a, const Bitmap& b) {
-    assert(a.bits_ == b.bits_);
+    BFLY_DCHECK_MSG(a.bits_ == b.bits_, "AND of mismatched bitmaps");
     Resize(a.bits_);
     size_t count = 0;
     for (size_t w = 0; w < words_.size(); ++w) {
@@ -105,7 +106,7 @@ class Bitmap {
 
   /// *this &= other. Returns the popcount of the result.
   size_t AndWith(const Bitmap& other) {
-    assert(bits_ == other.bits_);
+    BFLY_DCHECK_MSG(bits_ == other.bits_, "AND of mismatched bitmaps");
     size_t count = 0;
     for (size_t w = 0; w < words_.size(); ++w) {
       words_[w] &= other.words_[w];
@@ -146,7 +147,8 @@ class Bitmap {
   /// (word_count must equal WordsFor(bits)); masks any stray tail bits. The
   /// restore-side inverse of words().
   void AssignWords(size_t bits, const uint64_t* words, size_t word_count) {
-    assert(word_count == WordsFor(bits));
+    BFLY_CHECK_MSG(word_count == WordsFor(bits),
+                   "word count disagrees with the bit count");
     Resize(bits);
     for (size_t w = 0; w < word_count; ++w) words_[w] = words[w];
     ClearTail();

@@ -135,7 +135,9 @@ class DiscreteUniform {
   /// Region length alpha = hi - lo (the paper's notation).
   int64_t alpha() const { return hi_ - lo_; }
 
-  double Mean() const { return 0.5 * (static_cast<double>(lo_) + hi_); }
+  double Mean() const {
+    return 0.5 * (static_cast<double>(lo_) + static_cast<double>(hi_));
+  }
 
   double Variance() const {
     double n = static_cast<double>(alpha()) + 1.0;

@@ -6,6 +6,8 @@
 #include <limits>
 #include <map>
 
+#include "common/check.h"
+
 namespace butterfly {
 
 std::vector<double> ZeroBiases(size_t n) { return std::vector<double>(n, 0.0); }
@@ -38,8 +40,9 @@ void BiasGridInto(double max_bias, size_t max_candidates,
   out->reserve(points);
   for (size_t i = 0; i < points; ++i) {
     double frac = static_cast<double>(i) / static_cast<double>(points - 1);
+    const double spread = static_cast<double>(bound);
     out->push_back(
-        static_cast<int64_t>(std::llround(-bound + frac * 2.0 * bound)));
+        static_cast<int64_t>(std::llround(-spread + frac * 2.0 * spread)));
   }
   std::sort(out->begin(), out->end());
   out->erase(std::unique(out->begin(), out->end()), out->end());
@@ -379,6 +382,14 @@ std::vector<double> OrderPreservingBiases(const std::vector<FecProfile>& fecs,
   std::vector<double> biases(n);
   for (size_t i = 0; i < n; ++i) {
     biases[i] = static_cast<double>(s.grids[i][s.choice[i]]);
+    // Algorithm 1 postcondition: the biased estimators e_i = t_i + β_i stay
+    // strictly increasing — the DP admits only candidates that preserve the
+    // released support order, and a violation here would let an adversary
+    // detect rank inversions across FECs.
+    BFLY_DCHECK_MSG(
+        i == 0 || static_cast<double>(fecs[i - 1].support) + biases[i - 1] <
+                      static_cast<double>(fecs[i].support) + biases[i],
+        "order-preserving DP produced a non-monotone estimator");
   }
   return biases;
 }

@@ -126,6 +126,10 @@ void ButterflyEngine::MemoInsert(const std::vector<FecProfile>& profiles,
         bias_memo_.end();
     size_t lru_index = 0;
     uint64_t lru_used = UINT64_MAX;
+    // bfly-lint: allow(unordered-iteration) last_used clock values are
+    // unique, so the scan finds the one true minimum in any visit order;
+    // memoized biases are pure functions of the profiles, so eviction
+    // choice can never change a released value.
     for (auto it = bias_memo_.begin(); it != bias_memo_.end(); ++it) {
       for (size_t i = 0; i < it->second.size(); ++i) {
         if (it->second[i].last_used < lru_used) {

@@ -33,6 +33,7 @@ void RepublishCache::Checkpoint(persist::CheckpointWriter* writer) const {
   writer->U64(epoch_);
   std::vector<const std::pair<const Itemset, Slot>*> sorted;
   sorted.reserve(entries_.size());
+  // bfly-lint: allow(unordered-iteration) materialized and sorted below
   for (const auto& kv : entries_) sorted.push_back(&kv);
   std::sort(sorted.begin(), sorted.end(),
             [](const auto* a, const auto* b) { return a->first < b->first; });
@@ -81,6 +82,9 @@ void RepublishCache::NextEpoch() {
   ++epoch_;
   if (epoch_ < max_idle_epochs_) return;
   uint64_t cutoff = epoch_ - max_idle_epochs_;
+  // bfly-lint: allow(unordered-iteration) erase-only idle sweep; which
+  // entries survive depends on last_seen, not visit order, and no ordering
+  // escapes this function.
   for (auto it = entries_.begin(); it != entries_.end();) {
     if (it->second.last_seen < cutoff) {
       it = entries_.erase(it);

@@ -63,8 +63,9 @@ DatasetStats ComputeStats(const std::vector<Transaction>& dataset) {
   }
   stats.num_distinct_items = items.size();
   stats.avg_transaction_len =
-      dataset.empty() ? 0.0
-                      : static_cast<double>(total_len) / dataset.size();
+      dataset.empty()
+          ? 0.0
+          : static_cast<double>(total_len) / static_cast<double>(dataset.size());
   return stats;
 }
 

@@ -65,6 +65,10 @@ QuestPatternPool DrawPatterns(const QuestConfig& config, Rng* rng) {
       chosen.insert(static_cast<Item>(item_popularity.Sample(rng)));
     }
     std::vector<Item> items(chosen.begin(), chosen.end());
+    // The item order drives the correlated-prefix Bernoulli draws of the
+    // NEXT pattern (via `previous`), so hash order here would make the
+    // generated datasets differ across standard libraries. Sort.
+    std::sort(items.begin(), items.end());
     previous = items;
     pool.patterns.emplace_back(std::move(items));
 
@@ -143,6 +147,7 @@ Result<std::vector<Transaction>> GenerateQuest(const QuestConfig& config) {
     }
     dataset.emplace_back(
         static_cast<Tid>(t + 1),
+        // bfly-lint: allow(unordered-iteration) Itemset() sorts on build
         Itemset(std::vector<Item>(record.begin(), record.end())));
   }
   return dataset;

@@ -63,9 +63,16 @@ size_t TightenKnowledge(KnowledgeBase* knowledge, const AttackConfig& config) {
     }
   }
 
+  // Learning mutates the knowledge base, and a bound computed for a later
+  // candidate can see supports learned for earlier ones — so hash order
+  // here would make the learned set (and ultimately the derived breaches)
+  // depend on the standard library's hash seeding. Sort first.
+  std::vector<Itemset> ordered(candidates.begin(), candidates.end());
+  std::sort(ordered.begin(), ordered.end());
+
   SupportProvider provider = knowledge->AsProvider();
   size_t learned = 0;
-  for (const Itemset& j : candidates) {
+  for (const Itemset& j : ordered) {
     Interval bound = EstimateItemsetBounds(provider, j);
     if (!bound.Empty() && bound.Tight()) {
       knowledge->Learn(j, bound.lo, /*inferred=*/true);

@@ -1,5 +1,6 @@
 #include "inference/interval_tightening.h"
 
+#include <algorithm>
 #include <cassert>
 #include <vector>
 
@@ -70,9 +71,15 @@ TighteningStats TightenIntervals(IntervalMap* knowledge, size_t max_rounds) {
   TighteningStats stats;
   std::vector<const Itemset*> itemsets;
   itemsets.reserve(knowledge->size());
+  // bfly-lint: allow(unordered-iteration) materialized and sorted below
   for (const auto& [itemset, interval] : *knowledge) {
     itemsets.push_back(&itemset);
   }
+  // Tightening applies min/max updates in place, so within one bounded
+  // round the interval a later itemset sees depends on which earlier
+  // itemsets were already tightened. Sorting fixes that order.
+  std::sort(itemsets.begin(), itemsets.end(),
+            [](const Itemset* a, const Itemset* b) { return *a < *b; });
 
   auto widths_snapshot = [&]() {
     std::vector<Support> widths;

@@ -1,5 +1,6 @@
 #include "inference/interwindow.h"
 
+#include <algorithm>
 #include <unordered_map>
 
 namespace butterfly {
@@ -139,8 +140,18 @@ TransitionKnowledge AnalyzeTransition(const WindowRelease& previous,
   }
 
   TransitionKnowledge knowledge;
+  // bfly-lint: allow(unordered-iteration) sorted by item immediately below
   for (const auto& [item, m] : old_map) knowledge.old_record.emplace_back(item, m);
+  // bfly-lint: allow(unordered-iteration) sorted by item immediately below
   for (const auto& [item, m] : new_map) knowledge.new_record.emplace_back(item, m);
+  // The records are part of the analysis result handed to callers; sort so
+  // the published membership listing does not inherit hash order.
+  auto by_item = [](const std::pair<Item, Membership>& a,
+                    const std::pair<Item, Membership>& b) {
+    return a.first < b.first;
+  };
+  std::sort(knowledge.old_record.begin(), knowledge.old_record.end(), by_item);
+  std::sort(knowledge.new_record.begin(), knowledge.new_record.end(), by_item);
   return knowledge;
 }
 

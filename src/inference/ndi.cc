@@ -112,6 +112,7 @@ MiningOutput ExpandNonDerivable(const MiningOutput& ndi,
   }
 
   MiningOutput all(min_support);
+  // bfly-lint: allow(unordered-iteration) Seal() sorts before exposure
   for (const auto& [itemset, support] : known) {
     all.Add(itemset, support);
   }

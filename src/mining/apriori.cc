@@ -65,6 +65,8 @@ MiningOutput AprioriMiner::Mine(const std::vector<Transaction>& window,
     for (Item item : t.items) ++item_counts[item];
   }
   std::vector<FrequentItemset> level;
+  // bfly-lint: allow(unordered-iteration) collected into `level` and
+  // sorted lexicographically right below
   for (const auto& [item, count] : item_counts) {
     if (count >= min_support) {
       level.push_back(FrequentItemset{Itemset{item}, count});
@@ -109,6 +111,8 @@ MiningOutput AprioriMiner::Mine(const std::vector<Transaction>& window,
     }
 
     level.clear();
+    // bfly-lint: allow(unordered-iteration) collected into `level` and
+    // sorted lexicographically right below
     for (const auto& [itemset, count] : candidates) {
       if (count >= min_support) {
         level.push_back(FrequentItemset{itemset, count});

@@ -58,6 +58,7 @@ MiningOutput ExpandClosed(const MiningOutput& closed) {
     VisitSubsets(f.itemset, f.support, 0, &prefix, &best);
   }
   MiningOutput all(closed.min_support());
+  // bfly-lint: allow(unordered-iteration) Seal() sorts before exposure
   for (const auto& [itemset, support] : best) {
     all.Add(itemset, support);
   }

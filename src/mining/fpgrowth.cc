@@ -47,6 +47,8 @@ class FpTree {
   // Items present in the tree with their total counts.
   std::map<Item, Support> ItemTotals() const {
     std::map<Item, Support> totals;
+    // bfly-lint: allow(unordered-iteration) accumulated into an ordered
+    // std::map keyed by item; visit order cannot affect the result
     for (const auto& [item, node_ids] : header_) {
       Support total = 0;
       for (size_t id : node_ids) total += nodes_[id].count;

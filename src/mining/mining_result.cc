@@ -40,6 +40,8 @@ std::optional<Support> MiningOutput::SupportOf(const Itemset& itemset) const {
 
 bool MiningOutput::SameAs(const MiningOutput& other) const {
   if (index_.size() != other.index_.size()) return false;
+  // bfly-lint: allow(unordered-iteration) order-independent membership
+  // comparison folding into a single boolean
   for (const auto& [itemset, support] : index_) {
     auto it = other.index_.find(itemset);
     if (it == other.index_.end() || it->second != support) return false;

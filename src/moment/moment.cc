@@ -6,6 +6,7 @@
 #include <unordered_set>
 #include <utility>
 
+#include "common/check.h"
 #include "mining/closed.h"
 #include "persist/serializer.h"
 
@@ -92,8 +93,12 @@ uint32_t MomentMiner::AllocNode() {
   if (!free_.empty()) {
     idx = free_.back();
     free_.pop_back();
+    // Free-list integrity: a pooled index must address an existing slot and
+    // never resurrect the root.
+    BFLY_DCHECK_MSG(idx != kRoot && idx < arena_.size(),
+                    "corrupt arena free list");
   } else {
-    idx = static_cast<uint32_t>(arena_.size());
+    idx = checked_cast<uint32_t>(arena_.size());
     arena_.emplace_back();
   }
   CetNode& node = arena_[idx];
@@ -102,14 +107,17 @@ uint32_t MomentMiner::AllocNode() {
   node.frequent_explored = false;
   node.unpromising = false;
   node.closed = false;
-  assert(node.ext_counts.empty() && node.children.empty());
+  BFLY_DCHECK_MSG(node.ext_counts.empty() && node.children.empty(),
+                  "recycled CET node still owns links");
   return idx;
 }
 
 void MomentMiner::FreeNode(uint32_t idx) {
-  assert(idx != kRoot);
+  BFLY_DCHECK_MSG(idx != kRoot, "attempt to free the CET root");
+  BFLY_DCHECK_MSG(idx < arena_.size(), "free of an index outside the arena");
   CetNode& node = arena_[idx];
-  assert(node.children.empty());
+  BFLY_DCHECK_MSG(node.children.empty(),
+                  "freeing a CET node that still has children");
   node.ext_counts.clear();  // clear() keeps capacity for the next tenant
   free_.push_back(idx);
 }
@@ -516,6 +524,15 @@ const MiningOutput& MomentMiner::GetAllFrequentIncremental() {
     ForEachSubset(*z, 0, &prefix,
                   [&](Itemset subset) { affected.insert(std::move(subset)); });
   }
+  // The loop below appends to expansion_delta_, whose order downstream
+  // mirrors (the FEC partitioner) observe — walk the affected set in sorted
+  // order so the delta is identical on every platform and hash seed.
+  std::vector<const Itemset*> affected_sorted;
+  affected_sorted.reserve(affected.size());
+  // bfly-lint: allow(unordered-iteration) materialized and sorted below
+  for (const Itemset& x : affected) affected_sorted.push_back(&x);
+  std::sort(affected_sorted.begin(), affected_sorted.end(),
+            [](const Itemset* a, const Itemset* b) { return *a < *b; });
 
   // Recompute each affected subset's max over the new closed supersets.
   // Support-only drift is patched into the sealed output in place; itemsets
@@ -524,7 +541,8 @@ const MiningOutput& MomentMiner::GetAllFrequentIncremental() {
   // recorded in expansion_delta_ so downstream mirrors can patch too.
   expansion_delta_.Reset();
   bool membership_changed = false;
-  for (const Itemset& x : affected) {
+  for (const Itemset* xp : affected_sorted) {
+    const Itemset& x = *xp;
     Support best = 0;
     bool frequent = false;
     for (const FrequentItemset& z : new_items) {
@@ -553,6 +571,7 @@ const MiningOutput& MomentMiner::GetAllFrequentIncremental() {
 
   if (membership_changed) {
     MiningOutput rebuilt(min_support_);
+    // bfly-lint: allow(unordered-iteration) Seal() sorts before exposure
     for (const auto& [itemset, support] : expansion_best_) {
       rebuilt.Add(itemset, support);
     }

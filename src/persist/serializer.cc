@@ -4,6 +4,8 @@
 #include <bit>
 #include <vector>
 
+#include "common/check.h"
+
 namespace butterfly::persist {
 
 namespace {
@@ -33,6 +35,7 @@ uint32_t Crc32(const void* data, size_t size, uint32_t crc) {
 }
 
 void CheckpointWriter::AppendLe(uint64_t v, int bytes) {
+  BFLY_DCHECK_MSG(bytes > 0 && bytes <= 8, "primitive width out of range");
   for (int i = 0; i < bytes; ++i) {
     buffer_.push_back(static_cast<char>((v >> (8 * i)) & 0xFFu));
   }
@@ -57,6 +60,9 @@ void CheckpointWriter::WriteBitmap(const Bitmap& b) {
 
 const char* CheckpointReader::Take(size_t n, const char* what) {
   if (!status_.ok()) return nullptr;
+  // Cursor invariant: pos_ never passes the end, so the subtraction below
+  // cannot wrap — every advance happens here, after this bounds check.
+  BFLY_DCHECK_MSG(pos_ <= data_.size(), "reader cursor past the payload");
   if (n > data_.size() - pos_) {
     Fail(std::string("checkpoint truncated reading ") + what);
     return nullptr;
@@ -99,13 +105,17 @@ uint64_t CheckpointReader::U64() {
 double CheckpointReader::F64() { return std::bit_cast<double>(U64()); }
 
 std::string CheckpointReader::Str() {
-  const uint64_t size = ReadCount(1, "string");
+  // ReadCount guarantees the value fits in the remaining payload, so the
+  // u64 -> size_t narrowing below cannot lose bits even on 32-bit targets.
+  const size_t size = checked_cast<size_t>(ReadCount(1, "string"));
   const char* p = Take(size, "string bytes");
   return p == nullptr ? std::string() : std::string(p, size);
 }
 
 uint64_t CheckpointReader::ReadCount(uint64_t min_bytes_per_element,
                                      const char* what) {
+  BFLY_CHECK_MSG(min_bytes_per_element > 0,
+                 "ReadCount contract: min_bytes_per_element must be > 0");
   const uint64_t count = U64();
   if (!status_.ok()) return 0;
   if (count > remaining() / min_bytes_per_element) {

@@ -1,9 +1,9 @@
 #include "stream/window_bitmap_index.h"
 
-#include <cassert>
 #include <string>
 #include <utility>
 
+#include "common/check.h"
 #include "persist/serializer.h"
 
 namespace butterfly {
@@ -13,7 +13,7 @@ constexpr uint32_t kIndexTag = persist::SectionTag('B', 'I', 'D', 'X');
 }  // namespace
 
 WindowBitmapIndex::WindowBitmapIndex(size_t capacity) : capacity_(capacity) {
-  assert(capacity > 0);
+  BFLY_CHECK_MSG(capacity > 0, "window index needs at least one slot");
   slots_.resize(capacity, nullptr);
 }
 
@@ -25,13 +25,21 @@ void WindowBitmapIndex::SetBit(Item item, size_t slot) {
   }
   Bitmap& row = rows_[dense];
   if (row.size() != capacity_) row.Resize(capacity_);
+  // Bit-flip protocol: an arrival may only claim a slot the eviction pass
+  // already cleared — a set bit here means two live records share a slot.
+  BFLY_DCHECK_MSG(!row.Test(slot), "arrival bit already set for this slot");
   row.Set(slot);
   ++row_counts_[dense];
 }
 
 void WindowBitmapIndex::ClearBit(Item item, size_t slot) {
   const uint32_t dense = remap_.Find(item);
-  assert(dense != ItemRemap::kNone);
+  BFLY_DCHECK_MSG(dense != ItemRemap::kNone,
+                  "evicted item has no dense mapping");
+  // Bit-flip protocol: the evicted record's bit must still be set — a clear
+  // bit means the index and the window disagree about slot occupancy.
+  BFLY_DCHECK_MSG(rows_[dense].Test(slot), "eviction bit already cleared");
+  BFLY_DCHECK_MSG(row_counts_[dense] > 0, "row popcount underflow");
   rows_[dense].Clear(slot);
   if (--row_counts_[dense] == 0) {
     // The row is all-zero again; recycle the dense slot (the zeroed Bitmap
@@ -43,11 +51,13 @@ void WindowBitmapIndex::ClearBit(Item item, size_t slot) {
 void WindowBitmapIndex::Apply(const Transaction* added,
                               const Transaction* evicted) {
   const size_t slot = next_slot_;
+  BFLY_DCHECK(slot < capacity_);
   if (evicted != nullptr) {
-    assert(size_ == capacity_);
+    BFLY_DCHECK_MSG(size_ == capacity_,
+                    "eviction from a window that is not full");
     for (Item item : evicted->items) ClearBit(item, slot);
   } else {
-    assert(size_ < capacity_);
+    BFLY_DCHECK_MSG(size_ < capacity_, "arrival into a full window");
     ++size_;
   }
   for (Item item : added->items) SetBit(item, slot);

@@ -28,9 +28,10 @@ double OrderObjective(const std::vector<FecProfile>& fecs,
   double total = 0;
   for (size_t i = 0; i < fecs.size(); ++i) {
     for (size_t j = i + 1; j < fecs.size() && j - i <= gamma; ++j) {
-      double d = (fecs[j].support + biases[j]) - (fecs[i].support + biases[i]);
-      if (d < alpha + 1) {
-        double gap = alpha + 1 - d;
+      double d = (static_cast<double>(fecs[j].support) + biases[j]) -
+                 (static_cast<double>(fecs[i].support) + biases[i]);
+      if (d < static_cast<double>(alpha + 1)) {
+        double gap = static_cast<double>(alpha + 1) - d;
         total += static_cast<double>(fecs[i].member_count +
                                      fecs[j].member_count) *
                  gap * gap;
@@ -77,8 +78,8 @@ TEST(OrderPreservingTest, EstimatorsStrictlyIncrease) {
       MakeProfiles({25, 26, 27, 28, 29, 30, 35, 40}, 0.04, 5.0);
   std::vector<double> biases = OrderPreservingBiases(fecs, 7, opt);
   for (size_t i = 1; i < fecs.size(); ++i) {
-    EXPECT_LT(fecs[i - 1].support + biases[i - 1],
-              fecs[i].support + biases[i]);
+    EXPECT_LT(static_cast<double>(fecs[i - 1].support) + biases[i - 1],
+              static_cast<double>(fecs[i].support) + biases[i]);
   }
 }
 
@@ -166,7 +167,10 @@ TEST(RatioPreservingTest, Lemma3FeasibilityNeverClamps) {
     std::vector<Support> supports;
     Support t = static_cast<Support>(rng.UniformInt(20, 40));
     // Keep ε t² > σ² for the smallest FEC.
-    while (epsilon * static_cast<double>(t) * t <= variance) ++t;
+    while (epsilon * static_cast<double>(t) * static_cast<double>(t) <=
+           variance) {
+      ++t;
+    }
     for (int i = 0; i < 10; ++i) {
       supports.push_back(t);
       t += static_cast<Support>(rng.UniformInt(1, 30));

@@ -181,7 +181,10 @@ TEST_P(BiasSettingGridTest, AllSchemesRespectConstraints) {
     size_t n = static_cast<size_t>(rng.UniformInt(2, 40));
     std::vector<FecProfile> fecs;
     Support t = static_cast<Support>(rng.UniformInt(25, 40));
-    while (epsilon * static_cast<double>(t) * t <= variance) ++t;
+    while (epsilon * static_cast<double>(t) * static_cast<double>(t) <=
+           variance) {
+      ++t;
+    }
     for (size_t i = 0; i < n; ++i) {
       fecs.push_back(FecProfile{t, static_cast<size_t>(rng.UniformInt(1, 6)),
                                 MaxAdjustableBias(t, epsilon, variance)});
@@ -203,8 +206,8 @@ TEST_P(BiasSettingGridTest, AllSchemesRespectConstraints) {
     }
     // The order-preserving estimators must be strictly increasing.
     for (size_t i = 1; i < n; ++i) {
-      EXPECT_LT(fecs[i - 1].support + order[i - 1],
-                fecs[i].support + order[i]);
+      EXPECT_LT(static_cast<double>(fecs[i - 1].support) + order[i - 1],
+                static_cast<double>(fecs[i].support) + order[i]);
     }
     // The ratio biases must be proportional to supports.
     double r0 = ratio[0] / static_cast<double>(fecs[0].support);

@@ -1,0 +1,76 @@
+// Tests for the contract macros in common/check.h: the always-on checks
+// abort with a diagnostic, the debug checks obey their build-mode gate, and
+// checked_cast round-trips exactly the representable values.
+
+#include "common/check.h"
+
+#include <cstdint>
+#include <limits>
+
+#include "gtest/gtest.h"
+
+namespace butterfly {
+namespace {
+
+TEST(CheckTest, PassingCheckIsSilent) {
+  BFLY_CHECK(1 + 1 == 2);
+  BFLY_CHECK_MSG(true, "never printed");
+  SUCCEED();
+}
+
+TEST(CheckDeathTest, FailingCheckAbortsWithExpression) {
+  EXPECT_DEATH(BFLY_CHECK(2 + 2 == 5), "BFLY_CHECK failed: 2 \\+ 2 == 5");
+}
+
+TEST(CheckDeathTest, FailingCheckMsgIncludesMessage) {
+  EXPECT_DEATH(BFLY_CHECK_MSG(false, "the window slid backwards"),
+               "the window slid backwards");
+}
+
+TEST(CheckTest, PassingDcheckIsSilentInEveryMode) {
+  BFLY_DCHECK(true);
+  BFLY_DCHECK_MSG(true, "never printed");
+  SUCCEED();
+}
+
+#if BFLY_DCHECK_IS_ON()
+TEST(CheckDeathTest, FailingDcheckAbortsWhenEnabled) {
+  EXPECT_DEATH(BFLY_DCHECK_MSG(false, "integrity walk tripped"),
+               "integrity walk tripped");
+}
+#else
+TEST(CheckTest, FailingDcheckIsCompiledOutWhenDisabled) {
+  // Must not abort, and must not evaluate the condition.
+  int evaluations = 0;
+  BFLY_DCHECK([&] {
+    ++evaluations;
+    return false;
+  }());
+  EXPECT_EQ(evaluations, 0);
+}
+#endif
+
+TEST(CheckedCastTest, RepresentableValuesRoundTrip) {
+  EXPECT_EQ(checked_cast<uint8_t>(255), 255u);
+  EXPECT_EQ(checked_cast<int8_t>(-128), -128);
+  EXPECT_EQ(checked_cast<uint32_t>(size_t{0}), 0u);
+  EXPECT_EQ(checked_cast<size_t>(std::numeric_limits<uint64_t>::max() &
+                                 std::numeric_limits<size_t>::max()),
+            std::numeric_limits<size_t>::max());
+  // Signed/unsigned crossings that plain static_cast would silently mangle.
+  EXPECT_EQ(checked_cast<int64_t>(uint32_t{4000000000u}), 4000000000);
+  EXPECT_EQ(checked_cast<uint64_t>(int64_t{7}), 7u);
+}
+
+TEST(CheckedCastDeathTest, OverflowAborts) {
+  EXPECT_DEATH(checked_cast<uint8_t>(256), "narrowing lost information");
+  EXPECT_DEATH(checked_cast<int32_t>(std::numeric_limits<uint32_t>::max()),
+               "narrowing lost information");
+}
+
+TEST(CheckedCastDeathTest, NegativeToUnsignedAborts) {
+  EXPECT_DEATH(checked_cast<uint64_t>(-1), "narrowing lost information");
+}
+
+}  // namespace
+}  // namespace butterfly

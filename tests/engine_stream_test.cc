@@ -105,8 +105,8 @@ TEST_P(EngineStreamTest, RepublishPinsStableSupportsOnly) {
 INSTANTIATE_TEST_SUITE_P(Schemes, EngineStreamTest,
                          ::testing::Values(ButterflyScheme::kRatioPreserving,
                                            ButterflyScheme::kHybrid),
-                         [](const auto& info) {
-                           return SchemeName(info.param) ==
+                         [](const auto& param_info) {
+                           return SchemeName(param_info.param) ==
                                           "ratio-preserving"
                                       ? std::string("ratio")
                                       : std::string("hybrid");

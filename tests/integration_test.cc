@@ -118,13 +118,13 @@ INSTANTIATE_TEST_SUITE_P(Schemes, EndToEndPropertyTest,
                                            ButterflyScheme::kOrderPreserving,
                                            ButterflyScheme::kRatioPreserving,
                                            ButterflyScheme::kHybrid),
-                         [](const auto& info) {
-                           return SchemeName(info.param) == "order-preserving"
+                         [](const auto& param_info) {
+                           return SchemeName(param_info.param) == "order-preserving"
                                       ? std::string("order")
-                                      : SchemeName(info.param) ==
+                                      : SchemeName(param_info.param) ==
                                                 "ratio-preserving"
                                             ? std::string("ratio")
-                                            : SchemeName(info.param);
+                                            : SchemeName(param_info.param);
                          });
 
 TEST(EndToEndTest, OptimizedSchemesPreserveMoreOrderThanTheyLose) {

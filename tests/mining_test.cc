@@ -177,7 +177,7 @@ TEST_P(MinerContractTest, OutputIsDownwardClosed) {
 
 INSTANTIATE_TEST_SUITE_P(AllMiners, MinerContractTest,
                          ::testing::Values(&kApriori, &kEclat, &kFpGrowth),
-                         [](const auto& info) { return info.param->Name(); });
+                         [](const auto& param_info) { return param_info.param->Name(); });
 
 TEST(MinerCrossCheckTest, AllThreeAgreeOnQuestData) {
   QuestConfig config;

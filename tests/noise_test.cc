@@ -17,7 +17,8 @@ TEST(NoiseModelTest, VarianceMeetsPrivacyFloor) {
   for (double delta : {0.05, 0.2, 0.4, 0.6, 1.0}) {
     for (Support k : {1, 2, 5, 10}) {
       NoiseModel noise(delta, k);
-      EXPECT_GE(noise.variance(), delta * k * k / 2.0 - 1e-9)
+      const double kk = static_cast<double>(k) * static_cast<double>(k);
+      EXPECT_GE(noise.variance(), delta * kk / 2.0 - 1e-9)
           << "delta=" << delta << " K=" << k;
     }
   }
@@ -30,8 +31,10 @@ TEST(NoiseModelTest, VarianceIsNotWastefullyLarge) {
       NoiseModel noise(delta, k);
       int64_t a = noise.alpha();
       if (a <= 1) continue;
-      double smaller_var = (static_cast<double>(a) * a - 1.0) / 12.0;
-      EXPECT_LT(smaller_var, delta * k * k / 2.0)
+      double smaller_var =
+          (static_cast<double>(a) * static_cast<double>(a) - 1.0) / 12.0;
+      const double kk = static_cast<double>(k) * static_cast<double>(k);
+      EXPECT_LT(smaller_var, delta * kk / 2.0)
           << "delta=" << delta << " K=" << k;
     }
   }

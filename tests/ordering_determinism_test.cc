@@ -1,0 +1,139 @@
+// Regression tests for the hash-order determinism fixes in the inference
+// layer. TightenKnowledge and AnalyzeTransition both walk unordered
+// containers whose bucket layout depends on insertion history (and on the
+// standard library); before the fixes their published results could change
+// with that layout. These tests feed the same logical inputs under several
+// insertion orders and require identical outputs.
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "inference/breach_finder.h"
+#include "inference/interwindow.h"
+#include "mining/mining_result.h"
+
+namespace butterfly {
+namespace {
+
+// Seed facts for the estimation pass: item 1 is in every record, so every
+// pair {1, i} has tight inclusion-exclusion bounds and gets learned.
+const std::vector<std::pair<Itemset, Support>>& SeedFacts() {
+  static const std::vector<std::pair<Itemset, Support>> facts = {
+      {Itemset{}, 10}, {Itemset{1}, 10}, {Itemset{2}, 7},
+      {Itemset{3}, 5}, {Itemset{4}, 3},  {Itemset{5}, 9},
+  };
+  return facts;
+}
+
+KnowledgeBase BuildKnowledge(std::vector<size_t> order) {
+  MiningOutput empty(1);
+  empty.Seal();
+  AttackConfig config;
+  config.knows_window_size = false;
+  KnowledgeBase kb(empty, 10, config);
+  for (size_t idx : order) {
+    const auto& [itemset, support] = SeedFacts()[idx];
+    kb.Learn(itemset, support);
+  }
+  return kb;
+}
+
+std::vector<std::pair<Itemset, Support>> Snapshot(const KnowledgeBase& kb) {
+  std::vector<std::pair<Itemset, Support>> out;
+  out.reserve(kb.size());
+  for (const Itemset& itemset : kb.known_itemsets()) {
+    out.emplace_back(itemset, *kb.Lookup(itemset));
+  }
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    return a.first < b.first;
+  });
+  return out;
+}
+
+TEST(OrderingDeterminismTest, TightenKnowledgeIgnoresInsertionOrder) {
+  AttackConfig config;
+  std::vector<size_t> order = {0, 1, 2, 3, 4, 5};
+  KnowledgeBase forward = BuildKnowledge(order);
+  while (TightenKnowledge(&forward, config) > 0) {
+  }
+  const auto expected = Snapshot(forward);
+  // The tightening must actually learn something for the test to bite.
+  ASSERT_GT(expected.size(), SeedFacts().size());
+
+  const std::vector<std::vector<size_t>> permutations = {
+      {5, 4, 3, 2, 1, 0}, {2, 0, 5, 1, 4, 3}, {3, 5, 0, 4, 2, 1}};
+  for (const std::vector<size_t>& permuted : permutations) {
+    KnowledgeBase kb = BuildKnowledge(permuted);
+    while (TightenKnowledge(&kb, config) > 0) {
+    }
+    EXPECT_EQ(Snapshot(kb), expected);
+  }
+}
+
+TEST(OrderingDeterminismTest, DeriveBreachesStableAcrossInsertionOrder) {
+  AttackConfig config;
+  config.vulnerable_support = 3;
+  std::vector<size_t> order = {0, 1, 2, 3, 4, 5};
+  KnowledgeBase forward = BuildKnowledge(order);
+  while (TightenKnowledge(&forward, config) > 0) {
+  }
+  const std::vector<InferredPattern> expected =
+      DeriveBreaches(forward, config);
+  ASSERT_FALSE(expected.empty());
+
+  std::reverse(order.begin(), order.end());
+  KnowledgeBase reversed = BuildKnowledge(order);
+  while (TightenKnowledge(&reversed, config) > 0) {
+  }
+  EXPECT_EQ(DeriveBreaches(reversed, config), expected);
+}
+
+WindowRelease MakeRelease(std::vector<std::pair<Itemset, Support>> itemsets,
+                          Support window_size) {
+  WindowRelease release;
+  release.output = MiningOutput(1);
+  for (auto& [itemset, support] : itemsets) {
+    release.output.Add(std::move(itemset), support);
+  }
+  release.output.Seal();
+  release.window_size = window_size;
+  return release;
+}
+
+TEST(OrderingDeterminismTest, TransitionListingsAreSortedByItem) {
+  // Slide-by-one deltas: Δ{1}=+1 (arrived), Δ{2}=−1 (expired), Δ{3}=0.
+  std::vector<std::pair<Itemset, Support>> prev = {
+      {Itemset{1}, 3}, {Itemset{2}, 2}, {Itemset{3}, 4}, {Itemset{7}, 1}};
+  std::vector<std::pair<Itemset, Support>> cur = {
+      {Itemset{1}, 4}, {Itemset{2}, 1}, {Itemset{3}, 4}, {Itemset{7}, 2}};
+
+  const TransitionKnowledge forward =
+      AnalyzeTransition(MakeRelease(prev, 5), MakeRelease(cur, 5));
+
+  auto sorted_by_item = [](const auto& listing) {
+    return std::is_sorted(listing.begin(), listing.end(),
+                          [](const auto& a, const auto& b) {
+                            return a.first < b.first;
+                          });
+  };
+  EXPECT_TRUE(sorted_by_item(forward.old_record));
+  EXPECT_TRUE(sorted_by_item(forward.new_record));
+  EXPECT_EQ(forward.NewMembership(1), Membership::kIn);
+  EXPECT_EQ(forward.OldMembership(1), Membership::kOut);
+  EXPECT_EQ(forward.OldMembership(2), Membership::kIn);
+  EXPECT_EQ(forward.NewMembership(2), Membership::kOut);
+
+  // Same logical releases, different Add order: identical listings.
+  std::reverse(prev.begin(), prev.end());
+  std::reverse(cur.begin(), cur.end());
+  const TransitionKnowledge reversed =
+      AnalyzeTransition(MakeRelease(prev, 5), MakeRelease(cur, 5));
+  EXPECT_EQ(reversed.old_record, forward.old_record);
+  EXPECT_EQ(reversed.new_record, forward.new_record);
+}
+
+}  // namespace
+}  // namespace butterfly

@@ -121,12 +121,12 @@ INSTANTIATE_TEST_SUITE_P(
                                          ButterflyScheme::kHybrid),
                        ::testing::Bool()),
     [](const ::testing::TestParamInfo<std::tuple<ButterflyScheme, bool>>&
-           info) {
-      std::string name = SchemeName(std::get<0>(info.param));
+           param_info) {
+      std::string name = SchemeName(std::get<0>(param_info.param));
       for (char& c : name) {
         if (c == '-') c = '_';
       }
-      return name + (std::get<1>(info.param) ? "_republish" : "_nocache");
+      return name + (std::get<1>(param_info.param) ? "_republish" : "_nocache");
     });
 
 /// Release content must not depend on FEC iteration order: feeding the same

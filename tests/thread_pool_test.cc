@@ -114,7 +114,7 @@ TEST(ParallelForTest, SkewedBodiesStillCoverEverything) {
     for (size_t i = begin; i < end; ++i) {
       if (i % 97 == 0) {  // skew: occasional heavy iteration
         volatile double sink = 0;
-        for (int k = 0; k < 20000; ++k) sink += k;
+        for (int k = 0; k < 20000; ++k) sink = sink + k;
       }
       hits[i].fetch_add(1);
     }

@@ -1,0 +1,453 @@
+#!/usr/bin/env python3
+"""bfly_lint: Butterfly's domain-specific determinism and safety linter.
+
+Generic static analyzers cannot know that Butterfly's releases must be
+bit-identical across thread counts and across checkpoint/restore, or that
+checkpoint frames must flow through CheckpointWriter. This checker enforces
+the repo invariants that back those guarantees:
+
+  banned-rng            rand()/srand()/std::random_device/std::default_random_engine
+                        and time-seeded engines are forbidden outside
+                        src/common/rng.h. Counter-based RNG streams
+                        (CounterRng) are the determinism backbone; an ambient
+                        or time-seeded source silently breaks bit-identical
+                        replay.
+
+  unordered-iteration   Iterating a std::unordered_map / std::unordered_set
+                        (range-for or explicit .begin() walk) is flagged:
+                        hash-table order is implementation-defined, so any
+                        iteration whose order can reach a ReleaseResult,
+                        checkpoint bytes, or published/persisted ordering
+                        breaks bit-identical resume. Sites must either
+                        iterate a sorted materialization or carry an
+                        allowlist annotation explaining why order cannot
+                        escape.
+
+  writer-bypass         memcpy()/reinterpret_cast writes touching checkpoint
+                        state outside the CheckpointWriter/CheckpointReader
+                        implementation (src/persist/serializer.*). Byte-level
+                        shortcuts bypass the bounds checks and the canonical
+                        little-endian encoding the golden-snapshot test pins.
+
+  float-support-accum   Accumulating support counts in float/double.
+                        Floating-point accumulation is order-sensitive, so a
+                        parallel reduction would stop being bit-identical to
+                        the serial one; supports are integers (Support) until
+                        noise is deliberately added.
+
+Allowlist annotation (same line or the line above the finding):
+
+    // bfly-lint: allow(<rule>) <justification>
+
+The justification is mandatory; an empty one is itself an error. Run with
+--list-allowed to audit every suppression in the tree.
+
+Exit status: 0 clean, 1 violations found, 2 usage/internal error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from dataclasses import dataclass, field
+from pathlib import Path
+
+RULES = (
+    "banned-rng",
+    "unordered-iteration",
+    "writer-bypass",
+    "float-support-accum",
+)
+
+# Files whose whole purpose exempts them from a rule.
+BANNED_RNG_EXEMPT = ("src/common/rng.h",)
+WRITER_BYPASS_EXEMPT = ("src/persist/serializer.h", "src/persist/serializer.cc")
+
+ALLOW_RE = re.compile(
+    r"//\s*bfly-lint:\s*allow\(([a-z-]+(?:\s*,\s*[a-z-]+)*)\)\s*(.*)")
+
+BANNED_RNG_PATTERNS = (
+    # (regex, human reason)
+    (re.compile(r"(?<![\w.:])rand\s*\(\s*\)"), "rand() is a hidden global RNG"),
+    (re.compile(r"(?<![\w.:])srand\s*\("), "srand() seeds a hidden global RNG"),
+    (re.compile(r"std::random_device"),
+     "std::random_device is nondeterministic by design"),
+    (re.compile(r"std::default_random_engine"),
+     "std::default_random_engine's algorithm is implementation-defined"),
+    (re.compile(r"mt19937(?:_64)?[^\n;]*\b(?:time|clock|now)\s*\("),
+     "time-seeded engine breaks bit-identical replay"),
+    (re.compile(r"\bseed\s*\([^)]*\b(?:time|clock|now)\s*\("),
+     "time-based seed breaks bit-identical replay"),
+)
+
+UNORDERED_DECL_RE = re.compile(
+    r"\bunordered_(?:map|set|multimap|multiset)\s*<")
+# `using Alias = std::unordered_map<...>` — track alias names per file so a
+# range-for over an alias-typed variable is still recognized.
+UNORDERED_ALIAS_RE = re.compile(
+    r"\busing\s+(\w+)\s*=\s*(?:std::)?unordered_(?:map|set|multimap|multiset)\s*<")
+RANGE_FOR_RE = re.compile(r"\bfor\s*\(.*?:\s*\(?\s*\*?([A-Za-z_]\w*)\s*\)?\s*\)")
+BEGIN_WALK_RE = re.compile(r"=\s*([A-Za-z_]\w*)\s*[.]\s*(?:c?begin)\s*\(")
+# `vector<T> v(set.begin(), set.end())` — materializing an unordered
+# container is only deterministic if the copy is sorted right away.
+MATERIALIZE_RE = re.compile(
+    r"\(\s*([A-Za-z_]\w*)\s*\.\s*c?begin\s*\(\s*\)\s*,\s*\1\s*\.\s*c?end")
+SORT_NEARBY_RE = re.compile(r"\b(?:std::)?(?:sort|stable_sort)\s*\(")
+
+WRITER_BYPASS_RE = re.compile(r"\bmemcpy\s*\(|\breinterpret_cast\s*<")
+CHECKPOINT_CONTEXT_RE = re.compile(
+    r"Checkpoint|checkpoint|ckpt|CKPT|frame|persist")
+
+FLOAT_ACCUM_DECL_RE = re.compile(
+    r"\b(?:float|double)\s+(\w*(?:support|count|supp|cnt)\w*)\s*[={;]",
+    re.IGNORECASE)
+FLOAT_ACCUM_OP_RE_TMPL = r"\b{name}\s*(?:\+=|\+\+|--|-=)"
+
+
+@dataclass
+class Finding:
+    path: Path
+    line: int
+    rule: str
+    message: str
+
+    def render(self, root: Path) -> str:
+        try:
+            rel = self.path.relative_to(root)
+        except ValueError:
+            rel = self.path
+        return f"{rel}:{self.line}: [{self.rule}] {self.message}"
+
+
+@dataclass
+class Allowance:
+    path: Path
+    line: int
+    rules: tuple[str, ...]
+    justification: str
+
+
+@dataclass
+class FileScan:
+    findings: list[Finding] = field(default_factory=list)
+    allowances: list[Allowance] = field(default_factory=list)
+    used_allowances: set[int] = field(default_factory=set)
+
+
+def strip_strings_and_line_comment(line: str) -> str:
+    """Removes string/char literals and a trailing // comment (but keeps the
+    bfly-lint annotation visible to the allowance parser, which runs on the
+    raw line)."""
+    out = []
+    i, n = 0, len(line)
+    quote = None
+    while i < n:
+        c = line[i]
+        if quote:
+            if c == "\\":
+                i += 2
+                continue
+            if c == quote:
+                quote = None
+            i += 1
+            continue
+        if c in ("\"", "'"):
+            quote = c
+            out.append(c)
+            i += 1
+            continue
+        if c == "/" and i + 1 < n and line[i + 1] == "/":
+            break
+        out.append(c)
+        i += 1
+    return "".join(out)
+
+
+def parse_allowances(path: Path, lines: list[str]) -> dict[int, Allowance]:
+    """Maps *effective* line numbers to their allowance. An inline annotation
+    covers its own line; an annotation on its own line covers the next
+    non-comment line (so a justification may wrap over several // lines)."""
+    allowances: dict[int, Allowance] = {}
+    for idx, raw in enumerate(lines, start=1):
+        m = ALLOW_RE.search(raw)
+        if not m:
+            continue
+        rules = tuple(r.strip() for r in m.group(1).split(","))
+        justification = m.group(2).strip()
+        allowance = Allowance(path, idx, rules, justification)
+        code_before = raw[: m.start()].strip()
+        if code_before:
+            allowances[idx] = allowance
+            continue
+        target = idx + 1
+        while target <= len(lines) and lines[target - 1].strip().startswith("//"):
+            target += 1
+        allowances[target] = allowance
+    return allowances
+
+
+def suppressed(scan: FileScan, allowances: dict[int, Allowance],
+               line: int, rule: str) -> bool:
+    a = allowances.get(line)
+    if a is None or rule not in a.rules:
+        return False
+    scan.used_allowances.add(a.line)
+    return True
+
+
+def check_banned_rng(path: Path, rel: str, lines: list[str],
+                     allowances: dict[int, Allowance], scan: FileScan) -> None:
+    if rel in BANNED_RNG_EXEMPT:
+        return
+    for idx, raw in enumerate(lines, start=1):
+        code = strip_strings_and_line_comment(raw)
+        for pattern, reason in BANNED_RNG_PATTERNS:
+            if pattern.search(code):
+                if suppressed(scan, allowances, idx, "banned-rng"):
+                    continue
+                scan.findings.append(Finding(
+                    path, idx, "banned-rng",
+                    f"{reason}; use Rng/CounterRng from src/common/rng.h"))
+
+
+def collect_unordered_names(lines: list[str],
+                            header_lines: list[str] | None) -> set[str]:
+    """Identifiers declared (in this file or its paired header) with an
+    unordered container type, including alias-typed declarations."""
+    names: set[str] = set()
+    aliases: set[str] = set()
+    all_lines = lines + (header_lines or [])
+    for raw in all_lines:
+        code = strip_strings_and_line_comment(raw)
+        for m in UNORDERED_ALIAS_RE.finditer(code):
+            aliases.add(m.group(1))
+    decl_re = re.compile(
+        r"\bunordered_(?:map|set|multimap|multiset)\s*<[^;{]*?>\s*[&*]?\s*"
+        r"([A-Za-z_]\w*)\s*[;,)=({]")
+    for raw in all_lines:
+        code = strip_strings_and_line_comment(raw)
+        for m in decl_re.finditer(code):
+            names.add(m.group(1))
+        for alias in aliases:
+            for m in re.finditer(
+                    r"\b" + re.escape(alias) +
+                    r"\b\s*[&*]?\s*([A-Za-z_]\w*)\s*[;,)=(]", code):
+                names.add(m.group(1))
+    # Template parameters and return types produce false captures like
+    # `ItemsetHash`; declarations of interest are variables, and a hash
+    # functor name sneaking in is harmless (it is never iterated).
+    return names
+
+
+def check_unordered_iteration(path: Path, rel: str, lines: list[str],
+                              header_lines: list[str] | None,
+                              allowances: dict[int, Allowance],
+                              scan: FileScan) -> None:
+    names = collect_unordered_names(lines, header_lines)
+    if not names:
+        return
+    for idx, raw in enumerate(lines, start=1):
+        code = strip_strings_and_line_comment(raw)
+        hit = None
+        m = RANGE_FOR_RE.search(code)
+        if m and m.group(1) in names:
+            hit = m.group(1)
+        else:
+            m = BEGIN_WALK_RE.search(code)
+            if m and m.group(1) in names:
+                hit = m.group(1)
+        if hit is not None:
+            if suppressed(scan, allowances, idx, "unordered-iteration"):
+                continue
+            scan.findings.append(Finding(
+                path, idx, "unordered-iteration",
+                f"iteration over unordered container '{hit}': hash order is "
+                "implementation-defined and must not reach released or "
+                "persisted state; iterate a sorted copy or annotate with "
+                "// bfly-lint: allow(unordered-iteration) <why order cannot "
+                "escape>"))
+            continue
+        m = MATERIALIZE_RE.search(code)
+        if m and m.group(1) in names:
+            # Sorted within the next few lines => the canonical fix pattern
+            # (a short comment block may sit between copy and sort).
+            lookahead = " ".join(
+                strip_strings_and_line_comment(l)
+                for l in lines[idx - 1:idx + 6])
+            if SORT_NEARBY_RE.search(lookahead):
+                continue
+            if suppressed(scan, allowances, idx, "unordered-iteration"):
+                continue
+            scan.findings.append(Finding(
+                path, idx, "unordered-iteration",
+                f"materializing unordered container '{m.group(1)}' without "
+                "an immediate sort: the copy inherits hash order; sort it "
+                "or annotate with // bfly-lint: allow(unordered-iteration) "
+                "<why order cannot escape>"))
+
+
+def check_writer_bypass(path: Path, rel: str, lines: list[str],
+                        allowances: dict[int, Allowance],
+                        scan: FileScan) -> None:
+    if rel in WRITER_BYPASS_EXEMPT:
+        return
+    in_persist = rel.startswith("src/persist/")
+    for idx, raw in enumerate(lines, start=1):
+        code = strip_strings_and_line_comment(raw)
+        if not WRITER_BYPASS_RE.search(code):
+            continue
+        # Outside src/persist the pattern only fires when the line touches
+        # checkpoint state; inside src/persist every byte-level shortcut is
+        # suspect.
+        if not in_persist and not CHECKPOINT_CONTEXT_RE.search(code):
+            continue
+        if suppressed(scan, allowances, idx, "writer-bypass"):
+            continue
+        scan.findings.append(Finding(
+            path, idx, "writer-bypass",
+            "raw memcpy/reinterpret_cast on checkpoint state bypasses "
+            "CheckpointWriter's bounds checks and canonical encoding"))
+
+
+def check_float_support_accum(path: Path, rel: str, lines: list[str],
+                              allowances: dict[int, Allowance],
+                              scan: FileScan) -> None:
+    declared: dict[str, int] = {}
+    for idx, raw in enumerate(lines, start=1):
+        code = strip_strings_and_line_comment(raw)
+        for m in FLOAT_ACCUM_DECL_RE.finditer(code):
+            declared.setdefault(m.group(1), idx)
+    if not declared:
+        return
+    for idx, raw in enumerate(lines, start=1):
+        code = strip_strings_and_line_comment(raw)
+        for name, decl_line in declared.items():
+            if re.search(FLOAT_ACCUM_OP_RE_TMPL.format(name=re.escape(name)),
+                         code):
+                if suppressed(scan, allowances, idx, "float-support-accum"):
+                    continue
+                scan.findings.append(Finding(
+                    path, idx, "float-support-accum",
+                    f"accumulating '{name}' (declared float/double at line "
+                    f"{decl_line}) — float accumulation is order-sensitive; "
+                    "keep support counts in the integer Support type until "
+                    "noise is deliberately applied"))
+
+
+def scan_file(path: Path, root: Path) -> FileScan:
+    scan = FileScan()
+    try:
+        text = path.read_text(encoding="utf-8", errors="replace")
+    except OSError as e:
+        scan.findings.append(Finding(path, 0, "io", f"unreadable: {e}"))
+        return scan
+    lines = text.splitlines()
+    allowances = parse_allowances(path, lines)
+    scan.allowances = list(allowances.values())
+
+    try:
+        rel = str(path.relative_to(root)).replace("\\", "/")
+    except ValueError:
+        rel = str(path)
+
+    header_lines: list[str] | None = None
+    if path.suffix == ".cc":
+        header = path.with_suffix(".h")
+        if header.exists():
+            header_lines = header.read_text(
+                encoding="utf-8", errors="replace").splitlines()
+
+    check_banned_rng(path, rel, lines, allowances, scan)
+    check_unordered_iteration(path, rel, lines, header_lines, allowances, scan)
+    check_writer_bypass(path, rel, lines, allowances, scan)
+    check_float_support_accum(path, rel, lines, allowances, scan)
+
+    # An allowance that names an unknown rule, lacks a justification, or
+    # suppresses nothing is itself a finding — dead suppressions rot.
+    for a in scan.allowances:
+        for r in a.rules:
+            if r not in RULES:
+                scan.findings.append(Finding(
+                    path, a.line, "bad-allowance", f"unknown rule '{r}'"))
+        if not a.justification:
+            scan.findings.append(Finding(
+                path, a.line, "bad-allowance",
+                "allowance needs a justification: "
+                "// bfly-lint: allow(rule) <why this is safe>"))
+    return scan
+
+
+def default_targets(root: Path) -> list[Path]:
+    targets: list[Path] = []
+    for sub in ("src", "bench", "examples"):
+        base = root / sub
+        if base.is_dir():
+            targets.extend(sorted(base.rglob("*.cc")))
+            targets.extend(sorted(base.rglob("*.cpp")))
+            targets.extend(sorted(base.rglob("*.h")))
+    return targets
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="bfly_lint", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("paths", nargs="*", type=Path,
+                        help="files or directories to scan "
+                             "(default: src/ bench/ examples/ under --root)")
+    parser.add_argument("--root", type=Path,
+                        default=Path(__file__).resolve().parent.parent.parent,
+                        help="repository root for relative-path reporting")
+    parser.add_argument("--list-allowed", action="store_true",
+                        help="print every allowlist annotation and exit")
+    args = parser.parse_args(argv)
+
+    root = args.root.resolve()
+    if args.paths:
+        targets = []
+        for p in args.paths:
+            p = p.resolve()
+            if p.is_dir():
+                targets.extend(sorted(p.rglob("*.cc")))
+                targets.extend(sorted(p.rglob("*.cpp")))
+                targets.extend(sorted(p.rglob("*.h")))
+            else:
+                targets.append(p)
+    else:
+        targets = default_targets(root)
+
+    if not targets:
+        print("bfly_lint: no files to scan", file=sys.stderr)
+        return 2
+
+    findings: list[Finding] = []
+    allowances: list[Allowance] = []
+    for path in targets:
+        scan = scan_file(path, root)
+        findings.extend(scan.findings)
+        allowances.extend(scan.allowances)
+
+    if args.list_allowed:
+        for a in sorted(allowances, key=lambda x: (str(x.path), x.line)):
+            try:
+                rel = a.path.relative_to(root)
+            except ValueError:
+                rel = a.path
+            print(f"{rel}:{a.line}: allow({', '.join(a.rules)}) "
+                  f"{a.justification}")
+        return 0
+
+    for f in sorted(findings, key=lambda x: (str(x.path), x.line)):
+        print(f.render(root))
+    if findings:
+        print(f"bfly_lint: {len(findings)} finding(s) in "
+              f"{len(targets)} file(s)", file=sys.stderr)
+        return 1
+    print(f"bfly_lint: clean ({len(targets)} files, "
+          f"{len(allowances)} allowance(s))")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,0 +1,48 @@
+// bfly_lint fixture: the same patterns as the violation fixtures, each with
+// a justified allowlist annotation — the whole file must lint clean.
+// Never compiled.
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+struct FakeWriter {
+  void WriteRelease(const std::string&, long) {}
+};
+
+int JustifiedRand() {
+  // bfly-lint: allow(banned-rng) fixture exercising the suppression path
+  return rand();
+}
+
+void JustifiedHashOrder(FakeWriter* writer) {
+  std::unordered_map<std::string, long> supports;
+  // bfly-lint: allow(unordered-iteration) fixture; order folds into a sum
+  for (const auto& [itemset, support] : supports) {
+    writer->WriteRelease(itemset, support);
+  }
+}
+
+void JustifiedBypass(char* frame_bytes, const long* checkpoint_state) {
+  // bfly-lint: allow(writer-bypass) fixture exercising the suppression path
+  std::memcpy(frame_bytes, checkpoint_state, sizeof(long));
+}
+
+double JustifiedFloatAccum(const std::vector<long>& values) {
+  double total_support = 0;
+  for (long s : values) {
+    // bfly-lint: allow(float-support-accum) fixture; value is diagnostic only
+    total_support += static_cast<double>(s);
+  }
+  return total_support;
+}
+
+std::vector<std::string> SortedMaterializeIsClean() {
+  std::unordered_map<std::string, long> supports;
+  std::vector<std::string> keys;
+  // bfly-lint: allow(unordered-iteration) materialized and sorted below
+  for (const auto& [itemset, support] : supports) keys.push_back(itemset);
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}

@@ -1,0 +1,13 @@
+// bfly_lint fixture: malformed allowlist annotations are findings in their
+// own right. Never compiled.
+#include <cstdlib>
+
+int MissingJustification() {
+  // bfly-lint: allow(banned-rng)
+  return rand();  // VIOLATION bad-allowance (empty justification)
+}
+
+int UnknownRule() {
+  // bfly-lint: allow(not-a-rule) suppressing a rule that does not exist
+  return 0;  // VIOLATION bad-allowance (unknown rule)
+}

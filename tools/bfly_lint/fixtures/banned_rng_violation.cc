@@ -1,0 +1,28 @@
+// bfly_lint fixture: every banned RNG source, unannotated. Each marked line
+// must produce a banned-rng finding. This file is never compiled.
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+int UsesGlobalRand() {
+  return rand();  // VIOLATION banned-rng
+}
+
+void SeedsGlobalRand() {
+  srand(42);  // VIOLATION banned-rng
+}
+
+unsigned HardwareEntropy() {
+  std::random_device rd;  // VIOLATION banned-rng
+  return rd();
+}
+
+int ImplementationDefinedEngine() {
+  std::default_random_engine engine;  // VIOLATION banned-rng
+  return static_cast<int>(engine());
+}
+
+unsigned long long TimeSeeded() {
+  std::mt19937_64 engine(time(nullptr));  // VIOLATION banned-rng
+  return engine();
+}

@@ -1,0 +1,19 @@
+// bfly_lint fixture: support counts accumulated in floating point. Each
+// marked line must produce a float-support-accum finding. Never compiled.
+#include <vector>
+
+double AverageSupport(const std::vector<long>& supports) {
+  double total_support = 0;
+  for (long s : supports) {
+    total_support += static_cast<double>(s);  // VIOLATION float-support-accum
+  }
+  return total_support / static_cast<double>(supports.size());
+}
+
+long CountInFloat(const std::vector<long>& supports) {
+  float count = 0;
+  for (long s : supports) {
+    if (s > 0) count += 1.0f;  // VIOLATION float-support-accum
+  }
+  return static_cast<long>(count);
+}

@@ -1,0 +1,32 @@
+// bfly_lint fixture: hash-ordered iteration feeding a release and a
+// checkpoint — the exact leak class bit-identical resume forbids. Each
+// marked line must produce an unordered-iteration finding. Never compiled.
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+struct FakeWriter {
+  void WriteRelease(const std::string&, long) {}
+};
+
+void PublishInHashOrder(FakeWriter* writer) {
+  std::unordered_map<std::string, long> supports;
+  supports.emplace("a", 10);
+  for (const auto& [itemset, support] : supports) {  // VIOLATION unordered-iteration
+    writer->WriteRelease(itemset, support);
+  }
+}
+
+void WalkWithIterators(FakeWriter* writer) {
+  std::unordered_set<std::string> released;
+  for (auto it = released.begin(); it != released.end(); ++it) {  // VIOLATION unordered-iteration
+    writer->WriteRelease(*it, 0);
+  }
+}
+
+std::vector<std::string> MaterializeUnsorted() {
+  std::unordered_set<std::string> pending;
+  std::vector<std::string> out(pending.begin(), pending.end());  // VIOLATION unordered-iteration
+  return out;
+}

@@ -1,0 +1,17 @@
+// bfly_lint fixture: byte-level shortcuts into checkpoint state outside
+// CheckpointWriter. Each marked line must produce a writer-bypass finding.
+// Never compiled.
+#include <cstdint>
+#include <cstring>
+
+struct CheckpointFrame {
+  char bytes[64];
+};
+
+void RawCopyIntoFrame(CheckpointFrame* frame, const uint64_t* state) {
+  std::memcpy(frame->bytes, state, sizeof(uint64_t));  // VIOLATION writer-bypass
+}
+
+uint64_t PunThroughCheckpointBytes(const CheckpointFrame& frame) {
+  return *reinterpret_cast<const uint64_t*>(frame.bytes);  // VIOLATION writer-bypass
+}

@@ -1,0 +1,37 @@
+#!/bin/sh
+# Format gate: every tracked C++ source must match .clang-format exactly.
+# Exit 0 clean, 1 drift, 77 when clang-format is unavailable (the ctest
+# SKIP_RETURN_CODE, so machines without LLVM skip instead of failing).
+# Pass --fix to rewrite drifted files in place instead of failing.
+set -u
+
+root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+clang_format=${CLANG_FORMAT:-clang-format}
+mode=check
+[ "${1:-}" = "--fix" ] && mode=fix
+
+if ! command -v "$clang_format" >/dev/null 2>&1; then
+  echo "check_format: $clang_format not found; skipping" >&2
+  exit 77
+fi
+
+cd "$root" || exit 2
+files=$(git ls-files '*.cc' '*.cpp' '*.h' | grep -v '^tools/bfly_lint/fixtures/')
+[ -n "$files" ] || exit 0
+
+drift=0
+for f in $files; do
+  if [ "$mode" = fix ]; then
+    "$clang_format" -i "$f"
+  elif ! "$clang_format" --dry-run -Werror "$f" >/dev/null 2>&1; then
+    echo "check_format: needs formatting: $f" >&2
+    drift=1
+  fi
+done
+
+if [ "$mode" = fix ]; then
+  git diff --name-only -- $files | sed 's/^/check_format: reformatted /'
+  exit 0
+fi
+[ "$drift" -eq 0 ] && echo "check_format: clean"
+exit "$drift"

@@ -1,0 +1,126 @@
+#!/usr/bin/env python3
+"""Scoped clang-tidy runner for the Butterfly tree.
+
+Runs clang-tidy (checks from the repo-root .clang-tidy) over a bounded file
+set so the tier-1 ctest entry stays fast:
+
+  * a fixed core set covering the determinism- and safety-critical paths
+    (release pipeline, checkpoint serializer, window index, arena CET), and
+  * any tracked *.cc file modified relative to HEAD (git working tree),
+
+intersected with the build's compile_commands.json. Pass --all to sweep
+every translation unit in the compile database instead (the CI job does).
+
+Exit codes: 0 clean, 1 findings, 2 usage/setup error, 77 tool unavailable
+(ctest SKIP_RETURN_CODE, so local runs without clang-tidy skip gracefully).
+"""
+
+import argparse
+import json
+import os
+import shutil
+import subprocess
+import sys
+from concurrent.futures import ThreadPoolExecutor
+
+# Determinism- and safety-critical translation units: always tidy these even
+# when the working tree is clean.
+CORE_FILES = [
+    "src/core/butterfly.cc",
+    "src/core/bias_setting.cc",
+    "src/core/fec.cc",
+    "src/core/republish_cache.cc",
+    "src/moment/moment.cc",
+    "src/stream/window_bitmap_index.cc",
+    "src/persist/serializer.cc",
+    "src/inference/breach_finder.cc",
+    "src/inference/interwindow.cc",
+]
+
+SKIP_RC = 77
+
+
+def repo_root():
+    return os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def changed_cc_files(root):
+    try:
+        out = subprocess.run(
+            ["git", "diff", "--name-only", "HEAD"],
+            cwd=root, capture_output=True, text=True, check=True,
+        ).stdout
+    except (subprocess.CalledProcessError, FileNotFoundError):
+        return []
+    return [f for f in out.splitlines() if f.endswith((".cc", ".cpp"))]
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--build-dir", required=True,
+                        help="build tree holding compile_commands.json")
+    parser.add_argument("--clang-tidy", default=None,
+                        help="clang-tidy binary (default: search PATH)")
+    parser.add_argument("--all", action="store_true",
+                        help="tidy every file in the compile database")
+    parser.add_argument("--jobs", type=int, default=os.cpu_count() or 4)
+    args = parser.parse_args()
+
+    tidy = args.clang_tidy or shutil.which("clang-tidy")
+    if tidy is None or shutil.which(tidy) is None and not os.path.exists(tidy):
+        print("run_clang_tidy: clang-tidy not found; skipping", file=sys.stderr)
+        return SKIP_RC
+
+    db_path = os.path.join(args.build_dir, "compile_commands.json")
+    if not os.path.exists(db_path):
+        print(f"run_clang_tidy: no compile database at {db_path}",
+              file=sys.stderr)
+        return 2
+    with open(db_path, encoding="utf-8") as fh:
+        database = {os.path.realpath(entry["file"]) for entry in json.load(fh)}
+
+    root = repo_root()
+    if args.all:
+        # Everything in the database that lives inside the repo (excludes any
+        # generated or third-party TU a future build might add).
+        files = sorted(f for f in database
+                       if os.path.realpath(f).startswith(root + os.sep))
+    else:
+        wanted = CORE_FILES + changed_cc_files(root)
+        files = sorted({os.path.realpath(os.path.join(root, f))
+                        for f in wanted} & database)
+    if not files:
+        print("run_clang_tidy: nothing to tidy")
+        return 0
+
+    print(f"run_clang_tidy: {len(files)} file(s) with {tidy}")
+    failures = []
+
+    def run_one(path):
+        proc = subprocess.run(
+            [tidy, "-p", args.build_dir, "--quiet",
+             "--warnings-as-errors=*", path],
+            capture_output=True, text=True,
+        )
+        return path, proc
+
+    with ThreadPoolExecutor(max_workers=args.jobs) as pool:
+        for path, proc in pool.map(run_one, files):
+            rel = os.path.relpath(path, root)
+            if proc.returncode != 0:
+                failures.append(rel)
+                sys.stdout.write(proc.stdout)
+                sys.stderr.write(proc.stderr)
+            else:
+                print(f"  ok {rel}")
+
+    if failures:
+        print(f"run_clang_tidy: findings in {len(failures)} file(s): "
+              + ", ".join(failures), file=sys.stderr)
+        return 1
+    print("run_clang_tidy: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
