@@ -28,12 +28,15 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <sstream>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
 #include "common/flags.h"
 #include "common/thread_pool.h"
+#include "core/release_log.h"
 #include "core/stream_engine.h"
 #include "harness.h"
 #include "metrics/timing.h"
@@ -52,6 +55,10 @@ struct RunShape {
   /// grain floor) that the thread sweep measures real scaling.
   size_t dense_window = 5000;
   Support dense_support = 3;
+  /// Slides between releases in the pipelined-release bench — large enough
+  /// that the mining overlapped under an in-flight sanitize is a real share
+  /// of the release period (the overlap is what the bench measures).
+  size_t release_stride = 200;
   RepeatPlan plan{/*warmup=*/1, /*reps=*/7};
 };
 
@@ -287,6 +294,8 @@ struct ReplayTimes {
   double bias_dp_ns = 0;
   double noise_ns = 0;
   double emit_ns = 0;
+  double memo_hits = 0;    ///< cumulative over the replay (deterministic)
+  double memo_misses = 0;
 };
 
 /// Replays the trace through one engine configuration.
@@ -308,6 +317,8 @@ ReplayTimes TimeReplay(const WindowTrace& trace, ButterflyConfig config,
     times.emit_ns += stages.emit_ns;
     if (releases) releases->push_back(std::move(release));
   }
+  times.memo_hits = static_cast<double>(engine.bias_memo_hits());
+  times.memo_misses = static_cast<double>(engine.bias_memo_misses());
   return times;
 }
 
@@ -401,6 +412,9 @@ void ThreadSweep(DatasetProfile profile, const RunShape& shape,
         median_stage(samples[ti], &ReplayTimes::bias_dp_ns) / windows;
     rec.noise_ns = noise_per_window;
     rec.emit_ns = median_stage(samples[ti], &ReplayTimes::emit_ns) / windows;
+    // Memo traffic is a pure function of the trace, identical across reps.
+    rec.memo_hits = samples[ti].back().memo_hits;
+    rec.memo_misses = samples[ti].back().memo_misses;
     // Tolerance so timer noise does not masquerade as inverse scaling: on the
     // dense row the serial stages (bias DP, emit) dominate by Amdahl, so the
     // total is expected flat and a few percent of jitter either way is not a
@@ -419,10 +433,166 @@ void ThreadSweep(DatasetProfile profile, const RunShape& shape,
   }
 }
 
+/// Cross-window pipelined Release: full engines (miner + sanitizer) over the
+/// same stream, serial vs pipelined, at 1 and 4 threads. Pipelined mode
+/// issues ReleaseAsync and keeps appending, so the sanitize/emit stage of
+/// window W overlaps the mining of window W+1; the measured quantity is
+/// windows/sec of the whole append+release loop after the one-time window
+/// fill. Every rep byte-compares the serialized release logs against the
+/// serial ones — the overlap must be pure scheduling.
+void ReleaseBench(DatasetProfile profile, const RunShape& shape) {
+  const size_t window = shape.dense_window;
+  const Support min_support = shape.dense_support;
+  const size_t stride = shape.release_stride;
+  auto data =
+      GenerateProfile(profile, window + shape.reports * stride, 7);
+  if (!data.ok()) std::exit(1);
+
+  TraceConfig trace_config;
+  trace_config.min_support = min_support;
+  SchemeVariant opt{"Opt", ButterflyScheme::kOrderPreserving, 1.0};
+
+  struct RunSample {
+    double seconds = 0;  ///< release-loop wall time (post-fill)
+    std::string log;
+    double memo_hits = 0;
+    double memo_misses = 0;
+  };
+  auto run_once = [&](bool pipelined, int64_t threads) {
+    ButterflyConfig config = MakeConfig(trace_config, opt, 0.016, 0.4);
+    config.threads = threads;
+    config.republish_cache = false;  // time the full perturbation path
+    StreamPrivacyEngine engine(window, config);
+    engine.SetPipelined(pipelined);
+    std::vector<StreamPrivacyEngine::ReleaseTicket> tickets;
+    std::vector<ReleaseResult> results;
+    RunSample sample;
+    Stopwatch watch;
+    size_t fed = 0;
+    size_t reported = 0;
+    for (const Transaction& t : *data) {
+      engine.Append(t);
+      ++fed;
+      if (fed < window) continue;
+      if (fed == window) watch.Restart();  // fill is identical either way
+      if ((fed - window) % stride != 0 || reported >= shape.reports) continue;
+      ++reported;
+      if (pipelined) {
+        tickets.push_back(engine.ReleaseAsync());
+      } else {
+        results.push_back(engine.Release());
+      }
+    }
+    for (auto& ticket : tickets) results.push_back(ticket.Wait());
+    sample.seconds = watch.Seconds();
+    std::ostringstream log;
+    for (size_t w = 0; w < results.size(); ++w) {
+      if (!WriteRelease(&log, "w" + std::to_string(w), results[w].output)
+               .ok()) {
+        std::exit(1);
+      }
+    }
+    sample.log = log.str();
+    if (!results.empty()) {
+      sample.memo_hits =
+          static_cast<double>(results.back().stats.bias_memo_hits);
+      sample.memo_misses =
+          static_cast<double>(results.back().stats.bias_memo_misses);
+    }
+    return sample;
+  };
+
+  PrintTableHeader(
+      "Pipelined release, " + ProfileName(profile) + ", H=" +
+          std::to_string(window) + ", C=" + std::to_string(min_support) +
+          ", stride " + std::to_string(stride),
+      {"mode", "threads", "s/window", "windows/s", "overlap spd",
+       "identical"});
+
+  const double windows = static_cast<double>(shape.reports);
+  for (int64_t threads : {int64_t{1}, int64_t{4}}) {
+    run_once(false, threads);  // warmup
+    std::vector<double> serial_secs, piped_secs;
+    RunSample serial_last, piped_last;
+    for (int rep = 0; rep < shape.plan.reps; ++rep) {
+      serial_last = run_once(false, threads);
+      piped_last = run_once(true, threads);
+      serial_secs.push_back(serial_last.seconds);
+      piped_secs.push_back(piped_last.seconds);
+      if (piped_last.log != serial_last.log) {
+        std::fprintf(stderr,
+                     "pipelined release diverged from serial @%lld threads\n",
+                     static_cast<long long>(threads));
+        std::exit(1);
+      }
+    }
+    const double serial_pw = Median(std::move(serial_secs)) / windows;
+    const double piped_pw = Median(std::move(piped_secs)) / windows;
+    const double overlap_speedup = piped_pw > 0 ? serial_pw / piped_pw : 0;
+    for (const auto& [bench, per_window, sample] :
+         {std::tuple<std::string, double, const RunSample*>{
+              "release/serial", serial_pw, &serial_last},
+          {"release/pipelined", piped_pw, &piped_last}}) {
+      BenchRecord rec;
+      rec.bench = bench;
+      rec.dataset = ProfileName(profile);
+      rec.threads = static_cast<size_t>(threads);
+      rec.windows = shape.reports;
+      rec.ns_per_window = per_window * 1e9;
+      rec.windows_per_sec = per_window > 0 ? 1.0 / per_window : 0;
+      if (bench == "release/pipelined") rec.speedup_vs_1t = overlap_speedup;
+      rec.memo_hits = sample->memo_hits;
+      rec.memo_misses = sample->memo_misses;
+      g_records.push_back(rec);
+      PrintTableRow({bench == "release/serial" ? "serial" : "pipelined",
+                     std::to_string(threads), FormatDouble(per_window, 6),
+                     FormatDouble(per_window > 0 ? 1.0 / per_window : 0, 1),
+                     bench == "release/serial"
+                         ? "1.00"
+                         : FormatDouble(overlap_speedup, 2),
+                     "yes"});
+    }
+  }
+}
+
 /// True for the benches the baseline regression guard covers.
 bool GuardedBench(const std::string& bench) {
   return bench == "sanitize/opt" || bench == "sanitize/opt-dense" ||
-         bench == "mine/moment";
+         bench == "mine/moment" || bench == "expand/scratch" ||
+         bench == "expand/incremental" || bench == "release/serial" ||
+         bench == "release/pipelined";
+}
+
+/// Hard speedup floors for the parallel tentpoles (the sanitize sweep's DP
+/// parallelism and the pipelined release overlap), enforced alongside the
+/// baseline guard — but only on hardware that can express a 4-thread
+/// speedup; smaller machines print a note and pass.
+bool CheckSpeedupFloors() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  if (hw < 4) {
+    std::printf("speedup floors skipped: %u hardware thread(s) < 4\n", hw);
+    return true;
+  }
+  bool ok = true;
+  for (const BenchRecord& r : g_records) {
+    if (r.bench == "sanitize/opt-dense" && r.threads == 4 &&
+        r.speedup_vs_1t > 0 && r.speedup_vs_1t < 1.6) {
+      std::fprintf(stderr,
+                   "FLOOR sanitize/opt-dense @4 threads (%s): speedup %.2f "
+                   "< 1.6\n",
+                   r.dataset.c_str(), r.speedup_vs_1t);
+      ok = false;
+    }
+    if (r.bench == "release/pipelined" && r.threads == 4 &&
+        r.speedup_vs_1t > 0 && r.speedup_vs_1t < 1.3) {
+      std::fprintf(stderr,
+                   "FLOOR release/pipelined @4 threads (%s): overlap speedup "
+                   "%.2f < 1.3\n",
+                   r.dataset.c_str(), r.speedup_vs_1t);
+      ok = false;
+    }
+  }
+  return ok;
 }
 
 /// Regression guard: compares the guarded rows just measured (the sanitize
@@ -522,6 +692,7 @@ int main(int argc, char** argv) {
                 shape.supports.back());
     ThreadSweep(profile, shape, "sanitize/opt-dense", shape.dense_window,
                 shape.dense_support);
+    ReleaseBench(profile, shape);
   }
 
   if (!json_path.empty()) {
@@ -536,5 +707,6 @@ int main(int argc, char** argv) {
       !CheckBaseline(baseline_path, baseline_factor)) {
     return 1;
   }
+  if (!baseline_path.empty() && !CheckSpeedupFloors()) return 1;
   return 0;
 }

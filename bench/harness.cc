@@ -149,6 +149,10 @@ bool WriteBenchJson(const std::string& path,
     if (r.mine_ns >= 0) {
       std::fprintf(f, ", \"mine_ns\": %.1f", r.mine_ns);
     }
+    if (r.memo_hits >= 0) {
+      std::fprintf(f, ", \"memo_hits\": %.0f, \"memo_misses\": %.0f",
+                   r.memo_hits, r.memo_misses);
+    }
     if (!r.note.empty()) {
       std::fprintf(f, ", \"note\": \"%s\"", r.note.c_str());
     }
@@ -218,6 +222,10 @@ bool ReadBenchJson(const std::string& path,
     if (ExtractField(line, "noise_ns", &value)) r.noise_ns = std::stod(value);
     if (ExtractField(line, "emit_ns", &value)) r.emit_ns = std::stod(value);
     if (ExtractField(line, "mine_ns", &value)) r.mine_ns = std::stod(value);
+    if (ExtractField(line, "memo_hits", &value)) r.memo_hits = std::stod(value);
+    if (ExtractField(line, "memo_misses", &value)) {
+      r.memo_misses = std::stod(value);
+    }
     if (ExtractField(line, "note", &value)) r.note = value;
     records->push_back(std::move(r));
   }

@@ -105,6 +105,10 @@ struct BenchRecord {
   double emit_ns = -1;
   /// Mining maintenance ns/window (mine rows only; negative = absent).
   double mine_ns = -1;
+  /// Cumulative sanitizer DP-memo traffic over the measured replay
+  /// (sanitize/release rows only; negative = absent).
+  double memo_hits = -1;
+  double memo_misses = -1;
   /// Nonzero when the measurement looks wrong (e.g. inverse thread scaling);
   /// makes BENCH artifacts flag the bug class instead of hiding it.
   std::string note;

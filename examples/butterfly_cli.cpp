@@ -11,10 +11,18 @@
 ///                 [--stride=100] [--reports=10] [--records=N]
 ///                 [--out=releases.log] [--attack] [--seed=66]
 ///                 [--checkpoint=path.ckpt] [--checkpoint-every=N]
-///                 [--restore=path.ckpt]
+///                 [--restore=path.ckpt] [--pipeline] [--threads=N]
 ///
 /// --attack additionally replays the intra-window adversary against both the
 /// raw and the sanitized output of every reported window.
+///
+/// --pipeline overlaps each window's sanitize with the stream appends that
+/// follow it: releases are issued through ReleaseAsync and resolved at the
+/// next report point, so mining window W+1 runs while window W is being
+/// sanitized on the pool (give it --threads>=2). The release bytes are
+/// identical to the serial path; only the schedule changes. Windows that are
+/// about to be checkpointed resolve immediately (a snapshot requires no
+/// release in flight).
 ///
 /// --checkpoint snapshots the engine to the given path after every
 /// --checkpoint-every reported windows (atomic rename; a crash mid-write
@@ -26,6 +34,7 @@
 
 #include <cstdio>
 #include <optional>
+#include <utility>
 
 #include "common/flags.h"
 #include "core/release_log.h"
@@ -75,6 +84,7 @@ int main(int argc, char** argv) {
   const size_t checkpoint_every =
       static_cast<size_t>(flags.GetInt("checkpoint-every", 1));
   const std::string restore_path = flags.GetString("restore", "");
+  const bool pipelined = flags.GetBool("pipeline", false);
 
   ButterflyConfig config;
   config.min_support = flags.GetInt("min-support", 25);
@@ -148,6 +158,8 @@ int main(int argc, char** argv) {
     }
   }
 
+  engine->SetPipelined(pipelined);
+
   AttackConfig attack;
   attack.vulnerable_support = config.vulnerable_support;
 
@@ -166,43 +178,36 @@ int main(int argc, char** argv) {
   MiningOutput previous_raw;
   SanitizedOutput previous_release;
   bool have_previous = false;
-  for (size_t i = fed; i < data->size(); ++i) {
-    engine->Append((*data)[i]);
-    ++fed;
-    if (fed < window || (fed - window) % stride != 0 || reported >= reports) {
-      continue;
-    }
-    ++reported;
 
-    MiningOutput raw = engine->RawOutput();
-    ReleaseResult result = engine->Release();
+  // One issued-but-unresolved release. In pipelined mode its sanitize runs
+  // on the pool while the loop below appends the next stride; everything the
+  // report needs is captured at issue time because the window has moved on
+  // by the time the ticket is resolved.
+  struct PendingRelease {
+    std::string window_label;
+    size_t fed = 0;  ///< stream position at issue time (for the log label)
+    MiningOutput raw;
+    StreamPrivacyEngine::ReleaseTicket ticket;
+  };
+  std::optional<PendingRelease> pending;
+
+  auto resolve = [&](PendingRelease p) -> int {
+    ReleaseResult result = p.ticket.Wait();
     const SanitizedOutput& release = result.output;
 
     if (!out_path.empty()) {
-      std::string label = "Ds(" + std::to_string(fed) + "," +
+      std::string label = "Ds(" + std::to_string(p.fed) + "," +
                           std::to_string(window) + ")";
       Status s = AppendReleaseToFile(out_path, label, release);
       if (!s.ok()) return Fail(s.ToString());
     }
 
-    if (!checkpoint_path.empty() && checkpoint_every > 0 &&
-        reported % checkpoint_every == 0) {
-      persist::CheckpointWriteStats ckpt;
-      Status s = persist::SaveEngineCheckpoint(*engine, checkpoint_path, &ckpt);
-      if (!s.ok()) return Fail(s.ToString());
-      std::printf("checkpoint %s: %llu bytes in %.2f ms\n",
-                  checkpoint_path.c_str(),
-                  static_cast<unsigned long long>(ckpt.bytes),
-                  ckpt.seconds * 1e3);
-    }
-
-    std::printf("%-16s %9zu %8.5f %8.4f %8.4f",
-                engine->miner().window().Label().c_str(), raw.size(),
-                AvgPred(raw, release), Ropp(raw, release),
-                Rrpp(raw, release, 0.95));
+    std::printf("%-16s %9zu %8.5f %8.4f %8.4f", p.window_label.c_str(),
+                p.raw.size(), AvgPred(p.raw, release), Ropp(p.raw, release),
+                Rrpp(p.raw, release, 0.95));
     if (run_attack) {
       std::vector<InferredPattern> breaches = FindIntraWindowBreaches(
-          raw, static_cast<Support>(window), attack);
+          p.raw, static_cast<Support>(window), attack);
       PrivacyEvaluation eval = EvaluatePrivacy(breaches, release);
       SanitizedAttackReport interval_report = AttackSanitizedRelease(
           release, engine->sanitizer().noise(), breaches);
@@ -212,7 +217,7 @@ int main(int argc, char** argv) {
     }
     if (run_audit) {
       AuditReport audit =
-          AuditRelease(raw, release, config,
+          AuditRelease(p.raw, release, config,
                        have_previous ? &previous_raw : nullptr,
                        have_previous ? &previous_release : nullptr);
       std::printf(" %6s", audit.passed ? "PASS" : "FAIL");
@@ -222,12 +227,56 @@ int main(int argc, char** argv) {
           std::printf("\n    audit: %s", violation.c_str());
         }
       }
-      previous_raw = std::move(raw);
+      previous_raw = std::move(p.raw);
       previous_release = release;
       have_previous = true;
     }
     std::printf("\n");
     std::fflush(stdout);
+    return 0;
+  };
+
+  for (size_t i = fed; i < data->size(); ++i) {
+    engine->Append((*data)[i]);
+    ++fed;
+    if (fed < window || (fed - window) % stride != 0 || reported >= reports) {
+      continue;
+    }
+    ++reported;
+
+    if (pending) {
+      if (int rc = resolve(std::move(*pending))) return rc;
+      pending.reset();
+    }
+
+    PendingRelease current;
+    current.window_label = engine->miner().window().Label();
+    current.fed = fed;
+    current.raw = engine->RawOutput();
+    current.ticket = engine->ReleaseAsync();
+
+    const bool checkpoint_due = !checkpoint_path.empty() &&
+                                checkpoint_every > 0 &&
+                                reported % checkpoint_every == 0;
+    if (!pipelined || checkpoint_due) {
+      if (int rc = resolve(std::move(current))) return rc;
+    } else {
+      pending = std::move(current);
+    }
+
+    if (checkpoint_due) {
+      persist::CheckpointWriteStats ckpt;
+      Status s = persist::SaveEngineCheckpoint(*engine, checkpoint_path, &ckpt);
+      if (!s.ok()) return Fail(s.ToString());
+      std::printf("checkpoint %s: %llu bytes in %.2f ms\n",
+                  checkpoint_path.c_str(),
+                  static_cast<unsigned long long>(ckpt.bytes),
+                  ckpt.seconds * 1e3);
+    }
+  }
+  if (pending) {
+    if (int rc = resolve(std::move(*pending))) return rc;
+    pending.reset();
   }
   if (run_audit && audit_failures > 0) {
     std::fprintf(stderr, "butterfly_cli: %zu window(s) failed the audit\n",

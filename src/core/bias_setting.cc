@@ -1,27 +1,56 @@
 #include "core/bias_setting.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cassert>
 #include <cmath>
+#include <cstring>
 #include <limits>
 #include <map>
+#include <memory>
+#include <thread>
+
+#if defined(__SSE2__)
+#include <immintrin.h>
+#endif
 
 #include "common/check.h"
+#include "common/thread_pool.h"
 
 namespace butterfly {
 
 std::vector<double> ZeroBiases(size_t n) { return std::vector<double>(n, 0.0); }
 
+namespace internal {
+bool g_bias_kernel_force_scalar = false;
+}  // namespace internal
+
 namespace {
 
 constexpr double kInf = std::numeric_limits<double>::infinity();
 
-/// Hard ceilings on the flat tables: per-step states and total backtrack
-/// bytes. Configurations beyond them (extreme γ × grid products far past the
-/// default max_states budget) fall back to the map-based reference, which
-/// materializes only reachable states.
+/// Hard ceilings on the dense flat tables: per-step states and total
+/// backtrack bytes. Configurations beyond them (extreme γ × grid products far
+/// past the default max_states budget) route to the sparse generation-buffer
+/// frontier, which materializes only reachable states.
 constexpr size_t kMaxFlatStatesPerStep = size_t{1} << 20;
 constexpr size_t kMaxFlatBacktrackBytes = size_t{1} << 24;
+
+/// Ceiling on precomputing every step's pairwise-cost table at once (in
+/// doubles — 32 MiB). Above it the tables are built per step into a single
+/// reused buffer, trading the parallel upfront build for bounded memory.
+constexpr size_t kMaxPairTableDoubles = size_t{1} << 22;
+
+/// Minimum per-step work (cell updates × window length) before the step is
+/// dispatched to the helper crew; below it the handoff costs more than the
+/// sweep.
+constexpr size_t kDpParallelStepWork = size_t{1} << 13;
+constexpr size_t kMaxDpHelpers = 7;
+constexpr int kDpSpinIterations = 4096;
+
+/// Producers per chunk when the sparse frontier fans the candidate sweep out
+/// over the pool.
+constexpr size_t kSparseFrontierChunk = 256;
 
 // Integer bias candidates for one FEC: a symmetric grid over [−βᵐ, βᵐ] with
 // at most `max_candidates` points, always containing 0 (so the zero-bias
@@ -86,6 +115,362 @@ struct DpEntry {
   double cost = kInf;
   uint8_t dropped = 0xff;  // candidate index of the FEC that left the window
 };
+
+inline void CpuRelax() {
+#if defined(__SSE2__)
+  _mm_pause();
+#else
+  std::this_thread::yield();
+#endif
+}
+
+// ---------------------------------------------------------------------------
+// Row kernels. All three variants perform the same per-element IEEE
+// operations in the same order, so scalar and SIMD results are bit-identical;
+// the force-scalar hook lets tests pin that equivalence.
+// ---------------------------------------------------------------------------
+
+void AccumulateRowScalar(double* acc, const double* row, size_t n) {
+  for (size_t c = 0; c < n; ++c) acc[c] += row[c];
+}
+
+void MinMergeRowScalar(double* best, uint8_t* drop, const double* add,
+                       double base, uint8_t dropped, size_t c0, size_t n) {
+  for (size_t c = c0; c < n; ++c) {
+    const double total = base + add[c];
+    if (total < best[c]) {
+      best[c] = total;
+      drop[c] = dropped;
+    }
+  }
+}
+
+#if defined(__SSE2__)
+
+void AccumulateRowSimd(double* acc, const double* row, size_t n) {
+  size_t c = 0;
+#if defined(__AVX2__)
+  for (; c + 4 <= n; c += 4) {
+    _mm256_storeu_pd(acc + c, _mm256_add_pd(_mm256_loadu_pd(acc + c),
+                                            _mm256_loadu_pd(row + c)));
+  }
+#endif
+  for (; c + 2 <= n; c += 2) {
+    _mm_storeu_pd(acc + c,
+                  _mm_add_pd(_mm_loadu_pd(acc + c), _mm_loadu_pd(row + c)));
+  }
+  for (; c < n; ++c) acc[c] += row[c];
+}
+
+void MinMergeRowSimd(double* best, uint8_t* drop, const double* add,
+                     double base, uint8_t dropped, size_t c0, size_t n) {
+  size_t c = c0;
+#if defined(__AVX2__)
+  const __m256d base4 = _mm256_set1_pd(base);
+  for (; c + 4 <= n; c += 4) {
+    const __m256d total = _mm256_add_pd(base4, _mm256_loadu_pd(add + c));
+    const __m256d cur = _mm256_loadu_pd(best + c);
+    const __m256d lt = _mm256_cmp_pd(total, cur, _CMP_LT_OQ);
+    const int mask = _mm256_movemask_pd(lt);
+    if (mask == 0) continue;
+    _mm256_storeu_pd(best + c, _mm256_blendv_pd(cur, total, lt));
+    for (int b = 0; b < 4; ++b) {
+      if (mask & (1 << b)) drop[c + b] = dropped;
+    }
+  }
+#endif
+  const __m128d base2 = _mm_set1_pd(base);
+  for (; c + 2 <= n; c += 2) {
+    const __m128d total = _mm_add_pd(base2, _mm_loadu_pd(add + c));
+    const __m128d cur = _mm_loadu_pd(best + c);
+    const __m128d lt = _mm_cmplt_pd(total, cur);
+    const int mask = _mm_movemask_pd(lt);
+    if (mask == 0) continue;
+    _mm_storeu_pd(best + c,
+                  _mm_or_pd(_mm_and_pd(lt, total), _mm_andnot_pd(lt, cur)));
+    if (mask & 1) drop[c] = dropped;
+    if (mask & 2) drop[c + 1] = dropped;
+  }
+  for (; c < n; ++c) {
+    const double total = base + add[c];
+    if (total < best[c]) {
+      best[c] = total;
+      drop[c] = dropped;
+    }
+  }
+}
+
+#endif  // __SSE2__
+
+inline void AccumulateRow(double* acc, const double* row, size_t n) {
+#if defined(__SSE2__)
+  if (!internal::g_bias_kernel_force_scalar) {
+    AccumulateRowSimd(acc, row, n);
+    return;
+  }
+#endif
+  AccumulateRowScalar(acc, row, n);
+}
+
+inline void MinMergeRow(double* best, uint8_t* drop, const double* add,
+                        double base, uint8_t dropped, size_t c0, size_t n) {
+#if defined(__SSE2__)
+  if (!internal::g_bias_kernel_force_scalar) {
+    MinMergeRowSimd(best, drop, add, base, dropped, c0, n);
+    return;
+  }
+#endif
+  MinMergeRowScalar(best, drop, add, base, dropped, c0, n);
+}
+
+// ---------------------------------------------------------------------------
+// Output-major step kernel. One DP step maps previous states p to output
+// slots (q, c) where q = p % keep is the part of the window that survives and
+// d0 = p / keep is the dropped digit. For a fixed slot, the serial sweep's
+// updates arrive in ascending d0 with strict-< wins; the kernel replays
+// exactly that order per slot, so partitioning the q axis across threads
+// cannot change any cost, tie-break, or backtrack byte.
+// ---------------------------------------------------------------------------
+
+/// Everything one step needs, by value or raw pointer, so the parallel region
+/// can hand it to helpers without touching the scratch object.
+struct StepJob {
+  const double* prev_cost = nullptr;
+  double* cur_cost = nullptr;
+  uint8_t* drop_row = nullptr;
+  const double* pair = nullptr;     ///< this step's pairwise-cost tables
+  const uint32_t* c_min = nullptr;  ///< per last-digit feasibility bound
+  size_t pair_off[8] = {};          ///< per window position into `pair`
+  size_t radix[8] = {};             ///< grid sizes of the window's FECs
+  size_t w = 0;                     ///< previous window length
+  size_t r_cur = 0;                 ///< grid size of the entering FEC
+  size_t keep = 0;                  ///< surviving-state count (the q axis)
+  bool drops = false;               ///< window full: oldest FEC leaves
+};
+
+void RunBiasStepRange(const StepJob& j, size_t q_begin, size_t q_end) {
+  alignas(32) double acc[256];
+  uint8_t dig[8] = {0};
+  const size_t w = j.w;
+  const size_t r_cur = j.r_cur;
+  const size_t first_pos = j.drops ? 1 : 0;
+  // Decode q_begin into the surviving window digits (mixed radix, last digit
+  // least significant); the loop advances them as an odometer.
+  {
+    size_t rem = q_begin;
+    for (size_t k = w; k-- > first_pos;) {
+      dig[k] = static_cast<uint8_t>(rem % j.radix[k]);
+      rem /= j.radix[k];
+    }
+  }
+  for (size_t q = q_begin; q < q_end; ++q) {
+    double* out = j.cur_cost + q * r_cur;
+    uint8_t* dr = j.drop_row + q * r_cur;
+    for (size_t c = 0; c < r_cur; ++c) out[c] = kInf;
+    if (j.drops) {
+      const size_t r_first = j.radix[0];
+      if (w == 1) {
+        // γ = 1: the dropped digit is also the window's last digit, so the
+        // feasibility bound varies with d0.
+        for (size_t d0 = 0; d0 < r_first; ++d0) {
+          const double base = j.prev_cost[d0];
+          if (!(base < kInf)) continue;
+          const double* row0 = j.pair + j.pair_off[0] + d0 * r_cur;
+          MinMergeRow(out, dr, row0, base, static_cast<uint8_t>(d0),
+                      j.c_min[d0], r_cur);
+        }
+      } else {
+        const size_t c_min = j.c_min[dig[w - 1]];
+        for (size_t d0 = 0; d0 < r_first; ++d0) {
+          const double base = j.prev_cost[d0 * j.keep + q];
+          if (!(base < kInf)) continue;
+          // acc = row0 + Σ row_k, accumulated elementwise in window order —
+          // the same association as the serial added-loop, so every double
+          // matches bit for bit.
+          std::memcpy(acc, j.pair + j.pair_off[0] + d0 * r_cur,
+                      r_cur * sizeof(double));
+          for (size_t k = 1; k < w; ++k) {
+            AccumulateRow(acc, j.pair + j.pair_off[k] + size_t(dig[k]) * r_cur,
+                          r_cur);
+          }
+          MinMergeRow(out, dr, acc, base, static_cast<uint8_t>(d0), c_min,
+                      r_cur);
+        }
+      }
+    } else {
+      const double base = j.prev_cost[q];
+      if (base < kInf) {
+        const size_t c_min = j.c_min[dig[w - 1]];
+        const double* add = j.pair + j.pair_off[0] + size_t(dig[0]) * r_cur;
+        if (w > 1) {
+          std::memcpy(acc, add, r_cur * sizeof(double));
+          for (size_t k = 1; k < w; ++k) {
+            AccumulateRow(acc, j.pair + j.pair_off[k] + size_t(dig[k]) * r_cur,
+                          r_cur);
+          }
+          add = acc;
+        }
+        MinMergeRow(out, dr, add, base, uint8_t{0xff}, c_min, r_cur);
+      }
+    }
+    for (size_t k = w; k-- > first_pos;) {
+      if (++dig[k] < j.radix[k]) break;
+      dig[k] = 0;
+    }
+  }
+}
+
+/// Fills the pairwise-cost tables (k-major, each T_k laid out [d][c]) and the
+/// per-last-digit feasibility bounds for step \p i. Pure function of the
+/// grids/estimators, so steps can be built in parallel into disjoint slices.
+void BuildStepTables(const std::vector<FecProfile>& fecs,
+                     const std::vector<std::vector<int64_t>>& grids,
+                     const std::vector<std::vector<int64_t>>& est,
+                     int64_t alpha, size_t i, size_t gamma, double* pair_dst,
+                     uint32_t* c_min_dst) {
+  const size_t w = std::min(i, gamma);
+  const size_t first_fec = i - w;
+  const size_t r_cur = grids[i].size();
+  const int64_t* est_cur = est[i].data();
+  // First feasible candidate per last-digit value: estimators are ascending
+  // in the candidate index, so the e_{i-1} < e_i constraint is a lower bound
+  // on c. Two-pointer over the two ascending arrays.
+  {
+    const int64_t* est_prev = est[i - 1].data();
+    const size_t r_last = grids[i - 1].size();
+    size_t c = 0;
+    for (size_t d = 0; d < r_last; ++d) {
+      while (c < r_cur && est_cur[c] <= est_prev[d]) ++c;
+      c_min_dst[d] = static_cast<uint32_t>(c);
+    }
+  }
+  double* table = pair_dst;
+  for (size_t k = 0; k < w; ++k) {
+    const size_t j = first_fec + k;
+    const int64_t* est_j = est[j].data();
+    for (size_t d = 0; d < grids[j].size(); ++d) {
+      for (size_t c = 0; c < r_cur; ++c) {
+        table[d * r_cur + c] =
+            PairCost(fecs[j], fecs[i], est_cur[c] - est_j[d], alpha);
+      }
+    }
+    table += grids[j].size() * r_cur;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Lock-free single-dispatch parallel region. Helpers are submitted to the
+// pool ONCE per DP call and then fed one job per big step through atomics —
+// no per-step Submit, no joins. The caller always participates, so progress
+// never depends on a helper actually being scheduled (important when the DP
+// itself runs on a pool worker during pipelined Release: queued helpers may
+// start late or never, and simply observe the done sentinel).
+// ---------------------------------------------------------------------------
+
+constexpr uint64_t kDpRegionDone = ~uint64_t{0};
+
+struct DpRegion {
+  /// Even values publish a job (0 = none yet); odd values mean the caller is
+  /// mutating the payload; kDpRegionDone retires the helpers.
+  std::atomic<uint64_t> job{0};
+  std::atomic<size_t> cursor{0};
+  std::atomic<size_t> done{0};
+  std::atomic<int> active{0};
+  // Job payload: written only while `job` is odd and `active` == 0, read
+  // only by threads that re-verified an even `job` after registering in
+  // `active` — see the seq_cst handshake in DpHelperLoop / PublishStep.
+  StepJob step;
+  size_t chunk = 1;
+};
+
+void DpClaimChunks(DpRegion* r) {
+  const StepJob& step = r->step;
+  const size_t chunk = r->chunk;
+  const size_t n = step.keep;
+  for (;;) {
+    const size_t begin = r->cursor.fetch_add(chunk, std::memory_order_relaxed);
+    if (begin >= n) break;
+    const size_t end = std::min(begin + chunk, n);
+    RunBiasStepRange(step, begin, end);
+    if (r->done.fetch_add(end - begin, std::memory_order_acq_rel) +
+            (end - begin) ==
+        n) {
+      r->done.notify_all();
+    }
+  }
+}
+
+void DpHelperLoop(std::shared_ptr<DpRegion> r) {
+  uint64_t seen = 0;
+  for (;;) {
+    uint64_t j = r->job.load(std::memory_order_acquire);
+    if (j == kDpRegionDone) return;
+    if (j == seen || (j & 1) != 0) {
+      // Steps arrive back to back within one DP call: spin briefly before
+      // paying for a futex wait.
+      bool advanced = false;
+      for (int spin = 0; spin < kDpSpinIterations; ++spin) {
+        CpuRelax();
+        if (r->job.load(std::memory_order_acquire) != j) {
+          advanced = true;
+          break;
+        }
+      }
+      if (!advanced) r->job.wait(j, std::memory_order_acquire);
+      continue;
+    }
+    // Dekker-style handshake with the caller: register, then re-verify the
+    // job id. Either we see the caller's odd "preparing" store and back out,
+    // or the caller sees our registration and waits for us to finish.
+    r->active.fetch_add(1, std::memory_order_seq_cst);
+    if (r->job.load(std::memory_order_seq_cst) != j) {
+      r->active.fetch_sub(1, std::memory_order_acq_rel);
+      r->active.notify_all();
+      continue;
+    }
+    seen = j;
+    DpClaimChunks(r.get());
+    r->active.fetch_sub(1, std::memory_order_acq_rel);
+    r->active.notify_all();
+  }
+}
+
+void WaitForIdleHelpers(DpRegion* r) {
+  for (;;) {
+    const int a = r->active.load(std::memory_order_seq_cst);
+    if (a == 0) return;
+    r->active.wait(a, std::memory_order_acquire);
+  }
+}
+
+/// Publishes one step to the helpers, participates, and returns once every
+/// output slot is written and no helper still touches the payload.
+void RunStepParallel(DpRegion* r, uint64_t* job_id, const StepJob& job,
+                     size_t participants) {
+  r->job.store(*job_id + 1, std::memory_order_seq_cst);  // odd: preparing
+  WaitForIdleHelpers(r);
+  r->step = job;
+  r->chunk = std::max<size_t>(1, job.keep / (participants * 4));
+  r->cursor.store(0, std::memory_order_relaxed);
+  r->done.store(0, std::memory_order_relaxed);
+  *job_id += 2;
+  r->job.store(*job_id, std::memory_order_release);
+  r->job.notify_all();
+  DpClaimChunks(r);
+  for (;;) {
+    const size_t d = r->done.load(std::memory_order_acquire);
+    if (d == job.keep) break;
+    bool advanced = false;
+    for (int spin = 0; spin < kDpSpinIterations; ++spin) {
+      CpuRelax();
+      if (r->done.load(std::memory_order_acquire) != d) {
+        advanced = true;
+        break;
+      }
+    }
+    if (!advanced) r->done.wait(d, std::memory_order_acquire);
+  }
+}
 
 }  // namespace
 
@@ -214,7 +599,8 @@ std::vector<double> OrderPreservingBiasesReference(
 std::vector<double> OrderPreservingBiases(const std::vector<FecProfile>& fecs,
                                           int64_t alpha,
                                           const OrderOptConfig& opt,
-                                          BiasDpScratch* scratch) {
+                                          BiasDpScratch* scratch,
+                                          ThreadPool* pool) {
   const size_t n = fecs.size();
   if (n == 0) return {};
   const size_t gamma = std::min<size_t>(opt.gamma, 8);
@@ -235,8 +621,8 @@ std::vector<double> OrderPreservingBiases(const std::vector<FecProfile>& fecs,
 
   // State space per step: the mixed-radix product of the window's grid sizes
   // (most significant digit = earliest FEC in the window, so ascending flat
-  // index is lexicographic window order). Bail out to the reference when the
-  // dense tables would not fit.
+  // index is lexicographic window order). Route to the sparse frontier when
+  // the dense tables would not fit.
   s.state_count.assign(n, 0);
   s.step_offset.assign(n, 0);
   size_t backtrack_bytes = 0;
@@ -246,17 +632,79 @@ std::vector<double> OrderPreservingBiases(const std::vector<FecProfile>& fecs,
     for (size_t j = i + 1 - w; j <= i; ++j) {
       states *= s.grids[j].size();
       if (states > kMaxFlatStatesPerStep) {
-        return OrderPreservingBiasesReference(fecs, alpha, opt);
+        return OrderPreservingBiasesSparse(fecs, alpha, opt, pool);
       }
     }
     s.state_count[i] = states;
     s.step_offset[i] = backtrack_bytes;
     backtrack_bytes += states;
     if (backtrack_bytes > kMaxFlatBacktrackBytes) {
-      return OrderPreservingBiasesReference(fecs, alpha, opt);
+      return OrderPreservingBiasesSparse(fecs, alpha, opt, pool);
     }
   }
   s.dropped.assign(backtrack_bytes, 0xff);
+
+  // Pairwise cost tables and feasibility bounds. When the total fits the
+  // budget, every step's tables are built upfront in one parallel sweep
+  // (pure writes to disjoint slices); otherwise they are rebuilt per step
+  // into a single reused buffer.
+  s.pair_base.assign(n, 0);
+  s.c_min_base.assign(n, 0);
+  size_t pair_doubles = 0;
+  size_t max_step_doubles = 0;
+  size_t c_min_entries = 0;
+  for (size_t i = 1; i < n; ++i) {
+    const size_t w = std::min(i, gamma);
+    const size_t first_fec = i - w;
+    size_t step_doubles = 0;
+    for (size_t k = 0; k < w; ++k) {
+      step_doubles += s.grids[first_fec + k].size() * s.grids[i].size();
+    }
+    s.pair_base[i] = pair_doubles;
+    pair_doubles += step_doubles;
+    max_step_doubles = std::max(max_step_doubles, step_doubles);
+    s.c_min_base[i] = c_min_entries;
+    c_min_entries += s.grids[i - 1].size();
+  }
+  s.c_min.resize(c_min_entries);
+  const bool precompute_all = pair_doubles <= kMaxPairTableDoubles;
+  if (precompute_all) {
+    s.pair_cost.resize(pair_doubles);
+    ParallelFor(pool, n - 1, 4, [&](size_t begin, size_t end) {
+      for (size_t idx = begin; idx < end; ++idx) {
+        const size_t i = idx + 1;
+        BuildStepTables(fecs, s.grids, s.est, alpha, i, gamma,
+                        s.pair_cost.data() + s.pair_base[i],
+                        s.c_min.data() + s.c_min_base[i]);
+      }
+    });
+  } else {
+    s.pair_cost.resize(max_step_doubles);
+  }
+
+  // Spin up the helper crew once if any step is big enough to amortize the
+  // per-step handoff.
+  size_t max_step_work = 0;
+  for (size_t i = 1; i < n; ++i) {
+    const size_t w = std::min(i, gamma);
+    max_step_work = std::max(
+        max_step_work, s.state_count[i - 1] * s.grids[i].size() * w);
+  }
+  std::shared_ptr<DpRegion> region;
+  size_t dp_helpers = 0;
+  if (pool != nullptr && max_step_work >= kDpParallelStepWork) {
+    const size_t busy = ThreadPool::OnWorkerThread() ? 1 : 0;
+    const size_t avail =
+        pool->worker_count() > busy ? pool->worker_count() - busy : 0;
+    if (avail > 0) {
+      dp_helpers = std::min(avail, kMaxDpHelpers);
+      region = std::make_shared<DpRegion>();
+      for (size_t h = 0; h < dp_helpers; ++h) {
+        pool->Submit([region] { DpHelperLoop(region); });
+      }
+    }
+  }
+  uint64_t job_id = 0;
 
   // Step 0: FEC 0 alone in the window, zero cost for every candidate.
   s.prev_cost.assign(s.state_count[0], 0.0);
@@ -268,83 +716,50 @@ std::vector<double> OrderPreservingBiases(const std::vector<FecProfile>& fecs,
     const size_t prev_states = s.state_count[i - 1];
     const size_t cur_states = s.state_count[i];
     const size_t r_cur = s.grids[i].size();
-    const size_t r_last = s.grids[i - 1].size();
     // Digits kept from the previous window when the oldest drops out.
-    const size_t keep = drops ? prev_states / s.grids[first_fec].size() : prev_states;
+    const size_t keep =
+        drops ? prev_states / s.grids[first_fec].size() : prev_states;
 
-    s.cur_cost.assign(cur_states, kInf);
-    uint8_t* drop_row = s.dropped.data() + s.step_offset[i];
-    const int64_t* est_cur = s.est[i].data();
+    // No kInf fill: the kernel overwrites every output slot of every row.
+    if (s.cur_cost.size() < cur_states) s.cur_cost.resize(cur_states);
 
-    // First feasible candidate per last-digit value: estimators are
-    // ascending in the candidate index, so the e_{i-1} < e_i constraint is a
-    // lower bound on c. Two-pointer over the two ascending arrays.
-    s.c_min.assign(r_last, static_cast<uint32_t>(r_cur));
-    {
-      const int64_t* est_prev = s.est[i - 1].data();
-      size_t c = 0;
-      for (size_t d = 0; d < r_last; ++d) {
-        while (c < r_cur && est_cur[c] <= est_prev[d]) ++c;
-        s.c_min[d] = static_cast<uint32_t>(c);
-      }
+    if (!precompute_all) {
+      BuildStepTables(fecs, s.grids, s.est, alpha, i, gamma,
+                      s.pair_cost.data(), s.c_min.data() + s.c_min_base[i]);
     }
 
-    // Pairwise cost tables: T_k[d][c] = cost of FEC (first_fec + k) at
-    // candidate d against FEC i at candidate c.
-    s.pair_offset.assign(w_prev, 0);
+    StepJob job;
+    job.prev_cost = s.prev_cost.data();
+    job.cur_cost = s.cur_cost.data();
+    job.drop_row = s.dropped.data() + s.step_offset[i];
+    job.pair = s.pair_cost.data() + (precompute_all ? s.pair_base[i] : 0);
+    job.c_min = s.c_min.data() + s.c_min_base[i];
     {
-      size_t bytes = 0;
+      size_t off = 0;
       for (size_t k = 0; k < w_prev; ++k) {
-        s.pair_offset[k] = bytes;
-        bytes += s.grids[first_fec + k].size() * r_cur;
-      }
-      s.pair_cost.resize(bytes);
-      for (size_t k = 0; k < w_prev; ++k) {
-        const size_t j = first_fec + k;
-        double* table = s.pair_cost.data() + s.pair_offset[k];
-        const int64_t* est_j = s.est[j].data();
-        for (size_t d = 0; d < s.grids[j].size(); ++d) {
-          for (size_t c = 0; c < r_cur; ++c) {
-            table[d * r_cur + c] =
-                PairCost(fecs[j], fecs[i], est_cur[c] - est_j[d], alpha);
-          }
-        }
+        job.pair_off[k] = off;
+        job.radix[k] = s.grids[first_fec + k].size();
+        off += job.radix[k] * r_cur;
       }
     }
+    job.w = w_prev;
+    job.r_cur = r_cur;
+    job.keep = keep;
+    job.drops = drops;
 
-    // Sweep the previous states in ascending (lexicographic) order,
-    // maintaining the window digits as an odometer.
-    s.digits.assign(w_prev, 0);
-    const double* rows[8];
-    for (size_t p = 0; p < prev_states; ++p) {
-      const double base_cost = s.prev_cost[p];
-      if (base_cost < kInf) {
-        for (size_t k = 0; k < w_prev; ++k) {
-          rows[k] = s.pair_cost.data() + s.pair_offset[k] +
-                    static_cast<size_t>(s.digits[k]) * r_cur;
-        }
-        const size_t base_state = (drops ? p % keep : p) * r_cur;
-        const uint8_t drop_digit = drops ? s.digits[0] : 0xff;
-        for (size_t c = s.c_min[s.digits[w_prev - 1]]; c < r_cur; ++c) {
-          double added = 0.0;
-          for (size_t k = 0; k < w_prev; ++k) added += rows[k][c];
-          const double total = base_cost + added;
-          double& slot = s.cur_cost[base_state + c];
-          if (total < slot) {
-            slot = total;
-            drop_row[base_state + c] = drop_digit;
-          }
-        }
-      }
-      // Advance the odometer (digit radix = the matching FEC's grid size).
-      for (size_t k = w_prev; k-- > 0;) {
-        if (++s.digits[k] < s.grids[first_fec + k].size()) break;
-        s.digits[k] = 0;
-      }
+    const size_t step_work = prev_states * r_cur * w_prev;
+    if (region && keep >= 2 && step_work >= kDpParallelStepWork) {
+      RunStepParallel(region.get(), &job_id, job, dp_helpers + 1);
+    } else {
+      RunBiasStepRange(job, 0, keep);
     }
     std::swap(s.prev_cost, s.cur_cost);
-    assert(std::any_of(s.prev_cost.begin(), s.prev_cost.end(),
+    assert(std::any_of(s.prev_cost.begin(), s.prev_cost.begin() + cur_states,
                        [](double c) { return c < kInf; }));
+  }
+  if (region) {
+    region->job.store(kDpRegionDone, std::memory_order_release);
+    region->job.notify_all();
   }
 
   // Pick the cheapest final state (ties to the lexicographically smallest,
@@ -390,6 +805,184 @@ std::vector<double> OrderPreservingBiases(const std::vector<FecProfile>& fecs,
         i == 0 || static_cast<double>(fecs[i - 1].support) + biases[i - 1] <
                       static_cast<double>(fecs[i].support) + biases[i],
         "order-preserving DP produced a non-monotone estimator");
+  }
+  return biases;
+}
+
+namespace {
+
+/// One materialized state of the sparse frontier.
+struct FrontierEntry {
+  uint64_t key = 0;      ///< packed candidate window (PackKey layout)
+  double cost = kInf;
+  uint8_t dropped = 0xff;
+};
+
+/// The deterministic reduction of a generation buffer: stable-sort by key,
+/// then keep the first minimal-cost entry of every key run. Producers append
+/// in ascending (prev-state rank, candidate) order — the exact order the
+/// map-based reference applies its strict-< updates — so "first minimal
+/// wins" reproduces the reference's tie-breaks bit for bit, and the result
+/// is a frontier sorted by key (= lexicographic window order).
+void SortAndMinMergeFrontier(std::vector<FrontierEntry>* frontier) {
+  std::stable_sort(frontier->begin(), frontier->end(),
+                   [](const FrontierEntry& a, const FrontierEntry& b) {
+                     return a.key < b.key;
+                   });
+  size_t out = 0;
+  size_t idx = 0;
+  const size_t size = frontier->size();
+  while (idx < size) {
+    FrontierEntry best = (*frontier)[idx];
+    size_t run = idx + 1;
+    while (run < size && (*frontier)[run].key == best.key) {
+      if ((*frontier)[run].cost < best.cost) best = (*frontier)[run];
+      ++run;
+    }
+    (*frontier)[out++] = best;
+    idx = run;
+  }
+  frontier->resize(out);
+}
+
+}  // namespace
+
+std::vector<double> OrderPreservingBiasesSparse(
+    const std::vector<FecProfile>& fecs, int64_t alpha,
+    const OrderOptConfig& opt, ThreadPool* pool) {
+  const size_t n = fecs.size();
+  if (n == 0) return {};
+  const size_t gamma = std::min<size_t>(opt.gamma, 8);
+  if (gamma == 0 || n == 1) return ZeroBiases(n);
+
+  const size_t grid_cap = DeriveGridCap(opt, gamma);
+  std::vector<std::vector<int64_t>> grids(n);
+  std::vector<std::vector<int64_t>> est(n);
+  for (size_t i = 0; i < n; ++i) {
+    BiasGridInto(fecs[i].max_bias, grid_cap, &grids[i]);
+    est[i].reserve(grids[i].size());
+    for (int64_t b : grids[i]) est[i].push_back(fecs[i].support + b);
+  }
+
+  // steps[i]: the reachable states after placing FEC i, sorted by packed key.
+  std::vector<std::vector<FrontierEntry>> steps(n);
+  steps[0].reserve(grids[0].size());
+  for (uint8_t c = 0; c < grids[0].size(); ++c) {
+    steps[0].push_back(FrontierEntry{PackKey({c}), 0.0, 0xff});
+  }
+
+  std::vector<double> pair_cost;
+  std::vector<uint32_t> c_min;
+  for (size_t i = 1; i < n; ++i) {
+    const size_t w_prev = std::min(i, gamma);
+    const bool drops = w_prev == gamma;
+    const size_t first_fec = i - w_prev;
+    const size_t r_cur = grids[i].size();
+
+    size_t pair_doubles = 0;
+    size_t pair_off[8] = {};
+    for (size_t k = 0; k < w_prev; ++k) {
+      pair_off[k] = pair_doubles;
+      pair_doubles += grids[first_fec + k].size() * r_cur;
+    }
+    pair_cost.resize(pair_doubles);
+    c_min.resize(grids[i - 1].size());
+    BuildStepTables(fecs, grids, est, alpha, i, gamma, pair_cost.data(),
+                    c_min.data());
+
+    const std::vector<FrontierEntry>& prev = steps[i - 1];
+    // Candidate production: fixed-size chunks of previous states, each chunk
+    // writing its own buffer, concatenated in chunk order afterwards — the
+    // buffer order is therefore (prev-state rank, candidate) ascending no
+    // matter how chunks were scheduled.
+    const size_t chunks =
+        (prev.size() + kSparseFrontierChunk - 1) / kSparseFrontierChunk;
+    std::vector<std::vector<FrontierEntry>> produced(chunks);
+    ParallelFor(pool, chunks, 1, [&](size_t begin, size_t end) {
+      for (size_t ch = begin; ch < end; ++ch) {
+        const size_t p_begin = ch * kSparseFrontierChunk;
+        const size_t p_end =
+            std::min(p_begin + kSparseFrontierChunk, prev.size());
+        std::vector<FrontierEntry>& out = produced[ch];
+        out.reserve((p_end - p_begin) * r_cur);
+        uint8_t dig[8] = {0};
+        for (size_t p = p_begin; p < p_end; ++p) {
+          const FrontierEntry& entry = prev[p];
+          uint64_t key = entry.key;
+          for (size_t k = w_prev; k-- > 0;) {
+            dig[k] = static_cast<uint8_t>((key & 0xff) - 1);
+            key >>= 8;
+          }
+          const uint8_t dropped = drops ? dig[0] : 0xff;
+          // Surviving digits of the packed key, shifted up one byte to make
+          // room for the entering candidate.
+          const uint64_t kept_mask =
+              drops ? ((uint64_t{1} << (8 * (w_prev - 1))) - 1) : ~uint64_t{0};
+          const uint64_t stem = (entry.key & kept_mask) << 8;
+          for (size_t c = c_min[dig[w_prev - 1]]; c < r_cur; ++c) {
+            double added = 0.0;
+            for (size_t k = 0; k < w_prev; ++k) {
+              added += pair_cost[pair_off[k] +
+                                 static_cast<size_t>(dig[k]) * r_cur + c];
+            }
+            out.push_back(FrontierEntry{stem | (uint64_t(c) + 1),
+                                        entry.cost + added, dropped});
+          }
+        }
+      }
+    });
+
+    size_t total = 0;
+    for (const auto& chunk : produced) total += chunk.size();
+    std::vector<FrontierEntry> generation;
+    generation.reserve(total);
+    for (const auto& chunk : produced) {
+      generation.insert(generation.end(), chunk.begin(), chunk.end());
+    }
+    SortAndMinMergeFrontier(&generation);
+    BFLY_CHECK_MSG(!generation.empty(),
+                   "sparse bias DP lost every state (zero bias is always "
+                   "feasible, so this is a bug)");
+    steps[i] = std::move(generation);
+  }
+
+  // Cheapest final state; the frontier is key-sorted, so the first strict
+  // minimum is also the lexicographically smallest — the reference's
+  // tie-break.
+  const FrontierEntry* best = &steps[n - 1][0];
+  for (const FrontierEntry& entry : steps[n - 1]) {
+    if (entry.cost < best->cost) best = &entry;
+  }
+
+  std::vector<uint8_t> choice(n, 0);
+  uint64_t key = best->key;
+  {
+    const size_t w = std::min(n, gamma);
+    uint64_t k = key;
+    for (size_t idx = n; idx-- > n - w;) {
+      choice[idx] = static_cast<uint8_t>((k & 0xff) - 1);
+      k >>= 8;
+    }
+    for (size_t i = n - 1; i >= gamma; --i) {
+      const std::vector<FrontierEntry>& frontier = steps[i];
+      const auto it = std::lower_bound(
+          frontier.begin(), frontier.end(), key,
+          [](const FrontierEntry& e, uint64_t k2) { return e.key < k2; });
+      BFLY_CHECK_MSG(it != frontier.end() && it->key == key,
+                     "sparse bias DP backtrack lost its parent state");
+      choice[i - gamma] = it->dropped;
+      // Parent key: prepend the dropped digit, remove the entering one.
+      key = (uint64_t(it->dropped) + 1) << (8 * (gamma - 1)) | (key >> 8);
+    }
+  }
+
+  std::vector<double> biases(n);
+  for (size_t i = 0; i < n; ++i) {
+    biases[i] = static_cast<double>(grids[i][choice[i]]);
+    BFLY_DCHECK_MSG(
+        i == 0 || static_cast<double>(fecs[i - 1].support) + biases[i - 1] <
+                      static_cast<double>(fecs[i].support) + biases[i],
+        "order-preserving sparse DP produced a non-monotone estimator");
   }
   return biases;
 }

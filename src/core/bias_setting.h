@@ -14,6 +14,8 @@
 
 namespace butterfly {
 
+class ThreadPool;
+
 /// The inputs the optimizers need about one FEC.
 struct FecProfile {
   Support support = 0;       ///< t_i
@@ -37,10 +39,10 @@ struct BiasDpScratch {
   std::vector<double> prev_cost;            ///< flat cost table, step i−1
   std::vector<double> cur_cost;             ///< flat cost table, step i
   std::vector<uint8_t> dropped;    ///< per (step, state) backtrack digit
-  std::vector<double> pair_cost;   ///< per-step pairwise-cost tables
-  std::vector<size_t> pair_offset; ///< per window position into `pair_cost`
+  std::vector<double> pair_cost;   ///< pairwise-cost tables (all steps or one)
+  std::vector<size_t> pair_base;   ///< per-step base into `pair_cost`
   std::vector<uint32_t> c_min;     ///< per last-digit first feasible candidate
-  std::vector<uint8_t> digits;     ///< state-decoding odometer
+  std::vector<size_t> c_min_base;  ///< per-step base into `c_min`
   std::vector<uint8_t> choice;     ///< backtracked candidate per FEC
 };
 
@@ -56,20 +58,46 @@ struct BiasDpScratch {
 /// releases. Equal-cost ties are broken toward the lexicographically
 /// smallest candidate window, so the result is deterministic and identical
 /// to OrderPreservingBiasesReference.
+///
+/// When \p pool is non-null, large DP steps are computed by an
+/// output-partitioned parallel sweep over the flat table. The decomposition
+/// assigns each output slot to exactly one worker and replays the serial
+/// update order within the slot, so the result (costs, tie-breaks, backtrack
+/// bytes) is bit-identical at any thread count, including pool == nullptr.
 std::vector<double> OrderPreservingBiases(const std::vector<FecProfile>& fecs,
                                           int64_t alpha,
                                           const OrderOptConfig& opt,
-                                          BiasDpScratch* scratch = nullptr);
+                                          BiasDpScratch* scratch = nullptr,
+                                          ThreadPool* pool = nullptr);
+
+/// Sparse generation-buffer variant of Algorithm 1, used when an extreme
+/// (γ, grid) configuration would overflow the dense flat tables. Each step's
+/// frontier is a sorted vector of (packed key, cost, dropped digit) entries:
+/// candidate states are produced by a chunked sweep over
+/// (prev-state × candidate-grid) pairs — deterministically concatenated in
+/// producer-rank order — then reduced by SortAndMinMergeFrontier. Bit-identical
+/// to OrderPreservingBiasesReference (pinned by the frontier equivalence
+/// test); exposed for that test and for the micro-benchmarks.
+std::vector<double> OrderPreservingBiasesSparse(
+    const std::vector<FecProfile>& fecs, int64_t alpha,
+    const OrderOptConfig& opt, ThreadPool* pool = nullptr);
 
 /// The retained map-based reference implementation of Algorithm 1: one
 /// ordered map of packed-window states per step. Bit-identical to
 /// OrderPreservingBiases (the equivalence is pinned by a property test);
-/// kept as the oracle for that test, as the micro-benchmark baseline, and as
-/// the fallback when an extreme (γ, grid) configuration would overflow the
-/// flat tables.
+/// kept purely as the oracle for that test and as the micro-benchmark
+/// baseline — production overflow now routes to
+/// OrderPreservingBiasesSparse instead.
 std::vector<double> OrderPreservingBiasesReference(
     const std::vector<FecProfile>& fecs, int64_t alpha,
     const OrderOptConfig& opt);
+
+namespace internal {
+/// Test hook: when true, the DP row kernels take the scalar path even on
+/// SIMD-capable builds, letting tests pin scalar ≡ SIMD bit-for-bit. Flip
+/// only while no DP call is in flight.
+extern bool g_bias_kernel_force_scalar;
+}  // namespace internal
 
 /// Ratio-preserving bias setting (Algorithm 2): β_1 = βᵐ_1 and
 /// β_i = β_{i-1}·t_i/t_{i-1} (so β_i ∝ t_i), clamped into [−βᵐ_i, βᵐ_i]

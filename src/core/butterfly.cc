@@ -170,12 +170,12 @@ std::vector<double> ButterflyEngine::ComputeBiases(
       return ZeroBiases(profiles.size());
     case ButterflyScheme::kOrderPreserving:
       return OrderPreservingBiases(profiles, noise_.alpha(),
-                                   config_.order_opt, &dp_scratch_);
+                                   config_.order_opt, &dp_scratch_, pool_);
     case ButterflyScheme::kRatioPreserving:
       return RatioPreservingBiases(profiles);
     case ButterflyScheme::kHybrid: {
       std::vector<double> order = OrderPreservingBiases(
-          profiles, noise_.alpha(), config_.order_opt, &dp_scratch_);
+          profiles, noise_.alpha(), config_.order_opt, &dp_scratch_, pool_);
       std::vector<double> ratio = RatioPreservingBiases(profiles);
       return HybridBiases(profiles, order, ratio, config_.lambda);
     }
@@ -192,14 +192,16 @@ constexpr uint64_t kFecStreamDomain = 0x9e3779b97f4a7c15ull;
 SanitizedOutput ButterflyEngine::Sanitize(const MiningOutput& frequent,
                                           Support window_size,
                                           const FecView* fecs) {
-  if (fecs != nullptr) return SanitizeWithFecs(frequent, window_size, *fecs);
+  if (fecs != nullptr) {
+    return SanitizeView(*fecs, frequent.size(), window_size);
+  }
   const auto start = StageNow();
   std::vector<Fec> local = PartitionIntoFecs(frequent);
   FecView view;
   view.reserve(local.size());
   for (const Fec& fec : local) view.push_back(&fec);
   const double partition_ns = StageNs(start, StageNow());
-  SanitizedOutput release = SanitizeWithFecs(frequent, window_size, view);
+  SanitizedOutput release = SanitizeView(view, frequent.size(), window_size);
   last_stage_times_.partition_ns += partition_ns;
   return release;
 }
@@ -259,13 +261,13 @@ Status ButterflyEngine::Restore(persist::CheckpointReader* reader) {
   return Status::OK();
 }
 
-SanitizedOutput ButterflyEngine::SanitizeWithFecs(const MiningOutput& frequent,
-                                                  Support window_size,
-                                                  const FecView& fecs) {
+SanitizedOutput ButterflyEngine::SanitizeView(const FecView& fecs,
+                                              size_t total_itemsets,
+                                              Support window_size) {
   last_stage_times_ = SanitizeStageTimes{};
   const uint64_t epoch = epoch_++;
   SanitizedOutput release(config_.min_support, window_size);
-  if (frequent.empty()) {
+  if (total_itemsets == 0) {
     if (config_.republish_cache) cache_.NextEpoch();
     release.Seal();
     return release;
@@ -318,7 +320,7 @@ SanitizedOutput ButterflyEngine::SanitizeWithFecs(const MiningOutput& frequent,
   stage_start = stage_end;
   size_t total = 0;
   for (const Fec* fec : fecs) total += fec->size();
-  assert(total == frequent.size());
+  assert(total == total_itemsets);
   std::vector<std::pair<uint32_t, uint32_t>>& flat = flat_scratch_;
   flat.clear();
   flat.reserve(total);

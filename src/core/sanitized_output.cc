@@ -6,8 +6,8 @@
 namespace butterfly {
 
 void SanitizedOutput::Add(SanitizedItemset item) {
-  index_.emplace(item.itemset, items_.size());
   items_.push_back(std::move(item));
+  sealed_ = false;
 }
 
 void SanitizedOutput::Seal() {
@@ -15,10 +15,7 @@ void SanitizedOutput::Seal() {
             [](const SanitizedItemset& a, const SanitizedItemset& b) {
               return a.itemset < b.itemset;
             });
-  index_.clear();
-  for (size_t i = 0; i < items_.size(); ++i) {
-    index_.emplace(items_[i].itemset, i);
-  }
+  sealed_ = true;
 }
 
 std::optional<Support> SanitizedOutput::SanitizedSupportOf(
@@ -29,9 +26,18 @@ std::optional<Support> SanitizedOutput::SanitizedSupportOf(
 }
 
 const SanitizedItemset* SanitizedOutput::Find(const Itemset& itemset) const {
-  auto it = index_.find(itemset);
-  if (it == index_.end()) return nullptr;
-  return &items_[it->second];
+  if (sealed_) {
+    auto it = std::lower_bound(items_.begin(), items_.end(), itemset,
+                               [](const SanitizedItemset& a, const Itemset& b) {
+                                 return a.itemset < b;
+                               });
+    if (it == items_.end() || !(it->itemset == itemset)) return nullptr;
+    return &*it;
+  }
+  for (const SanitizedItemset& item : items_) {
+    if (item.itemset == itemset) return &item;
+  }
+  return nullptr;
 }
 
 RealSupportProvider SanitizedOutput::AsEstimatorProvider() const {

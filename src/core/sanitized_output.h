@@ -7,7 +7,6 @@
 
 #include <optional>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "common/itemset.h"
@@ -61,8 +60,8 @@ class SanitizedOutput {
  private:
   Support min_support_ = 0;
   Support window_size_ = 0;
+  bool sealed_ = false;  ///< Seal() sorted items_, enabling binary search
   std::vector<SanitizedItemset> items_;
-  std::unordered_map<Itemset, size_t, ItemsetHash> index_;
 };
 
 }  // namespace butterfly

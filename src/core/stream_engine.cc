@@ -2,7 +2,11 @@
 
 #include <bit>
 #include <cstdint>
+#include <memory>
+#include <mutex>
 
+#include "common/check.h"
+#include "common/thread_pool.h"
 #include "persist/serializer.h"
 
 namespace butterfly {
@@ -96,7 +100,107 @@ Result<StreamPrivacyEngine> StreamPrivacyEngine::Create(
   return StreamPrivacyEngine(window_capacity, config);
 }
 
+ReleaseResult StreamPrivacyEngine::ReleaseTicket::Wait() {
+  BFLY_CHECK_MSG(flight_ != nullptr,
+                 "Wait() on an empty or already-consumed release ticket");
+  std::unique_lock<std::mutex> lock(flight_->mu);
+  flight_->cv.wait(lock, [&] { return flight_->done; });
+  ReleaseResult result = std::move(flight_->result);
+  lock.unlock();
+  flight_.reset();
+  return result;
+}
+
+void StreamPrivacyEngine::SetPipelined(bool on) {
+  if (!on) JoinInflight();
+  pipelined_ = on;
+  pipeline_pool_ = on ? SharedPool(ResolveThreadCount(config().threads))
+                      : nullptr;
+}
+
+bool StreamPrivacyEngine::ReleaseInFlight() const {
+  if (!inflight_) return false;
+  std::lock_guard<std::mutex> lock(inflight_->mu);
+  return !inflight_->done;
+}
+
+void StreamPrivacyEngine::JoinInflight() {
+  if (!inflight_) return;
+  {
+    std::unique_lock<std::mutex> lock(inflight_->mu);
+    inflight_->cv.wait(lock, [&] { return inflight_->done; });
+  }
+  inflight_.reset();
+}
+
+StreamPrivacyEngine::ReleaseTicket StreamPrivacyEngine::ReleaseAsync() {
+  auto flight = std::make_shared<ReleaseTicket::Flight>();
+  if (!pipelined_ || pipeline_pool_ == nullptr) {
+    // Degenerate (serial) flight: complete before anyone can wait on it.
+    flight->result = Release();
+    flight->done = true;
+    return ReleaseTicket(std::move(flight));
+  }
+
+  // Caller-side stage: snapshot everything the background stage reads. The
+  // previous flight may still be sanitizing the *other* partition buffer —
+  // the mining view and the idle buffer are disjoint from it, so this whole
+  // stage overlaps with that flight.
+  const MiningOutput& raw = miner_.GetAllFrequentIncremental();
+  const uint64_t version = miner_.expansion_version();
+  const MiningOutputDelta& delta = miner_.last_expansion_delta();
+  const size_t next = active_partition_ ^ 1;
+  FecPartitioner& part = partitions_[next];
+  if (has_pending_delta_) part.ApplyDelta(pending_version_, pending_delta_);
+  part.Sync(raw, version, delta);
+  // Save this release's delta so the now-idle buffer (which will be exactly
+  // one version behind when it is next used) can catch up incrementally.
+  pending_delta_ = delta;
+  pending_version_ = version;
+  has_pending_delta_ = true;
+  active_partition_ = next;
+
+  EngineStats stats;
+  stats.mine_ns = mine_ns_;
+  mine_ns_ = 0;
+  stats.frequent_itemsets = raw.size();
+  stats.fec_count = part.view().size();
+  const Support window_size = static_cast<Support>(miner_.window().size());
+  const size_t total = part.total_members();
+  const FecView* view = &part.view();
+
+  // The sanitizer is exclusive: join the previous flight before handing it
+  // the new window. (Submit's queue mutex publishes the partition writes
+  // above to the worker.)
+  JoinInflight();
+  flight->result.stats = stats;
+  inflight_ = flight;
+  pipeline_pool_->Submit([this, flight, view, total, window_size] {
+    EngineStats& s = flight->result.stats;
+    s.epoch = sanitizer_.epoch();
+    flight->result.output = sanitizer_.SanitizeView(*view, total, window_size);
+    const SanitizeStageTimes& stages = sanitizer_.last_stage_times();
+    s.partition_ns = stages.partition_ns;
+    s.bias_ns = stages.bias_ns;
+    s.noise_ns = stages.noise_ns;
+    s.emit_ns = stages.emit_ns;
+    s.bias_cache_hit = stages.bias_cache_hit;
+    s.bias_memo_hit = stages.bias_memo_hit;
+    s.bias_memo_hits = sanitizer_.bias_memo_hits();
+    s.bias_memo_misses = sanitizer_.bias_memo_misses();
+    {
+      std::lock_guard<std::mutex> lock(flight->mu);
+      flight->done = true;
+    }
+    flight->cv.notify_all();
+  });
+  return ReleaseTicket(std::move(flight));
+}
+
 void StreamPrivacyEngine::Checkpoint(persist::CheckpointWriter* writer) const {
+  BFLY_CHECK_MSG(!ReleaseInFlight(),
+                 "checkpoint requires no in-flight pipelined release; Wait() "
+                 "on the outstanding ticket first");
   writer->Tag(kEngineTag);
   writer->U64(miner_.window().capacity());
   WriteConfig(writer, config());
@@ -105,11 +209,18 @@ void StreamPrivacyEngine::Checkpoint(persist::CheckpointWriter* writer) const {
 }
 
 Status StreamPrivacyEngine::RestoreBody(persist::CheckpointReader* reader) {
+  JoinInflight();
   if (Status s = miner_.Restore(reader); !s.ok()) return s;
   if (Status s = sanitizer_.Restore(reader); !s.ok()) return s;
-  // Reconstructible state: the FEC partition resyncs from the first
-  // post-restore expansion, and the mine-time accumulator restarts.
-  fec_partition_.Reset();
+  // Reconstructible state: the FEC partitions resync from the first
+  // post-restore expansion, and the mine-time accumulator restarts. The
+  // pipelining mode itself is scheduling, not state, and survives as set.
+  partitions_[0].Reset();
+  partitions_[1].Reset();
+  active_partition_ = 0;
+  has_pending_delta_ = false;
+  pending_version_ = 0;
+  pending_delta_.Reset();
   mine_ns_ = 0;
   return Status::OK();
 }

@@ -10,12 +10,23 @@
 /// as two objects. The engine also checkpoints: Checkpoint/Restore (and the
 /// file-level wrappers in persist/engine_checkpoint.h) capture every piece
 /// of state a bit-identical resume needs.
+///
+/// With SetPipelined(true) the engine overlaps windows: ReleaseAsync()
+/// snapshots the mining output into a FEC partition on the caller's thread,
+/// then runs the sanitize/emit stage on the shared pool while the caller
+/// keeps Append()ing window W+1 into the miner. Releases remain byte
+/// identical to serial mode at every thread count (the sanitizer's noise is
+/// counter-keyed, not order-keyed), so pipelining is pure scheduling.
 
 #ifndef BUTTERFLY_CORE_STREAM_ENGINE_H_
 #define BUTTERFLY_CORE_STREAM_ENGINE_H_
 
+#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
+#include <memory>
+#include <mutex>
+#include <utility>
 
 #include "common/status.h"
 #include "core/butterfly.h"
@@ -41,6 +52,12 @@ struct EngineStats {
   bool bias_cache_hit = false;  ///< previous-window bias reuse fired
   bool bias_memo_hit = false;   ///< cross-window DP memo fired
 
+  /// Cumulative sanitizer DP-memo traffic up to and including this release
+  /// (misses count only windows that actually ran the optimizer). Exposed
+  /// here so the overhead benchmarks can emit memo hit rates per row.
+  uint64_t bias_memo_hits = 0;
+  uint64_t bias_memo_misses = 0;
+
   uint64_t epoch = 0;            ///< the epoch this release was drawn under
   size_t frequent_itemsets = 0;  ///< size of the raw mined output
   size_t fec_count = 0;          ///< frequency equivalence classes released
@@ -63,7 +80,22 @@ class StreamPrivacyEngine {
   StreamPrivacyEngine(size_t window_capacity, const ButterflyConfig& config)
       : miner_(window_capacity, config.min_support), sanitizer_(config) {}
 
-  StreamPrivacyEngine(StreamPrivacyEngine&&) = default;
+  /// Movable; an in-flight pipelined release is joined first, because its
+  /// pool task holds a pointer into the source engine.
+  StreamPrivacyEngine(StreamPrivacyEngine&& other)
+      : miner_((other.JoinInflight(), std::move(other.miner_))),
+        sanitizer_(std::move(other.sanitizer_)),
+        partitions_{std::move(other.partitions_[0]),
+                    std::move(other.partitions_[1])},
+        active_partition_(other.active_partition_),
+        mine_ns_(other.mine_ns_),
+        pipelined_(other.pipelined_),
+        pipeline_pool_(other.pipeline_pool_),
+        pending_delta_(std::move(other.pending_delta_)),
+        pending_version_(other.pending_version_),
+        has_pending_delta_(other.has_pending_delta_) {}
+
+  ~StreamPrivacyEngine() { JoinInflight(); }
 
   /// Feeds the next stream record. Time spent in the miner's incremental
   /// maintenance accumulates into the next Release()'s stats.mine_ns.
@@ -104,15 +136,18 @@ class StreamPrivacyEngine {
   /// only the itemsets whose support changed since the last release, instead
   /// of re-partitioning and re-sorting every class per window. The release
   /// is bit-identical to sanitizing RawOutput() from scratch.
+  ///
+  /// In pipelined mode this is ReleaseAsync() + Wait(): correct, but with no
+  /// overlap — call ReleaseAsync() and keep appending to overlap windows.
   ReleaseResult Release() {
+    if (pipelined_ && pipeline_pool_ != nullptr) return ReleaseAsync().Wait();
     ReleaseResult result;
     result.stats.epoch = sanitizer_.epoch();
     const MiningOutput& raw = miner_.GetAllFrequentIncremental();
-    fec_partition_.Sync(raw, miner_.expansion_version(),
-                        miner_.last_expansion_delta());
+    FecPartitioner& part = partitions_[active_partition_];
+    part.Sync(raw, miner_.expansion_version(), miner_.last_expansion_delta());
     result.output = sanitizer_.Sanitize(
-        raw, static_cast<Support>(miner_.window().size()),
-        &fec_partition_.view());
+        raw, static_cast<Support>(miner_.window().size()), &part.view());
     const SanitizeStageTimes& stages = sanitizer_.last_stage_times();
     result.stats.mine_ns = mine_ns_;
     mine_ns_ = 0;
@@ -122,10 +157,59 @@ class StreamPrivacyEngine {
     result.stats.emit_ns = stages.emit_ns;
     result.stats.bias_cache_hit = stages.bias_cache_hit;
     result.stats.bias_memo_hit = stages.bias_memo_hit;
+    result.stats.bias_memo_hits = sanitizer_.bias_memo_hits();
+    result.stats.bias_memo_misses = sanitizer_.bias_memo_misses();
     result.stats.frequent_itemsets = raw.size();
-    result.stats.fec_count = fec_partition_.view().size();
+    result.stats.fec_count = part.view().size();
     return result;
   }
+
+  /// Handle to one in-flight pipelined release. Wait() blocks until the
+  /// sanitize/emit stage finishes and moves the result out (valid once).
+  /// Tickets outlive the next ReleaseAsync() call — each flight owns its
+  /// result — so a caller may hold several and drain them at the end.
+  class ReleaseTicket {
+   public:
+    ReleaseTicket() = default;
+    bool valid() const { return flight_ != nullptr; }
+    ReleaseResult Wait();
+
+   private:
+    friend class StreamPrivacyEngine;
+    struct Flight {
+      std::mutex mu;
+      std::condition_variable cv;
+      bool done = false;
+      ReleaseResult result;
+    };
+    explicit ReleaseTicket(std::shared_ptr<Flight> flight)
+        : flight_(std::move(flight)) {}
+    std::shared_ptr<Flight> flight_;
+  };
+
+  /// Starts a release of the current window and returns without waiting for
+  /// the sanitize/emit stage, which runs on the shared pool while the caller
+  /// keeps Append()ing the next window. The caller-side part snapshots
+  /// everything the background stage reads: the mining output is synced into
+  /// the idle one of two alternating FEC partitions (double-buffered, so the
+  /// handoff copies nothing and never touches the partition a still-running
+  /// flight reads), and the previous flight is joined before the sanitizer —
+  /// exclusive by design — is handed the new one. At most one flight is in
+  /// flight; the released bytes are identical to serial Release() at any
+  /// thread count. Without SetPipelined(true) (or with threads <= 1) this
+  /// degrades to a synchronous Release() wrapped in a completed ticket.
+  ReleaseTicket ReleaseAsync();
+
+  /// Toggles cross-window pipelining (off by default). Purely a scheduling
+  /// mode — released bytes never change — so it is deliberately not a
+  /// ButterflyConfig field and does not enter checkpoints. Uses the shared
+  /// pool for config().threads; with threads <= 1 there is no pool and the
+  /// engine stays effectively serial. Disabling joins any in-flight release.
+  void SetPipelined(bool on);
+  bool pipelined() const { return pipelined_; }
+
+  /// True while a pipelined release is still running on the pool.
+  bool ReleaseInFlight() const;
 
   /// Deprecated: nanoseconds of mining maintenance since the last release.
   /// Release() now reports this as ReleaseResult::stats.mine_ns.
@@ -144,14 +228,18 @@ class StreamPrivacyEngine {
   const MomentMiner& miner() const { return miner_; }
   ButterflyEngine& sanitizer() { return sanitizer_; }
   const ButterflyConfig& config() const { return sanitizer_.config(); }
-  /// The incrementally maintained FEC partition of the release path.
-  const FecPartitioner& fec_partition() const { return fec_partition_; }
+  /// The incrementally maintained FEC partition of the most recent release
+  /// (in pipelined mode, the active one of the two alternating buffers).
+  const FecPartitioner& fec_partition() const {
+    return partitions_[active_partition_];
+  }
 
   /// Serializes the full engine: window capacity + config header, then the
   /// miner (window, bitmap index, CET arena) and the sanitizer (epoch,
   /// republish cache, previous-window bias settings). The FEC partition and
   /// the miner's expansion cache are reconstructible and are not written —
   /// the first post-restore Release rebuilds both with identical content.
+  /// Requires no in-flight pipelined release (checked): Wait() first.
   /// See persist/engine_checkpoint.h for the file-level wrappers.
   void Checkpoint(persist::CheckpointWriter* writer) const;
 
@@ -171,10 +259,28 @@ class StreamPrivacyEngine {
   /// Restores the component sections that follow the capacity+config header.
   Status RestoreBody(persist::CheckpointReader* reader);
 
+  /// Blocks until the in-flight pipelined release (if any) finishes. The
+  /// flight's result stays retrievable through its ticket.
+  void JoinInflight();
+
   MomentMiner miner_;
   ButterflyEngine sanitizer_;
-  FecPartitioner fec_partition_;
+  /// Release-path FEC partitions. Serial mode only ever uses slot 0;
+  /// pipelined mode alternates so the caller syncs one buffer while the
+  /// in-flight sanitize stage reads the other. The idle buffer is two
+  /// releases stale, so ReleaseAsync replays the saved previous delta
+  /// (pending_delta_) before syncing the current one — both patches apply
+  /// incrementally and the buffers never need copying or rebuilding.
+  FecPartitioner partitions_[2];
+  size_t active_partition_ = 0;
   double mine_ns_ = 0;
+
+  bool pipelined_ = false;
+  ThreadPool* pipeline_pool_ = nullptr;  ///< shared, not owned; see SetPipelined
+  std::shared_ptr<ReleaseTicket::Flight> inflight_;
+  MiningOutputDelta pending_delta_;  ///< previous release's expansion delta
+  uint64_t pending_version_ = 0;
+  bool has_pending_delta_ = false;
 };
 
 }  // namespace butterfly

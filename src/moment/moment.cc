@@ -465,26 +465,31 @@ void ForEachSubset(const Itemset& s, size_t start, std::vector<Item>* prefix,
 
 }  // namespace
 
+const MiningOutput& MomentMiner::RebuildExpansionFromScratch(
+    MiningOutput closed) {
+  // Full expansion, then remember its accumulator. No precise delta exists
+  // on this path, so consumers are told to resync.
+  cached_all_ = ExpandClosed(closed);
+  expansion_best_.clear();
+  expansion_best_.reserve(cached_all_.size());
+  for (const FrequentItemset& f : cached_all_.itemsets()) {
+    expansion_best_.emplace(f.itemset, f.support);
+  }
+  cached_closed_ = std::move(closed);
+  expansion_cached_ = true;
+  expansion_delta_.Reset();
+  expansion_delta_.rebuilt = true;
+  ++expansion_version_;
+  return cached_all_;
+}
+
 const MiningOutput& MomentMiner::GetAllFrequentIncremental() {
   if (!expansion_dirty_ && expansion_cached_) return cached_all_;
   MiningOutput closed = GetClosedFrequent();
   expansion_dirty_ = false;
 
   if (!expansion_cached_) {
-    // First call: full expansion, then remember its accumulator. No precise
-    // delta exists yet, so consumers are told to resync.
-    cached_all_ = ExpandClosed(closed);
-    expansion_best_.clear();
-    expansion_best_.reserve(cached_all_.size());
-    for (const FrequentItemset& f : cached_all_.itemsets()) {
-      expansion_best_.emplace(f.itemset, f.support);
-    }
-    cached_closed_ = std::move(closed);
-    expansion_cached_ = true;
-    expansion_delta_.Reset();
-    expansion_delta_.rebuilt = true;
-    ++expansion_version_;
-    return cached_all_;
+    return RebuildExpansionFromScratch(std::move(closed));
   }
 
   // Diff the two sealed (lexicographically sorted) closed outputs; a support
@@ -513,6 +518,33 @@ const MiningOutput& MomentMiner::GetAllFrequentIncremental() {
   if (changed.empty()) {
     cached_closed_ = std::move(closed);
     return cached_all_;
+  }
+
+  // Crossover heuristic. Patching recomputes every subset of every changed
+  // closed itemset with a scan over the *whole* new closed set (ContainsAll
+  // probes, a few ns each), while a scratch re-expansion pays one
+  // accumulator update per subset of *every* closed itemset — a subset
+  // materialization plus a hash insert plus the final re-sort, worth about
+  // kCrossoverScanBudget probes. Patching also keeps its persistent
+  // accumulator and (without membership churn) patches the sealed output in
+  // place, so it wins whenever its scans stay under that budget; on dense
+  // windows (|closed| in the hundreds) with broad drift the |affected| ×
+  // |closed| scans blow past it, and falling back to scratch is faster.
+  // The fallback publishes a rebuilt delta so mirrors resync.
+  constexpr size_t kCrossoverScanBudget = 64;
+  auto subsets_of = [](size_t len) {
+    // Capped at 2^20 subsets so long itemsets cannot overflow the model.
+    return (size_t{1} << std::min<size_t>(len, 20)) - 1;
+  };
+  size_t patch_subsets = 0;
+  for (const Itemset* z : changed) patch_subsets += subsets_of(z->size());
+  size_t scratch_subsets = 0;
+  for (const FrequentItemset& z : new_items) {
+    scratch_subsets += subsets_of(z.itemset.size());
+  }
+  if (patch_subsets * new_items.size() >
+      kCrossoverScanBudget * scratch_subsets) {
+    return RebuildExpansionFromScratch(std::move(closed));
   }
 
   // Only subsets of changed closed itemsets can change value: for any other

@@ -198,6 +198,13 @@ class MomentMiner {
   /// Returns true if the node should be removed from its parent.
   bool UpdateDelete(uint32_t idx, const Transaction& t);
 
+  /// Rebuilds the incremental-expansion cache from scratch over \p closed
+  /// and publishes a rebuilt (imprecise) delta. Shared by the first
+  /// expansion and the crossover fallback in GetAllFrequentIncremental,
+  /// which routes here when the accumulated closed-set churn makes patching
+  /// slower than re-expanding.
+  const MiningOutput& RebuildExpansionFromScratch(MiningOutput closed);
+
   /// (Re)derives a node's extension counts from its tidset (expected in
   /// tidset_scratch_[depth]) and builds its subtree.
   void Explore(uint32_t idx, size_t depth);

@@ -1,0 +1,244 @@
+/// \file pipelined_release_test.cc
+/// \brief The pipelined-release contract: overlapping the sanitize/emit
+/// stage of window W with the mining of window W+1 is pure scheduling.
+/// Release logs must be byte-identical between serial and pipelined mode at
+/// every thread count, the double-buffered FEC partitions must keep syncing
+/// incrementally (the saved-delta catch-up), and a ticket's result must
+/// survive further releases.
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/release_log.h"
+#include "core/stream_engine.h"
+#include "datagen/profiles.h"
+
+namespace butterfly {
+namespace {
+
+constexpr size_t kWindow = 600;
+constexpr size_t kStride = 20;
+
+ButterflyConfig MakeConfig(ButterflyScheme scheme, int64_t threads) {
+  ButterflyConfig config;
+  config.epsilon = 0.016;
+  config.delta = 0.4;
+  config.min_support = 25;
+  config.vulnerable_support = 5;
+  config.scheme = scheme;
+  config.lambda = 0.4;
+  config.threads = threads;
+  config.seed = 0x5eed;
+  return config;
+}
+
+const std::vector<Transaction>& Stream() {
+  static const std::vector<Transaction> data =
+      *GenerateProfile(DatasetProfile::kBmsWebView1, 840, 7);
+  return data;
+}
+
+/// Replays the stream, releasing every kStride appends once the window is
+/// full, and serializes every release into one log string. In pipelined
+/// mode the tickets are collected as they are issued and drained at the
+/// end — the overlap path, not ReleaseAsync+immediate Wait.
+std::string ReplayLog(const ButterflyConfig& config, bool pipelined,
+                      bool drain_at_end = true) {
+  StreamPrivacyEngine engine(kWindow, config);
+  engine.SetPipelined(pipelined);
+  std::vector<StreamPrivacyEngine::ReleaseTicket> tickets;
+  std::vector<ReleaseResult> results;
+  size_t fed = 0;
+  for (const Transaction& t : Stream()) {
+    engine.Append(t);
+    if (++fed < kWindow || fed % kStride != 0) continue;
+    if (pipelined && drain_at_end) {
+      tickets.push_back(engine.ReleaseAsync());
+    } else {
+      results.push_back(engine.Release());
+    }
+  }
+  for (StreamPrivacyEngine::ReleaseTicket& ticket : tickets) {
+    results.push_back(ticket.Wait());
+  }
+  EXPECT_FALSE(engine.ReleaseInFlight());
+  std::ostringstream log;
+  for (size_t w = 0; w < results.size(); ++w) {
+    EXPECT_TRUE(
+        WriteRelease(&log, "window-" + std::to_string(w), results[w].output)
+            .ok());
+  }
+  EXPECT_GE(results.size(), 10u);
+  return log.str();
+}
+
+class PipelinedReleaseTest : public ::testing::TestWithParam<ButterflyScheme> {
+};
+
+/// The core byte-identity grid of the contract: serial baseline vs
+/// {pipelined, serial} x threads {1, 8}, compared as serialized logs.
+TEST_P(PipelinedReleaseTest, LogBytesIdenticalAcrossModesAndThreads) {
+  const ButterflyScheme scheme = GetParam();
+  const std::string baseline = ReplayLog(MakeConfig(scheme, 1), false);
+  ASSERT_FALSE(baseline.empty());
+  for (int64_t threads : {int64_t{1}, int64_t{8}}) {
+    EXPECT_EQ(baseline, ReplayLog(MakeConfig(scheme, threads), false))
+        << SchemeName(scheme) << " serial @" << threads;
+    EXPECT_EQ(baseline, ReplayLog(MakeConfig(scheme, threads), true))
+        << SchemeName(scheme) << " pipelined @" << threads;
+  }
+}
+
+/// Blocking Release() in pipelined mode (Async + Wait internally) is the
+/// same bytes too.
+TEST_P(PipelinedReleaseTest, BlockingReleaseMatchesInPipelinedMode) {
+  const ButterflyScheme scheme = GetParam();
+  const std::string baseline = ReplayLog(MakeConfig(scheme, 1), false);
+  EXPECT_EQ(baseline, ReplayLog(MakeConfig(scheme, 8), true,
+                                /*drain_at_end=*/false))
+      << SchemeName(scheme);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSchemes, PipelinedReleaseTest,
+                         ::testing::Values(ButterflyScheme::kBasic,
+                                           ButterflyScheme::kOrderPreserving,
+                                           ButterflyScheme::kRatioPreserving,
+                                           ButterflyScheme::kHybrid),
+                         [](const ::testing::TestParamInfo<ButterflyScheme>&
+                                param_info) {
+                           std::string name = SchemeName(param_info.param);
+                           for (char& c : name) {
+                             if (c == '-') c = '_';
+                           }
+                           return name;
+                         });
+
+/// The saved-delta catch-up must keep both alternating partitions
+/// incremental: after the two buffers have each seen a first (rebuilding)
+/// sync, every subsequent release patches from deltas — no rebuilds.
+TEST(PipelinedReleaseDetailTest, AlternatingPartitionsStayIncremental) {
+  StreamPrivacyEngine engine(kWindow, MakeConfig(ButterflyScheme::kHybrid, 8));
+  engine.SetPipelined(true);
+  ASSERT_TRUE(engine.pipelined());
+  std::vector<StreamPrivacyEngine::ReleaseTicket> tickets;
+  size_t fed = 0;
+  size_t releases = 0;
+  size_t incremental = 0;
+  for (const Transaction& t : Stream()) {
+    engine.Append(t);
+    if (++fed < kWindow || fed % kStride != 0) continue;
+    tickets.push_back(engine.ReleaseAsync());
+    ++releases;
+    if (releases > 2 && engine.fec_partition().last_sync_was_incremental()) {
+      ++incremental;
+    }
+  }
+  for (auto& ticket : tickets) (void)ticket.Wait();
+  ASSERT_GE(releases, 10u);
+  EXPECT_EQ(incremental, releases - 2)
+      << "every release after the two buffer-priming syncs must patch "
+         "incrementally via the saved delta";
+}
+
+/// Stats flow through the ticket: epochs are consecutive, the mining time
+/// drains exactly once, and the snapshot counts describe the released
+/// window.
+TEST(PipelinedReleaseDetailTest, StatsArriveThroughTickets) {
+  StreamPrivacyEngine engine(kWindow,
+                             MakeConfig(ButterflyScheme::kOrderPreserving, 8));
+  engine.SetPipelined(true);
+  std::vector<StreamPrivacyEngine::ReleaseTicket> tickets;
+  size_t fed = 0;
+  for (const Transaction& t : Stream()) {
+    engine.Append(t);
+    if (++fed >= kWindow && fed % kStride == 0) {
+      tickets.push_back(engine.ReleaseAsync());
+    }
+  }
+  uint64_t expected_epoch = 0;
+  for (auto& ticket : tickets) {
+    ASSERT_TRUE(ticket.valid());
+    ReleaseResult result = ticket.Wait();
+    EXPECT_FALSE(ticket.valid()) << "Wait() consumes the ticket";
+    EXPECT_EQ(result.stats.epoch, expected_epoch++);
+    EXPECT_GT(result.stats.fec_count, 0u);
+    EXPECT_GE(result.stats.frequent_itemsets, result.stats.fec_count);
+    EXPECT_EQ(result.stats.frequent_itemsets, result.output.size());
+  }
+}
+
+/// Thread-stress shape: short strides, many in-flight handoffs, and raw
+/// (miner-only) reads interleaved while a flight is sanitizing. The raw
+/// output is a miner concern and must be safe to read during a flight; the
+/// final log must still match the serial baseline byte for byte.
+TEST(PipelinedReleaseStressTest, HandoffChurnWithConcurrentRawReads) {
+  constexpr size_t kShortStride = 5;
+  auto replay = [&](bool pipelined) {
+    StreamPrivacyEngine engine(kWindow,
+                               MakeConfig(ButterflyScheme::kHybrid, 8));
+    engine.SetPipelined(pipelined);
+    std::vector<StreamPrivacyEngine::ReleaseTicket> tickets;
+    std::vector<ReleaseResult> results;
+    size_t fed = 0;
+    size_t raw_checksum = 0;
+    for (const Transaction& t : Stream()) {
+      engine.Append(t);
+      if (++fed < kWindow || fed % kShortStride != 0) continue;
+      if (pipelined) {
+        tickets.push_back(engine.ReleaseAsync());
+        // Overlap a raw read with the in-flight sanitize stage.
+        raw_checksum += engine.RawOutput().size();
+      } else {
+        results.push_back(engine.Release());
+        raw_checksum += engine.RawOutput().size();
+      }
+    }
+    for (auto& ticket : tickets) results.push_back(ticket.Wait());
+    std::ostringstream log;
+    for (size_t w = 0; w < results.size(); ++w) {
+      EXPECT_TRUE(
+          WriteRelease(&log, "w" + std::to_string(w), results[w].output).ok());
+    }
+    return std::make_pair(log.str(), raw_checksum);
+  };
+  const auto [serial_log, serial_raw] = replay(false);
+  const auto [piped_log, piped_raw] = replay(true);
+  EXPECT_EQ(serial_log, piped_log);
+  EXPECT_EQ(serial_raw, piped_raw);
+  ASSERT_FALSE(serial_log.empty());
+}
+
+/// Turning pipelining off joins the flight and the engine keeps releasing
+/// the same sequence serially — the mode switch is invisible in the bytes.
+TEST(PipelinedReleaseDetailTest, ModeToggleMidStreamIsInvisible) {
+  auto replay = [&](bool toggle) {
+    StreamPrivacyEngine engine(kWindow,
+                               MakeConfig(ButterflyScheme::kHybrid, 8));
+    if (toggle) engine.SetPipelined(true);
+    std::vector<ReleaseResult> results;
+    size_t fed = 0;
+    for (const Transaction& t : Stream()) {
+      engine.Append(t);
+      if (++fed < kWindow || fed % kStride != 0) continue;
+      if (toggle && results.size() == 5) {
+        engine.SetPipelined(false);
+        EXPECT_FALSE(engine.ReleaseInFlight());
+      }
+      results.push_back(engine.Release());
+    }
+    std::ostringstream log;
+    for (size_t w = 0; w < results.size(); ++w) {
+      EXPECT_TRUE(
+          WriteRelease(&log, "w" + std::to_string(w), results[w].output).ok());
+    }
+    return log.str();
+  };
+  EXPECT_EQ(replay(false), replay(true));
+}
+
+}  // namespace
+}  // namespace butterfly

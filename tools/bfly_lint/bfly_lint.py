@@ -93,7 +93,13 @@ BEGIN_WALK_RE = re.compile(r"=\s*([A-Za-z_]\w*)\s*[.]\s*(?:c?begin)\s*\(")
 # container is only deterministic if the copy is sorted right away.
 MATERIALIZE_RE = re.compile(
     r"\(\s*([A-Za-z_]\w*)\s*\.\s*c?begin\s*\(\s*\)\s*,\s*\1\s*\.\s*c?end")
-SORT_NEARBY_RE = re.compile(r"\b(?:std::)?(?:sort|stable_sort)\s*\(")
+# A materialized copy followed by a sort is the canonical ordering fix.
+# SortAndMinMergeFrontier is the bias DP's generation-buffer reducer (stable
+# sort by packed key + first-minimal-per-key merge, see core/bias_setting.cc)
+# — a deterministic release-ordering producer in its own right, recognized
+# here so frontier code doesn't need allowlist annotations.
+SORT_NEARBY_RE = re.compile(
+    r"\b(?:std::)?(?:sort|stable_sort)\s*\(|\bSortAndMinMergeFrontier\s*\(")
 
 WRITER_BYPASS_RE = re.compile(r"\bmemcpy\s*\(|\breinterpret_cast\s*<")
 CHECKPOINT_CONTEXT_RE = re.compile(

@@ -1,0 +1,32 @@
+// bfly_lint fixture: SortAndMinMergeFrontier is an approved release-ordering
+// producer. Materializing an unordered container is clean when the copy is
+// handed straight to the generation-buffer reducer (stable sort by packed key
+// + first-minimal-per-key merge) — no allowlist annotation needed. The
+// control at the bottom materializes without any ordering step and must
+// still fire. Never compiled.
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+struct FrontierEntry {
+  uint64_t key;
+  double cost;
+};
+
+void SortAndMinMergeFrontier(std::vector<FrontierEntry>*) {}
+
+std::vector<FrontierEntry> ReduceGeneration() {
+  std::unordered_set<uint64_t> produced;
+  produced.insert(42);
+  std::vector<uint64_t> keys(produced.begin(), produced.end());
+  std::vector<FrontierEntry> frontier;
+  for (uint64_t k : keys) frontier.push_back({k, 0.0});
+  SortAndMinMergeFrontier(&frontier);
+  return frontier;
+}
+
+std::vector<uint64_t> MaterializeWithoutReduction() {
+  std::unordered_set<uint64_t> produced;
+  std::vector<uint64_t> keys(produced.begin(), produced.end());  // VIOLATION unordered-iteration
+  return keys;
+}
