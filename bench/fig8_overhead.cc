@@ -72,22 +72,31 @@ struct OverheadRow {
   double opt_per_window = 0;
   size_t frequent = 0;
   size_t fecs = 0;
+  /// Window-index row-table accounting from the last release's stats.
+  size_t index_bytes = 0;
+  size_t index_dense_bytes = 0;
+  size_t index_array_rows = 0;
+  size_t index_bitmap_rows = 0;
+  size_t index_run_rows = 0;
+  size_t index_pinned_rows = 0;
 };
 
 /// One full stream pass: mines through a StreamPrivacyEngine (whose mine_ns
 /// accounting attributes maintenance time per reported window) and times the
 /// expansion and sanitize paths per report.
 OverheadRow MeasureOnce(Support min_support, const RunShape& shape,
-                        const std::vector<Transaction>& data) {
+                        const std::vector<Transaction>& data,
+                        IndexRowStore row_store) {
   SchemeVariant basic{"Basic", ButterflyScheme::kBasic, 0.0};
   SchemeVariant opt{"Opt", ButterflyScheme::kOrderPreserving, 1.0};
   TraceConfig trace_config;  // only C matters for MakeConfig here
   trace_config.min_support = min_support;
   ButterflyEngine basic_engine(
       MakeConfig(trace_config, basic, /*epsilon=*/0.016, /*delta=*/0.4));
-  StreamPrivacyEngine engine(
-      shape.window, MakeConfig(trace_config, opt, /*epsilon=*/0.016,
-                               /*delta=*/0.4));
+  ButterflyConfig opt_config =
+      MakeConfig(trace_config, opt, /*epsilon=*/0.016, /*delta=*/0.4);
+  opt_config.hybrid_index = row_store == IndexRowStore::kHybrid;
+  StreamPrivacyEngine engine(shape.window, opt_config);
 
   OverheadRow row;
   size_t fed = 0;
@@ -136,6 +145,12 @@ OverheadRow MeasureOnce(Support min_support, const RunShape& shape,
       row.mining_per_window += opt_release.stats.mine_ns / 1e9;
       ++mining_reports;
     }
+    row.index_bytes = opt_release.stats.index_bytes;
+    row.index_dense_bytes = opt_release.stats.index_dense_equivalent_bytes;
+    row.index_array_rows = opt_release.stats.index_array_rows;
+    row.index_bitmap_rows = opt_release.stats.index_bitmap_rows;
+    row.index_run_rows = opt_release.stats.index_run_rows;
+    row.index_pinned_rows = opt_release.stats.index_pinned_rows;
     (void)basic_release;
   }
   double n = static_cast<double>(reported);
@@ -150,17 +165,18 @@ OverheadRow MeasureOnce(Support min_support, const RunShape& shape,
 /// Warmup + median-of-reps over full stream passes; the counts (frequent,
 /// FECs) are deterministic across reps and taken from the last one.
 OverheadRow Measure(DatasetProfile profile, Support min_support,
-                    const RunShape& shape) {
+                    const RunShape& shape,
+                    IndexRowStore row_store = IndexRowStore::kDense) {
   auto data = GenerateProfile(profile,
                               shape.window + shape.reports * shape.stride, 7);
   if (!data.ok()) std::exit(1);
 
   for (int i = 0; i < shape.plan.warmup; ++i) {
-    MeasureOnce(min_support, shape, *data);
+    MeasureOnce(min_support, shape, *data, row_store);
   }
   std::vector<OverheadRow> reps;
   for (int i = 0; i < shape.plan.reps; ++i) {
-    reps.push_back(MeasureOnce(min_support, shape, *data));
+    reps.push_back(MeasureOnce(min_support, shape, *data, row_store));
   }
 
   auto median_of = [&](double OverheadRow::*field) {
@@ -209,8 +225,18 @@ double MeasureMapMinerPerWindow(DatasetProfile profile, Support min_support,
   return Median(std::move(reps)) / static_cast<double>(shape.reports);
 }
 
+void CopyIndexStats(const OverheadRow& row, BenchRecord* rec) {
+  rec->index_bytes = row.index_bytes;
+  rec->index_dense_bytes = row.index_dense_bytes;
+  rec->index_array_rows = row.index_array_rows;
+  rec->index_bitmap_rows = row.index_bitmap_rows;
+  rec->index_run_rows = row.index_run_rows;
+  rec->index_pinned_rows = row.index_pinned_rows;
+}
+
 void RecordMinerRows(DatasetProfile profile, const RunShape& shape,
-                     Support min_support, const OverheadRow& row) {
+                     Support min_support, const OverheadRow& row,
+                     const OverheadRow& hybrid_row) {
   {
     BenchRecord rec;
     rec.bench = "mine/moment";
@@ -222,7 +248,40 @@ void RecordMinerRows(DatasetProfile profile, const RunShape& shape,
     rec.windows_per_sec =
         row.mining_per_window > 0 ? 1.0 / row.mining_per_window : 0;
     rec.mine_ns = rec.ns_per_window;
+    CopyIndexStats(row, &rec);
     g_records.push_back(rec);
+  }
+  {
+    // The same engine accounting over the same stream with the hybrid
+    // (array/bitmap/run container) row store: mined output is bit-identical,
+    // so the row isolates the container overhead at a BMS-scale alphabet —
+    // the guard requires it within noise of the dense store here, while the
+    // WebScale1M row below requires the hybrid to outright win.
+    BenchRecord rec;
+    rec.bench = "mine/hybrid";
+    rec.dataset = ProfileName(profile);
+    rec.threads = 1;
+    rec.windows = shape.reports;
+    rec.itemsets_per_window = hybrid_row.frequent;
+    rec.ns_per_window = hybrid_row.mining_per_window * 1e9;
+    rec.windows_per_sec =
+        hybrid_row.mining_per_window > 0 ? 1.0 / hybrid_row.mining_per_window
+                                         : 0;
+    rec.mine_ns = rec.ns_per_window;
+    CopyIndexStats(hybrid_row, &rec);
+    g_records.push_back(rec);
+    std::printf("mine_ns per reported window: dense rows %.0f ns, hybrid rows "
+                "%.0f ns (%.2fx); hybrid index %zu bytes vs dense %zu "
+                "(%.1f%%)\n",
+                row.mining_per_window * 1e9, hybrid_row.mining_per_window * 1e9,
+                row.mining_per_window > 0
+                    ? hybrid_row.mining_per_window / row.mining_per_window
+                    : 0,
+                hybrid_row.index_bytes, hybrid_row.index_dense_bytes,
+                hybrid_row.index_dense_bytes > 0
+                    ? 100.0 * static_cast<double>(hybrid_row.index_bytes) /
+                          static_cast<double>(hybrid_row.index_dense_bytes)
+                    : 0);
   }
   {
     const double map_per_window =
@@ -284,7 +343,108 @@ void RunDataset(DatasetProfile profile, const RunShape& shape) {
   RunShape miner_shape = shape;
   miner_shape.window = shape.dense_window;
   OverheadRow miner_row = Measure(profile, shape.dense_support, miner_shape);
-  RecordMinerRows(profile, miner_shape, shape.dense_support, miner_row);
+  OverheadRow hybrid_row = Measure(profile, shape.dense_support, miner_shape,
+                                   IndexRowStore::kHybrid);
+  RecordMinerRows(profile, miner_shape, shape.dense_support, miner_row,
+                  hybrid_row);
+}
+
+/// The workload the hybrid row store exists for: the WebScale1M profile's
+/// million-item power-law alphabet at the paper's H = 5000 window. Times the
+/// steady-state miner maintenance under both row stores and records the
+/// index memory accounting; the memory ceiling (hybrid <= 10% of the
+/// dense-row equivalent) is enforced unconditionally — it is deterministic —
+/// while the speed win is a floor (see CheckHybridFloors).
+void RunWebScaleRow(const RunShape& shape) {
+  const DatasetProfile profile = DatasetProfile::kWebScale1M;
+  const size_t window = 5000;
+  const Support min_support = 25;
+  auto data = GenerateProfile(profile,
+                              window + shape.reports * shape.stride, 7);
+  if (!data.ok()) std::exit(1);
+
+  struct StoreSample {
+    double per_window = 0;
+    IndexMemoryStats stats;
+  };
+  auto measure_store = [&](IndexRowStore store) {
+    StoreSample sample;
+    auto run_once = [&] {
+      MomentMiner miner(window, min_support, store);
+      size_t fed = 0;
+      double steady_seconds = 0;
+      Stopwatch watch;
+      for (const Transaction& t : *data) {
+        const bool timed = ++fed > window;
+        if (timed) watch.Restart();
+        miner.Append(t);
+        if (timed) steady_seconds += watch.Seconds();
+      }
+      sample.stats = miner.bitmap_index().MemoryStats();
+      return steady_seconds;
+    };
+    for (int i = 0; i < shape.plan.warmup; ++i) run_once();
+    std::vector<double> reps;
+    for (int i = 0; i < shape.plan.reps; ++i) reps.push_back(run_once());
+    sample.per_window = Median(std::move(reps)) /
+                        static_cast<double>(shape.reports);
+    return sample;
+  };
+
+  StoreSample dense = measure_store(IndexRowStore::kDense);
+  StoreSample hybrid = measure_store(IndexRowStore::kHybrid);
+
+  PrintTableHeader(
+      "Million-item alphabet, " + ProfileName(profile) + ", H=" +
+          std::to_string(window) + ", C=" + std::to_string(min_support),
+      {"store", "mine ns/window", "index bytes", "dense-equiv", "rows a/b/r",
+       "pinned"});
+  auto histogram = [](const IndexMemoryStats& s) {
+    return std::to_string(s.array_rows) + "/" + std::to_string(s.bitmap_rows) +
+           "/" + std::to_string(s.run_rows);
+  };
+  PrintTableRow({"dense", FormatDouble(dense.per_window * 1e9, 0),
+                 std::to_string(dense.stats.index_bytes),
+                 std::to_string(dense.stats.dense_equivalent_bytes),
+                 histogram(dense.stats),
+                 std::to_string(dense.stats.pinned_rows)});
+  PrintTableRow({"hybrid", FormatDouble(hybrid.per_window * 1e9, 0),
+                 std::to_string(hybrid.stats.index_bytes),
+                 std::to_string(hybrid.stats.dense_equivalent_bytes),
+                 histogram(hybrid.stats),
+                 std::to_string(hybrid.stats.pinned_rows)});
+
+  for (const auto& [bench, sample] :
+       {std::pair<std::string, const StoreSample*>{"mine/dense-1m", &dense},
+        {"mine/hybrid", &hybrid}}) {
+    BenchRecord rec;
+    rec.bench = bench;
+    rec.dataset = ProfileName(profile);
+    rec.threads = 1;
+    rec.windows = shape.reports;
+    rec.ns_per_window = sample->per_window * 1e9;
+    rec.windows_per_sec =
+        sample->per_window > 0 ? 1.0 / sample->per_window : 0;
+    rec.mine_ns = rec.ns_per_window;
+    rec.index_bytes = sample->stats.index_bytes;
+    rec.index_dense_bytes = sample->stats.dense_equivalent_bytes;
+    rec.index_array_rows = sample->stats.array_rows;
+    rec.index_bitmap_rows = sample->stats.bitmap_rows;
+    rec.index_run_rows = sample->stats.run_rows;
+    rec.index_pinned_rows = sample->stats.pinned_rows;
+    g_records.push_back(rec);
+  }
+
+  // Memory ceiling: deterministic (a pure function of the dataset), so it is
+  // a hard failure everywhere, not a floor that hardware can excuse.
+  if (hybrid.stats.index_bytes * 10 > hybrid.stats.dense_equivalent_bytes) {
+    std::fprintf(stderr,
+                 "MEMORY CEILING %s: hybrid index %zu bytes > 10%% of the "
+                 "dense-row equivalent %zu\n",
+                 ProfileName(profile).c_str(), hybrid.stats.index_bytes,
+                 hybrid.stats.dense_equivalent_bytes);
+    std::exit(1);
+  }
 }
 
 /// One replay measurement: total seconds plus the engine's per-stage sums.
@@ -558,18 +718,36 @@ void ReleaseBench(DatasetProfile profile, const RunShape& shape) {
 /// True for the benches the baseline regression guard covers.
 bool GuardedBench(const std::string& bench) {
   return bench == "sanitize/opt" || bench == "sanitize/opt-dense" ||
-         bench == "mine/moment" || bench == "expand/scratch" ||
+         bench == "mine/moment" || bench == "mine/hybrid" ||
+         bench == "mine/dense-1m" || bench == "expand/scratch" ||
          bench == "expand/incremental" || bench == "release/serial" ||
          bench == "release/pipelined";
+}
+
+/// True when BUTTERFLY_REQUIRE_FLOORS=1: the CI bench runner sets it so a
+/// floor that would silently skip (machine too small to express the speedup)
+/// fails loudly instead — an undersized runner looks exactly like a perf
+/// regression that nobody measures.
+bool FloorsRequired() {
+  const char* env = std::getenv("BUTTERFLY_REQUIRE_FLOORS");
+  return env != nullptr && env[0] == '1';
 }
 
 /// Hard speedup floors for the parallel tentpoles (the sanitize sweep's DP
 /// parallelism and the pipelined release overlap), enforced alongside the
 /// baseline guard — but only on hardware that can express a 4-thread
-/// speedup; smaller machines print a note and pass.
+/// speedup; smaller machines print a note and pass, unless
+/// BUTTERFLY_REQUIRE_FLOORS=1 makes under-provisioned hardware an error.
 bool CheckSpeedupFloors() {
   const unsigned hw = std::thread::hardware_concurrency();
   if (hw < 4) {
+    if (FloorsRequired()) {
+      std::fprintf(stderr,
+                   "FLOOR hardware: %u hardware thread(s) < 4 but "
+                   "BUTTERFLY_REQUIRE_FLOORS=1 — run on a >=4-core machine\n",
+                   hw);
+      return false;
+    }
     std::printf("speedup floors skipped: %u hardware thread(s) < 4\n", hw);
     return true;
   }
@@ -590,6 +768,47 @@ bool CheckSpeedupFloors() {
                    "%.2f < 1.3\n",
                    r.dataset.c_str(), r.speedup_vs_1t);
       ok = false;
+    }
+  }
+  return ok;
+}
+
+/// Hybrid-row-store floors: at BMS scale the container overhead must stay
+/// within noise of the dense rows (<= 1.1x mine_ns), and at the WebScale1M
+/// alphabet the hybrid must outright win. Wall-clock comparisons, so like
+/// the speedup floors they only hard-fail under BUTTERFLY_REQUIRE_FLOORS=1
+/// (the dedicated bench runner); elsewhere a miss prints loudly and passes.
+bool CheckHybridFloors() {
+  const BenchRecord* dense_1m = nullptr;
+  bool ok = true;
+  for (const BenchRecord& r : g_records) {
+    if (r.bench == "mine/dense-1m") dense_1m = &r;
+  }
+  for (const BenchRecord& r : g_records) {
+    if (r.bench != "mine/hybrid") continue;
+    double base_ns = 0;
+    double bound = 0;
+    const char* label = nullptr;
+    if (r.dataset == "WebScale1M") {
+      if (dense_1m == nullptr) continue;
+      base_ns = dense_1m->ns_per_window;
+      bound = 1.0;  // the hybrid must win at the million-item alphabet
+      label = "mine/hybrid vs dense @WebScale1M";
+    } else {
+      for (const BenchRecord& d : g_records) {
+        if (d.bench == "mine/moment" && d.dataset == r.dataset) {
+          base_ns = d.ns_per_window;
+        }
+      }
+      bound = 1.1;  // within noise of the dense rows at BMS scale
+      label = "mine/hybrid vs mine/moment";
+    }
+    if (base_ns <= 0) continue;
+    const double ratio = r.ns_per_window / base_ns;
+    if (ratio > bound) {
+      std::fprintf(stderr, "FLOOR %s (%s): %.2fx > %.2fx allowed\n", label,
+                   r.dataset.c_str(), ratio, bound);
+      if (FloorsRequired()) ok = false;
     }
   }
   return ok;
@@ -694,6 +913,7 @@ int main(int argc, char** argv) {
                 shape.dense_support);
     ReleaseBench(profile, shape);
   }
+  RunWebScaleRow(shape);
 
   if (!json_path.empty()) {
     if (!WriteBenchJson(json_path, g_records)) {
@@ -708,5 +928,6 @@ int main(int argc, char** argv) {
     return 1;
   }
   if (!baseline_path.empty() && !CheckSpeedupFloors()) return 1;
+  if (!CheckHybridFloors()) return 1;
   return 0;
 }

@@ -153,6 +153,14 @@ bool WriteBenchJson(const std::string& path,
       std::fprintf(f, ", \"memo_hits\": %.0f, \"memo_misses\": %.0f",
                    r.memo_hits, r.memo_misses);
     }
+    if (r.index_bytes > 0) {
+      std::fprintf(f,
+                   ", \"index_bytes\": %zu, \"index_dense_bytes\": %zu, "
+                   "\"index_array_rows\": %zu, \"index_bitmap_rows\": %zu, "
+                   "\"index_run_rows\": %zu, \"index_pinned_rows\": %zu",
+                   r.index_bytes, r.index_dense_bytes, r.index_array_rows,
+                   r.index_bitmap_rows, r.index_run_rows, r.index_pinned_rows);
+    }
     if (!r.note.empty()) {
       std::fprintf(f, ", \"note\": \"%s\"", r.note.c_str());
     }
@@ -223,6 +231,24 @@ bool ReadBenchJson(const std::string& path,
     if (ExtractField(line, "emit_ns", &value)) r.emit_ns = std::stod(value);
     if (ExtractField(line, "mine_ns", &value)) r.mine_ns = std::stod(value);
     if (ExtractField(line, "memo_hits", &value)) r.memo_hits = std::stod(value);
+    if (ExtractField(line, "index_bytes", &value)) {
+      r.index_bytes = std::stoul(value);
+    }
+    if (ExtractField(line, "index_dense_bytes", &value)) {
+      r.index_dense_bytes = std::stoul(value);
+    }
+    if (ExtractField(line, "index_array_rows", &value)) {
+      r.index_array_rows = std::stoul(value);
+    }
+    if (ExtractField(line, "index_bitmap_rows", &value)) {
+      r.index_bitmap_rows = std::stoul(value);
+    }
+    if (ExtractField(line, "index_run_rows", &value)) {
+      r.index_run_rows = std::stoul(value);
+    }
+    if (ExtractField(line, "index_pinned_rows", &value)) {
+      r.index_pinned_rows = std::stoul(value);
+    }
     if (ExtractField(line, "memo_misses", &value)) {
       r.memo_misses = std::stod(value);
     }

@@ -109,6 +109,17 @@ struct BenchRecord {
   /// (sanitize/release rows only; negative = absent).
   double memo_hits = -1;
   double memo_misses = -1;
+  /// Window-index row-table memory at the last release (mine rows only;
+  /// 0 = absent): live payload bytes, what the same rows would cost as dense
+  /// bitmaps, and the live-row histogram by container representation. For a
+  /// dense-store row index_bytes == index_dense_bytes and the histogram is
+  /// all bitmap rows.
+  size_t index_bytes = 0;
+  size_t index_dense_bytes = 0;
+  size_t index_array_rows = 0;
+  size_t index_bitmap_rows = 0;
+  size_t index_run_rows = 0;
+  size_t index_pinned_rows = 0;
   /// Nonzero when the measurement looks wrong (e.g. inverse thread scaling);
   /// makes BENCH artifacts flag the bug class instead of hiding it.
   std::string note;

@@ -75,7 +75,17 @@ void BM_StreamMinerAppend(benchmark::State& state) {
       static_cast<double>(state.iterations()), benchmark::Counter::kIsRate);
 }
 
+/// MomentMiner over the hybrid (array/bitmap/run container) row store; the
+/// two-argument ctor shape lets it ride the same benchmark template.
+struct HybridMomentMiner : MomentMiner {
+  HybridMomentMiner(size_t window, Support min_support)
+      : MomentMiner(window, min_support, IndexRowStore::kHybrid) {}
+};
+
 BENCHMARK_TEMPLATE(BM_StreamMinerAppend, MomentMiner)->Arg(2000)->Arg(5000);
+BENCHMARK_TEMPLATE(BM_StreamMinerAppend, HybridMomentMiner)
+    ->Arg(2000)
+    ->Arg(5000);
 BENCHMARK_TEMPLATE(BM_StreamMinerAppend, MapCetMiner)->Arg(2000)->Arg(5000);
 
 void BM_MomentOutputWalk(benchmark::State& state) {
@@ -173,15 +183,20 @@ void RunBitmapVsMapComparison() {
       per_append_ns([&] { return MapCetMiner(window, c); });
   double arena_ns =
       per_append_ns([&] { return MomentMiner(window, c); });
+  double hybrid_ns = per_append_ns(
+      [&] { return MomentMiner(window, c, IndexRowStore::kHybrid); });
 
   bench::PrintTableHeader(
-      "bitmap+arena vs map CET, WebView1, H=" + std::to_string(window) +
-          ", C=" + std::to_string(c) + ", " + std::to_string(appends) +
-          " steady-state appends, median of " + std::to_string(plan.reps),
+      "bitmap+arena (dense/hybrid rows) vs map CET, WebView1, H=" +
+          std::to_string(window) + ", C=" + std::to_string(c) + ", " +
+          std::to_string(appends) + " steady-state appends, median of " +
+          std::to_string(plan.reps),
       {"miner", "ns/append", "speedup"});
   bench::PrintTableRow({"map", bench::FormatDouble(map_ns, 0), "1.00"});
   bench::PrintTableRow({"bitmap+arena", bench::FormatDouble(arena_ns, 0),
                         bench::FormatDouble(map_ns / arena_ns, 2)});
+  bench::PrintTableRow({"hybrid rows", bench::FormatDouble(hybrid_ns, 0),
+                        bench::FormatDouble(map_ns / hybrid_ns, 2)});
 }
 
 }  // namespace

@@ -12,6 +12,13 @@
 ///                 [--out=releases.log] [--attack] [--seed=66]
 ///                 [--checkpoint=path.ckpt] [--checkpoint-every=N]
 ///                 [--restore=path.ckpt] [--pipeline] [--threads=N]
+///                 [--hybrid-index]
+///
+/// --hybrid-index keeps the window index's per-item rows in compressed
+/// array/bitmap/run containers (DESIGN.md §13) instead of dense bitmaps —
+/// same releases bit-for-bit, a fraction of the memory on large alphabets.
+/// The choice is recorded in checkpoints; a --restore keeps the snapshot's
+/// store mode.
 ///
 /// --attack additionally replays the intra-window adversary against both the
 /// raw and the sanitized output of every reported window.
@@ -94,6 +101,7 @@ int main(int argc, char** argv) {
   config.lambda = flags.GetDouble("lambda", 0.4);
   config.seed = static_cast<uint64_t>(flags.GetInt("seed", 66));
   config.threads = flags.GetInt("threads", 1);  // 0 = auto-detect
+  config.hybrid_index = flags.GetBool("hybrid-index", false);
   std::string scheme_name = flags.GetString("scheme", "hybrid");
 
   if (!flags.ok()) return Fail(flags.errors().front());

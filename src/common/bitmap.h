@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/bitmap_kernels.h"
 #include "common/check.h"
 
 namespace butterfly {
@@ -78,11 +79,7 @@ class Bitmap {
   }
 
   /// Number of set bits.
-  size_t Popcount() const {
-    size_t count = 0;
-    for (uint64_t w : words_) count += static_cast<size_t>(std::popcount(w));
-    return count;
-  }
+  size_t Popcount() const { return PopcountWords(words_.data(), words_.size()); }
 
   bool AnySet() const {
     for (uint64_t w : words_) {
@@ -96,29 +93,21 @@ class Bitmap {
   size_t AssignAnd(const Bitmap& a, const Bitmap& b) {
     BFLY_DCHECK_MSG(a.bits_ == b.bits_, "AND of mismatched bitmaps");
     Resize(a.bits_);
-    size_t count = 0;
-    for (size_t w = 0; w < words_.size(); ++w) {
-      words_[w] = a.words_[w] & b.words_[w];
-      count += static_cast<size_t>(std::popcount(words_[w]));
-    }
-    return count;
+    return AndWordsPopcount(words_.data(), a.words_.data(), b.words_.data(),
+                            words_.size());
   }
 
   /// *this &= other. Returns the popcount of the result.
   size_t AndWith(const Bitmap& other) {
     BFLY_DCHECK_MSG(bits_ == other.bits_, "AND of mismatched bitmaps");
-    size_t count = 0;
-    for (size_t w = 0; w < words_.size(); ++w) {
-      words_[w] &= other.words_[w];
-      count += static_cast<size_t>(std::popcount(words_[w]));
-    }
-    return count;
+    return AndWordsPopcount(words_.data(), words_.data(), other.words_.data(),
+                            words_.size());
   }
 
   /// Copies \p other into *this, reusing storage.
   void Assign(const Bitmap& other) {
     Resize(other.bits_);
-    for (size_t w = 0; w < words_.size(); ++w) words_[w] = other.words_[w];
+    CopyWords(words_.data(), other.words_.data(), words_.size());
   }
 
   /// Calls fn(index) for every set bit in ascending order.
@@ -143,6 +132,15 @@ class Bitmap {
   /// word i>>6 at position i&63).
   const std::vector<uint64_t>& words() const { return words_; }
 
+  /// Mutable word array for the kernel layer (tid-container intersections
+  /// write their result words directly). Callers must keep tail bits past
+  /// size() zero — every kernel masks against in-scope base words, so a
+  /// zero-tailed base keeps the invariant.
+  uint64_t* mutable_words() { return words_.data(); }
+
+  /// Words needed to address \p bits bits.
+  static size_t WordsFor(size_t bits) { return (bits + 63) >> 6; }
+
   /// Replaces the contents with \p word_count words addressing \p bits bits
   /// (word_count must equal WordsFor(bits)); masks any stray tail bits. The
   /// restore-side inverse of words().
@@ -155,8 +153,6 @@ class Bitmap {
   }
 
  private:
-  static size_t WordsFor(size_t bits) { return (bits + 63) >> 6; }
-
   /// Keeps bits past size() zero so Popcount/ForEachSetBit stay exact.
   void ClearTail() {
     if ((bits_ & 63) != 0 && !words_.empty()) {

@@ -86,6 +86,13 @@ struct ButterflyConfig {
   /// memo; it only engages for the order-preserving and hybrid schemes.
   size_t bias_memo_capacity = 128;
 
+  /// Store the miner's window index as hybrid array/bitmap/run containers
+  /// instead of dense per-item bitmaps (see stream/window_bitmap_index.h).
+  /// Mined output and release logs are bit-identical either way; hybrid
+  /// collapses index memory on large sparse alphabets and requires the
+  /// window capacity H <= 65536.
+  bool hybrid_index = false;
+
   uint64_t seed = 0x42u;
 
   /// Total parallelism of the release path (caller + worker threads).

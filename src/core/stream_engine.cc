@@ -37,6 +37,7 @@ void WriteConfig(persist::CheckpointWriter* writer,
   writer->Bool(config.cache_bias_settings);
   writer->I64(config.bias_cache_tolerance);
   writer->U64(config.bias_memo_capacity);
+  writer->Bool(config.hybrid_index);
   writer->U64(config.seed);
   writer->I64(config.threads);
 }
@@ -62,6 +63,7 @@ Status ReadConfig(persist::CheckpointReader* reader, ButterflyConfig* config) {
   config->cache_bias_settings = reader->Bool();
   config->bias_cache_tolerance = reader->I64();
   config->bias_memo_capacity = reader->U64();
+  config->hybrid_index = reader->Bool();
   config->seed = reader->U64();
   config->threads = reader->I64();
   return reader->status();
@@ -84,11 +86,22 @@ bool SameConfig(const ButterflyConfig& a, const ButterflyConfig& b) {
          a.republish_cache == b.republish_cache &&
          a.cache_bias_settings == b.cache_bias_settings &&
          a.bias_cache_tolerance == b.bias_cache_tolerance &&
-         a.bias_memo_capacity == b.bias_memo_capacity && a.seed == b.seed &&
+         a.bias_memo_capacity == b.bias_memo_capacity &&
+         a.hybrid_index == b.hybrid_index && a.seed == b.seed &&
          a.threads == b.threads;
 }
 
 }  // namespace
+
+void FillIndexMemoryStats(const WindowBitmapIndex& index, EngineStats* stats) {
+  const IndexMemoryStats mem = index.MemoryStats();
+  stats->index_bytes = mem.index_bytes;
+  stats->index_dense_equivalent_bytes = mem.dense_equivalent_bytes;
+  stats->index_array_rows = mem.array_rows;
+  stats->index_bitmap_rows = mem.bitmap_rows;
+  stats->index_run_rows = mem.run_rows;
+  stats->index_pinned_rows = mem.pinned_rows;
+}
 
 Result<StreamPrivacyEngine> StreamPrivacyEngine::Create(
     size_t window_capacity, const ButterflyConfig& config) {
@@ -165,6 +178,9 @@ StreamPrivacyEngine::ReleaseTicket StreamPrivacyEngine::ReleaseAsync() {
   mine_ns_ = 0;
   stats.frequent_itemsets = raw.size();
   stats.fec_count = part.view().size();
+  // Index memory must be snapshotted on the caller thread: the miner keeps
+  // mutating the row table while the flight sanitizes.
+  FillIndexMemoryStats(miner_.bitmap_index(), &stats);
   const Support window_size = static_cast<Support>(miner_.window().size());
   const size_t total = part.total_members();
   const FecView* view = &part.view();

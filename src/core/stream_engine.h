@@ -61,6 +61,16 @@ struct EngineStats {
   uint64_t epoch = 0;            ///< the epoch this release was drawn under
   size_t frequent_itemsets = 0;  ///< size of the raw mined output
   size_t fec_count = 0;          ///< frequency equivalence classes released
+
+  /// Window-index memory accounting at release time (see IndexMemoryStats):
+  /// payload bytes of the live rows, the dense-bitmap-equivalent bytes of
+  /// the same rows, and the live-row histogram by container representation.
+  size_t index_bytes = 0;
+  size_t index_dense_equivalent_bytes = 0;
+  size_t index_array_rows = 0;
+  size_t index_bitmap_rows = 0;
+  size_t index_run_rows = 0;
+  size_t index_pinned_rows = 0;
 };
 
 /// What one Release() returns: the sanitized output plus its statistics.
@@ -68,6 +78,9 @@ struct ReleaseResult {
   SanitizedOutput output;
   EngineStats stats;
 };
+
+/// Copies a window index's IndexMemoryStats into the index_* stat fields.
+void FillIndexMemoryStats(const WindowBitmapIndex& index, EngineStats* stats);
 
 class StreamPrivacyEngine {
  public:
@@ -78,7 +91,10 @@ class StreamPrivacyEngine {
                                             const ButterflyConfig& config);
 
   StreamPrivacyEngine(size_t window_capacity, const ButterflyConfig& config)
-      : miner_(window_capacity, config.min_support), sanitizer_(config) {}
+      : miner_(window_capacity, config.min_support,
+               config.hybrid_index ? IndexRowStore::kHybrid
+                                   : IndexRowStore::kDense),
+        sanitizer_(config) {}
 
   /// Movable; an in-flight pipelined release is joined first, because its
   /// pool task holds a pointer into the source engine.
@@ -161,6 +177,7 @@ class StreamPrivacyEngine {
     result.stats.bias_memo_misses = sanitizer_.bias_memo_misses();
     result.stats.frequent_itemsets = raw.size();
     result.stats.fec_count = part.view().size();
+    FillIndexMemoryStats(miner_.bitmap_index(), &result.stats);
     return result;
   }
 

@@ -10,6 +10,8 @@ std::string ProfileName(DatasetProfile profile) {
       return "WebView1";
     case DatasetProfile::kBmsPos:
       return "POS";
+    case DatasetProfile::kWebScale1M:
+      return "WebScale1M";
   }
   return "unknown";
 }
@@ -40,6 +42,21 @@ QuestConfig ProfileConfig(DatasetProfile profile, size_t num_transactions,
       config.avg_pattern_len = 3.0;
       config.correlation = 0.35;
       config.corruption_mean = 0.45;
+      break;
+    case DatasetProfile::kWebScale1M:
+      // Million-item power-law alphabet. A modest correlated pattern head
+      // (so frequent itemsets exist to mine) rides on heavy background
+      // traffic drawn directly from Zipf(1.05) over the full universe —
+      // the long tail is what floods the index with rare single-slot rows.
+      config.num_transactions = num_transactions ? num_transactions : 100000;
+      config.num_items = 1000000;
+      config.avg_transaction_len = 2.0;
+      config.num_patterns = 400;
+      config.avg_pattern_len = 2.5;
+      config.correlation = 0.3;
+      config.corruption_mean = 0.4;
+      config.zipf_skew = 1.05;
+      config.background_noise = 6.0;
       break;
   }
   return config;

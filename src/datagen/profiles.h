@@ -28,6 +28,12 @@ namespace butterfly {
 enum class DatasetProfile {
   kBmsWebView1,  ///< clickstream: short records, 497 items
   kBmsPos,       ///< point-of-sale: longer records, 1657 items
+  /// Web-scale stress profile (not from the paper): a million-item power-law
+  /// alphabet where most of each record is direct Zipf background traffic
+  /// over the full universe. The workload the hybrid window index exists
+  /// for — at this alphabet the dense per-item row store is gigabytes of
+  /// zero words.
+  kWebScale1M,
 };
 
 /// Human-readable profile name as used in the paper's figures.

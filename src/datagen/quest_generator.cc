@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
 #include <unordered_set>
 
 #include "datagen/zipf.h"
@@ -28,6 +29,12 @@ Status QuestConfig::Validate() const {
   if (corruption_mean < 0 || corruption_mean >= 1) {
     return Status::InvalidArgument("corruption_mean must lie in [0, 1)");
   }
+  if (zipf_skew <= 0) {
+    return Status::InvalidArgument("zipf_skew must be positive");
+  }
+  if (background_noise < 0) {
+    return Status::InvalidArgument("background_noise must be non-negative");
+  }
   return Status::OK();
 }
 
@@ -45,7 +52,7 @@ QuestPatternPool DrawPatterns(const QuestConfig& config, Rng* rng) {
   pool.weights.reserve(config.num_patterns);
   pool.corruptions.reserve(config.num_patterns);
 
-  ZipfSampler item_popularity(config.num_items, 0.65);
+  ZipfSampler item_popularity(config.num_items, config.zipf_skew);
   std::normal_distribution<double> corruption_dist(config.corruption_mean, 0.1);
 
   std::vector<Item> previous;
@@ -118,6 +125,16 @@ Result<std::vector<Transaction>> GenerateQuest(const QuestConfig& config) {
   std::vector<Transaction> dataset;
   dataset.reserve(config.num_transactions);
 
+  // Lazily built: the CDF table costs O(num_items), so configs without
+  // background noise (the default) never pay for it — and, more importantly,
+  // never consume the extra RNG draws, keeping their datasets byte-identical
+  // to what this generator produced before the knob existed.
+  std::unique_ptr<ZipfSampler> background;
+  if (config.background_noise > 0) {
+    background = std::make_unique<ZipfSampler>(config.num_items,
+                                               config.zipf_skew);
+  }
+
   for (size_t t = 0; t < config.num_transactions; ++t) {
     size_t target_len = static_cast<size_t>(
         std::clamp<int64_t>(rng.Poisson(config.avg_transaction_len), 1,
@@ -137,6 +154,15 @@ Result<std::vector<Transaction>> GenerateQuest(const QuestConfig& config) {
         // partial pattern occurrences are what make subset supports diverge,
         // creating the vulnerable low-support combinations the paper studies.
         if (!rng.Bernoulli(corruption)) record.insert(item);
+      }
+    }
+    if (background != nullptr) {
+      // Direct power-law draws over the full alphabet: these are what put
+      // the long tail of a huge item universe into the stream (pattern items
+      // only ever cover the pool's few thousand distinct items).
+      const int64_t extra = rng.Poisson(config.background_noise);
+      for (int64_t b = 0; b < extra; ++b) {
+        record.insert(static_cast<Item>(background->Sample(&rng)));
       }
     }
     if (record.empty()) {

@@ -31,6 +31,21 @@ struct QuestConfig {
   double avg_pattern_len = 4;        ///< |I|
   double correlation = 0.5;          ///< fraction of a pattern reused from its predecessor
   double corruption_mean = 0.5;      ///< mean corruption level per pattern
+
+  /// Zipf exponent of the item-popularity law patterns draw from. The
+  /// classic generator shape is mildly skewed (0.65); web-scale profiles
+  /// push this toward ~1 for a genuine power law.
+  double zipf_skew = 0.65;
+
+  /// Expected number of extra "background" items appended to each
+  /// transaction by direct Zipf(zipf_skew) draws over the FULL alphabet.
+  /// QUEST transactions otherwise contain only pattern-pool items, so a
+  /// million-item config would still touch a few thousand distinct items;
+  /// background noise is what makes huge sparse alphabets actually appear
+  /// in the stream. 0 (the default) draws nothing and consumes no RNG, so
+  /// pre-existing configs generate byte-identical datasets.
+  double background_noise = 0;
+
   uint64_t seed = 1;
 
   /// Validates parameter sanity (positive sizes, probabilities in range).

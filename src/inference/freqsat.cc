@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "common/bits.h"
+
 namespace butterfly {
 
 Support FreqSatWitness::SupportOf(const Itemset& itemset) const {
@@ -35,7 +37,7 @@ class WitnessSearch {
     // Assignment order: level-wise (all subsets of size k before size k+1).
     for (size_t size = 1; size <= m_; ++size) {
       for (uint32_t mask = 1; mask <= full_; ++mask) {
-        if (static_cast<size_t>(__builtin_popcount(mask)) == size) {
+        if (static_cast<size_t>(PopCount(mask)) == size) {
           order_.push_back(mask);
         }
       }
@@ -71,13 +73,13 @@ class WitnessSearch {
       while (true) {
         uint32_t x = anchor | s;
         if (x != mask) {
-          int missing = __builtin_popcount(mask & ~x);
+          int missing = PopCount(mask & ~x);
           sigma += (missing % 2 == 1) ? supports_[x] : -supports_[x];
         }
         if (s == 0) break;
         s = (s - 1) & free_bits;
       }
-      int distance = __builtin_popcount(free_bits);
+      int distance = PopCount(free_bits);
       if (distance % 2 == 1) {
         bound.hi = std::min(bound.hi, sigma);
       } else {
@@ -100,8 +102,7 @@ class WitnessSearch {
       uint32_t s = free_bits;
       while (true) {
         uint32_t x = r | s;
-        count += (__builtin_popcount(s) % 2 == 0) ? supports_[x]
-                                                  : -supports_[x];
+        count += EvenParity(s) ? supports_[x] : -supports_[x];
         if (s == 0) break;
         s = (s - 1) & free_bits;
       }

@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "common/bits.h"
+
 namespace butterfly {
 
 namespace {
@@ -40,7 +42,7 @@ std::optional<Value> DeriveImpl(const Provider& known, const Pattern& pattern) {
   for (uint32_t mask = 0; mask < (1u << negated.size()); ++mask) {
     auto support = known(Compose(base, negated, mask));
     if (!support) return std::nullopt;
-    int sign = (__builtin_popcount(mask) % 2 == 0) ? 1 : -1;
+    int sign = EvenParity(mask) ? 1 : -1;
     total += sign * *support;
   }
   return total;
@@ -90,7 +92,7 @@ Interval EstimateItemsetBounds(const SupportProvider& known, const Itemset& j) {
           break;
         }
         // Sign (−1)^{|J\X|+1}: positive when J\X has odd size.
-        int missing = __builtin_popcount(full & ~x);
+        int missing = PopCount(full & ~x);
         sigma += (missing % 2 == 1) ? cache[x] : -cache[x];
       }
       if (s == 0) break;
@@ -98,7 +100,7 @@ Interval EstimateItemsetBounds(const SupportProvider& known, const Itemset& j) {
     }
     if (!complete) continue;
 
-    int distance = __builtin_popcount(free_bits);  // |J \ I|
+    int distance = PopCount(free_bits);  // |J \ I|
     if (distance % 2 == 1) {
       bound.hi = std::min(bound.hi, sigma);
     } else {

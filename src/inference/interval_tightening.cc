@@ -4,6 +4,8 @@
 #include <cassert>
 #include <vector>
 
+#include "common/bits.h"
+
 namespace butterfly {
 
 Interval BoundFromIntervals(const IntervalMap& knowledge,
@@ -42,7 +44,7 @@ Interval BoundFromIntervals(const IntervalMap& knowledge,
           complete = false;
           break;
         }
-        int missing = __builtin_popcount(full & ~x);
+        int missing = PopCount(full & ~x);
         if (missing % 2 == 1) {  // + term
           sigma_max += cache[x].hi;
           sigma_min += cache[x].lo;
@@ -56,7 +58,7 @@ Interval BoundFromIntervals(const IntervalMap& knowledge,
     }
     if (!complete) continue;
 
-    int distance = __builtin_popcount(free_bits);
+    int distance = PopCount(free_bits);
     if (distance % 2 == 1) {
       // True values satisfy T(J) <= σ; the sound relaxation is σ_max.
       bound.hi = std::min(bound.hi, sigma_max);

@@ -1,5 +1,7 @@
 #include "metrics/sanitized_attack.h"
 
+#include "common/bits.h"
+
 namespace butterfly {
 
 IntervalMap IntervalKnowledgeFromRelease(const SanitizedOutput& release,
@@ -30,7 +32,7 @@ std::optional<Interval> DerivePatternInterval(const IntervalMap& knowledge,
     }
     auto it = knowledge.find(Itemset(std::move(items)));
     if (it == knowledge.end()) return std::nullopt;
-    if (__builtin_popcount(mask) % 2 == 0) {
+    if (EvenParity(mask)) {
       total = total.Plus(it->second);
     } else {
       total = total.MinusInterval(it->second);

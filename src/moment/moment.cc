@@ -69,10 +69,11 @@ struct MomentMiner::CetNode {
   static constexpr size_t npos = static_cast<size_t>(-1);
 };
 
-MomentMiner::MomentMiner(size_t window_capacity, Support min_support)
+MomentMiner::MomentMiner(size_t window_capacity, Support min_support,
+                         IndexRowStore row_store)
     : window_(window_capacity),
       min_support_(min_support),
-      index_(window_capacity) {
+      index_(window_capacity, row_store) {
   assert(min_support > 0);
   arena_.emplace_back();  // the root, index kRoot
   arena_[kRoot].frequent_explored = true;

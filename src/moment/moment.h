@@ -98,7 +98,11 @@ class MomentMiner {
  public:
   /// \param window_capacity the window size H (> 0).
   /// \param min_support the minimum support C (> 0).
-  MomentMiner(size_t window_capacity, Support min_support);
+  /// \param row_store the window-index row representation; hybrid trades the
+  ///        dense per-item bitmaps for compressed containers with identical
+  ///        mined output (see window_bitmap_index.h).
+  MomentMiner(size_t window_capacity, Support min_support,
+              IndexRowStore row_store = IndexRowStore::kDense);
   ~MomentMiner();
 
   MomentMiner(const MomentMiner&) = delete;

@@ -27,7 +27,9 @@ namespace butterfly::persist {
 
 /// Current checkpoint format version. Bump on any layout change and teach
 /// ReadCheckpointFile (or the section readers) to migrate or reject.
-inline constexpr uint32_t kCheckpointVersion = 1;
+/// v2: BIDX section carries the row-store mode byte and container-tagged
+/// rows (kind + pin flag + array/bitmap/run payload).
+inline constexpr uint32_t kCheckpointVersion = 2;
 
 /// File magic; also the grep-able signature of a snapshot file.
 inline constexpr char kCheckpointMagic[8] = {'B', 'F', 'L', 'Y',

@@ -82,6 +82,13 @@ uint8_t CheckpointReader::U8() {
   return p == nullptr ? 0 : static_cast<uint8_t>(*p);
 }
 
+uint16_t CheckpointReader::U16() {
+  const char* p = Take(2, "u16");
+  if (p == nullptr) return 0;
+  return static_cast<uint16_t>(static_cast<unsigned char>(p[0]) |
+                               (static_cast<unsigned char>(p[1]) << 8));
+}
+
 uint32_t CheckpointReader::U32() {
   const char* p = Take(4, "u32");
   if (p == nullptr) return 0;

@@ -45,6 +45,7 @@ constexpr uint32_t SectionTag(char a, char b, char c, char d) {
 class CheckpointWriter {
  public:
   void U8(uint8_t v) { buffer_.push_back(static_cast<char>(v)); }
+  void U16(uint16_t v) { AppendLe(v, 2); }
   void U32(uint32_t v) { AppendLe(v, 4); }
   void U64(uint64_t v) { AppendLe(v, 8); }
   void I64(int64_t v) { AppendLe(static_cast<uint64_t>(v), 8); }
@@ -80,6 +81,7 @@ class CheckpointReader {
   explicit CheckpointReader(std::string_view data) : data_(data) {}
 
   uint8_t U8();
+  uint16_t U16();
   uint32_t U32();
   uint64_t U64();
   int64_t I64() { return static_cast<int64_t>(U64()); }

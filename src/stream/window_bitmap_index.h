@@ -17,16 +17,39 @@
 /// The index also keeps a per-slot pointer to the in-scope Transaction so a
 /// tidset can be walked back to records (deque pointers are stable across
 /// push_back/pop_front, which is all SlidingWindow does).
+///
+/// ## Row stores
+/// The index has two row representations behind one API:
+///
+///  * `IndexRowStore::kDense` — one H-bit `Bitmap` per live item (the
+///    original layout). Per-row cost is WordsFor(H)*8 bytes regardless of
+///    how rare the item is.
+///  * `IndexRowStore::kHybrid` — one `TidContainer` per live item
+///    (array / bitmap / run, roaring-style; see tid_container.h). At
+///    power-law million-item alphabets almost every row is near-empty, so
+///    this collapses the row table from gigabytes of zero words to a few
+///    bytes per rare item. Hot rows — support reaching capacity/8 — are
+///    *pinned* on the dense bitmap representation (stamped with the
+///    `ItemRemap` generation so a recycled dense id cannot inherit a stale
+///    pin), keeping the Moment refine loop on the existing word-AND shape
+///    for the items that dominate mining time.
+///
+/// Both stores answer every query with identical bits (containers are exact
+/// — pinned by the dense-vs-hybrid fuzz grid), so mined output, release
+/// logs, and supports are bit-identical across stores. Hybrid needs
+/// H <= 65536 (containers address slots with uint16).
 
 #ifndef BUTTERFLY_STREAM_WINDOW_BITMAP_INDEX_H_
 #define BUTTERFLY_STREAM_WINDOW_BITMAP_INDEX_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "common/bitmap.h"
 #include "common/item_remap.h"
 #include "common/status.h"
+#include "common/tid_container.h"
 #include "common/transaction.h"
 #include "stream/sliding_window.h"
 
@@ -37,11 +60,35 @@ class CheckpointWriter;
 class CheckpointReader;
 }  // namespace persist
 
+/// Row representation of the window index (see file comment).
+enum class IndexRowStore : uint8_t {
+  kDense = 0,   ///< one dense H-bit Bitmap per live item
+  kHybrid = 1,  ///< hybrid array/bitmap/run TidContainer per live item
+};
+
+/// Memory accounting of the live row table, surfaced through
+/// `EngineStats.index_bytes` and the bench memory columns.
+struct IndexMemoryStats {
+  /// Payload bytes of the live rows in their current representation.
+  size_t index_bytes = 0;
+  /// What the same rows would cost as dense bitmaps:
+  /// live_items * WordsFor(H) * 8. For the dense store the two are equal.
+  size_t dense_equivalent_bytes = 0;
+  /// Live-row histogram by representation (dense rows count as bitmap).
+  size_t array_rows = 0;
+  size_t bitmap_rows = 0;
+  size_t run_rows = 0;
+  /// Rows pinned on the dense path (subset of bitmap_rows).
+  size_t pinned_rows = 0;
+};
+
 /// Per-item tid-bitmaps over the current window, one bit per slot.
 class WindowBitmapIndex {
  public:
   /// \param capacity the window size H (> 0).
-  explicit WindowBitmapIndex(size_t capacity);
+  /// \param store the row representation; kHybrid requires H <= 65536.
+  explicit WindowBitmapIndex(size_t capacity,
+                             IndexRowStore store = IndexRowStore::kDense);
 
   /// Mirrors one SlidingWindow::Append: \p added is the record just appended
   /// (its pointer must stay valid while in scope — the window's deque element
@@ -52,6 +99,10 @@ class WindowBitmapIndex {
   size_t capacity() const { return capacity_; }
   /// Number of records currently in scope.
   size_t size() const { return size_; }
+  IndexRowStore row_store() const { return store_; }
+
+  /// Live-row memory accounting (O(live rows)).
+  IndexMemoryStats MemoryStats() const;
 
   /// Computes tidset(I) into \p out (resized to H bits) and returns its
   /// popcount, i.e. the exact support of \p itemset in the window. The empty
@@ -84,10 +135,13 @@ class WindowBitmapIndex {
   /// O(items × H); for tests.
   Status Validate(const SlidingWindow& window) const;
 
-  /// Serializes the slot cursor, the item remap (including the exact
-  /// recycled-id order, so a restored index assigns the same dense ids the
-  /// original would) and every live item row. Dead rows and the per-slot
-  /// record pointers are reconstructible and not written.
+  /// Serializes the slot cursor, the row-store mode, the item remap
+  /// (including the exact recycled-id order, so a restored index assigns the
+  /// same dense ids the original would) and every live item row. Hybrid rows
+  /// are container-tagged (kind + pin flag + exact representation payload),
+  /// so a restored row is byte-identical to the saved one rather than
+  /// re-derived from thresholds. Dead rows and the per-slot record pointers
+  /// are reconstructible and not written.
   void Checkpoint(persist::CheckpointWriter* writer) const;
 
   /// Restores from a checkpoint section, rebinding the per-slot record
@@ -97,18 +151,31 @@ class WindowBitmapIndex {
                  const SlidingWindow& window);
 
  private:
-  /// Row of \p item, or nullptr when the item is not in scope.
+  /// Row of \p item, or nullptr when the item is not in scope (dense store).
   const Bitmap* Row(Item item) const;
+  /// Row of \p item, or nullptr when out of scope (hybrid store).
+  const TidContainer* HybridRow(Item item) const;
 
   void SetBit(Item item, size_t slot);
   void ClearBit(Item item, size_t slot);
 
+  void CheckpointRow(persist::CheckpointWriter* writer, uint32_t dense) const;
+  Status RestoreRow(persist::CheckpointReader* reader, uint32_t dense,
+                    std::vector<Bitmap>* rows,
+                    std::vector<TidContainer>* hybrid_rows,
+                    uint32_t* row_count);
+
   size_t capacity_;
+  IndexRowStore store_;
   size_t size_ = 0;
   size_t next_slot_ = 0;  ///< slot the next arrival will occupy
+  /// Support at which a hybrid row is pinned dense: max(64, H/8).
+  size_t pin_threshold_;
   ItemRemap remap_;
-  std::vector<Bitmap> rows_;           ///< dense item id -> slot bitmap
-  std::vector<uint32_t> row_counts_;   ///< dense item id -> set-bit count
+  std::vector<Bitmap> rows_;               ///< dense store: id -> slot bitmap
+  std::vector<TidContainer> hybrid_rows_;  ///< hybrid store: id -> container
+  std::vector<uint64_t> pin_generations_;  ///< id -> generation at pin time
+  std::vector<uint32_t> row_counts_;       ///< dense item id -> set-bit count
   std::vector<const Transaction*> slots_;
 };
 

@@ -35,6 +35,16 @@ the repo invariants that back those guarantees:
                         the serial one; supports are integers (Support) until
                         noise is deliberately added.
 
+  container-promotion   The hybrid tid-container representation choice
+                        (ChooseKind / Reconsider / ConvertTo) must be a pure
+                        function of (cardinality, run count, H): RNG draws or
+                        unordered-container iteration near a promotion
+                        decision would make two replicas of the same stream
+                        hold different container tags — and checkpoint bytes
+                        are container-tagged, so that breaks bit-identical
+                        resume. Flags promotion call sites with RNG usage or
+                        hash-order iteration in the surrounding lines.
+
 Allowlist annotation (same line or the line above the finding):
 
     // bfly-lint: allow(<rule>) <justification>
@@ -58,6 +68,7 @@ RULES = (
     "unordered-iteration",
     "writer-bypass",
     "float-support-accum",
+    "container-promotion",
 )
 
 # Files whose whole purpose exempts them from a rule.
@@ -104,6 +115,17 @@ SORT_NEARBY_RE = re.compile(
 WRITER_BYPASS_RE = re.compile(r"\bmemcpy\s*\(|\breinterpret_cast\s*<")
 CHECKPOINT_CONTEXT_RE = re.compile(
     r"Checkpoint|checkpoint|ckpt|CKPT|frame|persist")
+
+# Hybrid tid-container representation decisions. The decision functions are
+# pure byte-cost minimizers over (cardinality, runs, H); anything stochastic
+# or hash-ordered feeding them would fork container tags across replicas.
+PROMOTION_CALL_RE = re.compile(r"\b(?:ChooseKind|Reconsider|ConvertTo)\s*\(")
+PROMOTION_TAINT_RE = re.compile(
+    r"(?<![\w.:])rand\s*\(|\bs?rand48\b|random_device|"
+    r"\b[Rr]ng\b|\bUniformInt\s*\(|\bBernoulli\s*\(|\bPoisson\s*\(|"
+    r"\.Sample\s*\(|\bunordered_(?:map|set|multimap|multiset)\b")
+# Taint must appear within this many lines of the promotion call to fire.
+PROMOTION_WINDOW = 3
 
 FLOAT_ACCUM_DECL_RE = re.compile(
     r"\b(?:float|double)\s+(\w*(?:support|count|supp|cnt)\w*)\s*[={;]",
@@ -341,6 +363,34 @@ def check_float_support_accum(path: Path, rel: str, lines: list[str],
                     "noise is deliberately applied"))
 
 
+def check_container_promotion(path: Path, rel: str, lines: list[str],
+                              allowances: dict[int, Allowance],
+                              scan: FileScan) -> None:
+    del rel  # promotion calls are suspect wherever they appear
+    stripped = [strip_strings_and_line_comment(l) for l in lines]
+    for idx, code in enumerate(stripped, start=1):
+        if not PROMOTION_CALL_RE.search(code):
+            continue
+        lo = max(0, idx - 1 - PROMOTION_WINDOW)
+        hi = min(len(stripped), idx + PROMOTION_WINDOW)
+        taint = None
+        for other in range(lo, hi):
+            m = PROMOTION_TAINT_RE.search(stripped[other])
+            if m:
+                taint = (other + 1, m.group(0).strip())
+                break
+        if taint is None:
+            continue
+        if suppressed(scan, allowances, idx, "container-promotion"):
+            continue
+        scan.findings.append(Finding(
+            path, idx, "container-promotion",
+            f"container promotion decision with '{taint[1]}' nearby (line "
+            f"{taint[0]}): representation choice must be a pure function of "
+            "(cardinality, runs, H) — RNG or hash order here forks container "
+            "tags across replicas and breaks container-tagged checkpoints"))
+
+
 def scan_file(path: Path, root: Path) -> FileScan:
     scan = FileScan()
     try:
@@ -368,6 +418,7 @@ def scan_file(path: Path, root: Path) -> FileScan:
     check_unordered_iteration(path, rel, lines, header_lines, allowances, scan)
     check_writer_bypass(path, rel, lines, allowances, scan)
     check_float_support_accum(path, rel, lines, allowances, scan)
+    check_container_promotion(path, rel, lines, allowances, scan)
 
     # An allowance that names an unknown rule, lacks a justification, or
     # suppresses nothing is itself a finding — dead suppressions rot.

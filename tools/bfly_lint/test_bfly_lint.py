@@ -65,6 +65,10 @@ class RuleFiresTest(unittest.TestCase):
         self.check_fixture("float_support_violation.cc",
                            "float-support-accum")
 
+    def test_container_promotion(self):
+        self.check_fixture("container_promotion_violation.cc",
+                           "container-promotion")
+
 
 class SuppressionTest(unittest.TestCase):
     def test_justified_annotations_suppress_everything(self):
