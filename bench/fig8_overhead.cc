@@ -724,15 +724,6 @@ bool GuardedBench(const std::string& bench) {
          bench == "release/pipelined";
 }
 
-/// True when BUTTERFLY_REQUIRE_FLOORS=1: the CI bench runner sets it so a
-/// floor that would silently skip (machine too small to express the speedup)
-/// fails loudly instead — an undersized runner looks exactly like a perf
-/// regression that nobody measures.
-bool FloorsRequired() {
-  const char* env = std::getenv("BUTTERFLY_REQUIRE_FLOORS");
-  return env != nullptr && env[0] == '1';
-}
-
 /// Hard speedup floors for the parallel tentpoles (the sanitize sweep's DP
 /// parallelism and the pipelined release overlap), enforced alongside the
 /// baseline guard — but only on hardware that can express a 4-thread
@@ -748,7 +739,8 @@ bool CheckSpeedupFloors() {
                    hw);
       return false;
     }
-    std::printf("speedup floors skipped: %u hardware thread(s) < 4\n", hw);
+    AnnotateFloorsSkipped("fig8_overhead",
+                          std::to_string(hw) + " hardware thread(s) < 4");
     return true;
   }
   bool ok = true;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 
 #include "common/thread_pool.h"
 #include "core/stream_engine.h"
@@ -140,6 +141,14 @@ bool WriteBenchJson(const std::string& path,
     if (r.speedup_vs_1t > 0) {
       std::fprintf(f, ", \"speedup_vs_1t\": %.3f", r.speedup_vs_1t);
     }
+    if (r.tenants > 0) {
+      std::fprintf(f, ", \"tenants\": %zu, \"shards\": %zu", r.tenants,
+                   r.shards);
+    }
+    if (r.p50_ns >= 0) {
+      std::fprintf(f, ", \"p50_ns\": %.1f, \"p99_ns\": %.1f", r.p50_ns,
+                   r.p99_ns);
+    }
     if (r.partition_ns >= 0) {
       std::fprintf(f,
                    ", \"partition_ns\": %.1f, \"bias_dp_ns\": %.1f, "
@@ -223,6 +232,10 @@ bool ReadBenchJson(const std::string& path,
     if (ExtractField(line, "speedup_vs_1t", &value)) {
       r.speedup_vs_1t = std::stod(value);
     }
+    if (ExtractField(line, "tenants", &value)) r.tenants = std::stoul(value);
+    if (ExtractField(line, "shards", &value)) r.shards = std::stoul(value);
+    if (ExtractField(line, "p50_ns", &value)) r.p50_ns = std::stod(value);
+    if (ExtractField(line, "p99_ns", &value)) r.p99_ns = std::stod(value);
     if (ExtractField(line, "partition_ns", &value)) {
       r.partition_ns = std::stod(value);
     }
@@ -257,6 +270,23 @@ bool ReadBenchJson(const std::string& path,
   }
   std::fclose(f);
   return !records->empty();
+}
+
+bool FloorsRequired() {
+  const char* env = std::getenv("BUTTERFLY_REQUIRE_FLOORS");
+  return env != nullptr && env[0] == '1';
+}
+
+void AnnotateFloorsSkipped(const std::string& bench,
+                           const std::string& reason) {
+  std::fprintf(stderr, "FLOORS-SKIPPED %s: %s\n", bench.c_str(),
+               reason.c_str());
+  if (std::getenv("GITHUB_ACTIONS") != nullptr) {
+    // GitHub workflow-command annotation: surfaces the skip on the run's
+    // summary page instead of burying it in a green log.
+    std::printf("::notice title=floors-skipped (%s)::%s\n", bench.c_str(),
+                reason.c_str());
+  }
 }
 
 }  // namespace butterfly::bench

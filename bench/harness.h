@@ -98,6 +98,15 @@ struct BenchRecord {
   /// Thread-sweep rows: throughput relative to the 1-thread row of the same
   /// bench (1.0 at 1 thread; < 1 flags inverse scaling). 0 = not a sweep row.
   double speedup_vs_1t = 0;
+  /// Fleet rows (see fleet_throughput): grid position — how many tenant
+  /// engines and ingest shards the row ran (0 = not a fleet row) — and the
+  /// per-release latency distribution across every tenant's releases
+  /// (negative = absent). For fleet rows ns_per_window / windows_per_sec
+  /// are per *release* aggregate figures.
+  size_t tenants = 0;
+  size_t shards = 0;
+  double p50_ns = -1;
+  double p99_ns = -1;
   /// Per-stage ns/window breakdown (sanitize rows only; negative = absent).
   double partition_ns = -1;
   double bias_dp_ns = -1;
@@ -134,6 +143,18 @@ bool WriteBenchJson(const std::string& path,
 /// a general JSON parser). Returns false when the file is missing or
 /// malformed. Used by the regression guard against the checked-in baseline.
 bool ReadBenchJson(const std::string& path, std::vector<BenchRecord>* records);
+
+/// True when BUTTERFLY_REQUIRE_FLOORS=1: the CI bench runner sets it so a
+/// floor that would skip (machine too small to express the speedup) fails
+/// loudly instead — an undersized runner looks exactly like a perf
+/// regression that nobody measures.
+bool FloorsRequired();
+
+/// The explicit skip path of a hardware-gated floor: prints a grep-able
+/// FLOORS-SKIPPED line to stderr and, under GitHub Actions, a ::notice
+/// annotation — a silently skipped floor is indistinguishable from an
+/// enforced one in a green log, and that is how perf gates rot.
+void AnnotateFloorsSkipped(const std::string& bench, const std::string& reason);
 
 }  // namespace butterfly::bench
 

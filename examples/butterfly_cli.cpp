@@ -12,7 +12,18 @@
 ///                 [--out=releases.log] [--attack] [--seed=66]
 ///                 [--checkpoint=path.ckpt] [--checkpoint-every=N]
 ///                 [--restore=path.ckpt] [--pipeline] [--threads=N]
-///                 [--hybrid-index]
+///                 [--hybrid-index] [--tenants=N] [--shards=N]
+///
+/// --tenants=N (N > 1) switches to multi-tenant fleet mode: N engines with
+/// tenant-derived seeds run behind the EngineFleet scheduler, each mining
+/// its own stream (per-tenant data seeds; with --data every tenant replays
+/// the same file). --shards bounds the pump parallelism (0 = auto),
+/// --threads sizes the shared pool. --out receives every tenant's releases
+/// (labels carry the tenant id), --checkpoint names a *directory* that
+/// round-robin snapshots rotate through (one tenant per release round), and
+/// --restore reloads whichever tenant snapshots exist in that directory.
+/// Per-release analysis flags (--attack, --audit, --pipeline) are
+/// single-engine only.
 ///
 /// --hybrid-index keeps the window index's per-item rows in compressed
 /// array/bitmap/run containers (DESIGN.md §13) instead of dense bitmaps —
@@ -39,13 +50,16 @@
 /// uninterrupted run would have: window/config flags are taken from the
 /// snapshot, not the command line.
 
+#include <algorithm>
 #include <cstdio>
+#include <fstream>
 #include <optional>
 #include <utility>
 
 #include "common/flags.h"
 #include "core/release_log.h"
 #include "core/stream_engine.h"
+#include "metrics/timing.h"
 #include "persist/engine_checkpoint.h"
 #include "datagen/fimi_io.h"
 #include "datagen/profiles.h"
@@ -54,6 +68,7 @@
 #include "metrics/privacy_metrics.h"
 #include "metrics/sanitized_attack.h"
 #include "metrics/utility_metrics.h"
+#include "service/engine_fleet.h"
 
 using namespace butterfly;
 
@@ -92,6 +107,8 @@ int main(int argc, char** argv) {
       static_cast<size_t>(flags.GetInt("checkpoint-every", 1));
   const std::string restore_path = flags.GetString("restore", "");
   const bool pipelined = flags.GetBool("pipeline", false);
+  const size_t tenants = static_cast<size_t>(flags.GetInt("tenants", 1));
+  const size_t shards = static_cast<size_t>(flags.GetInt("shards", 0));
 
   ButterflyConfig config;
   config.min_support = flags.GetInt("min-support", 25);
@@ -111,6 +128,109 @@ int main(int argc, char** argv) {
   std::optional<ButterflyScheme> scheme = ParseScheme(scheme_name);
   if (!scheme) return Fail("unknown scheme '" + scheme_name + "'");
   config.scheme = *scheme;
+
+  if (tenants > 1) {
+    if (run_attack || run_audit || pipelined) {
+      return Fail(
+          "--attack/--audit/--pipeline analyze one engine's releases; "
+          "drop them or --tenants");
+    }
+    FleetConfig fleet_config;
+    fleet_config.tenants = tenants;
+    fleet_config.shards = shards == 0 ? std::min<size_t>(tenants, 8) : shards;
+    fleet_config.threads = config.threads;
+    fleet_config.window = window;
+    fleet_config.stride = stride;
+    fleet_config.engine = config;
+
+    // Per-tenant streams: distinct data seeds from a profile, or every
+    // tenant replaying the same FIMI file.
+    const size_t n = records ? records : window + stride * reports;
+    std::vector<std::vector<Transaction>> streams(tenants);
+    for (size_t t = 0; t < tenants; ++t) {
+      Result<std::vector<Transaction>> data = [&]() {
+        if (!data_path.empty()) return LoadFimiFile(data_path);
+        const uint64_t data_seed = 7 + 1000 * t;
+        if (profile_name == "webview1") {
+          return GenerateProfile(DatasetProfile::kBmsWebView1, n, data_seed);
+        }
+        if (profile_name == "pos") {
+          return GenerateProfile(DatasetProfile::kBmsPos, n, data_seed);
+        }
+        return Result<std::vector<Transaction>>(
+            Status::InvalidArgument("unknown profile '" + profile_name + "'"));
+      }();
+      if (!data.ok()) return Fail(data.status().ToString());
+      streams[t] = std::move(*data);
+    }
+
+    Result<EngineFleet> fleet = EngineFleet::Create(fleet_config);
+    if (!fleet.ok()) return Fail(fleet.status().ToString());
+    if (!restore_path.empty()) {
+      Status s = fleet->RestoreTenants(restore_path);
+      if (!s.ok()) return Fail(s.ToString());
+      size_t restored = 0;
+      for (size_t t = 0; t < tenants; ++t) {
+        if (fleet->StreamPosition(t) > 0) ++restored;
+      }
+      std::printf("restored %zu of %zu tenant snapshot(s) from %s\n",
+                  restored, tenants, restore_path.c_str());
+    }
+
+    std::printf("butterfly_cli: fleet of %zu tenants, %zu shards, H=%zu "
+                "stride=%zu scheme=%s\n",
+                tenants, fleet_config.shards, window, stride,
+                SchemeName(config.scheme).c_str());
+
+    // Drive the service loop: one stride of records per tenant per round,
+    // pump, and rotate the round-robin checkpoint cursor every
+    // --checkpoint-every releasing rounds (--checkpoint names a directory).
+    std::vector<size_t> cursor(tenants);
+    for (size_t t = 0; t < tenants; ++t) {
+      cursor[t] = static_cast<size_t>(fleet->StreamPosition(t));
+    }
+    Stopwatch watch;
+    size_t releasing_rounds = 0;
+    bool more = true;
+    while (more) {
+      more = false;
+      for (size_t t = 0; t < tenants; ++t) {
+        const size_t end = std::min(streams[t].size(), cursor[t] + stride);
+        for (; cursor[t] < end; ++cursor[t]) {
+          Status s = fleet->Ingest(t, streams[t][cursor[t]]);
+          if (!s.ok()) return Fail(s.ToString());
+        }
+        if (cursor[t] < streams[t].size()) more = true;
+      }
+      const size_t released = fleet->Pump();
+      if (released > 0 && !checkpoint_path.empty() && checkpoint_every > 0 &&
+          ++releasing_rounds % checkpoint_every == 0) {
+        Result<uint64_t> saved = fleet->CheckpointNextTenant(checkpoint_path);
+        if (!saved.ok()) return Fail(saved.status().ToString());
+      }
+    }
+    const double seconds = watch.Seconds();
+
+    FleetStats stats = fleet->Stats();
+    std::printf("%-10s %10s %12s %10s %10s %6s\n", "releases", "rel/sec",
+                "p50 ms", "p99 ms", "ckpts", "thr");
+    std::printf("%-10llu %10.1f %12.3f %10.3f %10llu %6zu\n",
+                static_cast<unsigned long long>(stats.releases),
+                seconds > 0 ? static_cast<double>(stats.releases) / seconds : 0,
+                stats.release_p50_ns / 1e6, stats.release_p99_ns / 1e6,
+                static_cast<unsigned long long>(stats.checkpoints_written),
+                stats.threads);
+
+    if (!out_path.empty()) {
+      std::ofstream out(out_path, std::ios::trunc);
+      for (size_t t = 0; t < tenants; ++t) out << fleet->ReleaseLog(t);
+      if (!out) return Fail("failed writing " + out_path);
+      std::printf("wrote %llu releases (all tenants) to %s\n",
+                  static_cast<unsigned long long>(stats.releases),
+                  out_path.c_str());
+    }
+    return 0;
+  }
 
   // Load or generate the stream.
   Result<std::vector<Transaction>> data = [&]() {

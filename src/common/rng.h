@@ -76,6 +76,27 @@ inline uint64_t SplitMix64Mix(uint64_t x) {
   return x;
 }
 
+/// Derives the RNG seed of one tenant's engine from the fleet-level config
+/// seed. This is THE one place multi-tenant seed derivation lives: every
+/// tenant engine a fleet builds (and every solo engine a test compares it
+/// against) must key its noise streams on DeriveTenantSeed(config_seed, id),
+/// never on the shared config seed itself — two tenants running the same
+/// configuration would otherwise draw identical noise, and publishing two
+/// releases perturbed by the same draws hands the adversary a free
+/// differencing attack across tenants.
+///
+/// The mix is splitmix-style: both words pass through the finalizer with
+/// distinct offsets, so (s, t) and (t, s) key different streams and
+/// neighboring tenant ids land in unrelated points of the seed space. The
+/// exact values are pinned by rng_test (TenantSeedDerivationIsPinned) —
+/// changing this function invalidates every fleet checkpoint's noise
+/// continuity, so it must never drift silently.
+inline uint64_t DeriveTenantSeed(uint64_t config_seed, uint64_t tenant_id) {
+  uint64_t mixed = SplitMix64Mix(config_seed + 0x9e3779b97f4a7c15ull);
+  mixed = SplitMix64Mix(mixed ^ (tenant_id + 0xd1b54a32d192ed03ull));
+  return mixed;
+}
+
 /// A counter-based (splittable) random stream keyed by up to three 64-bit
 /// words. Unlike Rng, whose outputs depend on every draw made before them,
 /// a CounterRng's i-th output is a pure function of (key, i). The sanitizer

@@ -148,7 +148,15 @@ void StreamPrivacyEngine::JoinInflight() {
 
 StreamPrivacyEngine::ReleaseTicket StreamPrivacyEngine::ReleaseAsync() {
   auto flight = std::make_shared<ReleaseTicket::Flight>();
-  if (!pipelined_ || pipeline_pool_ == nullptr) {
+  // Re-entrancy guard: inside a fleet, engine calls run on pool workers.
+  // A pipelined ReleaseAsync would Submit the sanitize stage and the next
+  // one would JoinInflight() — a worker blocking on a task queued *behind*
+  // every other release task, which deadlocks once all workers wait at
+  // once. On a worker thread the flight therefore completes synchronously
+  // (the batch-level overlap the fleet scheduler provides is the same
+  // overlap pipelining buys a solo engine).
+  if (!pipelined_ || pipeline_pool_ == nullptr ||
+      ThreadPool::OnWorkerThread()) {
     // Degenerate (serial) flight: complete before anyone can wait on it.
     flight->result = Release();
     flight->done = true;

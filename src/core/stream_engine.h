@@ -156,7 +156,13 @@ class StreamPrivacyEngine {
   /// In pipelined mode this is ReleaseAsync() + Wait(): correct, but with no
   /// overlap — call ReleaseAsync() and keep appending to overlap windows.
   ReleaseResult Release() {
-    if (pipelined_ && pipeline_pool_ != nullptr) return ReleaseAsync().Wait();
+    // The OnWorkerThread() leg mirrors ReleaseAsync's re-entrancy guard:
+    // called from a pool task (a fleet release batch), the release must run
+    // inline rather than bounce through an async flight.
+    if (pipelined_ && pipeline_pool_ != nullptr &&
+        !ThreadPool::OnWorkerThread()) {
+      return ReleaseAsync().Wait();
+    }
     ReleaseResult result;
     result.stats.epoch = sanitizer_.epoch();
     const MiningOutput& raw = miner_.GetAllFrequentIncremental();
@@ -214,7 +220,10 @@ class StreamPrivacyEngine {
   /// exclusive by design — is handed the new one. At most one flight is in
   /// flight; the released bytes are identical to serial Release() at any
   /// thread count. Without SetPipelined(true) (or with threads <= 1) this
-  /// degrades to a synchronous Release() wrapped in a completed ticket.
+  /// degrades to a synchronous Release() wrapped in a completed ticket — as
+  /// does a call made from a pool worker thread (e.g. an EngineFleet release
+  /// batch), where submitting a dependent task and blocking on it could
+  /// deadlock a fully-subscribed pool.
   ReleaseTicket ReleaseAsync();
 
   /// Toggles cross-window pipelining (off by default). Purely a scheduling

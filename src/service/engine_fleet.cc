@@ -1,0 +1,284 @@
+#include "service/engine_fleet.h"
+
+#include <algorithm>
+#include <sstream>
+#include <utility>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "core/release_log.h"
+#include "metrics/timing.h"
+#include "persist/checkpoint.h"
+#include "persist/engine_checkpoint.h"
+#include "persist/serializer.h"
+
+namespace butterfly {
+
+ButterflyConfig TenantEngineConfig(const FleetConfig& config, uint64_t tenant) {
+  ButterflyConfig engine = config.engine;
+  engine.seed = DeriveTenantSeed(config.engine.seed, tenant);
+  // Engines inside a fleet are strictly serial: the thread budget belongs
+  // to the fleet scheduler, and a release task re-entering the pool it runs
+  // on could deadlock it. The release bytes are thread-count-invariant, so
+  // this changes scheduling only — but it also keeps the forced value in
+  // checkpoints, where SameConfig bit-compares it on restore.
+  engine.threads = 1;
+  return engine;
+}
+
+Status FleetConfig::Validate() const {
+  if (tenants == 0) return Status::InvalidArgument("fleet needs >= 1 tenant");
+  if (shards == 0) return Status::InvalidArgument("fleet needs >= 1 shard");
+  if (window == 0) return Status::InvalidArgument("window must be positive");
+  if (stride == 0) return Status::InvalidArgument("stride must be positive");
+  // Seed derivation and the serial-engine override do not affect validity,
+  // so validating tenant 0's derived config covers every tenant.
+  return TenantEngineConfig(*this, 0).Validate();
+}
+
+EngineFleet::EngineFleet(FleetConfig config) : config_(std::move(config)) {
+  pool_ = SharedPool(ResolveThreadCount(config_.threads));
+  pool_participants_ = pool_ != nullptr ? pool_->worker_count() : 1;
+  tenants_.reserve(config_.tenants);
+  for (uint64_t id = 0; id < config_.tenants; ++id) {
+    auto tenant = std::make_unique<Tenant>();
+    tenant->id = id;
+    tenant->engine.emplace(config_.window, TenantEngineConfig(config_, id));
+    tenant->next_release_pos = config_.window;
+    tenants_.push_back(std::move(tenant));
+  }
+}
+
+Result<EngineFleet> EngineFleet::Create(const FleetConfig& config) {
+  if (Status s = config.Validate(); !s.ok()) return s;
+  return EngineFleet(config);
+}
+
+Status EngineFleet::Ingest(uint64_t tenant, Transaction t) {
+  if (tenant >= tenants_.size()) {
+    return Status::InvalidArgument("no such tenant: " + std::to_string(tenant));
+  }
+  Tenant& state = *tenants_[tenant];
+  std::lock_guard<std::mutex> lock(state.queue_mu);
+  state.queued.push_back(std::move(t));
+  return Status::OK();
+}
+
+void EngineFleet::PumpShard(size_t shard, std::vector<Tenant*>* ready) {
+  for (size_t i = shard; i < tenants_.size(); i += config_.shards) {
+    Tenant& tenant = *tenants_[i];
+    for (;;) {
+      // Release points are exact stream positions: a due tenant stops
+      // advancing (its remaining records stay buffered) so the window the
+      // batched release stage sanitizes is byte-for-byte the window a solo
+      // serial run would have released.
+      if (tenant.engine->miner().window().stream_position() >=
+          tenant.next_release_pos) {
+        ready->push_back(&tenant);
+        break;
+      }
+      if (tenant.drain_pos == tenant.draining.size()) {
+        tenant.draining.clear();
+        tenant.drain_pos = 0;
+        std::lock_guard<std::mutex> lock(tenant.queue_mu);
+        tenant.draining.swap(tenant.queued);
+        if (tenant.draining.empty()) break;
+      }
+      tenant.engine->Append(std::move(tenant.draining[tenant.drain_pos++]));
+    }
+  }
+}
+
+void EngineFleet::ReleaseTenant(Tenant* tenant) {
+  Stopwatch watch;
+  ReleaseResult result = tenant->engine->Release();
+  tenant->latencies_ns.push_back(watch.Seconds() * 1e9);
+
+  std::ostringstream out;
+  Status written = WriteRelease(
+      &out,
+      ReleaseLabel(tenant->id, static_cast<uint64_t>(
+                                   tenant->engine->miner().window()
+                                       .stream_position())),
+      result.output);
+  BFLY_CHECK_MSG(written.ok(), "in-memory release serialization failed");
+  tenant->log += out.str();
+  ++tenant->releases;
+  tenant->next_release_pos += config_.stride;
+
+  EngineStats& sum = tenant->cumulative;
+  sum.mine_ns += result.stats.mine_ns;
+  sum.partition_ns += result.stats.partition_ns;
+  sum.bias_ns += result.stats.bias_ns;
+  sum.noise_ns += result.stats.noise_ns;
+  sum.emit_ns += result.stats.emit_ns;
+  // Engine-cumulative counters and point-in-time gauges: keep the latest.
+  sum.bias_memo_hits = result.stats.bias_memo_hits;
+  sum.bias_memo_misses = result.stats.bias_memo_misses;
+  sum.index_bytes = result.stats.index_bytes;
+  sum.epoch = result.stats.epoch;
+}
+
+size_t EngineFleet::Pump() {
+  size_t released = 0;
+  std::vector<std::vector<Tenant*>> ready(config_.shards);
+  std::vector<Tenant*> due;
+  for (;;) {
+    // Phase 1: advance every shard in parallel, each tenant stopping at its
+    // next release point. Shard tasks own disjoint tenants and write
+    // disjoint ready lists; TaskGroup::Wait is the phase barrier.
+    for (std::vector<Tenant*>& r : ready) r.clear();
+    {
+      TaskGroup group(pool_);
+      for (size_t s = 0; s < config_.shards; ++s) {
+        group.Run([this, s, &ready] { PumpShard(s, &ready[s]); });
+      }
+      group.Wait();
+    }
+    due.clear();
+    for (const std::vector<Tenant*>& r : ready) {
+      due.insert(due.end(), r.begin(), r.end());
+    }
+    if (due.empty()) return released;
+    released += due.size();
+
+    // Phase 2: cross-engine batched releases. The due windows — from every
+    // shard — are packed into contiguous batches sized for a few tasks per
+    // worker, so per-task overhead amortizes across many sub-grain
+    // sanitizes and the pool fills regardless of how the shards were laid
+    // out. Tenants appear at most once per phase, so batch tasks share
+    // nothing; cross-tenant execution order is unconstrained by design.
+    const size_t batch =
+        due.size() / (std::max<size_t>(1, pool_participants_) * 4) + 1;
+    TaskGroup group(pool_);
+    for (size_t begin = 0; begin < due.size(); begin += batch) {
+      const size_t end = std::min(begin + batch, due.size());
+      group.Run([this, &due, begin, end] {
+        for (size_t i = begin; i < end; ++i) ReleaseTenant(due[i]);
+      });
+    }
+    group.Wait();
+  }
+}
+
+const std::string& EngineFleet::ReleaseLog(uint64_t tenant) const {
+  BFLY_CHECK(tenant < tenants_.size());
+  return tenants_[tenant]->log;
+}
+
+uint64_t EngineFleet::ReleaseCount(uint64_t tenant) const {
+  BFLY_CHECK(tenant < tenants_.size());
+  return tenants_[tenant]->releases;
+}
+
+uint64_t EngineFleet::StreamPosition(uint64_t tenant) const {
+  BFLY_CHECK(tenant < tenants_.size());
+  return static_cast<uint64_t>(
+      tenants_[tenant]->engine->miner().window().stream_position());
+}
+
+const StreamPrivacyEngine& EngineFleet::engine(uint64_t tenant) const {
+  BFLY_CHECK(tenant < tenants_.size());
+  return *tenants_[tenant]->engine;
+}
+
+FleetStats EngineFleet::Stats() const {
+  FleetStats stats;
+  stats.tenants = tenants_.size();
+  stats.shards = config_.shards;
+  stats.threads = ResolveThreadCount(config_.threads);
+  stats.checkpoints_written = checkpoints_written_;
+
+  std::vector<double> latencies;
+  for (const std::unique_ptr<Tenant>& tenant : tenants_) {
+    stats.ingested += static_cast<uint64_t>(
+        tenant->engine->miner().window().stream_position());
+    stats.queued +=
+        static_cast<uint64_t>(tenant->draining.size() - tenant->drain_pos);
+    {
+      std::lock_guard<std::mutex> lock(tenant->queue_mu);
+      stats.queued += static_cast<uint64_t>(tenant->queued.size());
+    }
+    stats.releases += tenant->releases;
+    stats.mine_ns += tenant->cumulative.mine_ns;
+    stats.partition_ns += tenant->cumulative.partition_ns;
+    stats.bias_ns += tenant->cumulative.bias_ns;
+    stats.noise_ns += tenant->cumulative.noise_ns;
+    stats.emit_ns += tenant->cumulative.emit_ns;
+    stats.bias_memo_hits += tenant->cumulative.bias_memo_hits;
+    stats.bias_memo_misses += tenant->cumulative.bias_memo_misses;
+    stats.index_bytes += tenant->cumulative.index_bytes;
+    latencies.insert(latencies.end(), tenant->latencies_ns.begin(),
+                     tenant->latencies_ns.end());
+  }
+  if (!latencies.empty()) {
+    std::sort(latencies.begin(), latencies.end());
+    const size_t last = latencies.size() - 1;
+    stats.release_p50_ns = latencies[last / 2];
+    stats.release_p99_ns =
+        latencies[static_cast<size_t>(static_cast<double>(last) * 0.99)];
+  }
+  return stats;
+}
+
+std::string EngineFleet::TenantCheckpointPath(const std::string& dir,
+                                              uint64_t tenant) {
+  return dir + "/tenant_" + std::to_string(tenant) + ".ckpt";
+}
+
+std::string EngineFleet::ReleaseLabel(uint64_t tenant, uint64_t position) {
+  return "t" + std::to_string(tenant) + ".w" + std::to_string(position);
+}
+
+Result<uint64_t> EngineFleet::CheckpointNextTenant(const std::string& dir) {
+  const uint64_t id = checkpoint_cursor_ % tenants_.size();
+  checkpoint_cursor_ = (checkpoint_cursor_ + 1) % tenants_.size();
+  Status saved = persist::SaveEngineCheckpoint(
+      *tenants_[id]->engine, TenantCheckpointPath(dir, id));
+  if (!saved.ok()) return saved;
+  ++checkpoints_written_;
+  return id;
+}
+
+Status EngineFleet::RestoreTenants(const std::string& dir) {
+  for (std::unique_ptr<Tenant>& tenant : tenants_) {
+    {
+      std::lock_guard<std::mutex> lock(tenant->queue_mu);
+      if (!tenant->queued.empty() ||
+          tenant->drain_pos != tenant->draining.size()) {
+        return Status::InvalidArgument(
+            "RestoreTenants requires empty ingest queues: tenant " +
+            std::to_string(tenant->id) + " has buffered records");
+      }
+    }
+    Result<std::string> payload =
+        persist::ReadCheckpointFile(TenantCheckpointPath(dir, tenant->id));
+    if (!payload.ok()) {
+      // A missing snapshot is the round-robin steady state (the cursor had
+      // not reached this tenant yet); the tenant keeps its current state.
+      if (payload.status().code() == StatusCode::kNotFound) continue;
+      return payload.status();
+    }
+    persist::CheckpointReader reader(*payload);
+    // Restore() bit-compares the snapshot's capacity and config against
+    // this tenant's (including the derived seed), so a snapshot written by
+    // a different tenant or fleet configuration is rejected here.
+    if (Status s = tenant->engine->Restore(&reader); !s.ok()) return s;
+    if (!reader.AtEnd()) {
+      return Status::IOError("checkpoint corrupt: trailing bytes after the "
+                             "engine state for tenant " +
+                             std::to_string(tenant->id));
+    }
+    tenant->draining.clear();
+    tenant->drain_pos = 0;
+    tenant->releases = tenant->engine->sanitizer().epoch();
+    tenant->next_release_pos =
+        config_.window + tenant->releases * config_.stride;
+    tenant->log.clear();
+    tenant->latencies_ns.clear();
+    tenant->cumulative = EngineStats{};
+  }
+  return Status::OK();
+}
+
+}  // namespace butterfly

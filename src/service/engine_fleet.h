@@ -1,0 +1,224 @@
+/// \file engine_fleet.h
+/// \brief EngineFleet: many tenant StreamPrivacyEngines behind one scheduler.
+///
+/// The single-engine pipeline scales threads with *window size* — a pool
+/// only fills when one window's sanitize has enough itemsets to split. A
+/// service mining thousands of concurrent streams has the opposite shape:
+/// each tenant's window is small, but there are many of them. The fleet
+/// turns that around by scaling threads with *tenant count*:
+///
+///  * Tenants are sharded across the pool (tenant t lives on shard
+///    t % shards). Each tenant owns a mutex+swap double-buffered ingest
+///    queue: producers append under a short lock, the pump swaps the buffer
+///    out and replays it into the engine lock-free.
+///  * Pump() alternates two phases until the queues drain. Phase 1 advances
+///    every shard in parallel, each tenant stopping exactly at its next
+///    release point (the window content at release time is what the
+///    determinism contract is about). Phase 2 coalesces every
+///    ready-to-release window — across all shards — into batched pool tasks
+///    via TaskGroup, so the pool stays full even when each individual
+///    sanitize is far below ParallelFor's grain.
+///  * Round-robin checkpointing walks the tenants one SaveEngineCheckpoint
+///    per call, bounding the per-call latency a snapshot adds to the pump
+///    loop; RestoreTenants reloads whichever snapshots exist.
+///
+/// Determinism contract: each tenant's release log is byte-identical to
+/// running that tenant alone, serially, at any shard/thread count. Three
+/// mechanisms carry it: per-tenant RNG seeds derived in one place
+/// (DeriveTenantSeed, so equal configs never share noise streams), strictly
+/// preserved per-tenant ingest order (the queue is FIFO and one pump task
+/// owns a tenant at a time), and releases fired at exact per-tenant stream
+/// positions (window + k * stride). Cross-tenant ordering is deliberately
+/// unconstrained — tenants share no state, so no observable output depends
+/// on which engine's batch ran first.
+///
+/// Engines inside a fleet run serial (threads = 1, pipelining off): the
+/// parallelism budget belongs to the scheduler, and a release task re-
+/// entering the pool it runs on could deadlock it (see
+/// StreamPrivacyEngine::ReleaseAsync's worker-thread guard).
+
+#ifndef BUTTERFLY_SERVICE_ENGINE_FLEET_H_
+#define BUTTERFLY_SERVICE_ENGINE_FLEET_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "core/stream_engine.h"
+
+namespace butterfly {
+
+/// Fleet-level configuration. `engine` is the per-tenant template: every
+/// tenant runs the same Butterfly parameters, but its RNG seed is derived
+/// from (engine.seed, tenant id) and its thread count is forced to 1.
+struct FleetConfig {
+  size_t tenants = 1;
+  /// Ingest/pump sharding: tenant t is pumped by shard t % shards. More
+  /// shards than the pool has participants buys nothing; fewer leaves pump
+  /// phase 1 under-parallel. Release batching is shard-independent.
+  size_t shards = 1;
+  /// Scheduler parallelism (caller + workers), resolved like
+  /// ButterflyConfig::threads: 1 = serial, 0 = auto.
+  int64_t threads = 1;
+  size_t window = 2000;  ///< per-tenant sliding-window size H
+  size_t stride = 100;   ///< slides between consecutive releases per tenant
+  ButterflyConfig engine;
+
+  Status Validate() const;
+};
+
+/// The exact engine configuration tenant \p tenant runs under in a fleet
+/// with \p config: the template with the tenant-derived seed
+/// (DeriveTenantSeed) and threads forced to 1. Exposed so solo reference
+/// runs — the other side of the byte-identity contract — can reproduce a
+/// tenant's engine exactly.
+ButterflyConfig TenantEngineConfig(const FleetConfig& config, uint64_t tenant);
+
+/// Aggregated fleet statistics: totals across every tenant since creation
+/// (or restore), plus the release-latency distribution of the individual
+/// engine.Release() calls as executed inside the batched pool tasks.
+struct FleetStats {
+  size_t tenants = 0;
+  size_t shards = 0;
+  size_t threads = 0;
+
+  uint64_t ingested = 0;  ///< records appended into engines
+  uint64_t queued = 0;    ///< records accepted but not yet pumped
+  uint64_t releases = 0;  ///< releases emitted across all tenants
+
+  double release_p50_ns = 0;  ///< median per-release latency
+  double release_p99_ns = 0;  ///< tail per-release latency
+
+  /// Cumulative per-stage sums over every release (see EngineStats).
+  double mine_ns = 0;
+  double partition_ns = 0;
+  double bias_ns = 0;
+  double noise_ns = 0;
+  double emit_ns = 0;
+
+  uint64_t bias_memo_hits = 0;
+  uint64_t bias_memo_misses = 0;
+
+  /// Sum of the tenants' window-index payload bytes at their last release.
+  size_t index_bytes = 0;
+
+  uint64_t checkpoints_written = 0;
+};
+
+class EngineFleet {
+ public:
+  /// Validates \p config and builds the fleet: `tenants` engines with
+  /// derived seeds, empty queues, and the shared scheduler pool.
+  static Result<EngineFleet> Create(const FleetConfig& config);
+
+  EngineFleet(EngineFleet&&) = default;
+
+  size_t tenant_count() const { return tenants_.size(); }
+  const FleetConfig& config() const { return config_; }
+
+  /// Enqueues one record for \p tenant. Thread-safe against Pump() and
+  /// against concurrent Ingest calls for other tenants; concurrent
+  /// producers for the *same* tenant must serialize themselves (per-tenant
+  /// order is the determinism contract's input).
+  Status Ingest(uint64_t tenant, Transaction t);
+
+  /// Drains every tenant's queue into its engine and emits every release
+  /// that comes due, batching ready windows across engines into pool tasks.
+  /// Returns the number of releases emitted. Call from one driver thread;
+  /// not re-entrant.
+  size_t Pump();
+
+  /// The concatenated WriteRelease bytes of every release \p tenant has
+  /// emitted since creation/restore — the byte-identity comparison unit.
+  const std::string& ReleaseLog(uint64_t tenant) const;
+
+  /// Releases emitted by \p tenant (equals its engine's release epoch).
+  uint64_t ReleaseCount(uint64_t tenant) const;
+
+  /// Records consumed (appended into the engine) for \p tenant. After a
+  /// restore this is the snapshot's position: the driver re-ingests the
+  /// stream from here.
+  uint64_t StreamPosition(uint64_t tenant) const;
+
+  const StreamPrivacyEngine& engine(uint64_t tenant) const;
+
+  /// Aggregates FleetStats over all tenants. Call between Pump()s.
+  FleetStats Stats() const;
+
+  /// Saves the next tenant in round-robin order to
+  /// TenantCheckpointPath(dir, id) and advances the cursor. One tenant per
+  /// call bounds the latency a snapshot adds between pumps; calling it
+  /// `tenants` times snapshots the whole fleet. Returns the tenant saved.
+  Result<uint64_t> CheckpointNextTenant(const std::string& dir);
+
+  /// Restores every tenant whose snapshot file exists under \p dir (bit-
+  /// compared against the tenant's derived config — a snapshot from a
+  /// different tenant or fleet is rejected, not silently adopted). Tenants
+  /// without a snapshot keep their current state. Queues must be empty —
+  /// restore replaces engine state, and queued records belong to the state
+  /// being replaced.
+  Status RestoreTenants(const std::string& dir);
+
+  static std::string TenantCheckpointPath(const std::string& dir,
+                                          uint64_t tenant);
+
+  /// The canonical (space-free, WriteRelease-legal) label of the release a
+  /// tenant fires at stream position \p position: "t<tenant>.w<position>".
+  /// Solo reference runs must label with the same function — the label is
+  /// part of the release bytes the determinism contract compares.
+  static std::string ReleaseLabel(uint64_t tenant, uint64_t position);
+
+ private:
+  /// One tenant: engine + double-buffered ingest queue + release artifacts.
+  /// Pinned by unique_ptr (the mutex is immovable) and touched by at most
+  /// one pump task at a time; `queue_mu` is the only producer/pump shared
+  /// state.
+  struct Tenant {
+    uint64_t id = 0;
+    std::optional<StreamPrivacyEngine> engine;
+
+    std::mutex queue_mu;
+    std::vector<Transaction> queued;  ///< producer side (guarded by queue_mu)
+
+    std::vector<Transaction> draining;  ///< pump side, swapped out of queued
+    size_t drain_pos = 0;               ///< next draining record to append
+
+    /// Stream position of the next due release: window + releases * stride.
+    uint64_t next_release_pos = 0;
+
+    std::string log;                   ///< concatenated WriteRelease bytes
+    uint64_t releases = 0;
+    std::vector<double> latencies_ns;  ///< one entry per release
+
+    /// Cumulative stage sums (mine/partition/bias/noise/emit) and the last
+    /// release's index accounting.
+    EngineStats cumulative;
+  };
+
+  explicit EngineFleet(FleetConfig config);
+
+  /// Phase 1 for one shard: advance each owned tenant to its next release
+  /// point or until its buffered records run out; append ready tenants to
+  /// \p ready (a per-shard list, so phase 1 tasks share nothing).
+  void PumpShard(size_t shard, std::vector<Tenant*>* ready);
+
+  /// Phase 2 unit: one tenant's release, executed inside a batch task.
+  void ReleaseTenant(Tenant* tenant);
+
+  FleetConfig config_;
+  std::vector<std::unique_ptr<Tenant>> tenants_;
+  ThreadPool* pool_ = nullptr;  ///< shared, not owned (see SharedPool)
+  size_t pool_participants_ = 1;
+  size_t checkpoint_cursor_ = 0;
+  uint64_t checkpoints_written_ = 0;
+};
+
+}  // namespace butterfly
+
+#endif  // BUTTERFLY_SERVICE_ENGINE_FLEET_H_

@@ -21,53 +21,17 @@
 #include "persist/checkpoint.h"
 #include "persist/engine_checkpoint.h"
 #include "persist/serializer.h"
+#include "random_stream.h"
 
 namespace butterfly {
 namespace {
 
-struct StreamCase {
-  uint64_t seed;
-  size_t window;
-  size_t records;
-  Item alphabet;
-  double density;
-  Support min_support;
-};
-
-// The mining_fuzz grid: dense narrow alphabets through sparse wide ones
-// (past one bitmap word), windows from tiny to slow-turnover.
-constexpr StreamCase kCases[] = {
-    {201, 20, 120, 8, 0.35, 4},   {202, 12, 100, 6, 0.45, 3},
-    {203, 64, 90, 10, 0.25, 5},   {204, 100, 260, 9, 0.22, 8},
-    {205, 130, 300, 7, 0.30, 12}, {206, 40, 200, 90, 0.04, 2},
-    {207, 80, 240, 120, 0.03, 2}};
-
-std::vector<Transaction> RandomStream(const StreamCase& param) {
-  Rng rng(param.seed);
-  std::vector<Transaction> stream;
-  for (size_t i = 0; i < param.records; ++i) {
-    std::vector<Item> items;
-    for (Item a = 0; a < param.alphabet; ++a) {
-      if (rng.Bernoulli(param.density)) items.push_back(a);
-    }
-    if (items.empty()) {
-      items.push_back(static_cast<Item>(rng.UniformInt(0, param.alphabet - 1)));
-    }
-    stream.emplace_back(i + 1, Itemset(std::move(items)));
-  }
-  return stream;
-}
+using testutil::kCases;
+using testutil::RandomStream;
+using testutil::StreamCase;
 
 ButterflyConfig MakeConfig(const StreamCase& param, int threads) {
-  ButterflyConfig config;
-  config.min_support = param.min_support;
-  config.vulnerable_support = std::max<Support>(1, param.min_support / 2);
-  config.epsilon = 0.1;
-  config.delta = 0.4;
-  config.scheme = static_cast<ButterflyScheme>(param.seed % 4);
-  config.seed = param.seed * 977;
-  config.threads = threads;
-  return config;
+  return testutil::MakeCaseConfig(param, threads);
 }
 
 bool IsReleasePoint(const StreamCase& param, size_t fed) {

@@ -1,0 +1,240 @@
+/// Differential testing of the multi-tenant EngineFleet scheduler against
+/// its determinism contract: each tenant's release log must be
+/// byte-identical to running that tenant alone, serially, at every tested
+/// shard/thread combination — and must survive a kill-and-restore in the
+/// middle of a round-robin checkpoint pass, where only a prefix of the
+/// tenants has a snapshot on disk.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/release_log.h"
+#include "core/stream_engine.h"
+#include "random_stream.h"
+#include "service/engine_fleet.h"
+
+namespace butterfly {
+namespace {
+
+constexpr size_t kWindow = 40;
+constexpr size_t kStride = 10;
+constexpr size_t kRecords = 100;  // 7 releases: positions 40, 50, ..., 100
+
+FleetConfig MakeFleetConfig(size_t tenants, size_t shards, int64_t threads) {
+  FleetConfig config;
+  config.tenants = tenants;
+  config.shards = shards;
+  config.threads = threads;
+  config.window = kWindow;
+  config.stride = kStride;
+  config.engine.min_support = 4;
+  config.engine.vulnerable_support = 2;
+  config.engine.epsilon = 0.1;
+  config.engine.delta = 0.4;
+  config.engine.scheme = ButterflyScheme::kHybrid;
+  config.engine.lambda = 0.4;
+  config.engine.seed = 0xB0A710ADull;
+  return config;
+}
+
+/// Per-tenant input streams: alternating dense-narrow and sparse-wide
+/// shapes (the mining_fuzz axes), each tenant with its own data seed.
+std::vector<Transaction> TenantStream(uint64_t tenant) {
+  testutil::StreamCase shape{
+      /*seed=*/301 + tenant,
+      /*window=*/kWindow,
+      /*records=*/kRecords,
+      /*alphabet=*/static_cast<Item>(tenant % 2 == 0 ? 8 : 90),
+      /*density=*/tenant % 2 == 0 ? 0.30 : 0.05,
+      /*min_support=*/4};
+  return testutil::RandomStream(shape);
+}
+
+/// The solo side of the contract: tenant `tenant`'s derived engine run
+/// alone and serially, one byte string per release.
+std::vector<std::string> SoloReleases(const FleetConfig& config,
+                                      uint64_t tenant,
+                                      const std::vector<Transaction>& stream) {
+  auto engine = StreamPrivacyEngine::Create(config.window,
+                                            TenantEngineConfig(config, tenant));
+  EXPECT_TRUE(engine.ok()) << engine.status().ToString();
+  std::vector<std::string> releases;
+  uint64_t next_release = config.window;
+  for (size_t i = 0; i < stream.size(); ++i) {
+    engine->Append(stream[i]);
+    if (i + 1 == next_release) {
+      std::ostringstream out;
+      EXPECT_TRUE(WriteRelease(&out, EngineFleet::ReleaseLabel(tenant, i + 1),
+                               engine->Release().output)
+                      .ok());
+      releases.push_back(out.str());
+      next_release += config.stride;
+    }
+  }
+  return releases;
+}
+
+std::string Concat(const std::vector<std::string>& parts, size_t from = 0) {
+  std::string all;
+  for (size_t i = from; i < parts.size(); ++i) all += parts[i];
+  return all;
+}
+
+TEST(FleetTest, ByteIdenticalToSoloAcrossShardAndThreadGrid) {
+  constexpr size_t kTenants = 6;
+  std::vector<std::vector<Transaction>> streams;
+  for (uint64_t t = 0; t < kTenants; ++t) streams.push_back(TenantStream(t));
+
+  // The derived engine config is shard/thread-independent, so one solo
+  // reference covers the whole grid.
+  const FleetConfig reference = MakeFleetConfig(kTenants, 1, 1);
+  std::vector<std::string> expected;
+  for (uint64_t t = 0; t < kTenants; ++t) {
+    std::vector<std::string> releases = SoloReleases(reference, t, streams[t]);
+    ASSERT_EQ(releases.size(), 7u);
+    expected.push_back(Concat(releases));
+  }
+
+  for (size_t shards : {size_t{1}, size_t{4}}) {
+    for (int64_t threads : {int64_t{1}, int64_t{8}}) {
+      auto fleet =
+          EngineFleet::Create(MakeFleetConfig(kTenants, shards, threads));
+      ASSERT_TRUE(fleet.ok()) << fleet.status().ToString();
+      // Interleaved chunked ingest with pumps at chunk boundaries that do
+      // NOT line up with release points: the scheduler must stop each
+      // tenant at its exact release position regardless.
+      constexpr size_t kChunk = 7;
+      for (size_t begin = 0; begin < kRecords; begin += kChunk) {
+        const size_t end = std::min(begin + kChunk, kRecords);
+        for (uint64_t t = 0; t < kTenants; ++t) {
+          for (size_t i = begin; i < end; ++i) {
+            ASSERT_TRUE(fleet->Ingest(t, streams[t][i]).ok());
+          }
+        }
+        fleet->Pump();
+      }
+      fleet->Pump();
+
+      for (uint64_t t = 0; t < kTenants; ++t) {
+        EXPECT_EQ(fleet->ReleaseLog(t), expected[t])
+            << "tenant " << t << " shards=" << shards
+            << " threads=" << threads;
+        EXPECT_EQ(fleet->ReleaseCount(t), 7u);
+        EXPECT_EQ(fleet->StreamPosition(t), kRecords);
+      }
+      FleetStats stats = fleet->Stats();
+      EXPECT_EQ(stats.releases, kTenants * 7u);
+      EXPECT_EQ(stats.ingested, kTenants * kRecords);
+      EXPECT_EQ(stats.queued, 0u);
+    }
+  }
+}
+
+TEST(FleetTest, TenantSeedsDifferAndThreadsForcedSerial) {
+  const FleetConfig config = MakeFleetConfig(3, 1, 8);
+  const ButterflyConfig a = TenantEngineConfig(config, 0);
+  const ButterflyConfig b = TenantEngineConfig(config, 1);
+  EXPECT_NE(a.seed, b.seed);
+  EXPECT_NE(a.seed, config.engine.seed);
+  EXPECT_EQ(a.threads, 1);
+  EXPECT_EQ(b.threads, 1);
+}
+
+TEST(FleetTest, IngestRejectsUnknownTenant) {
+  auto fleet = EngineFleet::Create(MakeFleetConfig(2, 1, 1));
+  ASSERT_TRUE(fleet.ok());
+  Status s = fleet->Ingest(2, Transaction(1, Itemset{1}));
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(FleetTest, KillAndRestoreMidRoundRobinCheckpoint) {
+  constexpr size_t kTenants = 4;
+  const std::string dir = ::testing::TempDir();  // must already exist
+  std::remove(EngineFleet::TenantCheckpointPath(dir, 0).c_str());
+  std::remove(EngineFleet::TenantCheckpointPath(dir, 1).c_str());
+
+  std::vector<std::vector<Transaction>> streams;
+  for (uint64_t t = 0; t < kTenants; ++t) streams.push_back(TenantStream(t));
+  const FleetConfig config = MakeFleetConfig(kTenants, 2, 8);
+  std::vector<std::vector<std::string>> solo;
+  for (uint64_t t = 0; t < kTenants; ++t) {
+    solo.push_back(SoloReleases(config, t, streams[t]));
+    ASSERT_EQ(solo[t].size(), 7u);
+  }
+
+  // Run the fleet to record 55 (two releases in), then snapshot only the
+  // first two tenants — a kill in the middle of the round-robin pass.
+  constexpr size_t kCut = 55;
+  constexpr size_t kReleasesAtCut = 2;  // positions 40 and 50
+  {
+    auto fleet = EngineFleet::Create(config);
+    ASSERT_TRUE(fleet.ok());
+    for (uint64_t t = 0; t < kTenants; ++t) {
+      for (size_t i = 0; i < kCut; ++i) {
+        ASSERT_TRUE(fleet->Ingest(t, streams[t][i]).ok());
+      }
+    }
+    fleet->Pump();
+    auto first = fleet->CheckpointNextTenant(dir);
+    ASSERT_TRUE(first.ok()) << first.status().ToString();
+    EXPECT_EQ(*first, 0u);
+    auto second = fleet->CheckpointNextTenant(dir);
+    ASSERT_TRUE(second.ok());
+    EXPECT_EQ(*second, 1u);
+    EXPECT_EQ(fleet->Stats().checkpoints_written, 2u);
+  }  // the fleet dies here
+
+  // A restarted fleet picks up whatever snapshots exist: tenants 0 and 1
+  // resume from record 55, tenants 2 and 3 start over from scratch.
+  auto fleet = EngineFleet::Create(config);
+  ASSERT_TRUE(fleet.ok());
+  ASSERT_TRUE(fleet->RestoreTenants(dir).ok());
+  for (uint64_t t = 0; t < kTenants; ++t) {
+    EXPECT_EQ(fleet->StreamPosition(t), t < 2 ? kCut : 0u);
+    // The driver re-ingests each tenant's stream from its restored position.
+    for (size_t i = fleet->StreamPosition(t); i < kRecords; ++i) {
+      ASSERT_TRUE(fleet->Ingest(t, streams[t][i]).ok());
+    }
+  }
+  fleet->Pump();
+
+  for (uint64_t t = 0; t < kTenants; ++t) {
+    const bool restored = t < 2;
+    // Restored tenants emit exactly the post-snapshot suffix of the solo
+    // schedule, byte-identical; fresh tenants replay the whole schedule.
+    EXPECT_EQ(fleet->ReleaseLog(t),
+              Concat(solo[t], restored ? kReleasesAtCut : 0))
+        << "tenant " << t;
+    EXPECT_EQ(fleet->ReleaseCount(t), 7u);
+  }
+
+  std::remove(EngineFleet::TenantCheckpointPath(dir, 0).c_str());
+  std::remove(EngineFleet::TenantCheckpointPath(dir, 1).c_str());
+}
+
+TEST(FleetTest, RestoreRefusesWithQueuedRecords) {
+  auto fleet = EngineFleet::Create(MakeFleetConfig(1, 1, 1));
+  ASSERT_TRUE(fleet.ok());
+  ASSERT_TRUE(fleet->Ingest(0, Transaction(1, Itemset{1})).ok());
+  Status s = fleet->RestoreTenants(::testing::TempDir());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(FleetConfigTest, ValidateCatchesBadShapes) {
+  FleetConfig config = MakeFleetConfig(1, 1, 1);
+  config.tenants = 0;
+  EXPECT_FALSE(config.Validate().ok());
+  config = MakeFleetConfig(1, 1, 1);
+  config.stride = 0;
+  EXPECT_FALSE(config.Validate().ok());
+  config = MakeFleetConfig(1, 1, 1);
+  config.engine.epsilon = -1;  // propagates to the derived engine validation
+  EXPECT_FALSE(config.Validate().ok());
+}
+
+}  // namespace
+}  // namespace butterfly

@@ -1,0 +1,72 @@
+/// \file random_stream.h
+/// \brief Shared randomized-stream fixtures for the engine-level
+/// differential tests (checkpoint kill-and-restore, fleet determinism).
+///
+/// The grid covers dense narrow alphabets through sparse wide ones (past one
+/// bitmap word), windows from tiny to slow-turnover — the shapes that have
+/// historically flushed out window-index and CET edge cases. Both test
+/// suites compare byte-exact release logs, so any change here shifts every
+/// golden comparison together.
+
+#ifndef BUTTERFLY_TESTS_RANDOM_STREAM_H_
+#define BUTTERFLY_TESTS_RANDOM_STREAM_H_
+
+#include <algorithm>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/transaction.h"
+#include "core/config.h"
+
+namespace butterfly::testutil {
+
+struct StreamCase {
+  uint64_t seed;
+  size_t window;
+  size_t records;
+  Item alphabet;
+  double density;
+  Support min_support;
+};
+
+// The mining_fuzz grid: dense narrow alphabets through sparse wide ones
+// (past one bitmap word), windows from tiny to slow-turnover.
+constexpr StreamCase kCases[] = {
+    {201, 20, 120, 8, 0.35, 4},   {202, 12, 100, 6, 0.45, 3},
+    {203, 64, 90, 10, 0.25, 5},   {204, 100, 260, 9, 0.22, 8},
+    {205, 130, 300, 7, 0.30, 12}, {206, 40, 200, 90, 0.04, 2},
+    {207, 80, 240, 120, 0.03, 2}};
+
+inline std::vector<Transaction> RandomStream(const StreamCase& param) {
+  Rng rng(param.seed);
+  std::vector<Transaction> stream;
+  for (size_t i = 0; i < param.records; ++i) {
+    std::vector<Item> items;
+    for (Item a = 0; a < param.alphabet; ++a) {
+      if (rng.Bernoulli(param.density)) items.push_back(a);
+    }
+    if (items.empty()) {
+      items.push_back(static_cast<Item>(rng.UniformInt(0, param.alphabet - 1)));
+    }
+    stream.emplace_back(i + 1, Itemset(std::move(items)));
+  }
+  return stream;
+}
+
+/// An engine configuration exercising every scheme across the grid (the
+/// scheme rotates with the case seed).
+inline ButterflyConfig MakeCaseConfig(const StreamCase& param, int threads) {
+  ButterflyConfig config;
+  config.min_support = param.min_support;
+  config.vulnerable_support = std::max<Support>(1, param.min_support / 2);
+  config.epsilon = 0.1;
+  config.delta = 0.4;
+  config.scheme = static_cast<ButterflyScheme>(param.seed % 4);
+  config.seed = param.seed * 977;
+  config.threads = threads;
+  return config;
+}
+
+}  // namespace butterfly::testutil
+
+#endif  // BUTTERFLY_TESTS_RANDOM_STREAM_H_
