@@ -8,6 +8,7 @@
 /// Usage:
 ///   attack_cli --log=releases.log [--vulnerable=5] [--delta=0.4]
 ///              [--naive] [--truth=stream.dat --window=2000]
+///              [--policy=butterfly|privbasis|continual|heavyhitter]
 ///
 /// Two adversaries are played:
 ///  * the NAIVE one treats released supports as exact and derives patterns
@@ -15,10 +16,17 @@
 ///  * the SOUND one knows the Butterfly design (Kerckhoffs): each release
 ///    pins supports only to intervals of the public region length, which it
 ///    tightens and propagates. It only claims what it can prove.
+///
+/// --policy declares which release backend produced the log (Kerckhoffs:
+/// the mechanism is public). The naive adversary applies to every backend;
+/// the sound interval adversary is built on Butterfly's bounded-noise
+/// regions and is skipped for the DP backends, whose unbounded Laplace
+/// noise admits no finite support interval.
 
 #include <cstdio>
 
 #include "common/flags.h"
+#include "core/config.h"
 #include "core/noise.h"
 #include "core/release_log.h"
 #include "datagen/fimi_io.h"
@@ -45,8 +53,12 @@ int main(int argc, char** argv) {
   const size_t window = static_cast<size_t>(flags.GetInt("window", 2000));
   const Support vulnerable = flags.GetInt("vulnerable", 5);
   const double delta = flags.GetDouble("delta", 0.4);
+  const std::string policy_name = flags.GetString("policy", "butterfly");
   if (!flags.ok()) return Fail(flags.errors().front());
   if (log_path.empty()) return Fail("--log=<release log> is required");
+  std::optional<ReleasePolicyKind> policy = ParseReleasePolicyKind(policy_name);
+  if (!policy) return Fail("unknown policy '" + policy_name + "'");
+  const bool interval_attack = *policy == ReleasePolicyKind::kButterfly;
 
   auto releases = ReadReleasesFromFile(log_path);
   if (!releases.ok()) return Fail(releases.status().ToString());
@@ -62,10 +74,18 @@ int main(int argc, char** argv) {
     truth = std::move(*loaded);
   }
 
-  std::printf("attack_cli: %zu release(s) from %s; K=%ld, assumed noise "
-              "region length %ld\n\n",
-              releases->size(), log_path.c_str(), (long)vulnerable,
-              (long)noise.alpha());
+  if (interval_attack) {
+    std::printf("attack_cli: %zu release(s) from %s; K=%ld, assumed noise "
+                "region length %ld\n\n",
+                releases->size(), log_path.c_str(), (long)vulnerable,
+                (long)noise.alpha());
+  } else {
+    std::printf("attack_cli: %zu release(s) from %s; K=%ld, policy=%s "
+                "(sound interval attack skipped: the DP backends publish "
+                "under unbounded noise, so no finite region applies)\n\n",
+                releases->size(), log_path.c_str(), (long)vulnerable,
+                ReleasePolicyName(*policy).c_str());
+  }
 
   size_t total_claims = 0, correct_claims = 0, total_provable = 0;
   for (size_t r = 0; r < releases->size(); ++r) {
@@ -86,21 +106,24 @@ int main(int argc, char** argv) {
 
     // Sound adversary: interval reasoning with the public region length.
     // Bias settings are secret, so the region can sit anywhere covering the
-    // released value: T ∈ [T̃ − α, T̃ + α] is the sound envelope.
-    IntervalMap intervals;
-    intervals[Itemset{}] = Interval::Exact(logged.window_size);
-    for (const auto& [itemset, support] : logged.items) {
-      intervals[itemset] =
-          Interval(support - noise.alpha(), support + noise.alpha())
-              .ClampNonNegative();
-    }
-    TightenIntervals(&intervals);
+    // released value: T ∈ [T̃ − α, T̃ + α] is the sound envelope. Only
+    // meaningful against Butterfly's bounded noise.
     size_t provable = 0;
-    for (const InferredPattern& claim : claims) {
-      auto interval = DerivePatternInterval(intervals, claim.pattern);
-      if (interval && interval->Tight() && interval->lo > 0 &&
-          interval->lo <= vulnerable) {
-        ++provable;
+    if (interval_attack) {
+      IntervalMap intervals;
+      intervals[Itemset{}] = Interval::Exact(logged.window_size);
+      for (const auto& [itemset, support] : logged.items) {
+        intervals[itemset] =
+            Interval(support - noise.alpha(), support + noise.alpha())
+                .ClampNonNegative();
+      }
+      TightenIntervals(&intervals);
+      for (const InferredPattern& claim : claims) {
+        auto interval = DerivePatternInterval(intervals, claim.pattern);
+        if (interval && interval->Tight() && interval->lo > 0 &&
+            interval->lo <= vulnerable) {
+          ++provable;
+        }
       }
     }
 
@@ -132,9 +155,9 @@ int main(int argc, char** argv) {
       }
     }
 
-    std::printf("%-16s %4zu itemsets | naive claims: %3zu | provable: %2zu",
-                logged.label.c_str(), logged.items.size(), claims.size(),
-                provable);
+    std::printf("%-16s %4zu itemsets | naive claims: %3zu", logged.label.c_str(),
+                logged.items.size(), claims.size());
+    if (interval_attack) std::printf(" | provable: %2zu", provable);
     if (truth) {
       std::printf(" | correct: %zu/%zu", correct, claims.size());
     }
@@ -145,16 +168,25 @@ int main(int argc, char** argv) {
     total_provable += provable;
   }
 
-  std::printf("\nsummary: %zu naive claim(s), %zu provable under sound "
-              "reasoning",
-              total_claims, total_provable);
+  if (interval_attack) {
+    std::printf("\nsummary: %zu naive claim(s), %zu provable under sound "
+                "reasoning",
+                total_claims, total_provable);
+  } else {
+    std::printf("\nsummary: %zu naive claim(s) against the %s release",
+                total_claims, ReleasePolicyName(*policy).c_str());
+  }
   if (truth && total_claims > 0) {
     std::printf("; naive precision %.1f%%",
                 100.0 * static_cast<double>(correct_claims) /
                     static_cast<double>(total_claims));
   }
-  std::printf("\nA well-configured Butterfly release leaves the sound "
-              "adversary with nothing provable and the naive adversary "
-              "mostly wrong.\n");
+  if (interval_attack) {
+    std::printf("\nA well-configured Butterfly release leaves the sound "
+                "adversary with nothing provable and the naive adversary "
+                "mostly wrong.\n");
+  } else {
+    std::printf("\n");
+  }
   return 0;
 }

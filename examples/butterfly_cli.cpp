@@ -13,6 +13,17 @@
 ///                 [--checkpoint=path.ckpt] [--checkpoint-every=N]
 ///                 [--restore=path.ckpt] [--pipeline] [--threads=N]
 ///                 [--hybrid-index] [--tenants=N] [--shards=N]
+///                 [--policy=butterfly|privbasis|continual|heavyhitter]
+///                 [--policy-epsilon=1.0] [--policy-top-k=32]
+///                 [--tenant-policies=butterfly,privbasis,...]
+///
+/// --policy selects the release backend (default butterfly, the paper's
+/// pipeline). The DP backends take their per-window budget from
+/// --policy-epsilon and (privbasis/heavyhitter) their size bound from
+/// --policy-top-k. --attack and --audit interpret the release through
+/// Butterfly's noise/bias model and therefore require --policy=butterfly.
+/// In fleet mode --tenant-policies assigns backends round-robin: tenant t
+/// runs the (t mod N)-th entry of the comma-separated list.
 ///
 /// --tenants=N (N > 1) switches to multi-tenant fleet mode: N engines with
 /// tenant-derived seeds run behind the EngineFleet scheduler, each mining
@@ -87,6 +98,23 @@ int Fail(const std::string& message) {
   return 1;
 }
 
+/// Parses a comma-separated --tenant-policies list; nullopt on a bad name.
+std::optional<std::vector<ReleasePolicyKind>> ParseTenantPolicies(
+    const std::string& list) {
+  std::vector<ReleasePolicyKind> kinds;
+  size_t start = 0;
+  while (start <= list.size()) {
+    size_t comma = list.find(',', start);
+    if (comma == std::string::npos) comma = list.size();
+    std::optional<ReleasePolicyKind> kind =
+        ParseReleasePolicyKind(list.substr(start, comma - start));
+    if (!kind) return std::nullopt;
+    kinds.push_back(*kind);
+    start = comma + 1;
+  }
+  return kinds;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -120,6 +148,10 @@ int main(int argc, char** argv) {
   config.threads = flags.GetInt("threads", 1);  // 0 = auto-detect
   config.hybrid_index = flags.GetBool("hybrid-index", false);
   std::string scheme_name = flags.GetString("scheme", "hybrid");
+  const std::string policy_name = flags.GetString("policy", "butterfly");
+  config.policy_epsilon = flags.GetDouble("policy-epsilon", 1.0);
+  config.policy_top_k = static_cast<size_t>(flags.GetInt("policy-top-k", 32));
+  const std::string tenant_policy_list = flags.GetString("tenant-policies", "");
 
   if (!flags.ok()) return Fail(flags.errors().front());
   std::vector<std::string> unread = flags.UnreadFlags();
@@ -128,6 +160,19 @@ int main(int argc, char** argv) {
   std::optional<ButterflyScheme> scheme = ParseScheme(scheme_name);
   if (!scheme) return Fail("unknown scheme '" + scheme_name + "'");
   config.scheme = *scheme;
+
+  std::optional<ReleasePolicyKind> policy = ParseReleasePolicyKind(policy_name);
+  if (!policy) return Fail("unknown policy '" + policy_name + "'");
+  config.policy = *policy;
+  if ((run_attack || run_audit) &&
+      config.policy != ReleasePolicyKind::kButterfly) {
+    return Fail(
+        "--attack/--audit interpret releases through Butterfly's noise/bias "
+        "model; they require --policy=butterfly");
+  }
+  if (!tenant_policy_list.empty() && tenants <= 1) {
+    return Fail("--tenant-policies requires fleet mode (--tenants=N, N > 1)");
+  }
 
   if (tenants > 1) {
     if (run_attack || run_audit || pipelined) {
@@ -142,6 +187,15 @@ int main(int argc, char** argv) {
     fleet_config.window = window;
     fleet_config.stride = stride;
     fleet_config.engine = config;
+    if (!tenant_policy_list.empty()) {
+      std::optional<std::vector<ReleasePolicyKind>> kinds =
+          ParseTenantPolicies(tenant_policy_list);
+      if (!kinds) {
+        return Fail("bad --tenant-policies entry in '" + tenant_policy_list +
+                    "'");
+      }
+      fleet_config.tenant_policies = std::move(*kinds);
+    }
 
     // Per-tenant streams: distinct data seeds from a profile, or every
     // tenant replaying the same FIMI file.
@@ -178,9 +232,12 @@ int main(int argc, char** argv) {
     }
 
     std::printf("butterfly_cli: fleet of %zu tenants, %zu shards, H=%zu "
-                "stride=%zu scheme=%s\n",
+                "stride=%zu scheme=%s policies=%s\n",
                 tenants, fleet_config.shards, window, stride,
-                SchemeName(config.scheme).c_str());
+                SchemeName(config.scheme).c_str(),
+                tenant_policy_list.empty()
+                    ? ReleasePolicyName(config.policy).c_str()
+                    : tenant_policy_list.c_str());
 
     // Drive the service loop: one stride of records per tenant per round,
     // pump, and rotate the round-robin checkpoint cursor every
@@ -267,8 +324,14 @@ int main(int argc, char** argv) {
     // the resumed run is bit-identical to the uninterrupted one.
     window = engine->miner().window().capacity();
     config = engine->config();
+    if ((run_attack || run_audit) &&
+        config.policy != ReleasePolicyKind::kButterfly) {
+      return Fail("snapshot was taken under --policy=" +
+                  ReleasePolicyName(config.policy) +
+                  "; --attack/--audit require --policy=butterfly");
+    }
     fed = static_cast<size_t>(engine->miner().window().stream_position());
-    reported = static_cast<size_t>(engine->sanitizer().epoch());
+    reported = static_cast<size_t>(engine->release_epoch());
     if (fed > data->size()) {
       return Fail("snapshot is ahead of the stream: it consumed " +
                   std::to_string(fed) + " records but only " +
@@ -292,10 +355,11 @@ int main(int argc, char** argv) {
   attack.vulnerable_support = config.vulnerable_support;
 
   std::printf("butterfly_cli: %zu records, H=%zu C=%ld K=%ld eps=%g delta=%g "
-              "scheme=%s\n",
+              "scheme=%s policy=%s\n",
               data->size(), window, (long)config.min_support,
               (long)config.vulnerable_support, config.epsilon, config.delta,
-              SchemeName(config.scheme).c_str());
+              SchemeName(config.scheme).c_str(),
+              ReleasePolicyName(config.policy).c_str());
   std::printf("%-16s %9s %8s %8s %8s", "window", "itemsets", "pred", "ropp",
               "rrpp");
   if (run_attack) std::printf(" %8s %10s %9s", "Phv", "avg_prig", "residual");

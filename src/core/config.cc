@@ -20,6 +20,28 @@ std::string SchemeName(ButterflyScheme scheme) {
   return "unknown";
 }
 
+std::string ReleasePolicyName(ReleasePolicyKind kind) {
+  switch (kind) {
+    case ReleasePolicyKind::kButterfly:
+      return "butterfly";
+    case ReleasePolicyKind::kPrivBasis:
+      return "privbasis";
+    case ReleasePolicyKind::kContinual:
+      return "continual";
+    case ReleasePolicyKind::kHeavyHitter:
+      return "heavyhitter";
+  }
+  return "unknown";
+}
+
+std::optional<ReleasePolicyKind> ParseReleasePolicyKind(std::string_view name) {
+  if (name == "butterfly") return ReleasePolicyKind::kButterfly;
+  if (name == "privbasis") return ReleasePolicyKind::kPrivBasis;
+  if (name == "continual") return ReleasePolicyKind::kContinual;
+  if (name == "heavyhitter") return ReleasePolicyKind::kHeavyHitter;
+  return std::nullopt;
+}
+
 Status ButterflyConfig::Validate() const {
   if (epsilon <= 0) return Status::InvalidArgument("epsilon must be positive");
   if (delta <= 0) return Status::InvalidArgument("delta must be positive");
@@ -42,6 +64,16 @@ Status ButterflyConfig::Validate() const {
   if (threads < 0 || threads > 1024) {
     return Status::InvalidArgument(
         "threads must lie in [0, 1024] (0 = hardware concurrency)");
+  }
+  if (policy != ReleasePolicyKind::kButterfly) {
+    if (!(policy_epsilon > 0) || policy_epsilon > 1e6) {
+      return Status::InvalidArgument(
+          "policy_epsilon must lie in (0, 1e6] for the DP release policies");
+    }
+    if (policy_top_k == 0 || policy_top_k > 1000000) {
+      return Status::InvalidArgument(
+          "policy_top_k must lie in [1, 1e6]");
+    }
   }
   if (ppr() + 1e-12 < MinPpr()) {
     std::ostringstream msg;

@@ -7,7 +7,9 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <optional>
 #include <string>
+#include <string_view>
 
 #include "common/status.h"
 #include "common/types.h"
@@ -28,6 +30,36 @@ enum class ButterflyScheme {
 };
 
 std::string SchemeName(ButterflyScheme scheme);
+
+/// Which release-policy backend sanitizes the mining output before release
+/// (see policy/release_policy.h). Butterfly — the paper's bias/noise scheme —
+/// is the reference backend; the others are differentially private
+/// alternatives answering the same per-window query, for the utility-vs-
+/// breach comparison the paper could not run. The value is serialized as one
+/// byte in the CONF checkpoint section, so the enumerators are pinned.
+enum class ReleasePolicyKind : uint8_t {
+  /// The paper's pipeline: FEC partition + bias DP + discrete-uniform noise
+  /// + republish cache. Knobs: epsilon/delta/scheme/lambda.
+  kButterfly = 0,
+  /// PrivBasis-style private frequent-itemset release: a noisy top-B item
+  /// basis, then Laplace supports for the basis-covered itemsets.
+  kPrivBasis = 1,
+  /// Continual-release frequency estimation: binary-tree (dyadic) mechanism
+  /// over the sliding window's stream interval, node noise reused across
+  /// windows so the per-element budget stays epsilon for the whole stream.
+  kContinual = 2,
+  /// Private heavy-hitter release: one-shot Gumbel top-k selection plus
+  /// Laplace support estimates for the selected itemsets.
+  kHeavyHitter = 3,
+};
+
+/// Canonical flag spelling of a policy kind: "butterfly", "privbasis",
+/// "continual", "heavyhitter". The shared vocabulary of --policy= across
+/// butterfly_cli, attack_cli, and the benches.
+std::string ReleasePolicyName(ReleasePolicyKind kind);
+
+/// Parses a --policy= value; nullopt on unknown names.
+std::optional<ReleasePolicyKind> ParseReleasePolicyKind(std::string_view name);
 
 /// Knobs of the order-preserving dynamic program.
 struct OrderOptConfig {
@@ -92,6 +124,23 @@ struct ButterflyConfig {
   /// collapses index memory on large sparse alphabets and requires the
   /// window capacity H <= 65536.
   bool hybrid_index = false;
+
+  /// Which release-policy backend the engine publishes through. Butterfly
+  /// reads the (epsilon, delta, scheme, ...) knobs above; the DP backends
+  /// read policy_epsilon / policy_top_k instead. Checkpointed (one byte in
+  /// the CONF section) and bit-compared on restore.
+  ReleasePolicyKind policy = ReleasePolicyKind::kButterfly;
+
+  /// Per-window differential-privacy budget of the DP backends (ignored by
+  /// Butterfly, whose budget is the epsilon/delta pair). The continual
+  /// backend's budget is per stream element over the whole stream — see
+  /// DESIGN.md §15 for each backend's accounting.
+  double policy_epsilon = 1.0;
+
+  /// Selection width of the selective DP backends: the PrivBasis item-basis
+  /// size B and the heavy-hitter release size k. Ignored by Butterfly and
+  /// the continual estimator.
+  size_t policy_top_k = 32;
 
   uint64_t seed = 0x42u;
 

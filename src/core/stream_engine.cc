@@ -8,6 +8,7 @@
 #include "common/check.h"
 #include "common/thread_pool.h"
 #include "persist/serializer.h"
+#include "policy/butterfly_policy.h"
 
 namespace butterfly {
 
@@ -40,6 +41,9 @@ void WriteConfig(persist::CheckpointWriter* writer,
   writer->Bool(config.hybrid_index);
   writer->U64(config.seed);
   writer->I64(config.threads);
+  writer->U8(static_cast<uint8_t>(config.policy));
+  writer->F64(config.policy_epsilon);
+  writer->U64(config.policy_top_k);
 }
 
 Status ReadConfig(persist::CheckpointReader* reader, ButterflyConfig* config) {
@@ -66,6 +70,14 @@ Status ReadConfig(persist::CheckpointReader* reader, ButterflyConfig* config) {
   config->hybrid_index = reader->Bool();
   config->seed = reader->U64();
   config->threads = reader->I64();
+  const uint8_t policy = reader->U8();
+  if (reader->ok() &&
+      policy > static_cast<uint8_t>(ReleasePolicyKind::kHeavyHitter)) {
+    return reader->Fail("checkpoint corrupt: unknown release policy value");
+  }
+  config->policy = static_cast<ReleasePolicyKind>(policy);
+  config->policy_epsilon = reader->F64();
+  config->policy_top_k = static_cast<size_t>(reader->U64());
   return reader->status();
 }
 
@@ -88,7 +100,24 @@ bool SameConfig(const ButterflyConfig& a, const ButterflyConfig& b) {
          a.bias_cache_tolerance == b.bias_cache_tolerance &&
          a.bias_memo_capacity == b.bias_memo_capacity &&
          a.hybrid_index == b.hybrid_index && a.seed == b.seed &&
-         a.threads == b.threads;
+         a.threads == b.threads && a.policy == b.policy &&
+         SameBits(a.policy_epsilon, b.policy_epsilon) &&
+         a.policy_top_k == b.policy_top_k;
+}
+
+/// Maps a policy's per-release stats into the engine-level snapshot.
+void CopyPolicyStats(const PolicyStats& policy, EngineStats* stats) {
+  stats->partition_ns = policy.partition_ns;
+  stats->bias_ns = policy.bias_ns;
+  stats->noise_ns = policy.noise_ns;
+  stats->emit_ns = policy.emit_ns;
+  stats->bias_cache_hit = policy.bias_cache_hit;
+  stats->bias_memo_hit = policy.bias_memo_hit;
+  stats->bias_memo_hits = policy.bias_memo_hits;
+  stats->bias_memo_misses = policy.bias_memo_misses;
+  stats->epoch = policy.epoch;
+  stats->epsilon_spent = policy.epsilon_spent;
+  stats->epsilon_cumulative = policy.epsilon_cumulative;
 }
 
 }  // namespace
@@ -111,6 +140,53 @@ Result<StreamPrivacyEngine> StreamPrivacyEngine::Create(
   Status status = config.Validate();
   if (!status.ok()) return status;
   return StreamPrivacyEngine(window_capacity, config);
+}
+
+ButterflyEngine& StreamPrivacyEngine::sanitizer() {
+  BFLY_CHECK_MSG(policy_->kind() == ReleasePolicyKind::kButterfly,
+                 "sanitizer() requires the butterfly release policy; this "
+                 "engine runs a DP backend — use release_policy() instead");
+  return static_cast<ButterflyReleasePolicy&>(*policy_).engine();
+}
+
+const ButterflyEngine& StreamPrivacyEngine::sanitizer() const {
+  BFLY_CHECK_MSG(policy_->kind() == ReleasePolicyKind::kButterfly,
+                 "sanitizer() requires the butterfly release policy; this "
+                 "engine runs a DP backend — use release_policy() instead");
+  return static_cast<const ButterflyReleasePolicy&>(*policy_).engine();
+}
+
+WindowContext StreamPrivacyEngine::MakeWindowContext(
+    const FecPartitioner& part) const {
+  WindowContext ctx;
+  ctx.window_size = static_cast<Support>(miner_.window().size());
+  ctx.stream_position = miner_.window().stream_position();
+  ctx.fecs = &part.view();
+  ctx.total_itemsets = part.total_members();
+  return ctx;
+}
+
+ReleaseResult StreamPrivacyEngine::Release() {
+  // The OnWorkerThread() leg mirrors ReleaseAsync's re-entrancy guard:
+  // called from a pool task (a fleet release batch), the release must run
+  // inline rather than bounce through an async flight.
+  if (pipelined_ && pipeline_pool_ != nullptr &&
+      !ThreadPool::OnWorkerThread()) {
+    return ReleaseAsync().Wait();
+  }
+  ReleaseResult result;
+  const MiningOutput& raw = miner_.GetAllFrequentIncremental();
+  FecPartitioner& part = partitions_[active_partition_];
+  part.Sync(raw, miner_.expansion_version(), miner_.last_expansion_delta());
+  PolicyStats policy_stats;
+  result.output = policy_->Release(raw, MakeWindowContext(part), &policy_stats);
+  CopyPolicyStats(policy_stats, &result.stats);
+  result.stats.mine_ns = mine_ns_;
+  mine_ns_ = 0;
+  result.stats.frequent_itemsets = raw.size();
+  result.stats.fec_count = part.view().size();
+  FillIndexMemoryStats(miner_.bitmap_index(), &result.stats);
+  return result;
 }
 
 ReleaseResult StreamPrivacyEngine::ReleaseTicket::Wait() {
@@ -189,29 +265,22 @@ StreamPrivacyEngine::ReleaseTicket StreamPrivacyEngine::ReleaseAsync() {
   // Index memory must be snapshotted on the caller thread: the miner keeps
   // mutating the row table while the flight sanitizes.
   FillIndexMemoryStats(miner_.bitmap_index(), &stats);
-  const Support window_size = static_cast<Support>(miner_.window().size());
-  const size_t total = part.total_members();
-  const FecView* view = &part.view();
+  // The context is snapshotted here, on the caller's thread: window size and
+  // stream position advance with the very next Append, and the view pointer
+  // must name the buffer synced above, not whichever is active later.
+  const WindowContext ctx = MakeWindowContext(part);
 
-  // The sanitizer is exclusive: join the previous flight before handing it
+  // The policy is exclusive: join the previous flight before handing it
   // the new window. (Submit's queue mutex publishes the partition writes
   // above to the worker.)
   JoinInflight();
   flight->result.stats = stats;
   inflight_ = flight;
-  pipeline_pool_->Submit([this, flight, view, total, window_size] {
+  pipeline_pool_->Submit([this, flight, ctx] {
+    PolicyStats policy_stats;
+    flight->result.output = policy_->ReleaseFromView(ctx, &policy_stats);
     EngineStats& s = flight->result.stats;
-    s.epoch = sanitizer_.epoch();
-    flight->result.output = sanitizer_.SanitizeView(*view, total, window_size);
-    const SanitizeStageTimes& stages = sanitizer_.last_stage_times();
-    s.partition_ns = stages.partition_ns;
-    s.bias_ns = stages.bias_ns;
-    s.noise_ns = stages.noise_ns;
-    s.emit_ns = stages.emit_ns;
-    s.bias_cache_hit = stages.bias_cache_hit;
-    s.bias_memo_hit = stages.bias_memo_hit;
-    s.bias_memo_hits = sanitizer_.bias_memo_hits();
-    s.bias_memo_misses = sanitizer_.bias_memo_misses();
+    CopyPolicyStats(policy_stats, &s);
     {
       std::lock_guard<std::mutex> lock(flight->mu);
       flight->done = true;
@@ -229,13 +298,13 @@ void StreamPrivacyEngine::Checkpoint(persist::CheckpointWriter* writer) const {
   writer->U64(miner_.window().capacity());
   WriteConfig(writer, config());
   miner_.Checkpoint(writer);
-  sanitizer_.Checkpoint(writer);
+  policy_->Checkpoint(writer);
 }
 
 Status StreamPrivacyEngine::RestoreBody(persist::CheckpointReader* reader) {
   JoinInflight();
   if (Status s = miner_.Restore(reader); !s.ok()) return s;
-  if (Status s = sanitizer_.Restore(reader); !s.ok()) return s;
+  if (Status s = policy_->Restore(reader); !s.ok()) return s;
   // Reconstructible state: the FEC partitions resync from the first
   // post-restore expansion, and the mine-time accumulator restarts. The
   // pipelining mode itself is scheduling, not state, and survives as set.

@@ -32,6 +32,7 @@
 #include "core/butterfly.h"
 #include "metrics/timing.h"
 #include "moment/moment.h"
+#include "policy/release_policy.h"
 
 namespace butterfly {
 
@@ -40,8 +41,7 @@ class CheckpointWriter;
 class CheckpointReader;
 }  // namespace persist
 
-/// Per-release pipeline statistics, snapshotted by Release(). Replaces the
-/// old mine_ns()/TakeMineNs() + ButterflyEngine::last_stage_times() pair.
+/// Per-release pipeline statistics, snapshotted by Release().
 struct EngineStats {
   double mine_ns = 0;       ///< miner maintenance since the previous release
   double partition_ns = 0;  ///< FEC sync + profile construction
@@ -57,6 +57,12 @@ struct EngineStats {
   /// here so the overhead benchmarks can emit memo hit rates per row.
   uint64_t bias_memo_hits = 0;
   uint64_t bias_memo_misses = 0;
+
+  /// Differential-privacy accounting, filled by the DP release policies
+  /// (zero under the Butterfly backend, whose guarantee is the paper's
+  /// (epsilon, delta) interval model, not DP). See PolicyStats.
+  double epsilon_spent = 0;
+  double epsilon_cumulative = 0;
 
   uint64_t epoch = 0;            ///< the epoch this release was drawn under
   size_t frequent_itemsets = 0;  ///< size of the raw mined output
@@ -94,13 +100,15 @@ class StreamPrivacyEngine {
       : miner_(window_capacity, config.min_support,
                config.hybrid_index ? IndexRowStore::kHybrid
                                    : IndexRowStore::kDense),
-        sanitizer_(config) {}
+        config_(config),
+        policy_(MakeReleasePolicy(config)) {}
 
   /// Movable; an in-flight pipelined release is joined first, because its
   /// pool task holds a pointer into the source engine.
   StreamPrivacyEngine(StreamPrivacyEngine&& other)
       : miner_((other.JoinInflight(), std::move(other.miner_))),
-        sanitizer_(std::move(other.sanitizer_)),
+        config_(other.config_),
+        policy_(std::move(other.policy_)),
         partitions_{std::move(other.partitions_[0]),
                     std::move(other.partitions_[1])},
         active_partition_(other.active_partition_),
@@ -134,58 +142,22 @@ class StreamPrivacyEngine {
   /// Release(), RawOutput() or Restore() — copy it to keep it.
   const MiningOutput& RawOutput() { return miner_.GetAllFrequentIncremental(); }
 
-  /// Deprecated alias of RawOutput(), kept for source compatibility with the
-  /// pre-unification API (there used to be a scratch-expanding RawOutput and
-  /// an incremental variant; they now share the one implementation).
-  [[deprecated("use RawOutput()")]] const MiningOutput& RawOutputIncremental() {
-    return RawOutput();
-  }
-
   /// The raw closed frequent itemsets (Moment's native output).
   MiningOutput RawClosedOutput() const { return miner_.GetClosedFrequent(); }
 
   /// The sanitized release for the current window, with per-stage stats.
   ///
-  /// Feeds the sanitizer from the incremental expansion cache by reference —
-  /// no per-release copy of the full MiningOutput is materialized — and
-  /// keeps the FEC partition itself incremental: the expansion delta patches
-  /// only the itemsets whose support changed since the last release, instead
-  /// of re-partitioning and re-sorting every class per window. The release
-  /// is bit-identical to sanitizing RawOutput() from scratch.
+  /// Routes through the configured ReleasePolicy. The policy is fed from the
+  /// incremental expansion cache by reference — no per-release copy of the
+  /// full MiningOutput is materialized — and the FEC partition it receives
+  /// is itself incremental: the expansion delta patches only the itemsets
+  /// whose support changed since the last release, instead of
+  /// re-partitioning and re-sorting every class per window. The release is
+  /// bit-identical to sanitizing RawOutput() from scratch.
   ///
   /// In pipelined mode this is ReleaseAsync() + Wait(): correct, but with no
   /// overlap — call ReleaseAsync() and keep appending to overlap windows.
-  ReleaseResult Release() {
-    // The OnWorkerThread() leg mirrors ReleaseAsync's re-entrancy guard:
-    // called from a pool task (a fleet release batch), the release must run
-    // inline rather than bounce through an async flight.
-    if (pipelined_ && pipeline_pool_ != nullptr &&
-        !ThreadPool::OnWorkerThread()) {
-      return ReleaseAsync().Wait();
-    }
-    ReleaseResult result;
-    result.stats.epoch = sanitizer_.epoch();
-    const MiningOutput& raw = miner_.GetAllFrequentIncremental();
-    FecPartitioner& part = partitions_[active_partition_];
-    part.Sync(raw, miner_.expansion_version(), miner_.last_expansion_delta());
-    result.output = sanitizer_.Sanitize(
-        raw, static_cast<Support>(miner_.window().size()), &part.view());
-    const SanitizeStageTimes& stages = sanitizer_.last_stage_times();
-    result.stats.mine_ns = mine_ns_;
-    mine_ns_ = 0;
-    result.stats.partition_ns = stages.partition_ns;
-    result.stats.bias_ns = stages.bias_ns;
-    result.stats.noise_ns = stages.noise_ns;
-    result.stats.emit_ns = stages.emit_ns;
-    result.stats.bias_cache_hit = stages.bias_cache_hit;
-    result.stats.bias_memo_hit = stages.bias_memo_hit;
-    result.stats.bias_memo_hits = sanitizer_.bias_memo_hits();
-    result.stats.bias_memo_misses = sanitizer_.bias_memo_misses();
-    result.stats.frequent_itemsets = raw.size();
-    result.stats.fec_count = part.view().size();
-    FillIndexMemoryStats(miner_.bitmap_index(), &result.stats);
-    return result;
-  }
+  ReleaseResult Release();
 
   /// Handle to one in-flight pipelined release. Wait() blocks until the
   /// sanitize/emit stage finishes and moves the result out (valid once).
@@ -237,32 +209,35 @@ class StreamPrivacyEngine {
   /// True while a pipelined release is still running on the pool.
   bool ReleaseInFlight() const;
 
-  /// Deprecated: nanoseconds of mining maintenance since the last release.
-  /// Release() now reports this as ReleaseResult::stats.mine_ns.
-  [[deprecated("read ReleaseResult::stats.mine_ns")]] double mine_ns() const {
-    return mine_ns_;
-  }
-
-  /// Deprecated: returns mine_ns() and resets the accumulator. Release()
-  /// drains the accumulator itself now.
-  [[deprecated("read ReleaseResult::stats.mine_ns")]] double TakeMineNs() {
-    double ns = mine_ns_;
-    mine_ns_ = 0;
-    return ns;
-  }
-
   const MomentMiner& miner() const { return miner_; }
-  ButterflyEngine& sanitizer() { return sanitizer_; }
-  const ButterflyConfig& config() const { return sanitizer_.config(); }
+
+  /// The configured release backend.
+  const ReleasePolicy& release_policy() const { return *policy_; }
+
+  /// The epoch the next release will be drawn under (= releases emitted so
+  /// far under this policy). Works for every backend — use this instead of
+  /// sanitizer().epoch().
+  uint64_t release_epoch() const { return policy_->epoch(); }
+
+  /// The wrapped ButterflyEngine, for Butterfly-specific consumers (noise
+  /// envelopes for the interval attack, bias audits). Checks that the
+  /// configured policy is in fact Butterfly — call only when
+  /// config().policy == ReleasePolicyKind::kButterfly.
+  ButterflyEngine& sanitizer();
+  const ButterflyEngine& sanitizer() const;
+
+  const ButterflyConfig& config() const { return config_; }
   /// The incrementally maintained FEC partition of the most recent release
   /// (in pipelined mode, the active one of the two alternating buffers).
   const FecPartitioner& fec_partition() const {
     return partitions_[active_partition_];
   }
 
-  /// Serializes the full engine: window capacity + config header, then the
-  /// miner (window, bitmap index, CET arena) and the sanitizer (epoch,
-  /// republish cache, previous-window bias settings). The FEC partition and
+  /// Serializes the full engine: window capacity + config header (which
+  /// carries the policy identity and knobs), then the miner (window, bitmap
+  /// index, CET arena) and the release policy's own section (for Butterfly:
+  /// epoch, republish cache, previous-window bias settings; for the DP
+  /// backends: epoch and cumulative budget). The FEC partition and
   /// the miner's expansion cache are reconstructible and are not written —
   /// the first post-restore Release rebuilds both with identical content.
   /// Requires no in-flight pipelined release (checked): Wait() first.
@@ -289,8 +264,13 @@ class StreamPrivacyEngine {
   /// flight's result stays retrievable through its ticket.
   void JoinInflight();
 
+  /// Builds the WindowContext for the current window (size, absolute stream
+  /// position, and the given partition's view).
+  WindowContext MakeWindowContext(const FecPartitioner& part) const;
+
   MomentMiner miner_;
-  ButterflyEngine sanitizer_;
+  ButterflyConfig config_;
+  std::unique_ptr<ReleasePolicy> policy_;
   /// Release-path FEC partitions. Serial mode only ever uses slot 0;
   /// pipelined mode alternates so the caller syncs one buffer while the
   /// in-flight sanitize stage reads the other. The idle buffer is two

@@ -29,7 +29,11 @@ namespace butterfly::persist {
 /// ReadCheckpointFile (or the section readers) to migrate or reject.
 /// v2: BIDX section carries the row-store mode byte and container-tagged
 /// rows (kind + pin flag + array/bitmap/run payload).
-inline constexpr uint32_t kCheckpointVersion = 2;
+/// v3: CONF section carries the release-policy identity byte and its knobs
+/// (policy_epsilon, policy_top_k); the sanitizer section is the configured
+/// policy's own tagged section (BFLE for Butterfly, PVBS/CTNL/HVHT for the
+/// DP backends).
+inline constexpr uint32_t kCheckpointVersion = 3;
 
 /// File magic; also the grep-able signature of a snapshot file.
 inline constexpr char kCheckpointMagic[8] = {'B', 'F', 'L', 'Y',

@@ -1,0 +1,25 @@
+#include "policy/release_policy.h"
+
+#include "policy/butterfly_policy.h"
+#include "policy/continual_policy.h"
+#include "policy/heavy_hitter_policy.h"
+#include "policy/privbasis_policy.h"
+
+namespace butterfly {
+
+std::unique_ptr<ReleasePolicy> MakeReleasePolicy(
+    const ButterflyConfig& config) {
+  switch (config.policy) {
+    case ReleasePolicyKind::kButterfly:
+      return std::make_unique<ButterflyReleasePolicy>(config);
+    case ReleasePolicyKind::kPrivBasis:
+      return std::make_unique<PrivBasisReleasePolicy>(config);
+    case ReleasePolicyKind::kContinual:
+      return std::make_unique<ContinualReleasePolicy>(config);
+    case ReleasePolicyKind::kHeavyHitter:
+      return std::make_unique<HeavyHitterReleasePolicy>(config);
+  }
+  return std::make_unique<ButterflyReleasePolicy>(config);
+}
+
+}  // namespace butterfly

@@ -23,6 +23,10 @@ ButterflyConfig TenantEngineConfig(const FleetConfig& config, uint64_t tenant) {
   // this changes scheduling only — but it also keeps the forced value in
   // checkpoints, where SameConfig bit-compares it on restore.
   engine.threads = 1;
+  if (!config.tenant_policies.empty()) {
+    engine.policy =
+        config.tenant_policies[tenant % config.tenant_policies.size()];
+  }
   return engine;
 }
 
@@ -32,8 +36,14 @@ Status FleetConfig::Validate() const {
   if (window == 0) return Status::InvalidArgument("window must be positive");
   if (stride == 0) return Status::InvalidArgument("stride must be positive");
   // Seed derivation and the serial-engine override do not affect validity,
-  // so validating tenant 0's derived config covers every tenant.
-  return TenantEngineConfig(*this, 0).Validate();
+  // so validating one tenant per distinct policy assignment covers every
+  // tenant (with no per-tenant policies, that is just tenant 0).
+  const size_t distinct =
+      tenant_policies.empty() ? 1 : std::min(tenants, tenant_policies.size());
+  for (uint64_t t = 0; t < distinct; ++t) {
+    if (Status s = TenantEngineConfig(*this, t).Validate(); !s.ok()) return s;
+  }
+  return Status::OK();
 }
 
 EngineFleet::EngineFleet(FleetConfig config) : config_(std::move(config)) {
@@ -271,7 +281,7 @@ Status EngineFleet::RestoreTenants(const std::string& dir) {
     }
     tenant->draining.clear();
     tenant->drain_pos = 0;
-    tenant->releases = tenant->engine->sanitizer().epoch();
+    tenant->releases = tenant->engine->release_epoch();
     tenant->next_release_pos =
         config_.window + tenant->releases * config_.stride;
     tenant->log.clear();

@@ -70,6 +70,13 @@ struct FleetConfig {
   size_t stride = 100;   ///< slides between consecutive releases per tenant
   ButterflyConfig engine;
 
+  /// Per-tenant release-policy assignment. Empty (the default) runs every
+  /// tenant under engine.policy; otherwise tenant t runs
+  /// tenant_policies[t % tenant_policies.size()] — a round-robin, so a
+  /// mixed fleet is expressed as the list of policies to cycle through.
+  /// The DP knobs (engine.policy_epsilon, engine.policy_top_k) are shared.
+  std::vector<ReleasePolicyKind> tenant_policies;
+
   Status Validate() const;
 };
 

@@ -25,7 +25,7 @@ struct SlideEvent {
 /// Per-report notification: the window plus the nanoseconds spent inside the
 /// slide callback since the previous report — when the callback maintains a
 /// miner this is the stream's mining-stage cost, already attributed to the
-/// reported window so callers no longer poll TakeSlideNs() themselves.
+/// reported window so callers need no separate timing accumulator.
 struct ReportEvent {
   const SlidingWindow& window;
   double slide_ns;
@@ -36,7 +36,6 @@ class WindowDriver {
  public:
   using SlideCallback = std::function<void(const SlideEvent&)>;
   using ReportCallback = std::function<void(const ReportEvent&)>;
-  using LegacyReportCallback = std::function<void(const SlidingWindow&)>;
 
   /// \param window the window to drive; must outlive the driver.
   /// \param report_stride emit a report every `report_stride` records once
@@ -46,16 +45,6 @@ class WindowDriver {
 
   void set_on_slide(SlideCallback cb) { on_slide_ = std::move(cb); }
   void set_on_report(ReportCallback cb) { on_report_ = std::move(cb); }
-
-  /// Deprecated: window-only report callback. Wraps the legacy signature in a
-  /// ReportEvent adapter; the slide-time attribution is dropped on the floor,
-  /// exactly like the old TakeSlideNs() polling style it replaces.
-  [[deprecated("use set_on_report(ReportCallback) taking a ReportEvent")]]
-  void set_on_report(LegacyReportCallback cb) {
-    on_report_ = [cb = std::move(cb)](const ReportEvent& event) {
-      cb(event.window);
-    };
-  }
 
   /// Pumps up to `max_records` records (all if 0). Returns the number pumped.
   size_t Run(TransactionSource* source, size_t max_records = 0) {
@@ -91,14 +80,6 @@ class WindowDriver {
 
   /// Nanoseconds spent inside the slide callback since the last report.
   double slide_ns() const { return slide_ns_; }
-
-  /// Deprecated: reports now carry this as ReportEvent::slide_ns.
-  [[deprecated("read ReportEvent::slide_ns in the report callback")]]
-  double TakeSlideNs() {
-    double ns = slide_ns_;
-    slide_ns_ = 0;
-    return ns;
-  }
 
  private:
   SlidingWindow* window_;

@@ -8,6 +8,7 @@
 /// file untouched.
 
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <cstdio>
 #include <fstream>
@@ -102,7 +103,9 @@ std::vector<std::string> RunWithRestart(const StreamCase& param, int threads,
 }
 
 std::string TempPath(const std::string& name) {
-  return ::testing::TempDir() + "/" + name;
+  // Keyed by pid: this source builds into two binaries (plain + ASAN), and
+  // fixed names race when ctest runs them concurrently.
+  return ::testing::TempDir() + "/" + std::to_string(getpid()) + "_" + name;
 }
 
 class CheckpointRestoreTest : public ::testing::TestWithParam<StreamCase> {};

@@ -35,6 +35,14 @@ the repo invariants that back those guarantees:
                         the serial one; supports are integers (Support) until
                         noise is deliberately added.
 
+  policy-rng            Release-policy implementations (src/policy/ or any
+                        policy_*.cc/.h) must draw randomness exclusively
+                        from CounterRng counter streams (src/common/rng.h),
+                        keyed on (seed, epoch, identity). The sequential Rng,
+                        raw std engines, and std distributions all make the
+                        i-th draw depend on draw order, which forks release
+                        bytes across thread counts and restore points.
+
   container-promotion   The hybrid tid-container representation choice
                         (ChooseKind / Reconsider / ConvertTo) must be a pure
                         function of (cardinality, run count, H): RNG draws or
@@ -69,6 +77,7 @@ RULES = (
     "writer-bypass",
     "float-support-accum",
     "container-promotion",
+    "policy-rng",
 )
 
 # Files whose whole purpose exempts them from a rule.
@@ -90,6 +99,24 @@ BANNED_RNG_PATTERNS = (
      "time-seeded engine breaks bit-identical replay"),
     (re.compile(r"\bseed\s*\([^)]*\b(?:time|clock|now)\s*\("),
      "time-based seed breaks bit-identical replay"),
+)
+
+# Release-policy sources: noise must be a pure function of
+# (seed, epoch, identity) so a release replays bit-identically from any
+# thread count or checkpoint. Only CounterRng provides that; everything
+# whose i-th output depends on how many draws preceded it is banned here.
+# `\bRng\b` cannot match CounterRng or EpochRng (word boundary), so the
+# approved counter streams pass untouched.
+POLICY_RNG_PATTERNS = (
+    (re.compile(r"\bRng\b"),
+     "the sequential Rng's draws depend on call order"),
+    (re.compile(r"\bmt19937(?:_64)?\b|\bminstd_rand0?\b|\branlux\w+\b|"
+                r"\bknuth_b\b"),
+     "stateful std engines consume entropy positionally"),
+    (re.compile(r"\b\w+_distribution\b"),
+     "std distributions draw a data-dependent number of engine values"),
+    (re.compile(r"#\s*include\s*<random>"),
+     "policy code has no business pulling in <random>"),
 )
 
 UNORDERED_DECL_RE = re.compile(
@@ -237,6 +264,30 @@ def check_banned_rng(path: Path, rel: str, lines: list[str],
                 scan.findings.append(Finding(
                     path, idx, "banned-rng",
                     f"{reason}; use Rng/CounterRng from src/common/rng.h"))
+
+
+def is_policy_source(rel: str) -> bool:
+    """A release-policy implementation: anything under a policy/ directory
+    or named policy_*.{h,cc} (fixtures included)."""
+    return "/policy/" in rel or Path(rel).name.startswith("policy_")
+
+
+def check_policy_rng(path: Path, rel: str, lines: list[str],
+                     allowances: dict[int, Allowance],
+                     scan: FileScan) -> None:
+    if not is_policy_source(rel):
+        return
+    for idx, raw in enumerate(lines, start=1):
+        code = strip_strings_and_line_comment(raw)
+        for pattern, reason in POLICY_RNG_PATTERNS:
+            if pattern.search(code):
+                if suppressed(scan, allowances, idx, "policy-rng"):
+                    continue
+                scan.findings.append(Finding(
+                    path, idx, "policy-rng",
+                    f"{reason}; release policies must key every draw off a "
+                    "CounterRng counter stream (common/rng.h) so noise is a "
+                    "pure function of (seed, epoch, identity)"))
 
 
 def collect_unordered_names(lines: list[str],
@@ -415,6 +466,7 @@ def scan_file(path: Path, root: Path) -> FileScan:
                 encoding="utf-8", errors="replace").splitlines()
 
     check_banned_rng(path, rel, lines, allowances, scan)
+    check_policy_rng(path, rel, lines, allowances, scan)
     check_unordered_iteration(path, rel, lines, header_lines, allowances, scan)
     check_writer_bypass(path, rel, lines, allowances, scan)
     check_float_support_accum(path, rel, lines, allowances, scan)

@@ -1,0 +1,34 @@
+// bfly_lint fixture: a release-policy source (basename policy_*) drawing
+// randomness from order-dependent sources. Each marked line must produce a
+// policy-rng finding; the CounterRng stream and the allowed line must not.
+// This file is never compiled.
+#include <random>  // VIOLATION policy-rng
+
+#include "common/rng.h"
+
+namespace butterfly {
+
+double SequentialDraws(uint64_t seed) {
+  Rng rng(seed);  // VIOLATION policy-rng
+  return rng.UniformReal();
+}
+
+double StatefulEngine(uint64_t seed) {
+  std::mt19937_64 engine(seed);  // VIOLATION policy-rng
+  std::uniform_real_distribution<double> uniform;  // VIOLATION policy-rng
+  return uniform(engine);
+}
+
+double CounterStreamIsFine(uint64_t seed, uint64_t epoch, uint64_t identity) {
+  CounterRng rng(seed, epoch, identity);
+  return rng.UniformReal();
+}
+
+double JustifiedException(uint64_t seed) {
+  // bfly-lint: allow(policy-rng) harness-only shuffle, never reaches a
+  // release
+  Rng rng(seed);
+  return rng.UniformReal();
+}
+
+}  // namespace butterfly

@@ -69,6 +69,18 @@ class RuleFiresTest(unittest.TestCase):
         self.check_fixture("container_promotion_violation.cc",
                            "container-promotion")
 
+    def test_policy_rng(self):
+        self.check_fixture("policy_rng_violation.cc", "policy-rng")
+
+    def test_policy_rng_gate_is_path_based(self):
+        # The same banned sources outside a policy/ path or policy_* name
+        # must not fire policy-rng (banned-rng has its own fixture).
+        findings = lint(FIXTURES / "banned_rng_violation.cc")
+        self.assertNotIn("policy-rng", {f.rule for f in findings})
+        self.assertTrue(bfly_lint.is_policy_source("src/policy/foo.cc"))
+        self.assertTrue(bfly_lint.is_policy_source("tests/policy_bar.cc"))
+        self.assertFalse(bfly_lint.is_policy_source("src/core/butterfly.cc"))
+
 
 class SuppressionTest(unittest.TestCase):
     def test_justified_annotations_suppress_everything(self):
