@@ -5,6 +5,9 @@
 #include <exception>
 #include <map>
 #include <memory>
+#include <mutex>
+
+#include "common/mutex.h"
 
 namespace butterfly {
 
@@ -23,19 +26,19 @@ ThreadPool::ThreadPool(size_t workers) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     stopping_ = true;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   for (std::thread& w : workers_) w.join();
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     queue_.push_back(std::move(task));
   }
-  cv_.notify_one();
+  cv_.NotifyOne();
 }
 
 void ThreadPool::WorkerLoop() {
@@ -43,8 +46,8 @@ void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      MutexLock lock(&mu_);
+      while (!stopping_ && queue_.empty()) cv_.Wait(&mu_);
       if (queue_.empty()) return;  // stopping_ and drained
       task = std::move(queue_.front());
       queue_.pop_front();
@@ -65,7 +68,7 @@ void TaskGroup::RunInline(const std::function<void()>& task) {
   try {
     task();
   } catch (...) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (!error_) error_ = std::current_exception();
   }
 }
@@ -77,24 +80,24 @@ void TaskGroup::Run(std::function<void()> task) {
     return;
   }
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     ++pending_;
   }
   pool_->Submit([this, task = std::move(task)] {
     try {
       task();
     } catch (...) {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       if (!error_) error_ = std::current_exception();
     }
-    std::lock_guard<std::mutex> lock(mu_);
-    if (--pending_ == 0) cv_.notify_all();
+    MutexLock lock(&mu_);
+    if (--pending_ == 0) cv_.NotifyAll();
   });
 }
 
 void TaskGroup::Wait() {
-  std::unique_lock<std::mutex> lock(mu_);
-  cv_.wait(lock, [this] { return pending_ == 0; });
+  MutexLock lock(&mu_);
+  while (pending_ != 0) cv_.Wait(&mu_);
   std::exception_ptr error = error_;
   error_ = nullptr;
   if (error) std::rethrow_exception(error);
@@ -108,6 +111,10 @@ size_t ResolveThreadCount(int64_t requested) {
 
 ThreadPool* SharedPool(size_t threads) {
   if (threads <= 1) return nullptr;
+  // Function-local static, not a member: lock-discipline scoping does not
+  // apply, and the one guarded object (the registry map) lives right below.
+  // bfly-lint: allow(lock-discipline) function-local registry lock; the
+  // guarded map is the adjacent static and never escapes this function
   static std::mutex registry_mu;
   // Leaked deliberately: worker threads must not be joined from static
   // destructors racing other teardown; the OS reclaims them at exit.
@@ -135,10 +142,10 @@ void ParallelFor(ThreadPool* pool, size_t n, size_t grain,
     size_t n = 0;
     size_t chunk = 0;
     const std::function<void(size_t, size_t)>* body = nullptr;
-    std::mutex mu;
-    std::condition_variable done_cv;
-    size_t pending = 0;
-    std::exception_ptr error;
+    Mutex mu;
+    CondVar done_cv;
+    size_t pending BFLY_GUARDED_BY(mu) = 0;
+    std::exception_ptr error BFLY_GUARDED_BY(mu);
   };
   auto call = std::make_shared<Call>();
   call->n = n;
@@ -156,24 +163,27 @@ void ParallelFor(ThreadPool* pool, size_t n, size_t grain,
         (*call->body)(begin, std::min(begin + call->chunk, call->n));
       }
     } catch (...) {
-      std::lock_guard<std::mutex> lock(call->mu);
+      MutexLock lock(&call->mu);
       if (!call->error) call->error = std::current_exception();
     }
   };
 
   size_t helpers = std::min(pool->worker_count(), (n - 1) / call->chunk + 1);
-  call->pending = helpers;
+  {
+    MutexLock lock(&call->mu);
+    call->pending = helpers;
+  }
   for (size_t i = 0; i < helpers; ++i) {
     pool->Submit([call, run_chunks] {
       run_chunks();
-      std::lock_guard<std::mutex> lock(call->mu);
-      if (--call->pending == 0) call->done_cv.notify_one();
+      MutexLock lock(&call->mu);
+      if (--call->pending == 0) call->done_cv.NotifyOne();
     });
   }
 
   run_chunks();
-  std::unique_lock<std::mutex> lock(call->mu);
-  call->done_cv.wait(lock, [&] { return call->pending == 0; });
+  MutexLock lock(&call->mu);
+  while (call->pending != 0) call->done_cv.Wait(&call->mu);
   if (call->error) std::rethrow_exception(call->error);
 }
 

@@ -18,14 +18,15 @@
 #ifndef BUTTERFLY_COMMON_THREAD_POOL_H_
 #define BUTTERFLY_COMMON_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <exception>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace butterfly {
 
@@ -45,19 +46,21 @@ class ThreadPool {
   /// Enqueues one task for execution on some worker. Fire-and-forget: the
   /// pool reports neither completion nor failure — use TaskGroup when the
   /// caller must wait for a batch and see its exceptions.
-  void Submit(std::function<void()> task);
+  void Submit(std::function<void()> task) BFLY_EXCLUDES(mu_);
 
   /// True iff the calling thread is a worker of *some* ThreadPool; used to
   /// run nested ParallelFor calls inline instead of deadlocking on the pool.
   static bool OnWorkerThread();
 
  private:
-  void WorkerLoop();
+  void WorkerLoop() BFLY_EXCLUDES(mu_);
 
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<std::function<void()>> queue_;
-  bool stopping_ = false;
+  Mutex mu_;
+  CondVar cv_;
+  std::deque<std::function<void()>> queue_ BFLY_GUARDED_BY(mu_);
+  bool stopping_ BFLY_GUARDED_BY(mu_) = false;
+  /// Written once by the constructor before any concurrency exists, joined
+  /// by the destructor; never mutated in between — no guard needed.
   std::vector<std::thread> workers_;
 };
 
@@ -86,20 +89,20 @@ class TaskGroup {
   /// Schedules one task (inline when there is no pool or the caller is
   /// itself a pool worker). A task that throws records its exception; the
   /// first one recorded is rethrown by Wait().
-  void Run(std::function<void()> task);
+  void Run(std::function<void()> task) BFLY_EXCLUDES(mu_);
 
   /// Blocks until every Run() task has finished, then rethrows the first
   /// exception any of them threw (if any). Resets the group for reuse.
-  void Wait();
+  void Wait() BFLY_EXCLUDES(mu_);
 
  private:
-  void RunInline(const std::function<void()>& task);
+  void RunInline(const std::function<void()>& task) BFLY_EXCLUDES(mu_);
 
   ThreadPool* pool_;
-  std::mutex mu_;
-  std::condition_variable cv_;
-  size_t pending_ = 0;
-  std::exception_ptr error_;
+  Mutex mu_;
+  CondVar cv_;
+  size_t pending_ BFLY_GUARDED_BY(mu_) = 0;
+  std::exception_ptr error_ BFLY_GUARDED_BY(mu_);
 };
 
 /// Total parallelism to use for a requested thread count: values <= 0 mean

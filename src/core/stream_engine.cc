@@ -3,9 +3,9 @@
 #include <bit>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 
 #include "common/check.h"
+#include "common/mutex.h"
 #include "common/thread_pool.h"
 #include "persist/serializer.h"
 #include "policy/butterfly_policy.h"
@@ -192,10 +192,12 @@ ReleaseResult StreamPrivacyEngine::Release() {
 ReleaseResult StreamPrivacyEngine::ReleaseTicket::Wait() {
   BFLY_CHECK_MSG(flight_ != nullptr,
                  "Wait() on an empty or already-consumed release ticket");
-  std::unique_lock<std::mutex> lock(flight_->mu);
-  flight_->cv.wait(lock, [&] { return flight_->done; });
-  ReleaseResult result = std::move(flight_->result);
-  lock.unlock();
+  ReleaseResult result;
+  {
+    MutexLock lock(&flight_->mu);
+    while (!flight_->done) flight_->cv.Wait(&flight_->mu);
+    result = std::move(flight_->result);
+  }
   flight_.reset();
   return result;
 }
@@ -209,15 +211,15 @@ void StreamPrivacyEngine::SetPipelined(bool on) {
 
 bool StreamPrivacyEngine::ReleaseInFlight() const {
   if (!inflight_) return false;
-  std::lock_guard<std::mutex> lock(inflight_->mu);
+  MutexLock lock(&inflight_->mu);
   return !inflight_->done;
 }
 
 void StreamPrivacyEngine::JoinInflight() {
   if (!inflight_) return;
   {
-    std::unique_lock<std::mutex> lock(inflight_->mu);
-    inflight_->cv.wait(lock, [&] { return inflight_->done; });
+    MutexLock lock(&inflight_->mu);
+    while (!inflight_->done) inflight_->cv.Wait(&inflight_->mu);
   }
   inflight_.reset();
 }
@@ -235,6 +237,7 @@ StreamPrivacyEngine::ReleaseTicket StreamPrivacyEngine::ReleaseAsync() {
       ThreadPool::OnWorkerThread()) {
     // Degenerate (serial) flight: complete before anyone can wait on it.
     flight->result = Release();
+    MutexLock lock(&flight->mu);
     flight->done = true;
     return ReleaseTicket(std::move(flight));
   }
@@ -282,10 +285,10 @@ StreamPrivacyEngine::ReleaseTicket StreamPrivacyEngine::ReleaseAsync() {
     EngineStats& s = flight->result.stats;
     CopyPolicyStats(policy_stats, &s);
     {
-      std::lock_guard<std::mutex> lock(flight->mu);
+      MutexLock lock(&flight->mu);
       flight->done = true;
     }
-    flight->cv.notify_all();
+    flight->cv.NotifyAll();
   });
   return ReleaseTicket(std::move(flight));
 }

@@ -21,14 +21,14 @@
 #ifndef BUTTERFLY_CORE_STREAM_ENGINE_H_
 #define BUTTERFLY_CORE_STREAM_ENGINE_H_
 
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <utility>
 
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "core/butterfly.h"
 #include "metrics/timing.h"
 #include "moment/moment.h"
@@ -172,9 +172,13 @@ class StreamPrivacyEngine {
    private:
     friend class StreamPrivacyEngine;
     struct Flight {
-      std::mutex mu;
-      std::condition_variable cv;
-      bool done = false;
+      Mutex mu;
+      CondVar cv;
+      bool done BFLY_GUARDED_BY(mu) = false;
+      /// Deliberately not GUARDED_BY(mu): the worker writes it before
+      /// setting `done` under the lock, and readers move it only after
+      /// observing `done` — the lock acquisition publishes the write
+      /// (message-passing handoff, single producer, single consumer).
       ReleaseResult result;
     };
     explicit ReleaseTicket(std::shared_ptr<Flight> flight)

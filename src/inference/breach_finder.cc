@@ -2,9 +2,10 @@
 
 #include <algorithm>
 #include <iterator>
-#include <mutex>
 #include <unordered_set>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "common/thread_pool.h"
 
 namespace butterfly {
@@ -88,8 +89,14 @@ std::vector<InferredPattern> DeriveBreaches(const KnowledgeBase& knowledge,
   // base, so the scan partitions across threads; the final sort makes the
   // result identical for every thread count.
   const std::vector<Itemset>& anchors = knowledge.known_itemsets();
-  std::vector<InferredPattern> breaches;
-  std::mutex merge_mu;
+  // Merge point of the parallel scan: workers append their local results
+  // under the lock; the caller moves the vector out after the ParallelFor
+  // barrier (again under the lock — the annotation knows nothing about
+  // barriers, and the uncontended acquire costs nothing).
+  struct MergeState {
+    Mutex mu;
+    std::vector<InferredPattern> breaches BFLY_GUARDED_BY(mu);
+  } merge;
   auto scan_range = [&](size_t begin, size_t end) {
     std::vector<InferredPattern> local;
     for (size_t a = begin; a < end; ++a) {
@@ -122,13 +129,19 @@ std::vector<InferredPattern> DeriveBreaches(const KnowledgeBase& knowledge,
       }
     }
     if (local.empty()) return;
-    std::lock_guard<std::mutex> lock(merge_mu);
-    breaches.insert(breaches.end(), std::make_move_iterator(local.begin()),
-                    std::make_move_iterator(local.end()));
+    MutexLock lock(&merge.mu);
+    merge.breaches.insert(merge.breaches.end(),
+                          std::make_move_iterator(local.begin()),
+                          std::make_move_iterator(local.end()));
   };
   ParallelFor(SharedPool(ResolveThreadCount(config.threads)), anchors.size(),
               /*grain=*/16, scan_range);
 
+  std::vector<InferredPattern> breaches;
+  {
+    MutexLock lock(&merge.mu);
+    breaches = std::move(merge.breaches);
+  }
   std::sort(breaches.begin(), breaches.end(),
             [](const InferredPattern& a, const InferredPattern& b) {
               return a.pattern < b.pattern;

@@ -51,12 +51,23 @@ EngineFleet::EngineFleet(FleetConfig config) : config_(std::move(config)) {
   pool_participants_ = pool_ != nullptr ? pool_->worker_count() : 1;
   tenants_.reserve(config_.tenants);
   for (uint64_t id = 0; id < config_.tenants; ++id) {
-    auto tenant = std::make_unique<Tenant>();
-    tenant->id = id;
-    tenant->engine.emplace(config_.window, TenantEngineConfig(config_, id));
+    auto tenant =
+        std::make_unique<Tenant>(id, config_.window, TenantEngineConfig(config_, id));
     tenant->next_release_pos = config_.window;
     tenants_.push_back(std::move(tenant));
   }
+}
+
+EngineFleet::EngineFleet(EngineFleet&& other)
+    : config_(std::move(other.config_)),
+      tenants_(std::move(other.tenants_)),
+      pool_(other.pool_),
+      pool_participants_(other.pool_participants_) {
+  // A fleet is only moved before concurrent use, but the source's counters
+  // are still guarded members — take its (uncontended) lock to read them.
+  MutexLock lock(&other.pump_mu_);
+  checkpoint_cursor_ = other.checkpoint_cursor_;
+  checkpoints_written_ = other.checkpoints_written_;
 }
 
 Result<EngineFleet> EngineFleet::Create(const FleetConfig& config) {
@@ -69,7 +80,7 @@ Status EngineFleet::Ingest(uint64_t tenant, Transaction t) {
     return Status::InvalidArgument("no such tenant: " + std::to_string(tenant));
   }
   Tenant& state = *tenants_[tenant];
-  std::lock_guard<std::mutex> lock(state.queue_mu);
+  MutexLock lock(&state.queue_mu);
   state.queued.push_back(std::move(t));
   return Status::OK();
 }
@@ -82,7 +93,7 @@ void EngineFleet::PumpShard(size_t shard, std::vector<Tenant*>* ready) {
       // advancing (its remaining records stay buffered) so the window the
       // batched release stage sanitizes is byte-for-byte the window a solo
       // serial run would have released.
-      if (tenant.engine->miner().window().stream_position() >=
+      if (tenant.engine.miner().window().stream_position() >=
           tenant.next_release_pos) {
         ready->push_back(&tenant);
         break;
@@ -90,25 +101,25 @@ void EngineFleet::PumpShard(size_t shard, std::vector<Tenant*>* ready) {
       if (tenant.drain_pos == tenant.draining.size()) {
         tenant.draining.clear();
         tenant.drain_pos = 0;
-        std::lock_guard<std::mutex> lock(tenant.queue_mu);
+        MutexLock lock(&tenant.queue_mu);
         tenant.draining.swap(tenant.queued);
         if (tenant.draining.empty()) break;
       }
-      tenant.engine->Append(std::move(tenant.draining[tenant.drain_pos++]));
+      tenant.engine.Append(std::move(tenant.draining[tenant.drain_pos++]));
     }
   }
 }
 
 void EngineFleet::ReleaseTenant(Tenant* tenant) {
   Stopwatch watch;
-  ReleaseResult result = tenant->engine->Release();
+  ReleaseResult result = tenant->engine.Release();
   tenant->latencies_ns.push_back(watch.Seconds() * 1e9);
 
   std::ostringstream out;
   Status written = WriteRelease(
       &out,
       ReleaseLabel(tenant->id, static_cast<uint64_t>(
-                                   tenant->engine->miner().window()
+                                   tenant->engine.miner().window()
                                        .stream_position())),
       result.output);
   BFLY_CHECK_MSG(written.ok(), "in-memory release serialization failed");
@@ -130,6 +141,13 @@ void EngineFleet::ReleaseTenant(Tenant* tenant) {
 }
 
 size_t EngineFleet::Pump() {
+  // Held for the entire drain: a Stats()/checkpoint/restore caller on
+  // another thread waits for a phase-consistent fleet instead of reading
+  // engines that pump tasks are mutating. The pool tasks spawned below
+  // access tenants without this lock — ownership inside the drain is
+  // per-tenant per-phase (see Tenant's comment) — which is exactly why the
+  // lock must span the whole loop, not individual phases.
+  MutexLock pump_lock(&pump_mu_);
   size_t released = 0;
   std::vector<std::vector<Tenant*>> ready(config_.shards);
   std::vector<Tenant*> due;
@@ -184,15 +202,20 @@ uint64_t EngineFleet::ReleaseCount(uint64_t tenant) const {
 uint64_t EngineFleet::StreamPosition(uint64_t tenant) const {
   BFLY_CHECK(tenant < tenants_.size());
   return static_cast<uint64_t>(
-      tenants_[tenant]->engine->miner().window().stream_position());
+      tenants_[tenant]->engine.miner().window().stream_position());
 }
 
 const StreamPrivacyEngine& EngineFleet::engine(uint64_t tenant) const {
   BFLY_CHECK(tenant < tenants_.size());
-  return *tenants_[tenant]->engine;
+  return tenants_[tenant]->engine;
 }
 
 FleetStats EngineFleet::Stats() const {
+  // Excludes Pump(): without this, a monitoring thread would read each
+  // engine's window position and the pump-side drain counters while pump
+  // tasks mutate them — a data race TSAN confirms and the TSA annotations
+  // made impossible to reintroduce silently.
+  MutexLock pump_lock(&pump_mu_);
   FleetStats stats;
   stats.tenants = tenants_.size();
   stats.shards = config_.shards;
@@ -202,11 +225,11 @@ FleetStats EngineFleet::Stats() const {
   std::vector<double> latencies;
   for (const std::unique_ptr<Tenant>& tenant : tenants_) {
     stats.ingested += static_cast<uint64_t>(
-        tenant->engine->miner().window().stream_position());
+        tenant->engine.miner().window().stream_position());
     stats.queued +=
         static_cast<uint64_t>(tenant->draining.size() - tenant->drain_pos);
     {
-      std::lock_guard<std::mutex> lock(tenant->queue_mu);
+      MutexLock lock(&tenant->queue_mu);
       stats.queued += static_cast<uint64_t>(tenant->queued.size());
     }
     stats.releases += tenant->releases;
@@ -241,19 +264,23 @@ std::string EngineFleet::ReleaseLabel(uint64_t tenant, uint64_t position) {
 }
 
 Result<uint64_t> EngineFleet::CheckpointNextTenant(const std::string& dir) {
+  // Excludes Pump(): the cursor advance and the engine serialization must
+  // not interleave with a drain mutating the same engine.
+  MutexLock pump_lock(&pump_mu_);
   const uint64_t id = checkpoint_cursor_ % tenants_.size();
   checkpoint_cursor_ = (checkpoint_cursor_ + 1) % tenants_.size();
   Status saved = persist::SaveEngineCheckpoint(
-      *tenants_[id]->engine, TenantCheckpointPath(dir, id));
+      tenants_[id]->engine, TenantCheckpointPath(dir, id));
   if (!saved.ok()) return saved;
   ++checkpoints_written_;
   return id;
 }
 
 Status EngineFleet::RestoreTenants(const std::string& dir) {
+  MutexLock pump_lock(&pump_mu_);
   for (std::unique_ptr<Tenant>& tenant : tenants_) {
     {
-      std::lock_guard<std::mutex> lock(tenant->queue_mu);
+      MutexLock lock(&tenant->queue_mu);
       if (!tenant->queued.empty() ||
           tenant->drain_pos != tenant->draining.size()) {
         return Status::InvalidArgument(
@@ -273,7 +300,7 @@ Status EngineFleet::RestoreTenants(const std::string& dir) {
     // Restore() bit-compares the snapshot's capacity and config against
     // this tenant's (including the derived seed), so a snapshot written by
     // a different tenant or fleet configuration is rejected here.
-    if (Status s = tenant->engine->Restore(&reader); !s.ok()) return s;
+    if (Status s = tenant->engine.Restore(&reader); !s.ok()) return s;
     if (!reader.AtEnd()) {
       return Status::IOError("checkpoint corrupt: trailing bytes after the "
                              "engine state for tenant " +
@@ -281,7 +308,7 @@ Status EngineFleet::RestoreTenants(const std::string& dir) {
     }
     tenant->draining.clear();
     tenant->drain_pos = 0;
-    tenant->releases = tenant->engine->release_epoch();
+    tenant->releases = tenant->engine.release_epoch();
     tenant->next_release_pos =
         config_.window + tenant->releases * config_.stride;
     tenant->log.clear();

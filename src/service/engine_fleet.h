@@ -43,12 +43,12 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
-#include <mutex>
-#include <optional>
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "common/thread_pool.h"
 #include "core/stream_engine.h"
 
@@ -124,7 +124,10 @@ class EngineFleet {
   /// derived seeds, empty queues, and the shared scheduler pool.
   static Result<EngineFleet> Create(const FleetConfig& config);
 
-  EngineFleet(EngineFleet&&) = default;
+  /// Movable (to pass through Result<EngineFleet>); the pump lock itself is
+  /// not moved — the new fleet gets a fresh one, which is sound because a
+  /// fleet is only moved before any concurrent use.
+  EngineFleet(EngineFleet&& other);
 
   size_t tenant_count() const { return tenants_.size(); }
   const FleetConfig& config() const { return config_; }
@@ -138,8 +141,10 @@ class EngineFleet {
   /// Drains every tenant's queue into its engine and emits every release
   /// that comes due, batching ready windows across engines into pool tasks.
   /// Returns the number of releases emitted. Call from one driver thread;
-  /// not re-entrant.
-  size_t Pump();
+  /// not re-entrant (enforced: holds the pump lock for the whole drain, so
+  /// Stats()/CheckpointNextTenant()/RestoreTenants() from other threads
+  /// serialize against it instead of racing the engines).
+  size_t Pump() BFLY_EXCLUDES(pump_mu_);
 
   /// The concatenated WriteRelease bytes of every release \p tenant has
   /// emitted since creation/restore — the byte-identity comparison unit.
@@ -155,22 +160,27 @@ class EngineFleet {
 
   const StreamPrivacyEngine& engine(uint64_t tenant) const;
 
-  /// Aggregates FleetStats over all tenants. Call between Pump()s.
-  FleetStats Stats() const;
+  /// Aggregates FleetStats over all tenants. Safe to call from a monitoring
+  /// thread while the driver thread is inside Pump(): it takes the pump
+  /// lock, so it observes the fleet quiescent (before or after the drain,
+  /// never mid-phase).
+  FleetStats Stats() const BFLY_EXCLUDES(pump_mu_);
 
   /// Saves the next tenant in round-robin order to
   /// TenantCheckpointPath(dir, id) and advances the cursor. One tenant per
   /// call bounds the latency a snapshot adds between pumps; calling it
   /// `tenants` times snapshots the whole fleet. Returns the tenant saved.
-  Result<uint64_t> CheckpointNextTenant(const std::string& dir);
+  /// Serializes against Pump() via the pump lock.
+  Result<uint64_t> CheckpointNextTenant(const std::string& dir)
+      BFLY_EXCLUDES(pump_mu_);
 
   /// Restores every tenant whose snapshot file exists under \p dir (bit-
   /// compared against the tenant's derived config — a snapshot from a
   /// different tenant or fleet is rejected, not silently adopted). Tenants
   /// without a snapshot keep their current state. Queues must be empty —
   /// restore replaces engine state, and queued records belong to the state
-  /// being replaced.
-  Status RestoreTenants(const std::string& dir);
+  /// being replaced. Serializes against Pump() via the pump lock.
+  Status RestoreTenants(const std::string& dir) BFLY_EXCLUDES(pump_mu_);
 
   static std::string TenantCheckpointPath(const std::string& dir,
                                           uint64_t tenant);
@@ -185,13 +195,23 @@ class EngineFleet {
   /// One tenant: engine + double-buffered ingest queue + release artifacts.
   /// Pinned by unique_ptr (the mutex is immovable) and touched by at most
   /// one pump task at a time; `queue_mu` is the only producer/pump shared
-  /// state.
+  /// state. The pump-side fields (engine, draining, drain_pos, log, ...)
+  /// are owned by whichever pump task holds the tenant in the current
+  /// phase; readers outside Pump() serialize through the fleet's pump lock,
+  /// which excludes the whole drain — an ownership handoff the per-member
+  /// annotations cannot express, so those members carry comments, not
+  /// GUARDED_BY.
   struct Tenant {
-    uint64_t id = 0;
-    std::optional<StreamPrivacyEngine> engine;
+    Tenant(uint64_t tenant_id, size_t window, const ButterflyConfig& cfg)
+        : id(tenant_id), engine(window, cfg) {}
 
-    std::mutex queue_mu;
-    std::vector<Transaction> queued;  ///< producer side (guarded by queue_mu)
+    uint64_t id;
+    StreamPrivacyEngine engine;
+
+    Mutex queue_mu;
+    /// Producer side: the only state Ingest() touches concurrently with a
+    /// running Pump().
+    std::vector<Transaction> queued BFLY_GUARDED_BY(queue_mu);
 
     std::vector<Transaction> draining;  ///< pump side, swapped out of queued
     size_t drain_pos = 0;               ///< next draining record to append
@@ -222,8 +242,16 @@ class EngineFleet {
   std::vector<std::unique_ptr<Tenant>> tenants_;
   ThreadPool* pool_ = nullptr;  ///< shared, not owned (see SharedPool)
   size_t pool_participants_ = 1;
-  size_t checkpoint_cursor_ = 0;
-  uint64_t checkpoints_written_ = 0;
+
+  /// Serializes the fleet-level entry points: Pump() holds it for the whole
+  /// drain; Stats(), CheckpointNextTenant() and RestoreTenants() take it so
+  /// a monitoring or checkpointing thread never observes (or mutates)
+  /// engines mid-phase. Ingest() deliberately does NOT take it — producers
+  /// only touch queue_mu, so ingest stays wait-free against a long pump.
+  /// Lock order: pump_mu_ before any tenant's queue_mu.
+  mutable Mutex pump_mu_;
+  size_t checkpoint_cursor_ BFLY_GUARDED_BY(pump_mu_) = 0;
+  uint64_t checkpoints_written_ BFLY_GUARDED_BY(pump_mu_) = 0;
 };
 
 }  // namespace butterfly

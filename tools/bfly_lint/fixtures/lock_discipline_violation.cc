@@ -1,0 +1,34 @@
+// bfly_lint fixture: mutex members invisible to -Wthread-safety. A bare
+// std::mutex carries no capability annotation at all; a wrapper Mutex whose
+// name never appears in a BFLY_GUARDED_BY clause protects nothing the
+// analysis can check. Both marked lines must produce lock-discipline
+// findings; the annotated class must not. This file is never compiled.
+#include <mutex>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace butterfly {
+
+// Bare standard mutex: -Wthread-safety cannot see acquisitions of it.
+class UnannotatedQueue {
+ private:
+  std::mutex bare_mu_;  // VIOLATION lock-discipline
+  int pending_ = 0;
+};
+
+// Wrapper mutex that guards no declared state.
+class IdleLock {
+ private:
+  Mutex idle_mu_;  // VIOLATION lock-discipline
+  int value_ = 0;
+};
+
+// The sanctioned shape: wrapper mutex plus annotated guarded state.
+class AnnotatedQueue {
+ private:
+  Mutex mu_;
+  int pending_ BFLY_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace butterfly

@@ -1,7 +1,9 @@
 // bfly_lint fixture: a release-policy source (basename policy_*) drawing
 // randomness from order-dependent sources. Each marked line must produce a
 // policy-rng finding; the CounterRng stream and the allowed line must not.
-// This file is never compiled.
+// Every function carries epsilon_spent accounting so the policy-budget rule
+// (which has its own fixtures) stays quiet here. This file is never
+// compiled.
 #include <random>  // VIOLATION policy-rng
 
 #include "common/rng.h"
@@ -9,8 +11,9 @@
 namespace butterfly {
 
 double SequentialDraws(uint64_t seed) {
+  double epsilon_spent = 0.1;  // budget accounting (policy-budget fixture)
   Rng rng(seed);  // VIOLATION policy-rng
-  return rng.UniformReal();
+  return rng.UniformReal() * epsilon_spent;
 }
 
 double StatefulEngine(uint64_t seed) {
@@ -20,15 +23,17 @@ double StatefulEngine(uint64_t seed) {
 }
 
 double CounterStreamIsFine(uint64_t seed, uint64_t epoch, uint64_t identity) {
+  double epsilon_spent = 0.1;  // budget accounting (policy-budget fixture)
   CounterRng rng(seed, epoch, identity);
-  return rng.UniformReal();
+  return rng.UniformReal() * epsilon_spent;
 }
 
 double JustifiedException(uint64_t seed) {
+  double epsilon_spent = 0.1;  // budget accounting (policy-budget fixture)
   // bfly-lint: allow(policy-rng) harness-only shuffle, never reaches a
   // release
   Rng rng(seed);
-  return rng.UniformReal();
+  return rng.UniformReal() * epsilon_spent;
 }
 
 }  // namespace butterfly

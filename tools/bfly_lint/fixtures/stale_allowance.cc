@@ -1,0 +1,14 @@
+// bfly_lint fixture: a well-formed, justified allowance whose target line
+// no longer violates the named rule. The linter must flag the allowance
+// itself as stale-allow so dead suppressions get pruned instead of silently
+// masking future regressions. This file is never compiled.
+#include <cstdint>
+
+namespace butterfly {
+
+inline uint64_t NextSeed(uint64_t seed) {
+  // bfly-lint: allow(banned-rng) historical: this used rand() before the counter-mode rewrite  // VIOLATION stale-allow
+  return seed * 6364136223846793005ull + 1442695040888963407ull;
+}
+
+}  // namespace butterfly

@@ -1,0 +1,52 @@
+// bfly_lint fixture: the sanctioned shapes for moving unordered-container
+// contents toward a checkpoint sink. Sorting the materialized copy — either
+// inside the producer before returning, or at the call site before the
+// sink — removes the hash-order taint, so this file must lint completely
+// clean. This file is never compiled.
+#include <algorithm>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+namespace persist {
+class CheckpointWriter {
+ public:
+  void Str(const std::string&) {}
+};
+}  // namespace persist
+
+class Registry {
+ public:
+  // Producer-side sanitization: the copy is sorted before it escapes.
+  std::vector<std::string> SortedKeys() {
+    std::vector<std::string> keys(members_.begin(), members_.end());
+    std::sort(keys.begin(), keys.end());
+    return keys;
+  }
+
+  // Raw accessor for callers that sort themselves.
+  std::vector<std::string> RawKeys() {
+    std::vector<std::string> keys(members_.begin(), members_.end());
+    std::sort(keys.begin(), keys.end());
+    return keys;
+  }
+
+ private:
+  std::unordered_set<std::string> members_;
+};
+
+void PersistSorted(Registry* registry, persist::CheckpointWriter* writer) {
+  const std::vector<std::string> keys = registry->SortedKeys();
+  for (const std::string& key : keys) {
+    writer->Str(key);
+  }
+}
+
+void PersistAfterLocalSort(Registry* registry,
+                           persist::CheckpointWriter* writer) {
+  std::vector<std::string> keys = registry->RawKeys();
+  std::sort(keys.begin(), keys.end());
+  for (const std::string& key : keys) {
+    writer->Str(key);
+  }
+}

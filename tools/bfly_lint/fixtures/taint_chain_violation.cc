@@ -1,0 +1,52 @@
+// bfly_lint fixture: the cross-function hash-order leak the same-site
+// unordered-iteration rule cannot see. SnapshotKeys materializes an
+// unordered set but sorts a *decoy* vector — the old rule's few-line
+// lookahead sees "a sort nearby" and stays quiet — then returns the still
+// hash-ordered copy. Two callers leak it into checkpoint sinks: one
+// directly, one through a helper whose parameter flows to the writer. Both
+// sink lines must produce ordering-taint findings (and nothing else may
+// fire). This file is never compiled.
+#include <algorithm>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+namespace persist {
+class CheckpointWriter {
+ public:
+  void Str(const std::string&) {}
+};
+}  // namespace persist
+
+class Registry {
+ public:
+  std::vector<std::string> SnapshotKeys() {
+    std::vector<std::string> keys(members_.begin(), members_.end());
+    std::vector<std::string> decoy;
+    std::sort(decoy.begin(), decoy.end());  // sorts the wrong vector
+    return keys;  // still in hash order
+  }
+
+ private:
+  std::unordered_set<std::string> members_;
+};
+
+// The helper itself is clean: it forwards its parameter to the writer, so
+// the linter records "param 1 flows to a sink" and charges the caller.
+void EmitRow(persist::CheckpointWriter* writer, const std::string& row) {
+  writer->Str(row);
+}
+
+void PersistDirect(Registry* registry, persist::CheckpointWriter* writer) {
+  const std::vector<std::string> keys = registry->SnapshotKeys();
+  for (const std::string& key : keys) {
+    writer->Str(key);  // VIOLATION ordering-taint
+  }
+}
+
+void PersistViaHelper(Registry* registry, persist::CheckpointWriter* writer) {
+  const std::vector<std::string> keys = registry->SnapshotKeys();
+  for (const std::string& key : keys) {
+    EmitRow(writer, key);  // VIOLATION ordering-taint
+  }
+}

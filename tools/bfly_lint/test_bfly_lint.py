@@ -72,6 +72,37 @@ class RuleFiresTest(unittest.TestCase):
     def test_policy_rng(self):
         self.check_fixture("policy_rng_violation.cc", "policy-rng")
 
+    def test_ordering_taint_cross_function(self):
+        # The decoy sort defeats the same-site unordered-iteration lookahead,
+        # so only the interprocedural taint rule can catch these sinks — the
+        # single-rule assertion in check_fixture proves the old rule stayed
+        # silent while the flow rule fired at both the direct sink and the
+        # helper call whose parameter reaches a writer.
+        self.check_fixture("taint_chain_violation.cc", "ordering-taint")
+
+    def test_ordering_taint_sorted_chains_are_clean(self):
+        findings = lint(FIXTURES / "taint_chain_ok.cc")
+        self.assertEqual(findings, [],
+                         "sorted producer/caller chains must lint clean: " +
+                         "; ".join(f.render(FIXTURES) for f in findings))
+
+    def test_policy_budget(self):
+        self.check_fixture("policy_budget_violation.cc", "policy-budget")
+
+    def test_policy_budget_composition_is_clean(self):
+        # Draws inside ReleaseItems + accounting inside ReleaseCommon is the
+        # sanctioned shape; a justified allowance covers the harness draw.
+        findings = lint(FIXTURES / "policy_budget_allowed.cc")
+        self.assertEqual(findings, [],
+                         "composition-helper accounting must lint clean: " +
+                         "; ".join(f.render(FIXTURES) for f in findings))
+
+    def test_lock_discipline(self):
+        self.check_fixture("lock_discipline_violation.cc", "lock-discipline")
+
+    def test_stale_allowance(self):
+        self.check_fixture("stale_allowance.cc", "stale-allow")
+
     def test_policy_rng_gate_is_path_based(self):
         # The same banned sources outside a policy/ path or policy_* name
         # must not fire policy-rng (banned-rng has its own fixture).

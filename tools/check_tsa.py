@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""Self-test for the Clang thread-safety-analysis toolchain.
+
+The `tsa` preset only means something if the analysis is actually alive:
+GCC ignores the attributes, and a Clang flag typo would silently check
+nothing. This script proves the gate bites, both ways:
+
+  * tools/tsa_fixtures/tsa_clean.cc  — sanctioned Mutex/MutexLock/CondVar
+    shapes: must compile with zero diagnostics;
+  * tools/tsa_fixtures/tsa_violation.cc — guarded-member accesses without
+    the lock: must FAIL with a thread-safety diagnostic.
+
+Exit codes: 0 both directions verified, 1 the gate does not bite (or a
+clean shape is rejected), 2 setup error, 77 clang++ unavailable (ctest
+SKIP_RETURN_CODE, so machines without LLVM skip gracefully).
+"""
+
+import argparse
+import os
+import shutil
+import subprocess
+import sys
+
+SKIP_RC = 77
+
+TSA_FLAGS = [
+    "-fsyntax-only",
+    "-std=c++20",
+    "-Wthread-safety",
+    "-Werror=thread-safety-analysis",
+    "-Werror=thread-safety-attributes",
+]
+
+
+def repo_root():
+    return os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def compile_fixture(clang, root, fixture):
+    return subprocess.run(
+        [clang] + TSA_FLAGS + ["-I", os.path.join(root, "src"), fixture],
+        capture_output=True, text=True,
+    )
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--clang", default=None,
+                        help="clang++ binary (default: search PATH)")
+    args = parser.parse_args()
+
+    clang = args.clang or shutil.which("clang++")
+    if clang is None or (shutil.which(clang) is None
+                         and not os.path.exists(clang)):
+        print("check_tsa: clang++ not found; skipping", file=sys.stderr)
+        return SKIP_RC
+
+    root = repo_root()
+    fixtures = os.path.join(root, "tools", "tsa_fixtures")
+    clean = os.path.join(fixtures, "tsa_clean.cc")
+    violation = os.path.join(fixtures, "tsa_violation.cc")
+    for f in (clean, violation):
+        if not os.path.exists(f):
+            print(f"check_tsa: missing fixture {f}", file=sys.stderr)
+            return 2
+
+    failures = 0
+
+    proc = compile_fixture(clang, root, clean)
+    if proc.returncode != 0:
+        print("check_tsa: FAIL — tsa_clean.cc must compile clean under "
+              "-Wthread-safety but was rejected:", file=sys.stderr)
+        sys.stderr.write(proc.stderr)
+        failures += 1
+    else:
+        print("check_tsa: ok   tsa_clean.cc accepted")
+
+    proc = compile_fixture(clang, root, violation)
+    if proc.returncode == 0:
+        print("check_tsa: FAIL — tsa_violation.cc compiled clean: the "
+              "thread-safety analysis is not biting", file=sys.stderr)
+        failures += 1
+    elif "thread-safety" not in proc.stderr and "guarded_by" not in proc.stderr:
+        print("check_tsa: FAIL — tsa_violation.cc failed for a reason other "
+              "than thread safety:", file=sys.stderr)
+        sys.stderr.write(proc.stderr)
+        failures += 1
+    else:
+        diagnostics = [l for l in proc.stderr.splitlines() if "error:" in l]
+        print(f"check_tsa: ok   tsa_violation.cc rejected "
+              f"({len(diagnostics)} diagnostic(s))")
+
+    if failures:
+        return 1
+    print("check_tsa: thread-safety analysis verified in both directions")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

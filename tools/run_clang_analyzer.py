@@ -1,0 +1,158 @@
+#!/usr/bin/env python3
+"""Clang static analyzer sweep over the library translation units.
+
+Runs `clang++ --analyze` (path-sensitive symbolic execution — use-after-
+move, null derefs, dead stores, leak paths) per TU, driven by the build's
+compile_commands.json and restricted to src/: the tests and benches churn
+too much and assert their own invariants, while the library is where an
+analyzer finding is almost always a real bug or a missing contract.
+
+The compile database may have been produced by GCC; only the include
+directories, macro definitions and -std level are replayed to clang++, so
+the sweep works from any configured build tree (the `analyze` preset
+produces a Clang one for CI).
+
+Known false positives are suppressed via tools/analyzer_suppressions.txt:
+one substring per line, matched against the diagnostic line; '#' comments.
+Every entry must say why it is safe.
+
+Exit codes: 0 clean, 1 findings, 2 usage/setup error, 77 clang++
+unavailable (ctest SKIP_RETURN_CODE, so local GCC-only machines skip).
+"""
+
+import argparse
+import json
+import os
+import shlex
+import shutil
+import subprocess
+import sys
+from concurrent.futures import ThreadPoolExecutor
+
+SKIP_RC = 77
+
+# Flags worth replaying from the compile database: everything that shapes
+# the preprocessed TU, nothing that shapes codegen.
+FLAGS_WITH_VALUE = ("-I", "-isystem", "-iquote", "-D", "-include")
+FLAG_PREFIXES = ("-I", "-D", "-std=", "-isystem")
+
+
+def repo_root():
+    return os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def load_suppressions(path):
+    if not os.path.exists(path):
+        return []
+    patterns = []
+    with open(path, encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line and not line.startswith("#"):
+                patterns.append(line)
+    return patterns
+
+
+def replay_flags(entry):
+    argv = (entry["arguments"] if "arguments" in entry
+            else shlex.split(entry["command"]))
+    flags = []
+    i = 0
+    while i < len(argv):
+        arg = argv[i]
+        if arg in FLAGS_WITH_VALUE and i + 1 < len(argv):
+            flags.extend([arg, argv[i + 1]])
+            i += 2
+            continue
+        if arg.startswith(FLAG_PREFIXES):
+            flags.append(arg)
+        i += 1
+    return flags
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--build-dir", required=True,
+                        help="build tree holding compile_commands.json")
+    parser.add_argument("--clang", default=None,
+                        help="clang++ binary (default: search PATH)")
+    parser.add_argument("--suppressions", default=None,
+                        help="suppression file (default: "
+                             "tools/analyzer_suppressions.txt)")
+    parser.add_argument("--jobs", type=int, default=os.cpu_count() or 4)
+    args = parser.parse_args()
+
+    clang = args.clang or shutil.which("clang++")
+    if clang is None or (shutil.which(clang) is None
+                         and not os.path.exists(clang)):
+        print("run_clang_analyzer: clang++ not found; skipping",
+              file=sys.stderr)
+        return SKIP_RC
+
+    db_path = os.path.join(args.build_dir, "compile_commands.json")
+    if not os.path.exists(db_path):
+        print(f"run_clang_analyzer: no compile database at {db_path}",
+              file=sys.stderr)
+        return 2
+    with open(db_path, encoding="utf-8") as fh:
+        entries = json.load(fh)
+
+    root = repo_root()
+    src_prefix = os.path.join(root, "src") + os.sep
+    targets = []
+    seen = set()
+    for entry in entries:
+        path = os.path.realpath(
+            os.path.join(entry.get("directory", ""), entry["file"]))
+        if path.startswith(src_prefix) and path not in seen:
+            seen.add(path)
+            targets.append((path, entry))
+    if not targets:
+        print("run_clang_analyzer: no src/ TUs in the compile database",
+              file=sys.stderr)
+        return 2
+
+    suppressions = load_suppressions(
+        args.suppressions
+        or os.path.join(root, "tools", "analyzer_suppressions.txt"))
+
+    print(f"run_clang_analyzer: {len(targets)} TU(s) with {clang}, "
+          f"{len(suppressions)} suppression(s)")
+
+    def run_one(item):
+        path, entry = item
+        cmd = ([clang, "--analyze", "-Xclang", "-analyzer-output=text"]
+               + replay_flags(entry) + [path])
+        proc = subprocess.run(cmd, capture_output=True, text=True,
+                              cwd=entry.get("directory") or root)
+        return path, proc
+
+    failures = []
+    with ThreadPoolExecutor(max_workers=args.jobs) as pool:
+        for path, proc in pool.map(run_one, targets):
+            rel = os.path.relpath(path, root)
+            reports = [l for l in proc.stderr.splitlines()
+                       if ": warning:" in l
+                       and not any(s in l for s in suppressions)]
+            if proc.returncode != 0 and not reports:
+                # Hard frontend error (bad flags, missing header): surface
+                # it — an analyzer that cannot parse the TU analyzes
+                # nothing.
+                failures.append(rel)
+                sys.stderr.write(proc.stderr)
+            elif reports:
+                failures.append(rel)
+                sys.stderr.write(proc.stderr)
+            else:
+                print(f"  ok {rel}")
+
+    if failures:
+        print(f"run_clang_analyzer: findings in {len(failures)} TU(s): "
+              + ", ".join(sorted(failures)), file=sys.stderr)
+        return 1
+    print("run_clang_analyzer: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -30,11 +30,16 @@ CORE_FILES = [
     "src/core/bias_setting.cc",
     "src/core/fec.cc",
     "src/core/republish_cache.cc",
+    "src/core/stream_engine.cc",
+    "src/common/thread_pool.cc",
     "src/moment/moment.cc",
     "src/stream/window_bitmap_index.cc",
     "src/persist/serializer.cc",
     "src/inference/breach_finder.cc",
     "src/inference/interwindow.cc",
+    "src/service/engine_fleet.cc",
+    "src/policy/dp_policy.cc",
+    "src/policy/release_policy.cc",
 ]
 
 SKIP_RC = 77

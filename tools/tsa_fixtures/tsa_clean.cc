@@ -1,0 +1,38 @@
+// check_tsa.py fixture: the sanctioned locking shapes. Must compile with
+// zero diagnostics under `clang++ -fsyntax-only -Wthread-safety
+// -Werror=thread-safety-analysis` — proving the Mutex/MutexLock/CondVar
+// wrappers actually carry the capability annotations the analysis needs.
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace {
+
+class Counter {
+ public:
+  void Add(int delta) {
+    butterfly::MutexLock lock(&mu_);
+    total_ += delta;
+    cv_.NotifyAll();
+  }
+
+  // The classic predicate loop: CondVar::Wait requires the mutex, and the
+  // guarded read of total_ happens under the same MutexLock.
+  int WaitForAtLeast(int floor) {
+    butterfly::MutexLock lock(&mu_);
+    while (total_ < floor) cv_.Wait(&mu_);
+    return total_;
+  }
+
+ private:
+  butterfly::Mutex mu_;
+  butterfly::CondVar cv_;
+  int total_ BFLY_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter counter;
+  counter.Add(1);
+  return counter.WaitForAtLeast(1) - 1;
+}

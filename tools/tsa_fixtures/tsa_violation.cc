@@ -1,0 +1,33 @@
+// check_tsa.py fixture: a lock-protocol bug the analysis must reject. The
+// unguarded read and the lock-free increment below are exactly the races
+// the annotations exist to catch; if this file ever compiles clean under
+// `clang++ -Wthread-safety -Werror=thread-safety-analysis`, the analysis
+// is not running (or the wrappers lost their attributes) and check_tsa.py
+// fails the build.
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace {
+
+class Counter {
+ public:
+  void Add(int delta) {
+    total_ += delta;  // racy write: no lock held
+  }
+
+  int Total() {
+    return total_;  // racy read: no lock held
+  }
+
+ private:
+  butterfly::Mutex mu_;
+  int total_ BFLY_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter counter;
+  counter.Add(1);
+  return counter.Total() - 1;
+}
